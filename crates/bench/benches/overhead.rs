@@ -1,0 +1,41 @@
+//! Figure 5 companion bench: wall time of representative HTMBench programs
+//! native vs. with TxSampler attached. `cargo bench -p txbench --bench
+//! overhead` gives the statistically robust version of the `repro fig5`
+//! quick pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htmbench::harness::RunConfig;
+
+fn cfg(profiled: bool) -> RunConfig {
+    let base = RunConfig::paper_default().with_threads(4).with_scale(10);
+    if profiled {
+        base
+    } else {
+        base.native()
+    }
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_overhead");
+    group.sample_size(10);
+
+    type Runner = (&'static str, fn(&RunConfig) -> htmbench::harness::RunOutcome);
+    let cases: Vec<Runner> = vec![
+        ("micro/low_conflict", htmbench::micro::low_conflict),
+        ("stamp/kmeans", htmbench::stamp::kmeans),
+        ("stamp/genome", htmbench::stamp::genome),
+        ("synchro/skiplist", htmbench::lists::skiplist),
+    ];
+    for (name, run) in cases {
+        group.bench_with_input(BenchmarkId::new("native", name), &run, |b, run| {
+            b.iter(|| run(&cfg(false)))
+        });
+        group.bench_with_input(BenchmarkId::new("sampled", name), &run, |b, run| {
+            b.iter(|| run(&cfg(true)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table 2 companion bench: original vs. optimized versions of the case-
+//! study programs, measured as host wall time (the `repro table2` harness
+//! reports the simulated-cycle speedups).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htmbench::harness::RunConfig;
+
+fn bench_speedups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_speedup");
+    group.sample_size(10);
+    let cfg = RunConfig::paper_default().with_threads(4).with_scale(10);
+
+    for pair in htmbench::optimization_pairs() {
+        // Keep the bench suite bounded: the three headline rows.
+        if !matches!(pair.code, "histo" | "LevelDB" | "linkedlist") {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("original", pair.code),
+            &pair,
+            |b, pair| b.iter(|| (pair.original)(&cfg)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("optimized", pair.code),
+            &pair,
+            |b, pair| b.iter(|| (pair.optimized)(&cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedups);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! `repro` — regenerate every table and figure of the TxSampler paper.
+//!
+//! ```text
+//! repro [--threads N] [--scale S] [--trials T] [--out DIR] <experiment>...
+//!
+//! experiments:
+//!   table1        CLOMP-TM input characteristics
+//!   fig5          runtime overhead across HTMBench
+//!   fig6          overhead vs. thread count (STAMP mean)
+//!   fig7          CLOMP-TM time/abort/weight decomposition
+//!   fig8          application categorization
+//!   table2        optimization speedups
+//!   case-dedup    §8.1 walkthrough
+//!   case-leveldb  §8.2 walkthrough
+//!   case-histo    §8.3 walkthrough
+//!   case-supplementary  SSCA2/UA/vacation (supplementary material)
+//!   all           everything above
+//!   profile NAME  run one HTMBench program under TxSampler and print its
+//!                 full report (CCT view, decomposition, decision tree);
+//!                 with --out, also saves the raw profile
+//! ```
+
+use std::path::PathBuf;
+
+use txbench::*;
+
+/// Run one registry workload under TxSampler and print every report.
+fn profile_one(cfg: &ExpConfig, name: &str, save: &dyn Fn(&str, &str)) {
+    let specs = htmbench::registry::all();
+    let Some(spec) = specs.iter().find(|s| s.name == name) else {
+        eprintln!("unknown workload '{name}'. available:");
+        for s in &specs {
+            eprintln!("  {}", s.name);
+        }
+        std::process::exit(2);
+    };
+    let run_cfg = htmbench::harness::RunConfig::paper_default()
+        .with_threads(cfg.threads)
+        .with_scale(cfg.scale);
+    let out = (spec.run)(&run_cfg);
+    let profile = out.profile.as_ref().expect("profiled");
+    let registry = out.funcs.clone();
+
+    println!("== {} — {} samples, truth a/c {:.3}", spec.name, profile.samples,
+        out.truth_abort_commit_ratio());
+    print!("{}", txsampler::report::render_time_breakdown(profile));
+    print!("{}", txsampler::report::render_abort_breakdown(profile));
+    println!();
+    println!("{}", txsampler::report::render_cct(profile, &registry, &Default::default()));
+    let diagnosis = txsampler::diagnose(profile, &txsampler::Thresholds::default());
+    println!("{}", txsampler::report::render_diagnosis(&diagnosis, &registry));
+    for imb in txsampler::detect_imbalance(profile, 2.0, 50).into_iter().take(3) {
+        println!(
+            "imbalance: site func{}:{} {:?} skew {:.1}x worst thread t{}",
+            imb.site.func.0, imb.site.line, imb.kind, imb.factor, imb.worst_tid
+        );
+    }
+    save(
+        &format!("profile-{}.txsp", spec.name.replace('/', "_")),
+        &txsampler::store::save(profile),
+    );
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).collect::<Vec<_>>();
+    let mut cfg = ExpConfig::default();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut experiments: Vec<String> = Vec::new();
+
+    let i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                cfg.threads = args[i + 1].parse().expect("--threads N");
+                args.drain(i..=i + 1);
+            }
+            "--scale" => {
+                cfg.scale = args[i + 1].parse().expect("--scale S");
+                args.drain(i..=i + 1);
+            }
+            "--trials" => {
+                cfg.trials = args[i + 1].parse().expect("--trials T");
+                args.drain(i..=i + 1);
+            }
+            "--out" => {
+                out_dir = Some(PathBuf::from(&args[i + 1]));
+                args.drain(i..=i + 1);
+            }
+            _ => {
+                experiments.push(args.remove(i));
+            }
+        }
+    }
+    if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
+        experiments = [
+            "table1", "fig5", "fig6", "fig7", "fig8", "table2", "case-dedup", "case-leveldb",
+            "case-histo", "case-supplementary",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    let save = |name: &str, contents: &str| {
+        if let Some(dir) = &out_dir {
+            std::fs::write(dir.join(name), contents).expect("write artifact");
+        }
+    };
+
+    eprintln!(
+        "# repro: threads={} scale={} trials={}",
+        cfg.threads, cfg.scale, cfg.trials
+    );
+
+    for exp in &experiments {
+        match exp.as_str() {
+            "table1" => {
+                let rows = fig7_clomp(&cfg);
+                let text = render_table1(&rows);
+                println!("{text}");
+            }
+            "fig5" => {
+                let rows = fig5_overhead(&cfg);
+                println!("{}", render_fig5(&rows));
+                save("fig5.tsv", &fig5_tsv(&rows));
+            }
+            "fig6" => {
+                let max = cfg.threads.max(2);
+                let counts: Vec<usize> = [1usize, 2, 4, 8, 14]
+                    .into_iter()
+                    .filter(|&c| c <= max)
+                    .collect();
+                let rows = fig6_thread_sweep(&cfg, &counts);
+                println!("{}", render_fig6(&rows));
+            }
+            "fig7" => {
+                let rows = fig7_clomp(&cfg);
+                println!("{}", render_fig7(&rows));
+            }
+            "fig8" => {
+                let rows = fig8_characterize(&cfg);
+                println!("{}", render_fig8(&rows));
+                save("fig8.tsv", &fig8_tsv(&rows));
+            }
+            "table2" => {
+                let rows = table2_speedups(&cfg);
+                println!("{}", render_table2(&rows));
+                save("table2.tsv", &table2_tsv(&rows));
+            }
+            "case-dedup" => println!("{}", case_dedup(&cfg)),
+            "case-leveldb" => println!("{}", case_leveldb(&cfg)),
+            "case-histo" => println!("{}", case_histo(&cfg)),
+            "case-supplementary" => println!("{}", case_supplementary(&cfg)),
+            "profile" => {
+                // consume the workload name that follows
+                let name = experiments
+                    .iter()
+                    .skip_while(|e| e.as_str() != "profile")
+                    .nth(1)
+                    .cloned()
+                    .unwrap_or_default();
+                profile_one(&cfg, &name, &save);
+                break;
+            }
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Shared plumbing for the figure/table harness (`repro` binary and the
+//! Criterion benches): experiment runners that regenerate every table and
+//! figure of the paper's evaluation, printing paper-style rows.
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,289 @@
+//! Call-path reconstruction inside transactions (paper §3.4, Figure 3).
+//!
+//! A sampling interrupt aborts the transaction, so the signal handler's
+//! stack unwind only reaches the `xbegin` point — every frame entered
+//! *inside* the transaction is architecturally gone. TxSampler recovers
+//! them from the LBR: the filtered branch records contain the transaction's
+//! recent calls and returns (tagged `in-tsx`), which pair up into the
+//! missing call-path suffix. The unwound prefix and the LBR-derived suffix
+//! are then concatenated, with a consistency check that the oldest
+//! reconstructed call originates in the function at the top of the unwound
+//! stack.
+
+use txsim_pmu::{BranchKind, Frame, FuncId, LbrEntry};
+
+/// Result of reconstructing the in-transaction call path from an LBR
+/// snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxCallPath {
+    /// Frames entered inside the transaction, outermost first. Empty when
+    /// the sample hit code directly inside the transaction's root frame.
+    pub frames: Vec<Frame>,
+    /// The LBR window overflowed (or the linking check failed): an unknown
+    /// prefix of the in-transaction path is missing — the paper's
+    /// acknowledged truncation case.
+    pub truncated: bool,
+}
+
+impl TxCallPath {
+    /// An empty, exact path.
+    pub fn empty() -> Self {
+        TxCallPath {
+            frames: Vec::new(),
+            truncated: false,
+        }
+    }
+}
+
+/// Reconstruct the in-transaction call-path suffix from an LBR snapshot
+/// (`entries` oldest-first, as produced by `Lbr::snapshot`).
+///
+/// `anchor` is the function at the top of the unwound stack — the function
+/// that executed `xbegin`. It anchors Figure 3's linking check: the oldest
+/// unmatched in-tx call must originate either in `anchor` or in a frame we
+/// reconstructed; otherwise the window lost the path prefix and the result
+/// is flagged truncated.
+pub fn reconstruct_tx_path(entries: &[LbrEntry], anchor: FuncId) -> TxCallPath {
+    // Step 1: isolate the *current* transaction's branches — the contiguous
+    // trailing run of in-tsx entries. Trailing non-tsx entries (the abort
+    // branch and the interrupt delivery) are skipped; anything before an
+    // older non-tsx entry belongs to previous transactions or committed
+    // code and must not contaminate the reconstruction.
+    let mut end = entries.len();
+    while end > 0
+        && !entries[end - 1].in_tsx
+        && matches!(
+            entries[end - 1].kind,
+            BranchKind::TxAbort | BranchKind::Interrupt
+        )
+    {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && entries[start - 1].in_tsx {
+        start -= 1;
+    }
+    let tx_entries = &entries[start..end];
+
+    // The window is full and the oldest surviving entry is already in-tx:
+    // older in-tx branches may have been evicted.
+    let window_overflowed = start == 0 && !tx_entries.is_empty();
+
+    // Step 2: pair calls and returns, oldest first. A return with no
+    // matching call would pop past the transaction root; it can only come
+    // from eviction, so it marks truncation.
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut truncated = false;
+    for e in tx_entries {
+        match e.kind {
+            BranchKind::Call => frames.push(Frame {
+                func: e.to.func,
+                callsite: e.from,
+            }),
+            // NB: not a match guard — a side-effecting pop in a guard is a
+            // readability trap.
+            BranchKind::Return => {
+                if frames.pop().is_none() {
+                    truncated = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Step 3: the linking check. The outermost reconstructed call must have
+    // been made from the anchor function (where xbegin lives); if it was
+    // not, the true outer frames were evicted from the window.
+    if let Some(outer) = frames.first() {
+        if outer.callsite.func != anchor {
+            truncated = true;
+        }
+    }
+    if window_overflowed && frames.is_empty() {
+        // Full window of in-tx branches that all cancelled out — we cannot
+        // know whether older frames existed.
+        truncated = true;
+    }
+
+    TxCallPath { frames, truncated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txsim_pmu::Ip;
+
+    const A: FuncId = FuncId(10);
+    const B: FuncId = FuncId(11);
+    const C: FuncId = FuncId(12);
+    const D: FuncId = FuncId(13);
+
+    fn call(from_func: FuncId, from_line: u32, to: FuncId, in_tsx: bool) -> LbrEntry {
+        LbrEntry {
+            from: Ip::new(from_func, from_line),
+            to: Ip::new(to, 0),
+            kind: BranchKind::Call,
+            in_tsx,
+            abort: false,
+        }
+    }
+
+    fn ret(from: FuncId, to_func: FuncId, to_line: u32, in_tsx: bool) -> LbrEntry {
+        LbrEntry {
+            from: Ip::new(from, 99),
+            to: Ip::new(to_func, to_line),
+            kind: BranchKind::Return,
+            in_tsx,
+            abort: false,
+        }
+    }
+
+    fn abort_branch(to: FuncId) -> LbrEntry {
+        LbrEntry {
+            from: Ip::new(D, 50),
+            to: Ip::new(to, 5),
+            kind: BranchKind::TxAbort,
+            in_tsx: false,
+            abort: true,
+        }
+    }
+
+    fn interrupt(abort: bool) -> LbrEntry {
+        LbrEntry {
+            from: Ip::new(D, 50),
+            to: Ip::new(D, 50),
+            kind: BranchKind::Interrupt,
+            in_tsx: false,
+            abort,
+        }
+    }
+
+    #[test]
+    fn empty_lbr_gives_empty_path() {
+        let p = reconstruct_tx_path(&[], A);
+        assert_eq!(p, TxCallPath::empty());
+    }
+
+    #[test]
+    fn figure3_example_reconstructs_c_then_d() {
+        // Paper Figure 3: inside a transaction in A, B() ran and returned,
+        // then C() called D() where the sample hit. Expected path: C → D.
+        let entries = vec![
+            call(A, 3, B, true),    // Call B
+            call(B, 12, D, true),   // Call D (from B)
+            ret(D, B, 12, true),    // D returns
+            ret(B, A, 3, true),     // B returns
+            call(A, 4, C, true),    // Call C
+            call(C, 20, D, true),   // Call D (from C)
+            interrupt(true),
+        ];
+        let p = reconstruct_tx_path(&entries, A);
+        assert!(!p.truncated);
+        assert_eq!(p.frames.len(), 2);
+        assert_eq!(p.frames[0].func, C);
+        assert_eq!(p.frames[0].callsite, Ip::new(A, 4));
+        assert_eq!(p.frames[1].func, D);
+        assert_eq!(p.frames[1].callsite, Ip::new(C, 20));
+    }
+
+    #[test]
+    fn pre_transaction_branches_are_ignored() {
+        let entries = vec![
+            call(FuncId(1), 7, A, false), // outside the transaction
+            call(A, 3, B, true),
+            interrupt(true),
+        ];
+        let p = reconstruct_tx_path(&entries, A);
+        assert!(!p.truncated);
+        assert_eq!(p.frames.len(), 1);
+        assert_eq!(p.frames[0].func, B);
+    }
+
+    #[test]
+    fn previous_aborted_attempt_does_not_leak() {
+        // Attempt 1 called B then aborted; attempt 2 called C and was
+        // sampled. Only C must appear.
+        let entries = vec![
+            call(A, 3, B, true),
+            abort_branch(A),
+            call(A, 3, C, true),
+            interrupt(true),
+        ];
+        let p = reconstruct_tx_path(&entries, A);
+        assert_eq!(p.frames.len(), 1);
+        assert_eq!(p.frames[0].func, C);
+    }
+
+    #[test]
+    fn abort_sample_trailing_abort_entry_is_skipped() {
+        // For an RTM_RETIRED:ABORTED sample the snapshot ends with the
+        // abort branch (and no interrupt); the in-tx path still resolves.
+        let entries = vec![call(A, 3, B, true), call(B, 8, D, true), abort_branch(A)];
+        let p = reconstruct_tx_path(&entries, A);
+        assert!(!p.truncated);
+        assert_eq!(
+            p.frames.iter().map(|f| f.func).collect::<Vec<_>>(),
+            vec![B, D]
+        );
+    }
+
+    #[test]
+    fn sample_in_root_frame_gives_empty_path() {
+        let entries = vec![interrupt(true)];
+        let p = reconstruct_tx_path(&entries, A);
+        assert!(p.frames.is_empty());
+        assert!(!p.truncated);
+    }
+
+    #[test]
+    fn unmatched_return_marks_truncation() {
+        // The call matching this return was evicted from the window.
+        let entries = vec![ret(B, A, 3, true), call(A, 4, C, true), interrupt(true)];
+        let p = reconstruct_tx_path(&entries, A);
+        assert!(p.truncated);
+        assert_eq!(p.frames.len(), 1);
+        assert_eq!(p.frames[0].func, C);
+    }
+
+    #[test]
+    fn linking_check_detects_missing_prefix() {
+        // The oldest surviving call is C→D, but C was entered from a frame
+        // no longer in the window; the anchor is A, so the path cannot link.
+        let entries = vec![call(C, 20, D, true), interrupt(true)];
+        let p = reconstruct_tx_path(&entries, A);
+        assert!(p.truncated);
+        assert_eq!(p.frames.len(), 1);
+        assert_eq!(p.frames[0].func, D);
+    }
+
+    #[test]
+    fn committed_transaction_branches_do_not_leak_into_plain_samples() {
+        // After xend, a plain-code sample must not reconstruct tx frames:
+        // the trailing entry run stops at the first non-tsx non-marker
+        // branch.
+        let entries = vec![
+            call(A, 3, B, true), // from an earlier transaction
+            ret(B, A, 3, true),
+            call(A, 9, C, false), // committed, plain call
+            interrupt(false),
+        ];
+        let p = reconstruct_tx_path(&entries, A);
+        assert!(p.frames.is_empty());
+    }
+
+    #[test]
+    fn deep_chain_within_window() {
+        let entries = vec![
+            call(A, 1, B, true),
+            call(B, 2, C, true),
+            call(C, 3, D, true),
+            interrupt(true),
+        ];
+        let p = reconstruct_tx_path(&entries, A);
+        assert!(!p.truncated);
+        assert_eq!(
+            p.frames.iter().map(|f| f.func).collect::<Vec<_>>(),
+            vec![B, C, D]
+        );
+    }
+}

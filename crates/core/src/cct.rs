@@ -1,0 +1,342 @@
+//! The calling-context tree (CCT).
+//!
+//! TxSampler is a *call-path* profiler (built on HPCToolkit in the paper):
+//! every metric is attributed to a full calling context, including contexts
+//! reconstructed inside transactions. Nodes are either function frames —
+//! keyed by (function, call site, speculative?) — or leaf statements keyed
+//! by an instruction pointer. Frames reconstructed from the LBR (i.e.
+//! executed speculatively inside a transaction) carry the `speculative`
+//! flag; the report renderer displays them under a `begin_in_tx` pseudo
+//! node like the paper's GUI (Figure 9).
+
+use std::collections::HashMap;
+
+use txsim_pmu::{FuncId, Ip};
+
+use crate::metrics::Metrics;
+
+/// Identity of a CCT node relative to its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKey {
+    /// A function frame entered from `callsite`.
+    Frame {
+        /// The function this frame executes.
+        func: FuncId,
+        /// The call instruction in the parent context.
+        callsite: Ip,
+        /// Reconstructed from LBR inside a transaction.
+        speculative: bool,
+    },
+    /// A leaf statement (sampled instruction).
+    Stmt {
+        /// The sampled instruction pointer.
+        ip: Ip,
+        /// Sampled while speculating.
+        speculative: bool,
+    },
+}
+
+impl NodeKey {
+    /// The function this node belongs to.
+    pub fn func(&self) -> FuncId {
+        match self {
+            NodeKey::Frame { func, .. } => *func,
+            NodeKey::Stmt { ip, .. } => ip.func,
+        }
+    }
+
+    /// Whether the node was reconstructed from speculative execution.
+    pub fn speculative(&self) -> bool {
+        match self {
+            NodeKey::Frame { speculative, .. } | NodeKey::Stmt { speculative, .. } => *speculative,
+        }
+    }
+}
+
+/// Index of a node within its [`Cct`].
+pub type NodeId = u32;
+
+/// The root node id.
+pub const ROOT: NodeId = 0;
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: Option<NodeKey>, // None only for the root
+    parent: NodeId,
+    children: HashMap<NodeKey, NodeId>,
+    metrics: Metrics,
+}
+
+/// An arena-allocated calling-context tree with per-node [`Metrics`].
+#[derive(Debug, Clone)]
+pub struct Cct {
+    nodes: Vec<Node>,
+}
+
+impl Default for Cct {
+    fn default() -> Self {
+        Cct::new()
+    }
+}
+
+impl Cct {
+    /// Create a tree holding only the root.
+    pub fn new() -> Self {
+        Cct {
+            nodes: vec![Node {
+                key: None,
+                parent: ROOT,
+                children: HashMap::new(),
+                metrics: Metrics::default(),
+            }],
+        }
+    }
+
+    /// Number of nodes including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Child of `parent` with `key`, created on demand.
+    pub fn child(&mut self, parent: NodeId, key: NodeKey) -> NodeId {
+        if let Some(&id) = self.nodes[parent as usize].children.get(&key) {
+            return id;
+        }
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(Node {
+            key: Some(key),
+            parent,
+            children: HashMap::new(),
+            metrics: Metrics::default(),
+        });
+        self.nodes[parent as usize].children.insert(key, id);
+        id
+    }
+
+    /// Walk a full path of keys from the root, creating nodes on demand;
+    /// returns the final node.
+    pub fn path(&mut self, keys: impl IntoIterator<Item = NodeKey>) -> NodeId {
+        let mut cur = ROOT;
+        for key in keys {
+            cur = self.child(cur, key);
+        }
+        cur
+    }
+
+    /// Mutable metrics of `node`.
+    pub fn metrics_mut(&mut self, node: NodeId) -> &mut Metrics {
+        &mut self.nodes[node as usize].metrics
+    }
+
+    /// Metrics of `node` (exclusive).
+    pub fn metrics(&self, node: NodeId) -> &Metrics {
+        &self.nodes[node as usize].metrics
+    }
+
+    /// Key of `node` (`None` for the root).
+    pub fn key(&self, node: NodeId) -> Option<NodeKey> {
+        self.nodes[node as usize].key
+    }
+
+    /// Parent of `node` (the root is its own parent).
+    pub fn parent(&self, node: NodeId) -> NodeId {
+        self.nodes[node as usize].parent
+    }
+
+    /// Child ids of `node`, in unspecified order.
+    pub fn children(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes[node as usize].children.values().copied()
+    }
+
+    /// The path of keys from the root to `node` (root excluded).
+    pub fn path_to(&self, node: NodeId) -> Vec<NodeKey> {
+        let mut path = Vec::new();
+        let mut cur = node;
+        while cur != ROOT {
+            path.push(self.nodes[cur as usize].key.expect("non-root has key"));
+            cur = self.nodes[cur as usize].parent;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Inclusive metrics of `node`: its own plus its whole subtree's.
+    pub fn inclusive(&self, node: NodeId) -> Metrics {
+        let mut acc = self.nodes[node as usize].metrics;
+        let mut stack: Vec<NodeId> = self.children(node).collect();
+        while let Some(n) = stack.pop() {
+            acc.merge(&self.nodes[n as usize].metrics);
+            stack.extend(self.children(n));
+        }
+        acc
+    }
+
+    /// Sum of all nodes' metrics — the whole-program totals.
+    pub fn totals(&self) -> Metrics {
+        let mut acc = Metrics::default();
+        for n in &self.nodes {
+            acc.merge(&n.metrics);
+        }
+        acc
+    }
+
+    /// Merge `other` into `self`, matching nodes by path.
+    pub fn merge(&mut self, other: &Cct) {
+        // Map other's node ids to ours, walking in id order (parents have
+        // smaller ids than children by construction).
+        let mut map = vec![ROOT; other.nodes.len()];
+        for (oid, node) in other.nodes.iter().enumerate() {
+            let my_id = if oid == 0 {
+                ROOT
+            } else {
+                let my_parent = map[node.parent as usize];
+                self.child(my_parent, node.key.expect("non-root has key"))
+            };
+            map[oid] = my_id;
+            self.nodes[my_id as usize].metrics.merge(&node.metrics);
+        }
+    }
+
+    /// All node ids in depth-first preorder.
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![ROOT];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend(self.children(n));
+        }
+        out
+    }
+
+    /// Find any node whose key matches `pred` (tests and analyses).
+    pub fn find(&self, mut pred: impl FnMut(&NodeKey) -> bool) -> Option<NodeId> {
+        (1..self.nodes.len() as NodeId)
+            .find(|&id| self.nodes[id as usize].key.map(|k| pred(&k)).unwrap_or(false))
+    }
+
+    /// All nodes whose key matches `pred`.
+    pub fn find_all(&self, mut pred: impl FnMut(&NodeKey) -> bool) -> Vec<NodeId> {
+        (1..self.nodes.len() as NodeId)
+            .filter(|&id| self.nodes[id as usize].key.map(|k| pred(&k)).unwrap_or(false))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(f: u32, line: u32) -> NodeKey {
+        NodeKey::Frame {
+            func: FuncId(f),
+            callsite: Ip::new(FuncId(f.saturating_sub(1)), line),
+            speculative: false,
+        }
+    }
+
+    fn stmt(f: u32, line: u32) -> NodeKey {
+        NodeKey::Stmt {
+            ip: Ip::new(FuncId(f), line),
+            speculative: false,
+        }
+    }
+
+    #[test]
+    fn child_is_idempotent() {
+        let mut cct = Cct::new();
+        let a = cct.child(ROOT, frame(1, 10));
+        let b = cct.child(ROOT, frame(1, 10));
+        assert_eq!(a, b);
+        assert_eq!(cct.len(), 2);
+        let c = cct.child(ROOT, frame(1, 11));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn speculative_flag_distinguishes_nodes() {
+        let mut cct = Cct::new();
+        let plain = cct.child(ROOT, frame(1, 10));
+        let spec = cct.child(
+            ROOT,
+            NodeKey::Frame {
+                func: FuncId(1),
+                callsite: Ip::new(FuncId(0), 10),
+                speculative: true,
+            },
+        );
+        assert_ne!(plain, spec);
+    }
+
+    #[test]
+    fn path_walks_and_creates() {
+        let mut cct = Cct::new();
+        let leaf = cct.path([frame(1, 1), frame(2, 5), stmt(2, 7)]);
+        assert_eq!(cct.len(), 4);
+        let path = cct.path_to(leaf);
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[2], stmt(2, 7));
+    }
+
+    #[test]
+    fn inclusive_sums_subtree() {
+        let mut cct = Cct::new();
+        let a = cct.path([frame(1, 1)]);
+        let b = cct.path([frame(1, 1), frame(2, 2)]);
+        let c = cct.path([frame(1, 1), frame(2, 2), stmt(2, 3)]);
+        cct.metrics_mut(a).w = 1;
+        cct.metrics_mut(b).w = 2;
+        cct.metrics_mut(c).w = 4;
+        assert_eq!(cct.inclusive(a).w, 7);
+        assert_eq!(cct.inclusive(b).w, 6);
+        assert_eq!(cct.inclusive(c).w, 4);
+        assert_eq!(cct.totals().w, 7);
+    }
+
+    #[test]
+    fn merge_unions_paths_and_adds_metrics() {
+        let mut a = Cct::new();
+        let n1 = a.path([frame(1, 1), stmt(1, 2)]);
+        a.metrics_mut(n1).w = 3;
+
+        let mut b = Cct::new();
+        let n2 = b.path([frame(1, 1), stmt(1, 2)]);
+        b.metrics_mut(n2).w = 5;
+        let n3 = b.path([frame(9, 1)]);
+        b.metrics_mut(n3).t = 1;
+
+        a.merge(&b);
+        assert_eq!(a.totals().w, 8);
+        assert_eq!(a.totals().t, 1);
+        let merged = a.find(|k| matches!(k, NodeKey::Stmt { ip, .. } if ip.line == 2)).unwrap();
+        assert_eq!(a.metrics(merged).w, 8);
+    }
+
+    #[test]
+    fn merge_into_empty_clones() {
+        let mut b = Cct::new();
+        let n = b.path([frame(1, 1), frame(2, 2), stmt(2, 9)]);
+        b.metrics_mut(n).abort_weight = 42;
+        let mut a = Cct::new();
+        a.merge(&b);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.totals().abort_weight, 42);
+    }
+
+    #[test]
+    fn preorder_visits_every_node_once() {
+        let mut cct = Cct::new();
+        cct.path([frame(1, 1), frame(2, 2)]);
+        cct.path([frame(1, 1), frame(3, 3)]);
+        cct.path([frame(4, 4)]);
+        let order = cct.preorder();
+        assert_eq!(order.len(), cct.len());
+        let distinct: std::collections::HashSet<_> = order.iter().collect();
+        assert_eq!(distinct.len(), order.len());
+        assert_eq!(order[0], ROOT);
+    }
+}

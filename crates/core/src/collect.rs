@@ -1,0 +1,244 @@
+//! The online data collector.
+//!
+//! One [`Collector`] per worker thread, registered as the CPU's PMU sample
+//! sink (the signal handler in the real tool). Each sample is attributed to
+//! a full calling context — concatenating the unwound stack with the
+//! LBR-reconstructed in-transaction path (§3.4) — and accounted per the
+//! paper's Figure 4 algorithm:
+//!
+//! ```text
+//! ctxt.W++                                   // always
+//! if IsSampleInCS(GetState()):
+//!     ctxt.T++
+//!     if LBR[latest].abort:  ctxt.T_tx++     // Challenge I resolution
+//!     elif inFallback:       ctxt.T_fb++
+//!     elif inLockWaiting:    ctxt.T_wait++
+//!     else:                  ctxt.T_oh++
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rtm_runtime::ThreadState;
+use txsim_pmu::{
+    AbortClass, BranchKind, EventKind, Frame, FuncId, Ip, Sample, SampleSink, SamplingConfig,
+};
+
+use crate::callpath::reconstruct_tx_path;
+use crate::cct::NodeKey;
+use crate::contention::{ContentionMap, Sharing};
+use crate::metrics::TimeComponent;
+use crate::profile::{Periods, ThreadProfile};
+
+/// Per-thread online collector. Implements [`SampleSink`]; hand it to
+/// [`txsim_htm::SimCpu::set_sink`] via [`Collector::into_sink`] and read the
+/// profile back through the [`CollectorHandle`] after the thread joins.
+pub struct Collector {
+    state: ThreadState,
+    contention: Arc<ContentionMap>,
+    profile: Arc<Mutex<ThreadProfile>>,
+}
+
+/// Shared handle to a collector's profile, retained by the harness.
+#[derive(Clone)]
+pub struct CollectorHandle {
+    profile: Arc<Mutex<ThreadProfile>>,
+}
+
+impl CollectorHandle {
+    /// Take the finished thread profile. Call after the worker joined.
+    pub fn take(&self) -> ThreadProfile {
+        std::mem::take(&mut self.profile.lock())
+    }
+}
+
+impl Collector {
+    /// Create a collector for the thread with id `tid`.
+    ///
+    /// * `state` — the RTM runtime's state word for this thread (the
+    ///   `GetState()` extension of §3.2).
+    /// * `contention` — the process-wide shadow memory (§3.3).
+    /// * `sampling` — the PMU configuration, recorded so the analyzer can
+    ///   scale sample counts back to event counts.
+    pub fn new(
+        tid: usize,
+        state: ThreadState,
+        contention: Arc<ContentionMap>,
+        sampling: &SamplingConfig,
+    ) -> (Self, CollectorHandle) {
+        let profile = Arc::new(Mutex::new(ThreadProfile {
+            tid,
+            periods: Periods::from_config(sampling),
+            ..ThreadProfile::default()
+        }));
+        let handle = CollectorHandle {
+            profile: Arc::clone(&profile),
+        };
+        (
+            Collector {
+                state,
+                contention,
+                profile,
+            },
+            handle,
+        )
+    }
+
+    /// Box the collector for [`txsim_htm::SimCpu::set_sink`].
+    pub fn into_sink(self) -> Box<dyn SampleSink> {
+        Box::new(self)
+    }
+
+    /// Build the calling context for a sample: unwound frames, then —
+    /// for samples taken inside a transaction — the LBR-reconstructed
+    /// speculative frames, then the precise-IP leaf statement.
+    fn context_keys(sample: &Sample, stack: &[Frame], truncated: &mut bool) -> Vec<NodeKey> {
+        let mut keys: Vec<NodeKey> = stack
+            .iter()
+            .map(|f| NodeKey::Frame {
+                func: f.func,
+                callsite: f.callsite,
+                speculative: false,
+            })
+            .collect();
+
+        let speculative = sample.caused_abort || sample.event == EventKind::TxAbort || sample.in_tx;
+        if speculative {
+            let anchor = stack.last().map_or(FuncId::UNKNOWN, |f| f.func);
+            let tx_path = reconstruct_tx_path(&sample.lbr, anchor);
+            *truncated = tx_path.truncated;
+            keys.extend(tx_path.frames.iter().map(|f| NodeKey::Frame {
+                func: f.func,
+                callsite: f.callsite,
+                speculative: true,
+            }));
+        }
+        // Leaf statement: the precise IP for cycles/memory samples; for
+        // RTM_RETIRED:ABORTED samples the architectural state has rolled
+        // back, so the IP is the transaction-begin (fallback) address —
+        // which is exactly the transaction *site* the abort analysis ranks
+        // (the paper's `tm_begin` nodes in Figure 9). Any in-transaction
+        // context sits in the reconstructed frames above this leaf.
+        keys.push(NodeKey::Stmt {
+            ip: sample.ip,
+            speculative,
+        });
+        keys
+    }
+
+    /// Figure 4: classify a cycles sample into a time component.
+    fn classify_cycles(&self, sample: &Sample) -> TimeComponent {
+        let state = self.state.query();
+        if !state.in_cs() {
+            return TimeComponent::Outside;
+        }
+        // Challenge I: the latest LBR entry is the interrupt; its abort bit
+        // set means the sample was taken while speculating.
+        let latest_abort = sample
+            .lbr
+            .last()
+            .map(|e| e.kind == BranchKind::Interrupt && e.abort)
+            .unwrap_or(false);
+        if latest_abort {
+            TimeComponent::Tx
+        } else if state.in_fallback() {
+            TimeComponent::Fallback
+        } else if state.in_lock_waiting() {
+            TimeComponent::LockWaiting
+        } else {
+            TimeComponent::Overhead
+        }
+    }
+}
+
+impl SampleSink for Collector {
+    fn on_sample(&mut self, sample: &Sample, stack: &[Frame]) {
+        let mut truncated = false;
+        let keys = Self::context_keys(sample, stack, &mut truncated);
+
+        let mut profile = self.profile.lock();
+        profile.samples += 1;
+        if truncated {
+            profile.truncated_paths += 1;
+        }
+        let node = profile.cct.path(keys);
+
+        match sample.event {
+            EventKind::Cycles => {
+                let component = self.classify_cycles(sample);
+                profile.cct.metrics_mut(node).add_cycles_sample(component);
+            }
+            EventKind::TxCommit => {
+                profile.cct.metrics_mut(node).commit_samples += 1;
+                profile.site_commits(sample.ip).0 += 1;
+            }
+            EventKind::TxAbort => {
+                let class = sample
+                    .abort_class
+                    .expect("abort samples carry their class");
+                if class == AbortClass::Interrupt {
+                    // Profiler-induced abort: discount it, or the tool
+                    // would observe its own perturbation as application
+                    // pathology.
+                    profile.interrupt_abort_samples += 1;
+                } else {
+                    let m = profile.cct.metrics_mut(node);
+                    m.abort_samples += 1;
+                    m.abort_weight += sample.weight;
+                    match class {
+                        AbortClass::Conflict => {
+                            m.aborts_conflict += 1;
+                            m.conflict_weight += sample.weight;
+                        }
+                        AbortClass::Capacity => {
+                            m.aborts_capacity += 1;
+                            m.capacity_weight += sample.weight;
+                        }
+                        AbortClass::Sync => {
+                            m.aborts_sync += 1;
+                            m.sync_weight += sample.weight;
+                        }
+                        AbortClass::Explicit => {
+                            m.aborts_explicit += 1;
+                        }
+                        AbortClass::Interrupt => unreachable!(),
+                    }
+                    profile.site_commits(sample.ip).1 += 1;
+                }
+            }
+            EventKind::MemLoad | EventKind::MemStore => {
+                let addr = sample.addr.expect("memory samples carry an address");
+                let sharing = self.contention.record(
+                    addr,
+                    sample.tid,
+                    sample.event == EventKind::MemStore,
+                    sample.tsc,
+                );
+                let m = profile.cct.metrics_mut(node);
+                match sharing {
+                    Sharing::None => {}
+                    Sharing::True => m.true_sharing += 1,
+                    Sharing::False => m.false_sharing += 1,
+                }
+            }
+        }
+    }
+}
+
+/// Everything a harness needs to profile one worker thread: create with
+/// [`attach`], run the workload, then call [`CollectorHandle::take`].
+pub fn attach(
+    cpu: &mut txsim_htm::SimCpu,
+    state: ThreadState,
+    contention: Arc<ContentionMap>,
+) -> CollectorHandle {
+    let sampling = cpu.pmu().config().clone();
+    let (collector, handle) = Collector::new(cpu.tid(), state, contention, &sampling);
+    cpu.set_sink(collector.into_sink());
+    handle
+}
+
+/// Per-site commit/abort sample pairs (used for the per-thread histograms
+/// of §5's contention metrics).
+pub type SiteCounts = HashMap<Ip, (u64, u64)>;

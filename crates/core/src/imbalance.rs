@@ -1,0 +1,196 @@
+//! Per-thread imbalance detection (§5, contention metrics).
+//!
+//! "Aggregate metrics alone are not enough to understand the contention
+//! across threads. For instance, a thread may always abort other threads,
+//! causing thread starvation. Therefore, TxSampler records both per-thread
+//! transaction aborts and commits, and plots them in a histogram across
+//! threads. If there exists an imbalanced distribution of transaction
+//! commits or aborts, TxSampler reports this problematic transaction for
+//! investigation."
+
+use txsim_pmu::Ip;
+
+use crate::profile::Profile;
+
+/// What was found imbalanced at one transaction site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImbalanceKind {
+    /// Commits concentrate on few threads — others are starved.
+    Commits,
+    /// Aborts concentrate on few threads — victims of systematic conflicts.
+    Aborts,
+}
+
+/// An imbalance finding for one transaction site.
+#[derive(Debug, Clone)]
+pub struct Imbalance {
+    /// The transaction site.
+    pub site: Ip,
+    /// Which distribution is skewed.
+    pub kind: ImbalanceKind,
+    /// Imbalance factor: max over threads divided by the mean (1.0 =
+    /// perfectly balanced). The paper's fix is "redistribute the work
+    /// across threads".
+    pub factor: f64,
+    /// The thread holding the maximum.
+    pub worst_tid: usize,
+    /// Per-thread counts, indexed by position in `Profile::threads`.
+    pub per_thread: Vec<u64>,
+}
+
+/// Imbalance factor of a distribution: `max / mean` over threads. Returns
+/// `None` when fewer than 2 threads have data or the total is too small to
+/// be statistically meaningful.
+fn factor(counts: &[u64], min_total: u64) -> Option<(f64, usize)> {
+    if counts.len() < 2 {
+        return None;
+    }
+    let total: u64 = counts.iter().sum();
+    if total < min_total {
+        return None;
+    }
+    let mean = total as f64 / counts.len() as f64;
+    let (worst, &max) = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .expect("non-empty");
+    Some((max as f64 / mean, worst))
+}
+
+/// Scan every transaction site for imbalanced per-thread commit or abort
+/// distributions. `threshold` is the max/mean factor above which a site is
+/// reported (2.0 = the busiest thread does twice its fair share);
+/// `min_samples` filters out sites with too little data.
+pub fn detect_imbalance(profile: &Profile, threshold: f64, min_samples: u64) -> Vec<Imbalance> {
+    // Collect all sites seen by any thread.
+    let mut sites: Vec<Ip> = profile
+        .threads
+        .iter()
+        .flat_map(|t| t.sites.keys().copied())
+        .collect();
+    sites.sort_by_key(|ip| (ip.func.0, ip.line));
+    sites.dedup();
+
+    let mut findings = Vec::new();
+    for site in sites {
+        let commits: Vec<u64> = profile
+            .threads
+            .iter()
+            .map(|t| t.sites.get(&site).map(|&(c, _)| c).unwrap_or(0))
+            .collect();
+        let aborts: Vec<u64> = profile
+            .threads
+            .iter()
+            .map(|t| t.sites.get(&site).map(|&(_, a)| a).unwrap_or(0))
+            .collect();
+
+        if let Some((f, worst)) = factor(&commits, min_samples) {
+            if f >= threshold {
+                findings.push(Imbalance {
+                    site,
+                    kind: ImbalanceKind::Commits,
+                    factor: f,
+                    worst_tid: profile.threads[worst].tid,
+                    per_thread: commits.clone(),
+                });
+            }
+        }
+        if let Some((f, worst)) = factor(&aborts, min_samples) {
+            if f >= threshold {
+                findings.push(Imbalance {
+                    site,
+                    kind: ImbalanceKind::Aborts,
+                    factor: f,
+                    worst_tid: profile.threads[worst].tid,
+                    per_thread: aborts,
+                });
+            }
+        }
+    }
+    findings.sort_by(|a, b| b.factor.total_cmp(&a.factor));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{Profile, ThreadSummary};
+    use txsim_pmu::FuncId;
+
+    fn site(n: u32) -> Ip {
+        Ip::new(FuncId(n), 10)
+    }
+
+    fn profile_with(counts: &[(usize, u32, u64, u64)]) -> Profile {
+        // (tid, site_func, commits, aborts)
+        let mut threads: std::collections::BTreeMap<usize, ThreadSummary> = Default::default();
+        for &(tid, f, c, a) in counts {
+            let t = threads.entry(tid).or_insert_with(|| ThreadSummary {
+                tid,
+                totals: Default::default(),
+                sites: Default::default(),
+            });
+            t.sites.insert(site(f), (c, a));
+        }
+        Profile {
+            threads: threads.into_values().collect(),
+            ..Profile::default()
+        }
+    }
+
+    #[test]
+    fn balanced_distribution_is_quiet() {
+        let p = profile_with(&[(0, 1, 100, 10), (1, 1, 110, 12), (2, 1, 95, 9)]);
+        assert!(detect_imbalance(&p, 2.0, 10).is_empty());
+    }
+
+    #[test]
+    fn starved_commits_are_reported() {
+        // Thread 2 commits almost nothing while 0 hogs the transaction.
+        let p = profile_with(&[(0, 1, 300, 5), (1, 1, 20, 5), (2, 1, 10, 5)]);
+        let findings = detect_imbalance(&p, 2.0, 10);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, ImbalanceKind::Commits);
+        assert_eq!(findings[0].worst_tid, 0);
+        assert!(findings[0].factor > 2.5, "factor {}", findings[0].factor);
+    }
+
+    #[test]
+    fn victimized_thread_is_reported() {
+        // Thread 1 takes nearly every abort: systematic starvation.
+        let p = profile_with(&[(0, 1, 100, 2), (1, 1, 100, 200), (2, 1, 100, 1)]);
+        let findings = detect_imbalance(&p, 2.0, 10);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, ImbalanceKind::Aborts);
+        assert_eq!(findings[0].worst_tid, 1);
+    }
+
+    #[test]
+    fn small_samples_are_ignored() {
+        let p = profile_with(&[(0, 1, 3, 0), (1, 1, 0, 0)]);
+        assert!(detect_imbalance(&p, 2.0, 10).is_empty());
+    }
+
+    #[test]
+    fn findings_sorted_by_severity() {
+        let p = profile_with(&[
+            (0, 1, 300, 0),
+            (1, 1, 10, 0),
+            (0, 2, 120, 0),
+            (1, 2, 80, 0),
+            (0, 3, 1000, 0),
+            (1, 3, 1, 0),
+        ]);
+        let findings = detect_imbalance(&p, 1.3, 10);
+        assert!(findings.len() >= 2);
+        assert!(findings[0].factor >= findings[1].factor);
+        assert_eq!(findings[0].site, site(3), "worst site first");
+    }
+
+    #[test]
+    fn single_thread_profiles_never_report() {
+        let p = profile_with(&[(0, 1, 1000, 1000)]);
+        assert!(detect_imbalance(&p, 1.0, 1).is_empty());
+    }
+}

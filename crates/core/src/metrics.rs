@@ -1,0 +1,232 @@
+//! Per-context metrics: raw sample counts and the derived quantities of
+//! the paper's time analysis (§4) and abort analysis (§5).
+
+/// Raw sampled metrics accumulated on one calling-context node (exclusive —
+/// attributed at the sample's leaf; inclusive values are computed by the
+//  analyzer by summing subtrees).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Cycles samples anywhere (work W, Equation 1).
+    pub w: u64,
+    /// Cycles samples inside critical sections (T).
+    pub t: u64,
+    /// … attributed to the transactional path (T_tx).
+    pub t_tx: u64,
+    /// … attributed to the fallback path (T_fb).
+    pub t_fb: u64,
+    /// … attributed to lock waiting (T_wait).
+    pub t_wait: u64,
+    /// … attributed to transaction overhead (T_oh).
+    pub t_oh: u64,
+    /// `RTM_RETIRED:COMMIT` samples.
+    pub commit_samples: u64,
+    /// `RTM_RETIRED:ABORTED` samples, application-caused classes only.
+    pub abort_samples: u64,
+    /// Sampled abort weight (cycles wasted), total.
+    pub abort_weight: u64,
+    /// Abort samples per class.
+    pub aborts_conflict: u64,
+    /// Capacity-class abort samples.
+    pub aborts_capacity: u64,
+    /// Synchronous-class abort samples.
+    pub aborts_sync: u64,
+    /// Explicit-class abort samples (lock-held elision aborts etc.).
+    pub aborts_explicit: u64,
+    /// Sampled abort weight per class.
+    pub conflict_weight: u64,
+    /// Weight of capacity-class aborts.
+    pub capacity_weight: u64,
+    /// Weight of synchronous-class aborts.
+    pub sync_weight: u64,
+    /// Sampled memory accesses diagnosed as true sharing (§3.3).
+    pub true_sharing: u64,
+    /// Sampled memory accesses diagnosed as false sharing (§3.3).
+    pub false_sharing: u64,
+}
+
+impl Metrics {
+    /// Merge another node's counts into this one.
+    pub fn merge(&mut self, o: &Metrics) {
+        self.w += o.w;
+        self.t += o.t;
+        self.t_tx += o.t_tx;
+        self.t_fb += o.t_fb;
+        self.t_wait += o.t_wait;
+        self.t_oh += o.t_oh;
+        self.commit_samples += o.commit_samples;
+        self.abort_samples += o.abort_samples;
+        self.abort_weight += o.abort_weight;
+        self.aborts_conflict += o.aborts_conflict;
+        self.aborts_capacity += o.aborts_capacity;
+        self.aborts_sync += o.aborts_sync;
+        self.aborts_explicit += o.aborts_explicit;
+        self.conflict_weight += o.conflict_weight;
+        self.capacity_weight += o.capacity_weight;
+        self.sync_weight += o.sync_weight;
+        self.true_sharing += o.true_sharing;
+        self.false_sharing += o.false_sharing;
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == Metrics::default()
+    }
+
+    /// Average weight per sampled abort — the penalty metric w_t of
+    /// Equation 3. `None` when no aborts were sampled.
+    pub fn avg_abort_weight(&self) -> Option<f64> {
+        if self.abort_samples == 0 {
+            None
+        } else {
+            Some(self.abort_weight as f64 / self.abort_samples as f64)
+        }
+    }
+
+    /// Share of abort weight due to conflicts — r_conflict of Equation 4.
+    pub fn r_conflict(&self) -> f64 {
+        ratio(self.conflict_weight, self.abort_weight)
+    }
+
+    /// Share of abort weight due to capacity overflow (r_capacity).
+    pub fn r_capacity(&self) -> f64 {
+        ratio(self.capacity_weight, self.abort_weight)
+    }
+
+    /// Share of abort weight due to synchronous aborts (r_synchronous).
+    pub fn r_sync(&self) -> f64 {
+        ratio(self.sync_weight, self.abort_weight)
+    }
+
+    /// Sampled abort/commit ratio (r_a/c, Figure 8). Events are sampled with
+    /// the same period so the sample-count ratio estimates the event ratio.
+    pub fn abort_commit_ratio(&self) -> f64 {
+        if self.commit_samples == 0 {
+            if self.abort_samples == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.abort_samples as f64 / self.commit_samples as f64
+        }
+    }
+
+    /// The critical-section duration ratio r_cs = T/W (Figure 8).
+    pub fn r_cs(&self) -> f64 {
+        ratio(self.t, self.w)
+    }
+}
+
+#[inline]
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Which timing component a cycles sample belongs to — the output of the
+/// paper's Figure 4 attribution algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeComponent {
+    /// Outside any critical section (S in Equation 1).
+    Outside,
+    /// Transactional path.
+    Tx,
+    /// Fallback path.
+    Fallback,
+    /// Lock waiting.
+    LockWaiting,
+    /// Transaction overhead.
+    Overhead,
+}
+
+impl Metrics {
+    /// Account one cycles sample for `component`.
+    pub fn add_cycles_sample(&mut self, component: TimeComponent) {
+        self.w += 1;
+        match component {
+            TimeComponent::Outside => {}
+            TimeComponent::Tx => {
+                self.t += 1;
+                self.t_tx += 1;
+            }
+            TimeComponent::Fallback => {
+                self.t += 1;
+                self.t_fb += 1;
+            }
+            TimeComponent::LockWaiting => {
+                self.t += 1;
+                self.t_wait += 1;
+            }
+            TimeComponent::Overhead => {
+                self.t += 1;
+                self.t_oh += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_sample_components() {
+        let mut m = Metrics::default();
+        m.add_cycles_sample(TimeComponent::Outside);
+        m.add_cycles_sample(TimeComponent::Tx);
+        m.add_cycles_sample(TimeComponent::Fallback);
+        m.add_cycles_sample(TimeComponent::LockWaiting);
+        m.add_cycles_sample(TimeComponent::Overhead);
+        assert_eq!(m.w, 5);
+        assert_eq!(m.t, 4);
+        assert_eq!((m.t_tx, m.t_fb, m.t_wait, m.t_oh), (1, 1, 1, 1));
+        // Equation 1 and 2 hold by construction.
+        assert_eq!(m.w, m.t + 1);
+        assert_eq!(m.t, m.t_tx + m.t_fb + m.t_wait + m.t_oh);
+        assert!((m.r_cs() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Metrics {
+            w: 1,
+            abort_weight: 10,
+            aborts_conflict: 1,
+            conflict_weight: 10,
+            abort_samples: 1,
+            ..Metrics::default()
+        };
+        let b = Metrics {
+            w: 2,
+            abort_weight: 30,
+            aborts_capacity: 1,
+            capacity_weight: 30,
+            abort_samples: 1,
+            ..Metrics::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.w, 3);
+        assert_eq!(a.abort_weight, 40);
+        assert_eq!(a.avg_abort_weight(), Some(20.0));
+        assert!((a.r_conflict() - 0.25).abs() < 1e-9);
+        assert!((a.r_capacity() - 0.75).abs() < 1e-9);
+        assert_eq!(a.r_sync(), 0.0);
+    }
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let m = Metrics::default();
+        assert_eq!(m.avg_abort_weight(), None);
+        assert_eq!(m.r_conflict(), 0.0);
+        assert_eq!(m.abort_commit_ratio(), 0.0);
+        assert_eq!(m.r_cs(), 0.0);
+        let m = Metrics {
+            abort_samples: 3,
+            ..Metrics::default()
+        };
+        assert!(m.abort_commit_ratio().is_infinite());
+    }
+}

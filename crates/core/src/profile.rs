@@ -1,0 +1,307 @@
+//! Profile containers: per-thread profiles and the merged program profile,
+//! with the derived whole-program metrics of §4/§5.
+
+use std::collections::HashMap;
+
+use txsim_pmu::{EventKind, Ip, SamplingConfig};
+
+use crate::cct::Cct;
+use crate::metrics::Metrics;
+
+/// Sampling periods in force during collection, kept so sample counts can
+/// be scaled back to estimated event counts (1 sample ≈ `period` events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Periods {
+    /// Cycles period: 1 cycles sample ≈ this many cycles.
+    pub cycles: u64,
+    /// RTM commit event period.
+    pub commit: u64,
+    /// RTM abort event period.
+    pub abort: u64,
+    /// Memory load/store event period.
+    pub mem: u64,
+}
+
+impl Default for Periods {
+    fn default() -> Self {
+        Periods {
+            cycles: 1,
+            commit: 1,
+            abort: 1,
+            mem: 1,
+        }
+    }
+}
+
+impl Periods {
+    /// Extract the periods from a sampling configuration.
+    pub fn from_config(cfg: &SamplingConfig) -> Self {
+        Periods {
+            cycles: cfg.periods[EventKind::Cycles.index()].unwrap_or(1),
+            commit: cfg.periods[EventKind::TxCommit.index()].unwrap_or(1),
+            abort: cfg.periods[EventKind::TxAbort.index()].unwrap_or(1),
+            mem: cfg.periods[EventKind::MemLoad.index()].unwrap_or(1),
+        }
+    }
+}
+
+/// One worker thread's raw profile.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadProfile {
+    /// Simulated thread id.
+    pub tid: usize,
+    /// This thread's calling-context tree.
+    pub cct: Cct,
+    /// Sampling periods in force.
+    pub periods: Periods,
+    /// Total samples delivered.
+    pub samples: u64,
+    /// Samples whose in-transaction path was truncated by the LBR window.
+    pub truncated_paths: u64,
+    /// Abort-event samples discounted as profiler-induced.
+    pub interrupt_abort_samples: u64,
+    /// Per transaction-site (commit samples, abort samples) — feeds the
+    /// per-thread histogram view.
+    pub sites: HashMap<Ip, (u64, u64)>,
+}
+
+impl ThreadProfile {
+    /// Mutable access to a site's (commits, aborts) counters.
+    pub fn site_commits(&mut self, site: Ip) -> &mut (u64, u64) {
+        self.sites.entry(site).or_insert((0, 0))
+    }
+}
+
+/// Per-thread summary retained in the merged profile (the GUI's per-thread
+/// histogram data).
+#[derive(Debug, Clone)]
+pub struct ThreadSummary {
+    /// Simulated thread id.
+    pub tid: usize,
+    /// Thread-level metric totals.
+    pub totals: Metrics,
+    /// Per-site (commit, abort) sample counts.
+    pub sites: HashMap<Ip, (u64, u64)>,
+}
+
+/// The merged, whole-program profile produced by the offline analyzer.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// The merged calling-context tree.
+    pub cct: Cct,
+    /// Per-thread summaries, sorted by thread id.
+    pub threads: Vec<ThreadSummary>,
+    /// Sampling periods (must agree across threads).
+    pub periods: Periods,
+    /// Total samples across threads.
+    pub samples: u64,
+    /// Truncated in-transaction paths across threads.
+    pub truncated_paths: u64,
+    /// Discounted profiler-induced abort samples.
+    pub interrupt_abort_samples: u64,
+}
+
+/// The time decomposition of Figure 7 (top): shares of total work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeBreakdown {
+    /// Share of cycles outside critical sections (S/W).
+    pub outside: f64,
+    /// Share in transactions (T_tx/W).
+    pub tx: f64,
+    /// Share in fallback paths (T_fb/W).
+    pub fallback: f64,
+    /// Share waiting for the lock (T_wait/W).
+    pub lock_waiting: f64,
+    /// Share in transaction overhead (T_oh/W).
+    pub overhead: f64,
+}
+
+impl Profile {
+    /// Whole-program metric totals.
+    pub fn totals(&self) -> Metrics {
+        self.cct.totals()
+    }
+
+    /// The critical-section duration ratio r_cs = T/W.
+    pub fn r_cs(&self) -> f64 {
+        self.totals().r_cs()
+    }
+
+    /// The program-wide abort/commit ratio r_a/c.
+    pub fn abort_commit_ratio(&self) -> f64 {
+        self.totals().abort_commit_ratio()
+    }
+
+    /// Estimated total work in cycles (W scaled by the sampling period).
+    pub fn estimated_work_cycles(&self) -> u64 {
+        self.totals().w * self.periods.cycles
+    }
+
+    /// Estimated transaction commits/aborts (scaled by event periods).
+    pub fn estimated_commits(&self) -> u64 {
+        self.totals().commit_samples * self.periods.commit
+    }
+
+    /// Estimated application-caused aborts.
+    pub fn estimated_aborts(&self) -> u64 {
+        self.totals().abort_samples * self.periods.abort
+    }
+
+    /// The Figure-7-style time decomposition.
+    pub fn time_breakdown(&self) -> TimeBreakdown {
+        let m = self.totals();
+        let w = m.w.max(1) as f64;
+        TimeBreakdown {
+            outside: (m.w - m.t) as f64 / w,
+            tx: m.t_tx as f64 / w,
+            fallback: m.t_fb as f64 / w,
+            lock_waiting: m.t_wait as f64 / w,
+            overhead: m.t_oh as f64 / w,
+        }
+    }
+
+    /// Transaction sites ranked by sampled abort weight, descending —
+    /// the "find the place with the largest abort weight" step of the
+    /// decision tree.
+    pub fn hot_abort_sites(&self) -> Vec<(Ip, Metrics)> {
+        let mut per_site: HashMap<Ip, Metrics> = HashMap::new();
+        for id in self.cct.preorder() {
+            let m = self.cct.metrics(id);
+            if m.abort_samples == 0 && m.commit_samples == 0 {
+                continue;
+            }
+            if let Some(key) = self.cct.key(id) {
+                let site = match key {
+                    crate::cct::NodeKey::Stmt { ip, .. } => ip,
+                    crate::cct::NodeKey::Frame { func, .. } => Ip::new(func, 0),
+                };
+                per_site.entry(site).or_default().merge(m);
+            }
+        }
+        let mut out: Vec<_> = per_site.into_iter().collect();
+        out.sort_by_key(|(ip, m)| (std::cmp::Reverse(m.abort_weight), ip.func.0, ip.line));
+        out
+    }
+
+    /// Critical sections ranked by their share of critical-section time —
+    /// §4's "decompose T to different critical sections and identify the
+    /// hot ones". Sites are the statement leaves that received CS cycles
+    /// samples, aggregated per IP.
+    pub fn hot_critical_sections(&self) -> Vec<(Ip, Metrics)> {
+        let mut per_site: HashMap<Ip, Metrics> = HashMap::new();
+        for id in self.cct.preorder() {
+            let m = self.cct.metrics(id);
+            if m.t == 0 {
+                continue;
+            }
+            if let Some(crate::cct::NodeKey::Stmt { ip, .. }) = self.cct.key(id) {
+                per_site.entry(ip).or_default().merge(m);
+            }
+        }
+        let mut out: Vec<_> = per_site.into_iter().collect();
+        out.sort_by_key(|(ip, m)| (std::cmp::Reverse(m.t), ip.func.0, ip.line));
+        out
+    }
+
+    /// Per-thread (commit, abort) sample counts for one site, indexed by
+    /// tid — the per-thread histogram of §5's contention metrics.
+    pub fn thread_histogram(&self, site: Ip) -> Vec<(usize, u64, u64)> {
+        self.threads
+            .iter()
+            .map(|t| {
+                let (c, a) = t.sites.get(&site).copied().unwrap_or((0, 0));
+                (t.tid, c, a)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cct::{NodeKey, ROOT};
+    use crate::metrics::TimeComponent;
+    use txsim_pmu::FuncId;
+
+    #[test]
+    fn time_breakdown_sums_to_one() {
+        let mut p = Profile::default();
+        let n = p.cct.child(
+            ROOT,
+            NodeKey::Stmt {
+                ip: Ip::new(FuncId(1), 1),
+                speculative: false,
+            },
+        );
+        for (component, times) in [
+            (TimeComponent::Outside, 10),
+            (TimeComponent::Tx, 5),
+            (TimeComponent::Fallback, 3),
+            (TimeComponent::LockWaiting, 2),
+            (TimeComponent::Overhead, 1),
+        ] {
+            for _ in 0..times {
+                p.cct.metrics_mut(n).add_cycles_sample(component);
+            }
+        }
+        let b = p.time_breakdown();
+        let sum = b.outside + b.tx + b.fallback + b.lock_waiting + b.overhead;
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!((b.outside - 10.0 / 21.0).abs() < 1e-9);
+        assert!((b.tx - 5.0 / 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_uses_periods() {
+        let mut p = Profile {
+            periods: Periods {
+                cycles: 1000,
+                commit: 10,
+                abort: 10,
+                mem: 1,
+            },
+            ..Profile::default()
+        };
+        let n = p.cct.child(
+            ROOT,
+            NodeKey::Stmt {
+                ip: Ip::new(FuncId(1), 1),
+                speculative: false,
+            },
+        );
+        p.cct.metrics_mut(n).w = 7;
+        p.cct.metrics_mut(n).commit_samples = 3;
+        p.cct.metrics_mut(n).abort_samples = 6;
+        assert_eq!(p.estimated_work_cycles(), 7000);
+        assert_eq!(p.estimated_commits(), 30);
+        assert_eq!(p.estimated_aborts(), 60);
+        assert_eq!(p.abort_commit_ratio(), 2.0);
+    }
+
+    #[test]
+    fn hot_abort_sites_rank_by_weight() {
+        let mut p = Profile::default();
+        let a = p.cct.child(
+            ROOT,
+            NodeKey::Stmt {
+                ip: Ip::new(FuncId(1), 1),
+                speculative: false,
+            },
+        );
+        let b = p.cct.child(
+            ROOT,
+            NodeKey::Stmt {
+                ip: Ip::new(FuncId(2), 2),
+                speculative: false,
+            },
+        );
+        p.cct.metrics_mut(a).abort_samples = 1;
+        p.cct.metrics_mut(a).abort_weight = 10;
+        p.cct.metrics_mut(b).abort_samples = 1;
+        p.cct.metrics_mut(b).abort_weight = 99;
+        let sites = p.hot_abort_sites();
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].0, Ip::new(FuncId(2), 2));
+        assert_eq!(sites[0].1.abort_weight, 99);
+    }
+}

@@ -1,0 +1,437 @@
+//! Report rendering — the text equivalent of TxSampler's GUI (§6):
+//! a calling-context view with metric columns (Figure 9), time and abort
+//! decomposition bars (Figure 7), per-thread histograms, and the decision
+//! tree's narrative. Plus TSV export for the experiment harness.
+
+use std::fmt::Write as _;
+
+use txsim_pmu::{FuncRegistry, Ip};
+
+use crate::cct::{NodeId, NodeKey, ROOT};
+use crate::decision::Diagnosis;
+use crate::profile::Profile;
+
+/// Render a percentage.
+fn pct(x: f64) -> String {
+    format!("{:5.1}%", x * 100.0)
+}
+
+/// A fixed-width ASCII bar of `width` cells showing component shares.
+pub fn bar(shares: &[(char, f64)], width: usize) -> String {
+    let mut out = String::with_capacity(width);
+    let mut acc = 0.0f64;
+    let mut drawn = 0usize;
+    for &(ch, share) in shares {
+        acc += share.max(0.0);
+        let target = (acc * width as f64).round() as usize;
+        while drawn < target.min(width) {
+            out.push(ch);
+            drawn += 1;
+        }
+    }
+    while drawn < width {
+        out.push(' ');
+        drawn += 1;
+    }
+    out
+}
+
+/// Canonical ordering key for a [`NodeKey`] (deterministic tie-breaking).
+fn key_rank(key: NodeKey) -> (u8, u32, u32, u32, bool) {
+    match key {
+        NodeKey::Frame {
+            func,
+            callsite,
+            speculative,
+        } => (0, func.0, callsite.func.0, callsite.line, speculative),
+        NodeKey::Stmt { ip, speculative } => (1, ip.func.0, ip.line, 0, speculative),
+    }
+}
+
+/// Resolve an IP to `func:line` text.
+pub fn ip_name(registry: &FuncRegistry, ip: Ip) -> String {
+    format!("{}:{}", registry.name(ip.func), ip.line)
+}
+
+/// Render the whole-program time decomposition (Figure 7, top band).
+pub fn render_time_breakdown(profile: &Profile) -> String {
+    let b = profile.time_breakdown();
+    let shares = [
+        ('.', b.outside),
+        ('H', b.tx),
+        ('F', b.fallback),
+        ('w', b.lock_waiting),
+        ('o', b.overhead),
+    ];
+    let mut out = String::new();
+    writeln!(
+        out,
+        "time  |{}| non-CS {} HTM {} fallback {} lock-wait {} overhead {}",
+        bar(&shares, 50),
+        pct(b.outside),
+        pct(b.tx),
+        pct(b.fallback),
+        pct(b.lock_waiting),
+        pct(b.overhead),
+    )
+    .unwrap();
+    out
+}
+
+/// Render the abort decomposition (Figure 7, middle and bottom bands):
+/// counts and weights by class.
+pub fn render_abort_breakdown(profile: &Profile) -> String {
+    let m = profile.totals();
+    let mut out = String::new();
+    let total = m.abort_samples.max(1) as f64;
+    let count_shares = [
+        ('C', m.aborts_conflict as f64 / total),
+        ('P', m.aborts_capacity as f64 / total),
+        ('S', m.aborts_sync as f64 / total),
+        ('E', m.aborts_explicit as f64 / total),
+    ];
+    writeln!(
+        out,
+        "aborts|{}| conflict {} capacity {} sync {} explicit {}  (samples: {}, est. events: {})",
+        bar(&count_shares, 50),
+        pct(count_shares[0].1),
+        pct(count_shares[1].1),
+        pct(count_shares[2].1),
+        pct(count_shares[3].1),
+        m.abort_samples,
+        profile.estimated_aborts(),
+    )
+    .unwrap();
+    let tw = m.abort_weight.max(1) as f64;
+    let weight_shares = [
+        ('C', m.conflict_weight as f64 / tw),
+        ('P', m.capacity_weight as f64 / tw),
+        ('S', m.sync_weight as f64 / tw),
+    ];
+    writeln!(
+        out,
+        "weight|{}| conflict {} capacity {} sync {}  (total weight: {})",
+        bar(&weight_shares, 50),
+        pct(weight_shares[0].1),
+        pct(weight_shares[1].1),
+        pct(weight_shares[2].1),
+        m.abort_weight,
+    )
+    .unwrap();
+    out
+}
+
+/// Options for the calling-context view.
+#[derive(Debug, Clone, Copy)]
+pub struct CctViewOptions {
+    /// Hide subtrees whose inclusive W share is below this fraction.
+    pub min_share: f64,
+    /// Maximum tree depth rendered.
+    pub max_depth: usize,
+}
+
+impl Default for CctViewOptions {
+    fn default() -> Self {
+        CctViewOptions {
+            min_share: 0.01,
+            max_depth: 16,
+        }
+    }
+}
+
+/// Render the calling-context view (Figure 9): an indented tree with
+/// metric columns. Speculative (in-transaction) subtrees are introduced by
+/// a `begin_in_tx` pseudo node, matching the paper's GUI.
+pub fn render_cct(profile: &Profile, registry: &FuncRegistry, opts: &CctViewOptions) -> String {
+    let totals = profile.totals();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<58} {:>8} {:>7} {:>7} {:>9} {:>7}",
+        "calling context", "W", "T%", "Ttx%", "abort-wt", "a/c"
+    )
+    .unwrap();
+    render_node(
+        profile, registry, ROOT, 0, &totals, opts, &mut out, false,
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_node(
+    profile: &Profile,
+    registry: &FuncRegistry,
+    node: NodeId,
+    depth: usize,
+    totals: &crate::metrics::Metrics,
+    opts: &CctViewOptions,
+    out: &mut String,
+    parent_speculative: bool,
+) {
+    if depth > opts.max_depth {
+        return;
+    }
+    let inclusive = profile.cct.inclusive(node);
+    let w_share = inclusive.w as f64 / totals.w.max(1) as f64;
+    let significant =
+        w_share >= opts.min_share || inclusive.abort_weight > 0 || inclusive.abort_samples > 0;
+    if node != ROOT && !significant {
+        return;
+    }
+
+    let indent = "  ".repeat(depth);
+    let speculative_now = profile.cct.key(node).map(|k| k.speculative()).unwrap_or(false);
+    if speculative_now && !parent_speculative {
+        writeln!(out, "{indent}[begin_in_tx]").unwrap();
+    }
+    let label = match profile.cct.key(node) {
+        None => "<thread root>".to_string(),
+        Some(NodeKey::Frame { func, callsite, .. }) => {
+            format!("{} (from {})", registry.name(func), ip_name(registry, callsite))
+        }
+        Some(NodeKey::Stmt { ip, .. }) => format!("@ {}", ip_name(registry, ip)),
+    };
+    let t_share = inclusive.t as f64 / totals.t.max(1) as f64;
+    let ttx_share = inclusive.t_tx as f64 / totals.t_tx.max(1) as f64;
+    writeln!(
+        out,
+        "{:<58} {:>8} {:>7} {:>7} {:>9} {:>7.2}",
+        format!("{indent}{label}"),
+        inclusive.w,
+        pct(t_share),
+        pct(ttx_share),
+        inclusive.abort_weight,
+        inclusive.abort_commit_ratio(),
+    )
+    .unwrap();
+
+    // Children sorted by inclusive W, largest first; ties broken by a
+    // canonical key encoding so renders are deterministic across merges
+    // and store round-trips.
+    let mut children: Vec<NodeId> = profile.cct.children(node).collect();
+    children.sort_by_key(|&c| {
+        (
+            std::cmp::Reverse(profile.cct.inclusive(c).w),
+            profile.cct.key(c).map(key_rank),
+        )
+    });
+    for child in children {
+        render_node(
+            profile,
+            registry,
+            child,
+            depth + 1,
+            totals,
+            opts,
+            out,
+            speculative_now || parent_speculative,
+        );
+    }
+}
+
+/// Render the per-thread commit/abort histogram for a transaction site
+/// (the GUI's thread view used to spot imbalance and starvation).
+pub fn render_thread_histogram(profile: &Profile, registry: &FuncRegistry, site: Ip) -> String {
+    let rows = profile.thread_histogram(site);
+    let max = rows
+        .iter()
+        .map(|&(_, c, a)| c.max(a))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let mut out = String::new();
+    writeln!(out, "site {}:", ip_name(registry, site)).unwrap();
+    for (tid, commits, aborts) in rows {
+        let cw = (commits * 30 / max) as usize;
+        let aw = (aborts * 30 / max) as usize;
+        writeln!(
+            out,
+            "  t{tid:<3} commits {:>6} |{:<30}|  aborts {:>6} |{:<30}|",
+            commits,
+            "#".repeat(cw),
+            aborts,
+            "*".repeat(aw),
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Render the decision-tree diagnosis as a numbered narrative.
+pub fn render_diagnosis(diagnosis: &Diagnosis, registry: &FuncRegistry) -> String {
+    let mut out = String::new();
+    writeln!(out, "decision-tree traversal:").unwrap();
+    for (i, step) in diagnosis.steps.iter().enumerate() {
+        writeln!(out, "  ({}) {} = {:.3}", i + 1, step.observation, step.value).unwrap();
+    }
+    writeln!(out, "program-level guidance:").unwrap();
+    for s in &diagnosis.suggestions {
+        writeln!(out, "  - {}", s.describe()).unwrap();
+    }
+    for site in &diagnosis.sites {
+        writeln!(
+            out,
+            "site {} — dominant abort class: {} (avg weight {:.0})",
+            ip_name(registry, site.site),
+            site.dominant_class,
+            site.metrics.avg_abort_weight().unwrap_or(0.0),
+        )
+        .unwrap();
+        for s in &site.suggestions {
+            writeln!(out, "  - {}", s.describe()).unwrap();
+        }
+    }
+    out
+}
+
+/// Export the headline metrics as one TSV row (used by the figure harness).
+pub fn tsv_row(name: &str, profile: &Profile) -> String {
+    let b = profile.time_breakdown();
+    let m = profile.totals();
+    format!(
+        "{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{}\t{}\t{}\t{}\t{}\t{}",
+        name,
+        profile.r_cs(),
+        profile.abort_commit_ratio(),
+        b.outside,
+        b.tx,
+        b.fallback,
+        b.lock_waiting,
+        b.overhead,
+        m.abort_samples,
+        m.aborts_conflict,
+        m.aborts_capacity,
+        m.aborts_sync,
+        m.true_sharing,
+        m.false_sharing,
+    )
+}
+
+/// Header matching [`tsv_row`].
+pub fn tsv_header() -> &'static str {
+    "name\tr_cs\tr_ac\toutside\ttx\tfallback\tlock_wait\toverhead\tabort_samples\tconflict\tcapacity\tsync\ttrue_sharing\tfalse_sharing"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cct::NodeKey;
+    use crate::metrics::TimeComponent;
+    use txsim_pmu::FuncId;
+
+    fn sample_profile(registry: &FuncRegistry) -> Profile {
+        let main = registry.intern("main", "m.rs", 1);
+        let work = registry.intern("work", "m.rs", 10);
+        let mut p = Profile::default();
+        let frame = p.cct.child(
+            ROOT,
+            NodeKey::Frame {
+                func: main,
+                callsite: Ip::UNKNOWN,
+                speculative: false,
+            },
+        );
+        let spec = p.cct.child(
+            frame,
+            NodeKey::Frame {
+                func: work,
+                callsite: Ip::new(main, 5),
+                speculative: true,
+            },
+        );
+        let leaf = p.cct.child(
+            spec,
+            NodeKey::Stmt {
+                ip: Ip::new(work, 12),
+                speculative: true,
+            },
+        );
+        for _ in 0..10 {
+            p.cct.metrics_mut(leaf).add_cycles_sample(TimeComponent::Tx);
+        }
+        p.cct.metrics_mut(leaf).abort_samples = 2;
+        p.cct.metrics_mut(leaf).abort_weight = 500;
+        p.cct.metrics_mut(leaf).aborts_capacity = 2;
+        p.cct.metrics_mut(leaf).capacity_weight = 500;
+        p.cct.metrics_mut(leaf).commit_samples = 4;
+        p
+    }
+
+    #[test]
+    fn bar_fills_width() {
+        let b = bar(&[('a', 0.5), ('b', 0.5)], 10);
+        assert_eq!(b.len(), 10);
+        assert_eq!(b, "aaaaabbbbb");
+        let b = bar(&[('a', 0.333), ('b', 0.667)], 9);
+        assert_eq!(b.len(), 9);
+        assert_eq!(&b[..3], "aaa");
+    }
+
+    #[test]
+    fn bar_handles_empty_and_overflow() {
+        assert_eq!(bar(&[], 5), "     ");
+        let b = bar(&[('x', 2.0)], 5);
+        assert_eq!(b, "xxxxx");
+    }
+
+    #[test]
+    fn cct_view_shows_begin_in_tx_pseudo_node() {
+        let registry = FuncRegistry::new();
+        let p = sample_profile(&registry);
+        let view = render_cct(&p, &registry, &CctViewOptions::default());
+        assert!(view.contains("[begin_in_tx]"), "view:\n{view}");
+        assert!(view.contains("work"));
+        assert!(view.contains("@ work:12"));
+        // The pseudo node appears exactly once for the contiguous
+        // speculative subtree.
+        assert_eq!(view.matches("[begin_in_tx]").count(), 1);
+    }
+
+    #[test]
+    fn time_breakdown_renders_percentages() {
+        let registry = FuncRegistry::new();
+        let p = sample_profile(&registry);
+        let s = render_time_breakdown(&p);
+        assert!(s.contains("HTM 100.0%"), "got: {s}");
+    }
+
+    #[test]
+    fn abort_breakdown_shows_capacity_dominance() {
+        let registry = FuncRegistry::new();
+        let p = sample_profile(&registry);
+        let s = render_abort_breakdown(&p);
+        assert!(s.contains("capacity 100.0%"), "got: {s}");
+    }
+
+    #[test]
+    fn tsv_roundtrip_field_count() {
+        let registry = FuncRegistry::new();
+        let p = sample_profile(&registry);
+        let header_fields = tsv_header().split('\t').count();
+        let row_fields = tsv_row("x", &p).split('\t').count();
+        assert_eq!(header_fields, row_fields);
+    }
+
+    #[test]
+    fn thread_histogram_renders_rows() {
+        let registry = FuncRegistry::new();
+        let mut p = sample_profile(&registry);
+        let site = Ip::new(FuncId(1), 10);
+        p.threads = vec![
+            crate::profile::ThreadSummary {
+                tid: 0,
+                totals: Default::default(),
+                sites: [(site, (10, 2))].into_iter().collect(),
+            },
+            crate::profile::ThreadSummary {
+                tid: 1,
+                totals: Default::default(),
+                sites: [(site, (1, 30))].into_iter().collect(),
+            },
+        ];
+        let s = render_thread_histogram(&p, &registry, site);
+        assert!(s.contains("t0"));
+        assert!(s.contains("t1"));
+        assert!(s.lines().count() >= 3);
+    }
+}

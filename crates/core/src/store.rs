@@ -1,0 +1,391 @@
+//! Profile persistence (§6: the analyzer "records all the insights into
+//! files and passes them to TxSampler's GUI").
+//!
+//! Profiles serialize to a small line-oriented text format (one record per
+//! line, tab-separated, with a header) rather than JSON: it diffs cleanly,
+//! greps cleanly, and needs no external dependencies. The CCT serializes
+//! in id order — parents always precede children — so loading is a single
+//! forward pass.
+
+use std::fmt::Write as _;
+
+use txsim_pmu::{FuncId, Ip};
+
+use crate::cct::{NodeKey, ROOT};
+use crate::metrics::Metrics;
+use crate::profile::{Periods, Profile, ThreadSummary};
+
+/// Format version written into the header.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Serialize a profile to the text format.
+pub fn save(profile: &Profile) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "txsampler-profile\tv{FORMAT_VERSION}\tsamples={}\ttruncated={}\tinterrupt_aborts={}",
+        profile.samples, profile.truncated_paths, profile.interrupt_abort_samples
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "periods\t{}\t{}\t{}\t{}",
+        profile.periods.cycles, profile.periods.commit, profile.periods.abort, profile.periods.mem
+    )
+    .unwrap();
+
+    // Nodes, preorder: id, parent, key, metrics. Node ids are re-mapped to
+    // visit order so the loader can rebuild with a single pass.
+    let order = profile.cct.preorder();
+    let mut remap = std::collections::HashMap::new();
+    for (new_id, &node) in order.iter().enumerate() {
+        remap.insert(node, new_id);
+        let parent = *remap.get(&profile.cct.parent(node)).unwrap_or(&0);
+        let key = match profile.cct.key(node) {
+            None => "root".to_string(),
+            Some(NodeKey::Frame {
+                func,
+                callsite,
+                speculative,
+            }) => format!(
+                "frame:{}:{}:{}:{}",
+                func.0, callsite.func.0, callsite.line, speculative as u8
+            ),
+            Some(NodeKey::Stmt { ip, speculative }) => {
+                format!("stmt:{}:{}:{}", ip.func.0, ip.line, speculative as u8)
+            }
+        };
+        let m = profile.cct.metrics(node);
+        writeln!(
+            out,
+            "node\t{new_id}\t{parent}\t{key}\t{}",
+            metrics_fields(m)
+        )
+        .unwrap();
+    }
+
+    for t in &profile.threads {
+        writeln!(out, "thread\t{}\t{}", t.tid, metrics_fields(&t.totals)).unwrap();
+        for (site, (c, a)) in &t.sites {
+            writeln!(out, "site\t{}\t{}\t{}\t{}\t{}", t.tid, site.func.0, site.line, c, a).unwrap();
+        }
+    }
+    out
+}
+
+fn metrics_fields(m: &Metrics) -> String {
+    format!(
+        "{} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        m.w,
+        m.t,
+        m.t_tx,
+        m.t_fb,
+        m.t_wait,
+        m.t_oh,
+        m.commit_samples,
+        m.abort_samples,
+        m.abort_weight,
+        m.aborts_conflict,
+        m.aborts_capacity,
+        m.aborts_sync,
+        m.aborts_explicit,
+        m.conflict_weight,
+        m.capacity_weight,
+        m.sync_weight,
+        m.true_sharing,
+        m.false_sharing,
+    )
+}
+
+fn parse_metrics(s: &str) -> Result<Metrics, LoadError> {
+    let v: Vec<u64> = s
+        .split(' ')
+        .map(|f| f.parse().map_err(|_| LoadError::bad("metric field")))
+        .collect::<Result<_, _>>()?;
+    if v.len() != 18 {
+        return Err(LoadError::bad("metric arity"));
+    }
+    Ok(Metrics {
+        w: v[0],
+        t: v[1],
+        t_tx: v[2],
+        t_fb: v[3],
+        t_wait: v[4],
+        t_oh: v[5],
+        commit_samples: v[6],
+        abort_samples: v[7],
+        abort_weight: v[8],
+        aborts_conflict: v[9],
+        aborts_capacity: v[10],
+        aborts_sync: v[11],
+        aborts_explicit: v[12],
+        conflict_weight: v[13],
+        capacity_weight: v[14],
+        sync_weight: v[15],
+        true_sharing: v[16],
+        false_sharing: v[17],
+    })
+}
+
+/// A malformed profile file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadError {
+    /// What failed to parse.
+    pub what: String,
+}
+
+impl LoadError {
+    fn bad(what: &str) -> Self {
+        LoadError {
+            what: what.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed profile: {}", self.what)
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+fn parse_key(s: &str) -> Result<Option<NodeKey>, LoadError> {
+    let parts: Vec<&str> = s.split(':').collect();
+    match parts.as_slice() {
+        ["root"] => Ok(None),
+        ["frame", f, cf, cl, spec] => Ok(Some(NodeKey::Frame {
+            func: FuncId(f.parse().map_err(|_| LoadError::bad("frame func"))?),
+            callsite: Ip::new(
+                FuncId(cf.parse().map_err(|_| LoadError::bad("callsite func"))?),
+                cl.parse().map_err(|_| LoadError::bad("callsite line"))?,
+            ),
+            speculative: *spec == "1",
+        })),
+        ["stmt", f, l, spec] => Ok(Some(NodeKey::Stmt {
+            ip: Ip::new(
+                FuncId(f.parse().map_err(|_| LoadError::bad("stmt func"))?),
+                l.parse().map_err(|_| LoadError::bad("stmt line"))?,
+            ),
+            speculative: *spec == "1",
+        })),
+        _ => Err(LoadError::bad("node key")),
+    }
+}
+
+/// Load a profile previously produced by [`save`].
+pub fn load(text: &str) -> Result<Profile, LoadError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| LoadError::bad("empty file"))?;
+    let hfields: Vec<&str> = header.split('\t').collect();
+    if hfields.first() != Some(&"txsampler-profile") {
+        return Err(LoadError::bad("magic"));
+    }
+    if hfields.get(1) != Some(&format!("v{FORMAT_VERSION}").as_str()) {
+        return Err(LoadError::bad("version"));
+    }
+    let header_num = |prefix: &str| -> Result<u64, LoadError> {
+        hfields
+            .iter()
+            .find_map(|f| f.strip_prefix(prefix))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| LoadError::bad(prefix))
+    };
+    let samples = header_num("samples=")?;
+    let truncated_paths = header_num("truncated=")?;
+    let interrupt_abort_samples = header_num("interrupt_aborts=")?;
+
+    let mut profile = Profile {
+        samples,
+        truncated_paths,
+        interrupt_abort_samples,
+        ..Profile::default()
+    };
+
+    // Map from serialized node id to live node id.
+    let mut ids: Vec<u32> = Vec::new();
+    for line in lines {
+        let mut fields = line.split('\t');
+        match fields.next() {
+            Some("periods") => {
+                let vals: Vec<u64> = fields
+                    .map(|f| f.parse().map_err(|_| LoadError::bad("period")))
+                    .collect::<Result<_, _>>()?;
+                if vals.len() != 4 {
+                    return Err(LoadError::bad("period arity"));
+                }
+                profile.periods = Periods {
+                    cycles: vals[0],
+                    commit: vals[1],
+                    abort: vals[2],
+                    mem: vals[3],
+                };
+            }
+            Some("node") => {
+                let _id: usize = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| LoadError::bad("node id"))?;
+                let parent: usize = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| LoadError::bad("node parent"))?;
+                let key = parse_key(fields.next().ok_or_else(|| LoadError::bad("node key"))?)?;
+                let metrics =
+                    parse_metrics(fields.next().ok_or_else(|| LoadError::bad("node metrics"))?)?;
+                let live = match key {
+                    None => ROOT,
+                    Some(key) => {
+                        let parent_live = *ids
+                            .get(parent)
+                            .ok_or_else(|| LoadError::bad("forward parent reference"))?;
+                        profile.cct.child(parent_live, key)
+                    }
+                };
+                *profile.cct.metrics_mut(live) = metrics;
+                ids.push(live);
+            }
+            Some("thread") => {
+                let tid: usize = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| LoadError::bad("thread id"))?;
+                let totals =
+                    parse_metrics(fields.next().ok_or_else(|| LoadError::bad("thread totals"))?)?;
+                profile.threads.push(ThreadSummary {
+                    tid,
+                    totals,
+                    sites: Default::default(),
+                });
+            }
+            Some("site") => {
+                let vals: Vec<u64> = fields
+                    .map(|f| f.parse().map_err(|_| LoadError::bad("site field")))
+                    .collect::<Result<_, _>>()?;
+                if vals.len() != 5 {
+                    return Err(LoadError::bad("site arity"));
+                }
+                let t = profile
+                    .threads
+                    .iter_mut()
+                    .find(|t| t.tid == vals[0] as usize)
+                    .ok_or_else(|| LoadError::bad("site before thread"))?;
+                t.sites
+                    .insert(Ip::new(FuncId(vals[1] as u32), vals[2] as u32), (vals[3], vals[4]));
+            }
+            Some("") | None => {}
+            Some(other) => return Err(LoadError::bad(other)),
+        }
+    }
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::TimeComponent;
+
+    fn sample_profile() -> Profile {
+        let mut p = Profile {
+            samples: 123,
+            truncated_paths: 4,
+            interrupt_abort_samples: 7,
+            periods: Periods {
+                cycles: 50_000,
+                commit: 1009,
+                abort: 13,
+                mem: 5003,
+            },
+            ..Profile::default()
+        };
+        let frame = p.cct.child(
+            ROOT,
+            NodeKey::Frame {
+                func: FuncId(3),
+                callsite: Ip::new(FuncId(1), 42),
+                speculative: false,
+            },
+        );
+        let spec = p.cct.child(
+            frame,
+            NodeKey::Frame {
+                func: FuncId(9),
+                callsite: Ip::new(FuncId(3), 50),
+                speculative: true,
+            },
+        );
+        let leaf = p.cct.child(
+            spec,
+            NodeKey::Stmt {
+                ip: Ip::new(FuncId(9), 55),
+                speculative: true,
+            },
+        );
+        for _ in 0..11 {
+            p.cct.metrics_mut(leaf).add_cycles_sample(TimeComponent::Tx);
+        }
+        p.cct.metrics_mut(leaf).abort_samples = 3;
+        p.cct.metrics_mut(leaf).abort_weight = 999;
+        p.cct.metrics_mut(leaf).aborts_capacity = 3;
+        p.cct.metrics_mut(leaf).capacity_weight = 999;
+        p.threads.push(ThreadSummary {
+            tid: 0,
+            totals: *p.cct.metrics(leaf),
+            sites: [(Ip::new(FuncId(1), 42), (10, 2))].into_iter().collect(),
+        });
+        p.threads.push(ThreadSummary {
+            tid: 5,
+            totals: Metrics::default(),
+            sites: Default::default(),
+        });
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let p = sample_profile();
+        let text = save(&p);
+        let q = load(&text).expect("roundtrip");
+        assert_eq!(q.samples, p.samples);
+        assert_eq!(q.truncated_paths, p.truncated_paths);
+        assert_eq!(q.interrupt_abort_samples, p.interrupt_abort_samples);
+        assert_eq!(q.periods, p.periods);
+        assert_eq!(q.cct.len(), p.cct.len());
+        assert_eq!(q.totals(), p.totals());
+        assert_eq!(q.threads.len(), 2);
+        assert_eq!(q.threads[0].sites, p.threads[0].sites);
+        // Structure: the speculative chain survives.
+        let leaf = q
+            .cct
+            .find(|k| matches!(k, NodeKey::Stmt { ip, .. } if ip.line == 55))
+            .expect("leaf survives");
+        assert_eq!(q.cct.path_to(leaf).len(), 3);
+    }
+
+    #[test]
+    fn save_is_stable_under_roundtrip() {
+        let p = sample_profile();
+        let text = save(&p);
+        let text2 = save(&load(&text).unwrap());
+        assert_eq!(text, text2, "save∘load must be idempotent");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(load("").is_err());
+        assert!(load("not-a-profile\tv1").is_err());
+        assert!(load("txsampler-profile\tv99\tsamples=0\ttruncated=0\tinterrupt_aborts=0").is_err());
+        let p = sample_profile();
+        let mut text = save(&p);
+        text.push_str("\ngibberish\tline\n");
+        assert!(load(&text).is_err());
+    }
+
+    #[test]
+    fn empty_profile_roundtrips() {
+        let p = Profile::default();
+        let q = load(&save(&p)).unwrap();
+        assert_eq!(q.cct.len(), 1);
+        assert_eq!(q.samples, 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests on the profiler's core data structures.
+
+use proptest::prelude::*;
+use txsampler::cct::{Cct, NodeKey, ROOT};
+use txsampler::contention::{ContentionMap, Sharing};
+use txsampler::metrics::{Metrics, TimeComponent};
+use txsim_mem::CacheGeometry;
+use txsim_pmu::{FuncId, Ip};
+
+// ---------------------------------------------------------------------
+// CCT properties
+// ---------------------------------------------------------------------
+
+/// A compact encoding of a random CCT path.
+fn arb_path() -> impl Strategy<Value = Vec<NodeKey>> {
+    proptest::collection::vec((0u32..6, 0u32..6, any::<bool>()), 1..6).prop_map(|segs| {
+        let mut keys: Vec<NodeKey> = segs
+            .iter()
+            .map(|&(f, line, spec)| NodeKey::Frame {
+                func: FuncId(f),
+                callsite: Ip::new(FuncId(f / 2), line),
+                speculative: spec,
+            })
+            .collect();
+        let last = segs.last().unwrap();
+        keys.push(NodeKey::Stmt {
+            ip: Ip::new(FuncId(last.0), last.1),
+            speculative: last.2,
+        });
+        keys
+    })
+}
+
+fn build_cct(paths: &[(Vec<NodeKey>, u64)]) -> Cct {
+    let mut cct = Cct::new();
+    for (path, w) in paths {
+        let node = cct.path(path.iter().copied());
+        cct.metrics_mut(node).w += w;
+        cct.metrics_mut(node).add_cycles_sample(TimeComponent::Tx);
+    }
+    cct
+}
+
+proptest! {
+    #[test]
+    fn cct_merge_preserves_totals(
+        a in proptest::collection::vec((arb_path(), 1u64..100), 0..20),
+        b in proptest::collection::vec((arb_path(), 1u64..100), 0..20),
+    ) {
+        let mut left = build_cct(&a);
+        let right = build_cct(&b);
+        let expect_w = left.totals().w + right.totals().w;
+        let expect_t = left.totals().t + right.totals().t;
+        left.merge(&right);
+        prop_assert_eq!(left.totals().w, expect_w);
+        prop_assert_eq!(left.totals().t, expect_t);
+    }
+
+    #[test]
+    fn cct_merge_is_order_insensitive_on_totals(
+        a in proptest::collection::vec((arb_path(), 1u64..100), 0..12),
+        b in proptest::collection::vec((arb_path(), 1u64..100), 0..12),
+    ) {
+        let mut ab = build_cct(&a);
+        ab.merge(&build_cct(&b));
+        let mut ba = build_cct(&b);
+        ba.merge(&build_cct(&a));
+        prop_assert_eq!(ab.totals(), ba.totals());
+        prop_assert_eq!(ab.len(), ba.len());
+    }
+
+    #[test]
+    fn cct_same_paths_share_nodes(paths in proptest::collection::vec(arb_path(), 1..10)) {
+        let mut cct = Cct::new();
+        let first: Vec<_> = paths.iter().map(|p| cct.path(p.iter().copied())).collect();
+        let len_after_first = cct.len();
+        let second: Vec<_> = paths.iter().map(|p| cct.path(p.iter().copied())).collect();
+        prop_assert_eq!(first, second, "re-walking identical paths must reuse nodes");
+        prop_assert_eq!(cct.len(), len_after_first);
+    }
+
+    #[test]
+    fn cct_inclusive_root_equals_totals(
+        paths in proptest::collection::vec((arb_path(), 1u64..50), 0..15)
+    ) {
+        let cct = build_cct(&paths);
+        prop_assert_eq!(cct.inclusive(ROOT), cct.totals());
+    }
+
+    #[test]
+    fn cct_path_roundtrip(path in arb_path()) {
+        let mut cct = Cct::new();
+        let node = cct.path(path.iter().copied());
+        prop_assert_eq!(cct.path_to(node), path);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metrics properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn metrics_equation2_invariant(samples in proptest::collection::vec(0usize..5, 0..200)) {
+        let mut m = Metrics::default();
+        for s in &samples {
+            let comp = [
+                TimeComponent::Outside,
+                TimeComponent::Tx,
+                TimeComponent::Fallback,
+                TimeComponent::LockWaiting,
+                TimeComponent::Overhead,
+            ][*s];
+            m.add_cycles_sample(comp);
+        }
+        prop_assert_eq!(m.w as usize, samples.len());
+        prop_assert_eq!(m.t, m.t_tx + m.t_fb + m.t_wait + m.t_oh);
+        prop_assert!(m.t <= m.w);
+        prop_assert!(m.r_cs() <= 1.0);
+    }
+
+    #[test]
+    fn class_ratios_sum_to_at_most_one(
+        cw in 0u64..1000, pw in 0u64..1000, sw in 0u64..1000
+    ) {
+        let m = Metrics {
+            abort_weight: cw + pw + sw,
+            conflict_weight: cw,
+            capacity_weight: pw,
+            sync_weight: sw,
+            abort_samples: 1,
+            ..Metrics::default()
+        };
+        let sum = m.r_conflict() + m.r_capacity() + m.r_sync();
+        prop_assert!(sum <= 1.0 + 1e-9, "ratios sum {sum}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Contention-map properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn contention_never_fires_for_single_thread(
+        accesses in proptest::collection::vec((0u64..64, any::<bool>()), 0..100)
+    ) {
+        let map = ContentionMap::new(CacheGeometry::default(), u64::MAX);
+        for (i, (word, is_store)) in accesses.iter().enumerate() {
+            let verdict = map.record(word * 8, 7, *is_store, i as u64);
+            prop_assert_eq!(verdict, Sharing::None);
+        }
+    }
+
+    #[test]
+    fn contention_classification_is_word_accurate(
+        offsets in proptest::collection::vec(0u64..8, 2..40)
+    ) {
+        // Alternating threads storing to words within ONE cache line:
+        // verdicts must be True exactly when the word was last touched by
+        // the other thread, False otherwise (same line, different word).
+        let map = ContentionMap::new(CacheGeometry::default(), u64::MAX);
+        let mut last_word_toucher: std::collections::HashMap<u64, usize> = Default::default();
+        for (i, off) in offsets.iter().enumerate() {
+            let tid = i % 2;
+            let addr = off * 8;
+            let verdict = map.record(addr, tid, true, i as u64);
+            if i > 0 {
+                // Same line, alternating threads, infinite window: always
+                // contention; class depends on the word history.
+                let expect = match last_word_toucher.get(&addr) {
+                    Some(&t) if t != tid => Sharing::True,
+                    _ => Sharing::False,
+                };
+                prop_assert_eq!(verdict, expect, "access {} at {}", i, addr);
+            }
+            last_word_toucher.insert(addr, tid);
+        }
+    }
+
+    #[test]
+    fn old_accesses_never_contend(gap in 1_000_001u64..u64::MAX / 2) {
+        let map = ContentionMap::new(CacheGeometry::default(), 1_000_000);
+        map.record(0, 0, true, 0);
+        prop_assert_eq!(map.record(0, 1, true, gap), Sharing::None);
+    }
+}

@@ -1,0 +1,228 @@
+//! CLOMP-TM analogue (Table 1 / Figure 7 of the paper).
+//!
+//! CLOMP-TM is a controlled benchmark: threads repeatedly update "zones"
+//! (one cache line each) inside transactions. Two knobs reproduce the
+//! paper's six configurations:
+//!
+//! * **Transaction size**: `Small` wraps each zone update in its own
+//!   transaction (overhead-dominated); `Large` batches many updates into
+//!   one transaction.
+//! * **Scatter mode** (Table 1): `Adjacent` — each thread updates its own
+//!   contiguous zone range (rare conflicts, prefetch-friendly);
+//!   `FirstParts` — every thread updates the same leading zones (high
+//!   conflicts); `Random` — updates scatter randomly over each thread's
+//!   *own* partition, which spans far more cache sets than associativity
+//!   allows (still rare conflicts, but large-transaction footprints
+//!   overflow L1 sets ⇒ capacity aborts; prefetch-unfriendly, modelled as
+//!   a higher per-access latency).
+
+use rand::Rng;
+
+use crate::harness::{run_workload, RunConfig, RunOutcome};
+use txsim_htm::Addr;
+
+/// The three CLOMP-TM inputs of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScatterMode {
+    /// Input 1: rare conflicts, cache-prefetch friendly.
+    Adjacent,
+    /// Input 2: high conflicts, cache-prefetch friendly.
+    FirstParts,
+    /// Input 3: rare conflicts, cache-prefetch unfriendly (large footprint).
+    Random,
+}
+
+impl ScatterMode {
+    /// Label used in figures ("1", "2", "3" in the paper).
+    pub fn input_number(self) -> u32 {
+        match self {
+            ScatterMode::Adjacent => 1,
+            ScatterMode::FirstParts => 2,
+            ScatterMode::Random => 3,
+        }
+    }
+}
+
+/// Transaction granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxSize {
+    /// One zone update per transaction.
+    Small,
+    /// [`LARGE_BATCH`] zone updates per transaction.
+    Large,
+}
+
+/// Zone updates per large transaction. 384 random lines across a 64-set ×
+/// 8-way L1 makes associativity overflow near-certain (mean 6 lines/set),
+/// while 384 *contiguous* lines spread evenly (6 per set) and fit.
+pub const LARGE_BATCH: u64 = 384;
+
+/// Zones in the array (each one cache line). Must comfortably exceed the
+/// L1 so `Random` large transactions cannot fit.
+const ZONES: u64 = 8192;
+
+struct Zones {
+    base: Addr,
+    update_fn: txsim_htm::FuncId,
+}
+
+/// Extra per-access latency for prefetch-unfriendly (random) access
+/// patterns, in cycles.
+const MISS_PENALTY: u64 = 8;
+
+/// Run one CLOMP-TM configuration.
+pub fn run(size: TxSize, scatter: ScatterMode, cfg: &RunConfig) -> RunOutcome {
+    let name = format!(
+        "clomp/{}-{}",
+        match size {
+            TxSize::Small => "small",
+            TxSize::Large => "large",
+        },
+        scatter.input_number()
+    );
+    run_workload(
+        &name,
+        cfg,
+        |d, _| Zones {
+            base: d.heap.alloc_aligned(ZONES * d.geometry.line_bytes, d.geometry.line_bytes),
+            update_fn: d.funcs.intern("update_zone", "clomp.rs", 30),
+        },
+        move |w, z| {
+            let line = w.cpu.domain().geometry.line_bytes;
+            // Same total zone updates for both sizes, so the comparison is
+            // work-for-work.
+            let total_updates = w.scaled(12_000);
+            let batch = match size {
+                TxSize::Small => 1,
+                TxSize::Large => LARGE_BATCH,
+            };
+            let rounds = (total_updates / batch).max(1);
+            let my_range = ZONES / w.threads as u64;
+            let my_base_zone = w.idx as u64 * my_range;
+            for round in 0..rounds {
+                // Choose the zones this "part" updates.
+                let mut zones = Vec::with_capacity(batch as usize);
+                for k in 0..batch {
+                    let update = round * batch + k;
+                    let zone = match scatter {
+                        ScatterMode::Adjacent => my_base_zone + update % my_range,
+                        ScatterMode::FirstParts => update % 512,
+                        ScatterMode::Random => my_base_zone + w.rng.gen_range(0..my_range),
+                    };
+                    zones.push(zone);
+                }
+                let unfriendly = scatter == ScatterMode::Random;
+                let base = z.base;
+                let f = z.update_fn;
+                let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                rtm_runtime::named_critical_section(tm, cpu, f, 31, |cpu| {
+                    for &zone in &zones {
+                        if unfriendly {
+                            cpu.compute(32, MISS_PENALTY)?;
+                        }
+                        cpu.rmw(33, base + zone * line, |v| v + 1)?;
+                    }
+                    Ok(())
+                });
+            }
+        },
+        |d, z| (0..ZONES).map(|i| d.mem.load(z.base + i * d.geometry.line_bytes)).sum(),
+    )
+}
+
+/// All six paper configurations: (small|large) × (1|2|3).
+pub fn all_configs() -> Vec<(TxSize, ScatterMode)> {
+    let sizes = [TxSize::Small, TxSize::Large];
+    let scatters = [
+        ScatterMode::Adjacent,
+        ScatterMode::FirstParts,
+        ScatterMode::Random,
+    ];
+    sizes
+        .into_iter()
+        .flat_map(|s| scatters.into_iter().map(move |m| (s, m)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RunConfig {
+        RunConfig::quick().with_scale(5)
+    }
+
+    #[test]
+    fn updates_are_never_lost() {
+        for (size, scatter) in all_configs() {
+            let out = run(size, scatter, &quick());
+            let t = out.truth.totals();
+            assert!(
+                out.checksum > 0 && t.htm_commits + t.fallbacks > 0,
+                "{}: no work done",
+                out.name
+            );
+        }
+    }
+
+    #[test]
+    fn adjacent_large_rarely_aborts() {
+        let out = run(TxSize::Large, ScatterMode::Adjacent, &quick());
+        let t = out.truth.totals();
+        assert_eq!(t.aborts_conflict, 0, "disjoint zones cannot conflict");
+        assert_eq!(t.aborts_capacity, 0, "contiguous batch fits in L1");
+    }
+
+    #[test]
+    fn firstparts_conflicts() {
+        let out = run(TxSize::Large, ScatterMode::FirstParts, &quick());
+        let t = out.truth.totals();
+        assert!(
+            t.aborts_conflict > 0,
+            "overlapping zones must conflict: {t:?}"
+        );
+    }
+
+    #[test]
+    fn random_large_blows_capacity() {
+        let random = run(TxSize::Large, ScatterMode::Random, &quick());
+        let t3 = random.truth.totals();
+        assert!(
+            t3.aborts_capacity > 0,
+            "384 random lines must overflow a set: {t3:?}"
+        );
+        // Figure 7: input 3 shows a larger *portion* of capacity aborts
+        // than the high-conflict input 2. (Input 3 still has some conflict
+        // aborts: every capacity fallback's lock acquisition aborts
+        // speculating peers — the lemming effect.)
+        let firstparts = run(TxSize::Large, ScatterMode::FirstParts, &quick());
+        let t2 = firstparts.truth.totals();
+        let share = |t: &rtm_runtime::SiteTruth| {
+            t.aborts_capacity as f64 / t.app_aborts().max(1) as f64
+        };
+        assert!(
+            share(&t3) > share(&t2),
+            "input 3 capacity share {:.2} must exceed input 2's {:.2}",
+            share(&t3),
+            share(&t2)
+        );
+    }
+
+    #[test]
+    fn small_transactions_have_higher_overhead_share() {
+        // The paper's first CLOMP-TM observation: small transactions show
+        // high T_oh regardless of input.
+        let small = run(TxSize::Small, ScatterMode::Adjacent, &quick());
+        let large = run(TxSize::Large, ScatterMode::Adjacent, &quick());
+        let oh = |o: &RunOutcome| {
+            let b = o.profile.as_ref().unwrap().time_breakdown();
+            b.overhead
+        };
+        assert!(
+            oh(&small) > oh(&large) * 2.0,
+            "small {} vs large {}",
+            oh(&small),
+            oh(&large)
+        );
+    }
+}

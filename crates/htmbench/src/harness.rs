@@ -1,0 +1,272 @@
+//! The workload harness: spawns worker threads, each with a simulated CPU,
+//! an RTM runtime handle and (optionally) an attached TxSampler collector;
+//! runs the workload; gathers ground truth, profiles and timing.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rtm_runtime::{TmLib, TmThread, Truth};
+use txsampler::{merge_profiles, ContentionMap, Profile};
+use txsim_htm::{CpuStats, DomainConfig, FuncRegistry, HtmDomain, SamplingConfig, SimCpu};
+
+/// Configuration of one workload run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Number of worker threads (the paper evaluates with 14).
+    pub threads: usize,
+    /// Work multiplier: 100 = the nominal "native input" size. Figures use
+    /// 100; unit tests use much smaller values.
+    pub scale: u64,
+    /// PMU sampling configuration for every worker CPU.
+    pub sampling: SamplingConfig,
+    /// Attach TxSampler collectors (independent from `sampling` so the
+    /// overhead experiment can sample without paying collector cost — and
+    /// vice versa).
+    pub profile: bool,
+    /// Deterministic seed for workload RNGs.
+    pub seed: u64,
+    /// Domain configuration (memory size, geometry, costs). The harness
+    /// always enables cooperative virtual-time scheduling: simulated
+    /// contention must not depend on host core count.
+    pub domain: DomainConfig,
+}
+
+impl RunConfig {
+    /// The paper's evaluation setup: 14 threads, native scale, profiled.
+    pub fn paper_default() -> Self {
+        RunConfig {
+            threads: 14,
+            scale: 100,
+            sampling: SamplingConfig::txsampler_default(),
+            profile: true,
+            seed: 0x7c5,
+            domain: DomainConfig::default(),
+        }
+    }
+
+    /// Small and fast, for unit tests: 4 threads, 10% scale, profiled
+    /// with dense sampling (short runs need higher rates, §7.1).
+    pub fn quick() -> Self {
+        RunConfig {
+            threads: 4,
+            scale: 10,
+            sampling: SamplingConfig::dense(),
+            profile: true,
+            seed: 0x7c5,
+            domain: DomainConfig::default(),
+        }
+    }
+
+    /// Native run: no sampling, no collectors (the Figure 5 baseline).
+    pub fn native(mut self) -> Self {
+        self.sampling = SamplingConfig::disabled();
+        self.profile = false;
+        self
+    }
+
+    /// Builder: thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builder: scale.
+    pub fn with_scale(mut self, scale: u64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Builder: seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Everything a worker thread's closure gets to work with.
+pub struct Worker {
+    /// The simulated CPU (instruction interface).
+    pub cpu: SimCpu,
+    /// The RTM runtime handle (`TM_BEGIN`/`TM_END`).
+    pub tm: TmThread,
+    /// Deterministic per-worker RNG.
+    pub rng: SmallRng,
+    /// Worker index in `0..threads`.
+    pub idx: usize,
+    /// Total worker count.
+    pub threads: usize,
+    /// Scaled work multiplier (`RunConfig::scale`).
+    pub scale: u64,
+}
+
+impl Worker {
+    /// Scale an iteration count by the run's work multiplier
+    /// (`n * scale / 100`, at least 1).
+    pub fn scaled(&self, n: u64) -> u64 {
+        (n * self.scale / 100).max(1)
+    }
+}
+
+/// The outcome of one workload run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Workload name.
+    pub name: String,
+    /// Host wall-clock duration of the parallel phase (used for the
+    /// profiling-overhead experiments: sampling costs host time, not
+    /// simulated cycles).
+    pub wall: Duration,
+    /// Simulated makespan: max over workers of their cycle counts (used for
+    /// the speedup experiments: optimizations change simulated work).
+    pub makespan_cycles: u64,
+    /// Sum of all workers' cycles.
+    pub total_cycles: u64,
+    /// Merged exact ground truth from the RTM runtime.
+    pub truth: Truth,
+    /// Summed exact CPU statistics.
+    pub stats: CpuStats,
+    /// The merged TxSampler profile, when profiling was enabled.
+    pub profile: Option<Profile>,
+    /// The run's symbol table (shared handle), for resolving profile IPs
+    /// to the workload's function names.
+    pub funcs: FuncRegistry,
+    /// Workload-specific correctness checksum.
+    pub checksum: u64,
+}
+
+impl RunOutcome {
+    /// Abort/commit ratio from ground truth (exact, excludes profiler-
+    /// induced and lock-held-elision aborts' effect is included as in the
+    /// paper's PMU counters — conflict+capacity+sync+explicit).
+    pub fn truth_abort_commit_ratio(&self) -> f64 {
+        let t = self.truth.totals();
+        if t.htm_commits == 0 {
+            return if t.total_aborts() == 0 { 0.0 } else { f64::INFINITY };
+        }
+        (t.total_aborts() - t.aborts_interrupt) as f64 / t.htm_commits as f64
+    }
+}
+
+fn sum_stats(a: CpuStats, b: &CpuStats) -> CpuStats {
+    CpuStats {
+        tx_begins: a.tx_begins + b.tx_begins,
+        commits: a.commits + b.commits,
+        aborts_conflict: a.aborts_conflict + b.aborts_conflict,
+        aborts_capacity: a.aborts_capacity + b.aborts_capacity,
+        aborts_sync: a.aborts_sync + b.aborts_sync,
+        aborts_explicit: a.aborts_explicit + b.aborts_explicit,
+        aborts_interrupt: a.aborts_interrupt + b.aborts_interrupt,
+        wasted_cycles: a.wasted_cycles + b.wasted_cycles,
+        parks_in_tx: a.parks_in_tx + b.parks_in_tx,
+        parks: a.parks + b.parks,
+    }
+}
+
+/// Run a workload: `setup` builds the shared state (allocating from the
+/// domain heap), `work` runs on every worker thread concurrently, `verify`
+/// computes a checksum after quiescence.
+pub fn run_workload<S: Sync>(
+    name: &str,
+    cfg: &RunConfig,
+    setup: impl FnOnce(&Arc<HtmDomain>, &RunConfig) -> S,
+    work: impl Fn(&mut Worker, &S) + Sync,
+    verify: impl FnOnce(&Arc<HtmDomain>, &S) -> u64,
+) -> RunOutcome {
+    let mut domain_cfg = cfg.domain.clone();
+    domain_cfg.cooperative = cfg.threads > 1;
+    let domain = HtmDomain::new(domain_cfg);
+    let lib = TmLib::new(&domain);
+    let contention = Arc::new(ContentionMap::with_defaults(domain.geometry));
+    let shared = setup(&domain, cfg);
+
+    struct WorkerResult {
+        cycles: u64,
+        truth: Truth,
+        stats: CpuStats,
+        profile: Option<txsampler::ThreadProfile>,
+    }
+
+    let started = Instant::now();
+    let start_barrier = std::sync::Barrier::new(cfg.threads);
+    let results: Vec<WorkerResult> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|idx| {
+                let domain = Arc::clone(&domain);
+                let lib = Arc::clone(&lib);
+                let contention = Arc::clone(&contention);
+                let shared = &shared;
+                let work = &work;
+                let start_barrier = &start_barrier;
+                let cfg = cfg.clone();
+                s.spawn(move |_| {
+                    let mut cpu = domain.spawn_cpu(cfg.sampling.clone());
+                    let tm = lib.thread();
+                    let handle = if cfg.profile {
+                        Some(txsampler::attach(&mut cpu, tm.state_handle(), contention))
+                    } else {
+                        None
+                    };
+                    let mut worker = Worker {
+                        cpu,
+                        tm,
+                        rng: SmallRng::seed_from_u64(cfg.seed ^ (idx as u64) << 32 | idx as u64),
+                        idx,
+                        threads: cfg.threads,
+                        scale: cfg.scale,
+                    };
+                    // All CPUs must be registered with the scheduler before
+                    // any thread starts consuming virtual time.
+                    start_barrier.wait();
+                    work(&mut worker, shared);
+                    worker.cpu.retire();
+                    WorkerResult {
+                        cycles: worker.cpu.cycles(),
+                        truth: worker.tm.truth,
+                        stats: *worker.cpu.stats(),
+                        profile: handle.map(|h| h.take()),
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("worker panicked");
+    let wall = started.elapsed();
+
+    let mut truth = Truth::default();
+    let mut stats = CpuStats::default();
+    let mut makespan = 0;
+    let mut total_cycles = 0;
+    let mut thread_profiles = Vec::new();
+    for r in results {
+        truth.merge(&r.truth);
+        stats = sum_stats(stats, &r.stats);
+        makespan = makespan.max(r.cycles);
+        total_cycles += r.cycles;
+        if let Some(p) = r.profile {
+            thread_profiles.push(p);
+        }
+    }
+    let profile = if thread_profiles.is_empty() {
+        None
+    } else {
+        Some(merge_profiles(thread_profiles))
+    };
+
+    let checksum = verify(&domain, &shared);
+    debug_assert_eq!(domain.tracked_lines(), 0, "directory must drain");
+
+    RunOutcome {
+        name: name.to_string(),
+        wall,
+        makespan_cycles: makespan,
+        total_cycles,
+        truth,
+        stats,
+        profile,
+        funcs: domain.funcs.clone(),
+        checksum,
+    }
+}

@@ -1,0 +1,225 @@
+//! Structural key-value-store workloads: KyotoCabinet and Lee-TM.
+//!
+//! * **kyotocabinet**: a hash database in the style of Kyoto Cabinet's
+//!   HashDB — records hashed into many buckets, each bucket protected by
+//!   its own *elided fine-grained lock* (the HLE API of
+//!   [`rtm_runtime::hle`]). Collisions across 4096 buckets are rare, so the
+//!   store sits in Figure 8's Type II: significant critical-section time,
+//!   abort/commit well below 1.
+//! * **lee-tm**: Lee's circuit-routing algorithm (the Lee-TM benchmark):
+//!   each net performs a breadth-first expansion over the grid *outside*
+//!   any transaction, then lays its track transactionally; concurrent nets
+//!   only conflict where their routes cross. Type II.
+
+use rand::Rng;
+
+use crate::harness::{run_workload, RunConfig, RunOutcome};
+use rtm_runtime::HleLock;
+use txsim_htm::{Addr, FuncId};
+
+/// Buckets in the Kyoto-style hash database.
+const KC_BUCKETS: u64 = 4096;
+/// Slots per bucket page (one cache line: count + 7 records).
+const KC_SLOTS: u64 = 7;
+
+/// Run the KyotoCabinet-style hash database under HLE.
+pub fn kyotocabinet(cfg: &RunConfig) -> RunOutcome {
+    struct S {
+        /// Bucket pages, one line each: [count, key0..key6].
+        pages: Addr,
+        /// One elided lock per group of buckets (Kyoto uses 64 row locks).
+        locks: Vec<HleLock>,
+        evictions: Addr,
+        f_set: FuncId,
+        line: u64,
+    }
+    run_workload(
+        "kyotocabinet",
+        cfg,
+        |d, _| S {
+            pages: d.heap.alloc_aligned(KC_BUCKETS * d.geometry.line_bytes, d.geometry.line_bytes),
+            locks: (0..64).map(|_| HleLock::new(d)).collect(),
+            evictions: d.heap.alloc_aligned(64 * d.geometry.line_bytes, d.geometry.line_bytes),
+            f_set: d.funcs.intern("HashDB::set", "kchashdb.cc", 2120),
+            line: d.geometry.line_bytes,
+        },
+        move |w, s| {
+            let ops = w.scaled(5_000);
+            let my_evictions = s.evictions + (w.idx as u64 % 64) * s.line;
+            for _ in 0..ops {
+                // Key hashing + record serialization, outside the lock.
+                w.cpu.compute(2100, 300).expect("outside tx");
+                let key: u64 = 1 + w.rng.gen::<u32>() as u64;
+                let bucket = key.wrapping_mul(0x9e3779b97f4a7c15) % KC_BUCKETS;
+                let page = s.pages + bucket * s.line;
+                let lock = s.locks[(bucket % 64) as usize];
+                let f = s.f_set;
+                let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                cpu.call(2120, f).expect("outside tx");
+                let evicted = tm.hle_section(cpu, &lock, 2121, |cpu| {
+                    let count = cpu.load(2122, page)?;
+                    if count < KC_SLOTS {
+                        cpu.store(2123, page + 8 * (1 + count), key)?;
+                        cpu.store(2124, page, count + 1)?;
+                        Ok(false)
+                    } else {
+                        // Page full: overwrite the oldest record (free-list
+                        // recycling stands in for Kyoto's defrag).
+                        cpu.store(2126, page + 8 * (1 + key % KC_SLOTS), key)?;
+                        Ok(true)
+                    }
+                });
+                cpu.ret().expect("outside tx");
+                if evicted {
+                    w.cpu
+                        .rmw(2128, my_evictions, |v| v + 1)
+                        .expect("outside tx");
+                }
+            }
+        },
+        |d, s| {
+            let mut records = 0u64;
+            for b in 0..KC_BUCKETS {
+                let count = d.mem.load(s.pages + b * s.line);
+                assert!(count <= KC_SLOTS, "bucket count within bounds");
+                records += count;
+            }
+            let evictions: u64 = (0..64).map(|i| d.mem.load(s.evictions + i * s.line)).sum();
+            records + evictions
+        },
+    )
+}
+
+/// Grid edge for Lee-TM (cells are words; routes claim cells).
+const LEE_GRID: u64 = 128;
+
+/// Run Lee-TM: transactional circuit routing.
+pub fn lee_tm(cfg: &RunConfig) -> RunOutcome {
+    struct S {
+        grid: Addr,
+        routed: Addr,
+        failed: Addr,
+        f_lay: FuncId,
+        line: u64,
+    }
+    run_workload(
+        "lee-tm",
+        cfg,
+        |d, _| S {
+            grid: d.heap.alloc_words(LEE_GRID * LEE_GRID),
+            routed: d.heap.alloc_aligned(64 * d.geometry.line_bytes, d.geometry.line_bytes),
+            failed: d.heap.alloc_aligned(64 * d.geometry.line_bytes, d.geometry.line_bytes),
+            f_lay: d.funcs.intern("lay_track", "lee_router.c", 410),
+            line: d.geometry.line_bytes,
+        },
+        move |w, s| {
+            let nets = w.scaled(500);
+            let me = (w.idx as u64 + 1) << 32;
+            let my_routed = s.routed + (w.idx as u64 % 64) * s.line;
+            let my_failed = s.failed + (w.idx as u64 % 64) * s.line;
+            for net in 0..nets {
+                let x0 = w.rng.gen_range(0..LEE_GRID);
+                let y0 = w.rng.gen_range(0..LEE_GRID);
+                // Short nets: Lee-TM's tracks are mostly local.
+                let dx = w.rng.gen_range(0..12);
+                let dy = w.rng.gen_range(0..12);
+                let (x1, y1) = ((x0 + dx).min(LEE_GRID - 1), (y0 + dy).min(LEE_GRID - 1));
+
+                // Phase 1 (outside): breadth-first expansion to find the
+                // route — reads only, against a possibly stale snapshot.
+                let span = (dx + dy + 2) * 20;
+                w.cpu.compute(400, span).expect("outside tx");
+
+                // Phase 2 (transactional): verify the cells are still free
+                // and lay the track.
+                let (grid, f) = (s.grid, s.f_lay);
+                let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                let ok = rtm_runtime::named_critical_section(tm, cpu, f, 411, |cpu| {
+                    // L-shaped track x0..x1 at y0, then y0..y1 at x1.
+                    let mut cells = Vec::new();
+                    for x in x0..=x1 {
+                        cells.push(y0 * LEE_GRID + x);
+                    }
+                    for y in y0..=y1 {
+                        cells.push(y * LEE_GRID + x1);
+                    }
+                    for &c in &cells {
+                        if cpu.load(412, grid + 8 * c)? != 0 {
+                            return Ok(false); // blocked: rip-up and retry later
+                        }
+                    }
+                    for &c in &cells {
+                        cpu.store(413, grid + 8 * c, me | net)?;
+                    }
+                    Ok(true)
+                });
+                let counter = if ok { my_routed } else { my_failed };
+                w.cpu.rmw(414, counter, |v| v + 1).expect("outside tx");
+            }
+        },
+        |d, s| {
+            // Every net either routed or failed; routed tracks own disjoint
+            // cells (each cell stores exactly one net id).
+            let routed: u64 = (0..64).map(|i| d.mem.load(s.routed + i * s.line)).sum();
+            let failed: u64 = (0..64).map(|i| d.mem.load(s.failed + i * s.line)).sum();
+            routed + failed
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RunConfig {
+        RunConfig::quick()
+    }
+
+    #[test]
+    fn kyotocabinet_accounts_every_op() {
+        let out = kyotocabinet(&quick());
+        let expected = 4 * ((5_000 * 10) / 100);
+        assert_eq!(out.checksum, expected, "records + evictions == ops");
+    }
+
+    #[test]
+    fn kyotocabinet_is_healthy_type_ii() {
+        let cfg = quick().with_threads(8).with_scale(30);
+        let out = kyotocabinet(&cfg);
+        let p = out.profile.as_ref().unwrap();
+        assert!(p.r_cs() >= 0.2, "r_cs {}", p.r_cs());
+        assert!(
+            out.truth_abort_commit_ratio() < 1.0,
+            "a/c {}",
+            out.truth_abort_commit_ratio()
+        );
+        // Fine-grained HLE: the overwhelming majority of sections elide.
+        let t = out.truth.totals();
+        assert!(
+            t.htm_commits > 9 * t.fallbacks.max(1),
+            "elision must dominate: {t:?}"
+        );
+    }
+
+    #[test]
+    fn lee_tm_routes_every_net_exactly_once() {
+        let out = lee_tm(&quick());
+        assert_eq!(out.checksum, 4 * ((500 * 10) / 100));
+    }
+
+    #[test]
+    fn lee_tm_tracks_are_disjoint() {
+        // Transactionality of lay_track: each grid cell belongs to at most
+        // one net, and routed cells form the L-shapes the router claimed.
+        let cfg = quick().with_threads(8).with_scale(30);
+        let out = lee_tm(&cfg);
+        assert!(out.checksum > 0);
+        let p = out.profile.as_ref().unwrap();
+        assert!(
+            out.truth_abort_commit_ratio() < 1.0,
+            "Lee-TM is Type II: a/c {}",
+            out.truth_abort_commit_ratio()
+        );
+        assert!(p.r_cs() > 0.15, "routing has real CS time: {}", p.r_cs());
+    }
+}

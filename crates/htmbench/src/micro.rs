@@ -1,0 +1,331 @@
+//! Microbenchmarks with *known* abort behaviour — the paper's §7.2
+//! correctness methodology: each triggers low/moderate/high abort ratios
+//! from a specific cause (true sharing, false sharing, capacity, special
+//! instructions), so the profiler's output can be validated against the
+//! runtime's ground-truth instrumentation.
+
+use rand::Rng;
+
+use crate::harness::{run_workload, RunConfig, RunOutcome, Worker};
+use txsim_htm::{Addr, HtmDomain};
+
+struct Counters {
+    base: Addr,
+    stride: u64,
+    update_fn: txsim_htm::FuncId,
+}
+
+fn counter_setup(domain: &std::sync::Arc<HtmDomain>, per_line: bool, slots: u64) -> Counters {
+    let line = domain.geometry.line_bytes;
+    let stride = if per_line { line } else { 8 };
+    let base = domain.heap.alloc_aligned(stride * slots.max(1), line);
+    Counters {
+        base,
+        stride,
+        update_fn: domain.funcs.intern("update_counter", "micro.rs", 10),
+    }
+}
+
+fn counter_loop(w: &mut Worker, c: &Counters, slot: impl Fn(&mut Worker) -> u64, iters: u64) {
+    for _ in 0..iters {
+        let addr = c.base + slot(w) * c.stride;
+        let f = c.update_fn;
+        let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+        rtm_runtime::named_critical_section(tm, cpu, f, 20, |cpu| {
+            cpu.compute(21, 30)?;
+            cpu.rmw(22, addr, |v| v + 1).map(|_| ())
+        });
+    }
+}
+
+/// Low contention: each thread increments its own cache-line-padded counter
+/// (the Listing-2 pattern with the conflict removed). Expected: near-zero
+/// aborts, `T_oh`-heavy (small transactions).
+pub fn low_conflict(cfg: &RunConfig) -> RunOutcome {
+    run_workload(
+        "micro/low_conflict",
+        cfg,
+        |d, c| counter_setup(d, true, c.threads as u64),
+        |w, c| {
+            let idx = w.idx as u64;
+            counter_loop(w, c, |_| idx, w.scaled(40_000));
+        },
+        |d, c| (0..8).map(|i| d.mem.load(c.base + i * c.stride)).sum(),
+    )
+}
+
+/// High contention, true sharing: every thread hammers the *same word*.
+pub fn true_sharing(cfg: &RunConfig) -> RunOutcome {
+    run_workload(
+        "micro/true_sharing",
+        cfg,
+        |d, _| counter_setup(d, true, 1),
+        |w, c| {
+            counter_loop(w, c, |_| 0, w.scaled(20_000));
+        },
+        |d, c| d.mem.load(c.base),
+    )
+}
+
+/// High contention, false sharing: each thread updates its *own word*, but
+/// all words share one cache line.
+pub fn false_sharing(cfg: &RunConfig) -> RunOutcome {
+    run_workload(
+        "micro/false_sharing",
+        cfg,
+        |d, c| counter_setup(d, false, c.threads as u64),
+        |w, c| {
+            let idx = w.idx as u64 % (w.cpu.domain().geometry.line_bytes / 8);
+            counter_loop(w, c, |_| idx, w.scaled(20_000));
+        },
+        |d, c| (0..8).map(|i| d.mem.load(c.base + i * c.stride)).sum(),
+    )
+}
+
+/// Capacity aborts: each transaction walks a footprint larger than the L1
+/// write-set budget on a private region (no conflicts — aborts are pure
+/// capacity).
+pub fn capacity(cfg: &RunConfig) -> RunOutcome {
+    struct S {
+        base: Addr,
+        region_lines: u64,
+    }
+    run_workload(
+        "micro/capacity",
+        cfg,
+        |d, c| {
+            let g = d.geometry;
+            let region_lines = (g.total_lines() as u64) * 2;
+            let base = d
+                .heap
+                .alloc_aligned(region_lines * g.line_bytes * c.threads as u64, g.line_bytes);
+            S { base, region_lines }
+        },
+        |w, s| {
+            let g = w.cpu.domain().geometry;
+            let line = g.line_bytes;
+            let my_base = s.base + w.idx as u64 * s.region_lines * line;
+            // Touch `ways+1` lines per set across every set: guaranteed
+            // associativity overflow in large transactions; small ones fit.
+            for i in 0..w.scaled(300) {
+                let lines_to_touch = if i % 2 == 0 { 4 } else { s.region_lines };
+                let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                tm.critical_section(cpu, 30, |cpu| {
+                    for l in 0..lines_to_touch {
+                        cpu.store(31, my_base + l * line, l)?;
+                    }
+                    Ok(())
+                });
+            }
+        },
+        |d, s| d.mem.load(s.base) + d.mem.load(s.base + 64),
+    )
+}
+
+/// Synchronous aborts: every transaction executes a system call.
+pub fn sync_abort(cfg: &RunConfig) -> RunOutcome {
+    run_workload(
+        "micro/sync_abort",
+        cfg,
+        |d, _| counter_setup(d, true, 1),
+        |w, c| {
+            for _ in 0..w.scaled(2_000) {
+                let addr = c.base;
+                let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                tm.critical_section(cpu, 40, |cpu| {
+                    cpu.syscall(41)?; // aborts HTM; runs in fallback
+                    cpu.rmw(42, addr, |v| v + 1).map(|_| ())
+                });
+            }
+        },
+        |d, c| d.mem.load(c.base),
+    )
+}
+
+/// Deep call chains inside transactions (the Listing-1 / Figure-3 shape):
+/// `A()` and `B()` both call `C()` which updates shared data; validates
+/// in-transaction call-path reconstruction.
+pub fn nested_calls(cfg: &RunConfig) -> RunOutcome {
+    struct S {
+        counters: Addr,
+        f_a: txsim_htm::FuncId,
+        f_b: txsim_htm::FuncId,
+        f_c: txsim_htm::FuncId,
+        f_d: txsim_htm::FuncId,
+    }
+    run_workload(
+        "micro/nested_calls",
+        cfg,
+        |d, _| S {
+            counters: d.heap.alloc_padded(64, d.geometry.line_bytes),
+            f_a: d.funcs.intern("A", "nested.rs", 1),
+            f_b: d.funcs.intern("B", "nested.rs", 5),
+            f_c: d.funcs.intern("C", "nested.rs", 9),
+            f_d: d.funcs.intern("D", "nested.rs", 13),
+        },
+        |w, s| {
+            let counters = s.counters;
+            for i in 0..w.scaled(20_000) {
+                let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                let (f_mid, mid_line) = if i % 2 == 0 { (s.f_a, 2) } else { (s.f_b, 6) };
+                let (f_c, f_d) = (s.f_c, s.f_d);
+                tm.critical_section(cpu, 50, |cpu| {
+                    cpu.frame(mid_line, f_mid, |cpu| {
+                        cpu.frame(10, f_c, |cpu| {
+                            cpu.frame(14, f_d, |cpu| {
+                                cpu.compute(15, 40)?;
+                                cpu.rmw(16, counters, |v| v + 1).map(|_| ())
+                            })
+                        })
+                    })
+                });
+            }
+        },
+        |d, s| d.mem.load(s.counters),
+    )
+}
+
+/// Moderate abort ratio: a mixed pot — mostly private updates with an
+/// occasional shared-word touch.
+pub fn moderate(cfg: &RunConfig) -> RunOutcome {
+    struct S {
+        c: Counters,
+        shared: Addr,
+    }
+    run_workload(
+        "micro/moderate",
+        cfg,
+        |d, c| S {
+            c: counter_setup(d, true, c.threads as u64),
+            shared: d.heap.alloc_padded(8, d.geometry.line_bytes),
+        },
+        |w, s| {
+            let idx = w.idx as u64;
+            for i in 0..w.scaled(20_000) {
+                let touch_shared = w.rng.gen_ratio(1, 8);
+                let private = s.c.base + idx * s.c.stride;
+                let shared = s.shared;
+                let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                tm.critical_section(cpu, 60, |cpu| {
+                    cpu.compute(61, 20)?;
+                    cpu.rmw(62, private, |v| v + 1)?;
+                    if touch_shared {
+                        cpu.rmw(63, shared, |v| v + 1)?;
+                    }
+                    Ok(())
+                });
+                let _ = i;
+            }
+        },
+        |d, s| d.mem.load(s.shared) + d.mem.load(s.c.base),
+    )
+}
+
+/// All microbenchmarks with their registry names.
+pub fn run_all(cfg: &RunConfig) -> Vec<RunOutcome> {
+    vec![
+        low_conflict(cfg),
+        true_sharing(cfg),
+        false_sharing(cfg),
+        capacity(cfg),
+        sync_abort(cfg),
+        nested_calls(cfg),
+        moderate(cfg),
+    ]
+}
+
+/// Type assertion helper used by setup closures above.
+#[allow(dead_code)]
+fn _assert_send(_: &dyn Fn(&mut Worker, &Counters)) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RunConfig {
+        RunConfig::quick()
+    }
+
+    #[test]
+    fn low_conflict_commits_cleanly() {
+        let out = low_conflict(&quick());
+        let t = out.truth.totals();
+        assert_eq!(
+            out.checksum,
+            t.htm_commits + t.fallbacks,
+            "each section increments exactly once"
+        );
+        assert_eq!(t.aborts_capacity, 0);
+        assert_eq!(t.aborts_sync, 0);
+        // Padded per-thread counters must not conflict.
+        assert_eq!(t.aborts_conflict, 0);
+    }
+
+    #[test]
+    fn true_sharing_conflicts_heavily() {
+        let out = true_sharing(&quick());
+        let t = out.truth.totals();
+        assert_eq!(out.checksum, t.htm_commits + t.fallbacks);
+        assert!(
+            t.aborts_conflict > t.htm_commits / 100,
+            "shared counter must conflict: {t:?}"
+        );
+    }
+
+    #[test]
+    fn false_sharing_conflicts_despite_disjoint_words() {
+        let out = false_sharing(&quick());
+        let t = out.truth.totals();
+        assert_eq!(out.checksum, t.htm_commits + t.fallbacks);
+        assert!(t.aborts_conflict > 0, "line sharing must conflict: {t:?}");
+    }
+
+    #[test]
+    fn capacity_aborts_dominate_capacity_micro() {
+        let out = capacity(&quick());
+        let t = out.truth.totals();
+        assert!(t.aborts_capacity > 0);
+        // Conflict aborts CAN occur despite private data: each capacity
+        // fallback acquires the global lock, whose store aborts every
+        // speculating peer (the TSX lemming effect) — but capacity must
+        // still dominate the picture via fallbacks.
+        assert!(t.fallbacks >= t.aborts_capacity);
+        assert!(t.htm_commits > 0, "small transactions must commit");
+    }
+
+    #[test]
+    fn sync_micro_aborts_synchronously_every_time() {
+        let out = sync_abort(&quick());
+        let t = out.truth.totals();
+        assert_eq!(t.htm_commits, 0, "syscall aborts every HTM attempt");
+        assert_eq!(t.fallbacks, out.checksum);
+        assert_eq!(t.aborts_sync, t.fallbacks);
+    }
+
+    #[test]
+    fn nested_calls_counter_is_exact() {
+        let out = nested_calls(&quick());
+        let t = out.truth.totals();
+        assert_eq!(out.checksum, t.htm_commits + t.fallbacks);
+        // The profile must contain speculative frames for C and D.
+        let profile = out.profile.expect("profiling enabled");
+        let has_spec_d = profile
+            .cct
+            .find(|k| k.speculative() && matches!(k, txsampler::NodeKey::Frame { .. }))
+            .is_some();
+        assert!(has_spec_d, "in-tx frames must appear in the CCT");
+    }
+
+    #[test]
+    fn moderate_sits_between_low_and_high() {
+        let low = low_conflict(&quick());
+        let high = true_sharing(&quick());
+        let mid = moderate(&quick());
+        let ratio = |o: &RunOutcome| {
+            let t = o.truth.totals();
+            t.aborts_conflict as f64 / (t.htm_commits + t.fallbacks).max(1) as f64
+        };
+        assert!(ratio(&low) <= ratio(&mid) + 1e-9);
+        assert!(ratio(&mid) <= ratio(&high) + 1e-9);
+    }
+}

@@ -1,0 +1,266 @@
+//! The benchmark registry: every HTMBench program by name, plus the
+//! original/optimized pairs behind Table 2.
+
+use crate::apps::{self, Ssca2Variant, UaVariant};
+use crate::clomp::{self, ScatterMode, TxSize};
+use crate::dedup::{self, Variant as DedupVariant};
+use crate::harness::{RunConfig, RunOutcome};
+use crate::histo::{self, Input as HistoInput, Variant as HistoVariant};
+use crate::leveldb::{self, Variant as LevelDbVariant};
+use crate::lists::{self, AvlVariant, ListVariant};
+use crate::micro;
+use crate::stamp::{self, VacationVariant};
+
+/// One registered benchmark.
+pub struct Spec {
+    /// Registry name (suite/program).
+    pub name: &'static str,
+    /// Suite label for grouping in figures.
+    pub suite: &'static str,
+    /// Runner.
+    pub run: Box<dyn Fn(&RunConfig) -> RunOutcome + Sync + Send>,
+}
+
+impl Spec {
+    fn new(
+        name: &'static str,
+        suite: &'static str,
+        run: impl Fn(&RunConfig) -> RunOutcome + Sync + Send + 'static,
+    ) -> Self {
+        Spec {
+            name,
+            suite,
+            run: Box::new(run),
+        }
+    }
+}
+
+/// All benchmark programs in their *original* (pre-optimization) form —
+/// the population of Figure 5 (overhead) and Figure 8 (categorization).
+pub fn all() -> Vec<Spec> {
+    let mut specs = vec![
+        // Microbenchmarks (§7.2 validation).
+        Spec::new("micro/low_conflict", "micro", micro::low_conflict),
+        Spec::new("micro/true_sharing", "micro", micro::true_sharing),
+        Spec::new("micro/false_sharing", "micro", micro::false_sharing),
+        Spec::new("micro/capacity", "micro", micro::capacity),
+        Spec::new("micro/sync_abort", "micro", micro::sync_abort),
+        Spec::new("micro/nested_calls", "micro", micro::nested_calls),
+        Spec::new("micro/moderate", "micro", micro::moderate),
+        // CLOMP-TM (Table 1 / Figure 7).
+        Spec::new("clomp/small-1", "clomp", |c| {
+            clomp::run(TxSize::Small, ScatterMode::Adjacent, c)
+        }),
+        Spec::new("clomp/small-2", "clomp", |c| {
+            clomp::run(TxSize::Small, ScatterMode::FirstParts, c)
+        }),
+        Spec::new("clomp/small-3", "clomp", |c| {
+            clomp::run(TxSize::Small, ScatterMode::Random, c)
+        }),
+        Spec::new("clomp/large-1", "clomp", |c| {
+            clomp::run(TxSize::Large, ScatterMode::Adjacent, c)
+        }),
+        Spec::new("clomp/large-2", "clomp", |c| {
+            clomp::run(TxSize::Large, ScatterMode::FirstParts, c)
+        }),
+        Spec::new("clomp/large-3", "clomp", |c| {
+            clomp::run(TxSize::Large, ScatterMode::Random, c)
+        }),
+        // Case-study programs (original versions).
+        Spec::new("parsec2/dedup", "parsec", |c| {
+            dedup::run(DedupVariant::Original, c)
+        }),
+        Spec::new("parboil/histo", "parboil", |c| {
+            histo::run(HistoInput::Skewed, HistoVariant::Original, c)
+        }),
+        Spec::new("leveldb", "apps", |c| {
+            leveldb::run(LevelDbVariant::Original, c)
+        }),
+        // Synchrobench / tree structures.
+        Spec::new("synchro/linkedlist", "synchro", |c| {
+            lists::linkedlist(ListVariant::Original, c)
+        }),
+        Spec::new("synchro/skiplist", "synchro", lists::skiplist),
+        Spec::new("avltree", "apps", |c| {
+            lists::avltree(AvlVariant::ReadLock, c)
+        }),
+        Spec::new("bplustree", "apps", lists::bplustree),
+        // STAMP.
+        Spec::new("stamp/vacation", "stamp", |c| {
+            stamp::vacation(VacationVariant::Original, c)
+        }),
+        Spec::new("stamp/kmeans", "stamp", stamp::kmeans),
+        Spec::new("stamp/genome", "stamp", stamp::genome),
+        Spec::new("stamp/intruder", "stamp", stamp::intruder),
+        Spec::new("stamp/labyrinth", "stamp", stamp::labyrinth),
+        Spec::new("stamp/yada", "stamp", stamp::yada),
+        Spec::new("stamp/ssca", "stamp", stamp::ssca),
+        // SSCA2 standalone and NPB UA.
+        Spec::new("ssca2", "apps", ssca2_orig),
+        Spec::new("npb/ua", "npb", |c| apps::ua(UaVariant::Original, c)),
+        // Structural key-value stores (kyotocabinet exercises HLE).
+        Spec::new("kyotocabinet", "apps", crate::kvstores::kyotocabinet),
+        Spec::new("lee-tm", "apps", crate::kvstores::lee_tm),
+    ];
+    // SPLASH2 (Type I), network apps and the rest (shapes).
+    for shape in apps::splash2_shapes()
+        .into_iter()
+        .chain(apps::contended_shapes())
+        .chain(apps::healthy_shapes())
+    {
+        let name = shape.name;
+        let suite = name.split('/').next().unwrap_or("apps");
+        let suite: &'static str = match suite {
+            "splash2" => "splash2",
+            "parsec3" => "parsec",
+            "rms-tm" => "rms-tm",
+            _ => "apps",
+        };
+        specs.push(Spec::new(name, suite, move |c| apps::run_shape(&shape, c)));
+    }
+    specs
+}
+
+fn ssca2_orig(c: &RunConfig) -> RunOutcome {
+    apps::ssca2(Ssca2Variant::Original, c)
+}
+
+/// One Table 2 row: a paired original/optimized benchmark with the paper's
+/// symptom/solution text and reported speedup.
+pub struct OptimizationPair {
+    /// Program name as it appears in Table 2.
+    pub code: &'static str,
+    /// Symptom TxSampler reports.
+    pub symptoms: &'static str,
+    /// The fix applied.
+    pub solutions: &'static str,
+    /// Speedup reported by the paper.
+    pub paper_speedup: f64,
+    /// Original version.
+    pub original: Box<dyn Fn(&RunConfig) -> RunOutcome + Sync + Send>,
+    /// Optimized version.
+    pub optimized: Box<dyn Fn(&RunConfig) -> RunOutcome + Sync + Send>,
+}
+
+/// The nine Table 2 rows.
+pub fn optimization_pairs() -> Vec<OptimizationPair> {
+    vec![
+        OptimizationPair {
+            code: "dedup",
+            symptoms: "high capacity aborts; high synchronous aborts",
+            solutions: "refine hash table; remove system calls",
+            paper_speedup: 1.20,
+            original: Box::new(|c| dedup::run(DedupVariant::Original, c)),
+            optimized: Box::new(|c| dedup::run(DedupVariant::FixedHashAndIo, c)),
+        },
+        OptimizationPair {
+            code: "AVL Tree",
+            symptoms: "high T_wait",
+            solutions: "elide read lock",
+            paper_speedup: 1.21,
+            original: Box::new(|c| lists::avltree(AvlVariant::ReadLock, c)),
+            optimized: Box::new(|c| lists::avltree(AvlVariant::Elided, c)),
+        },
+        OptimizationPair {
+            code: "histo",
+            symptoms: "high T_oh; severe false sharing",
+            solutions: "merge transactions; sort the input array",
+            paper_speedup: 2.95,
+            original: Box::new(|c| histo::run(HistoInput::Skewed, HistoVariant::Original, c)),
+            // §8.3: for input 1 the win comes from coalescing (the paper's
+            // txn_gran=10,000 assumes Parboil-sized images; 100 keeps the
+            // same transactions-per-chunk ratio at simulator scales).
+            optimized: Box::new(|c| {
+                histo::run(HistoInput::Skewed, HistoVariant::Coalesced { txn_gran: 100 }, c)
+            }),
+        },
+        OptimizationPair {
+            code: "UA",
+            symptoms: "high T_oh",
+            solutions: "merge transactions",
+            paper_speedup: 1.05,
+            original: Box::new(|c| apps::ua(UaVariant::Original, c)),
+            optimized: Box::new(|c| apps::ua(UaVariant::Merged, c)),
+        },
+        OptimizationPair {
+            code: "vacation",
+            symptoms: "high abort rate",
+            solutions: "reduce transaction size",
+            paper_speedup: 1.21,
+            original: Box::new(|c| stamp::vacation(VacationVariant::Original, c)),
+            optimized: Box::new(|c| stamp::vacation(VacationVariant::SmallTx, c)),
+        },
+        OptimizationPair {
+            code: "LevelDB",
+            symptoms: "high abort rate",
+            solutions: "split transactions",
+            paper_speedup: 1.05,
+            original: Box::new(|c| leveldb::run(LevelDbVariant::Original, c)),
+            optimized: Box::new(|c| leveldb::run(LevelDbVariant::SplitRefs, c)),
+        },
+        OptimizationPair {
+            code: "SSCA2",
+            symptoms: "high T_wait",
+            solutions: "defer transaction",
+            paper_speedup: 1.10,
+            original: Box::new(|c| apps::ssca2(Ssca2Variant::Original, c)),
+            optimized: Box::new(|c| apps::ssca2(Ssca2Variant::Deferred, c)),
+        },
+        OptimizationPair {
+            code: "netdedup",
+            symptoms: "high conflict aborts; high synchronous aborts",
+            solutions: "shrink transactions; remove system calls",
+            paper_speedup: 1.20,
+            original: Box::new(|c| dedup::run(DedupVariant::FixedHash, c)),
+            optimized: Box::new(|c| dedup::run(DedupVariant::FixedHashAndIo, c)),
+        },
+        OptimizationPair {
+            code: "linkedlist",
+            symptoms: "high abort rate; low average abort penalty",
+            solutions: "limit transaction size with auxiliary locks",
+            paper_speedup: 3.78,
+            original: Box::new(|c| lists::linkedlist(ListVariant::Original, c)),
+            optimized: Box::new(|c| lists::linkedlist(ListVariant::ShortTx, c)),
+        },
+    ]
+}
+
+/// The STAMP-suite subset used for the Figure 6 thread sweep.
+pub fn stamp_subset() -> Vec<Spec> {
+    vec![
+        Spec::new("stamp/vacation", "stamp", |c| {
+            stamp::vacation(VacationVariant::Original, c)
+        }),
+        Spec::new("stamp/kmeans", "stamp", stamp::kmeans),
+        Spec::new("stamp/genome", "stamp", stamp::genome),
+        Spec::new("stamp/intruder", "stamp", stamp::intruder),
+        Spec::new("stamp/labyrinth", "stamp", stamp::labyrinth),
+        Spec::new("stamp/yada", "stamp", stamp::yada),
+        Spec::new("stamp/ssca", "stamp", stamp::ssca),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_more_than_thirty_programs() {
+        let specs = all();
+        assert!(
+            specs.len() > 30,
+            "HTMBench must exceed 30 programs, found {}",
+            specs.len()
+        );
+        // Names must be unique.
+        let mut names: Vec<_> = specs.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len(), "duplicate registry names");
+    }
+
+    #[test]
+    fn table2_has_nine_rows() {
+        assert_eq!(optimization_pairs().len(), 9);
+    }
+}

@@ -1,0 +1,639 @@
+//! STAMP benchmark analogues: vacation, kmeans, genome, intruder,
+//! labyrinth, yada and ssca (the STAMP build of SSCA2).
+//!
+//! Each module reproduces the *transactional shape* of its namesake — what
+//! data is shared, how big transactions are, where conflicts come from —
+//! at a scale the simulator sweeps quickly. `vacation` additionally has the
+//! Table 2 optimized variant (reduce transaction size, 1.21× in the paper).
+
+use rand::Rng;
+
+use crate::harness::{run_workload, RunConfig, RunOutcome};
+use txsim_htm::{Addr, FuncId};
+#[allow(unused_imports)]
+use txsim_htm::SimCpu;
+
+// ---------------------------------------------------------------------
+// vacation: travel reservation database
+// ---------------------------------------------------------------------
+
+/// Vacation variants (Table 2: "high abort rate → reduce transaction
+/// size").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VacationVariant {
+    /// One fat transaction spans the whole reservation: queries on all
+    /// three tables plus customer update.
+    Original,
+    /// One small transaction per table touched.
+    SmallTx,
+}
+
+/// Rows per reservation table.
+const VACATION_ROWS: u64 = 4096;
+
+struct Vacation {
+    /// Three tables (flights, rooms, cars): row = [available] per line.
+    tables: [Addr; 3],
+    customers: Addr,
+    f_reserve: FuncId,
+}
+
+/// Run vacation.
+pub fn vacation(variant: VacationVariant, cfg: &RunConfig) -> RunOutcome {
+    let name = format!(
+        "stamp/vacation-{}",
+        match variant {
+            VacationVariant::Original => "orig",
+            VacationVariant::SmallTx => "opt-small",
+        }
+    );
+    run_workload(
+        &name,
+        cfg,
+        |d, c| {
+            let line = d.geometry.line_bytes;
+            let mk_table = || {
+                let t = d.heap.alloc_aligned(VACATION_ROWS * line, line);
+                for r in 0..VACATION_ROWS {
+                    // Large inventory: popular rows must not sell out, or
+                    // the workload silently turns read-only on hot lines.
+                    d.mem.store(t + r * line, 1_000_000);
+                }
+                t
+            };
+            Vacation {
+                tables: [mk_table(), mk_table(), mk_table()],
+                customers: d.heap.alloc_aligned(c.threads as u64 * 64 * line, line),
+                f_reserve: d.funcs.intern("client_reserve", "vacation/client.c", 120),
+            }
+        },
+        move |w, v| {
+            let line = w.cpu.domain().geometry.line_bytes;
+            let reservations = w.scaled(3_000);
+            let customer = v.customers + w.idx as u64 * 64 * line;
+            for _ in 0..reservations {
+                // Each reservation queries two rows per table (outbound +
+                // return legs); zipf-ish — most reservations fight over two
+                // popular rows per table.
+                let mut rows = [0u64; 6];
+                for r in &mut rows {
+                    *r = if w.rng.gen_ratio(1, 4) {
+                        w.rng.gen_range(0..4)
+                    } else {
+                        w.rng.gen_range(0..VACATION_ROWS)
+                    };
+                }
+                // Collapse duplicate rows (a reservation may want two
+                // seats on the same popular flight).
+                let mut wanted: Vec<(u64, u64)> = Vec::with_capacity(6); // (addr, seats)
+                for (i, &row) in rows.iter().enumerate() {
+                    let addr = v.tables[i / 2] + row * line;
+                    match wanted.iter_mut().find(|(a, _)| *a == addr) {
+                        Some((_, n)) => *n += 1,
+                        None => wanted.push((addr, 1)),
+                    }
+                }
+                let f = v.f_reserve;
+                let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                match variant {
+                    VacationVariant::Original => {
+                        rtm_runtime::named_critical_section(tm, cpu, f, 121, |cpu| {
+                            // Query phase: read every row's availability
+                            // (all claims taken up front)…
+                            let mut avail = [0u64; 6];
+                            for (i, &(addr, _)) in wanted.iter().enumerate() {
+                                avail[i] = cpu.load(122, addr)?;
+                            }
+                            // …validate the itinerary…
+                            cpu.compute(123, 240)?;
+                            // …then book.
+                            let mut booked = 0u64;
+                            for (i, &(addr, seats)) in wanted.iter().enumerate() {
+                                let take = seats.min(avail[i]);
+                                if take > 0 {
+                                    cpu.store(124, addr, avail[i] - take)?;
+                                    booked += take;
+                                }
+                            }
+                            cpu.rmw(125, customer, |v| v + booked)?;
+                            Ok(())
+                        });
+                    }
+                    VacationVariant::SmallTx => {
+                        // Validation happens outside any transaction; each
+                        // row is booked in its own short transaction.
+                        cpu.compute(123, 240).expect("outside tx");
+                        let mut booked = 0u64;
+                        for &(addr, seats) in &wanted {
+                            booked += rtm_runtime::named_critical_section(
+                                tm,
+                                cpu,
+                                f,
+                                125,
+                                |cpu| {
+                                    let avail = cpu.load(126, addr)?;
+                                    let take = seats.min(avail);
+                                    if take > 0 {
+                                        cpu.store(127, addr, avail - take)?;
+                                    }
+                                    Ok(take)
+                                },
+                            );
+                        }
+                        tm.critical_section(cpu, 128, |cpu| {
+                            cpu.rmw(129, customer, |v| v + booked).map(|_| ())
+                        });
+                    }
+                }
+            }
+        },
+        |d, v| {
+            // Conservation: seats sold == seats booked by customers.
+            let line = 64;
+            let sold: u64 = v
+                .tables
+                .iter()
+                .map(|&t| {
+                    (0..VACATION_ROWS)
+                        .map(|r| 1_000_000 - d.mem.load(t + r * line))
+                        .sum::<u64>()
+                })
+                .sum();
+            let booked: u64 = (0..64u64)
+                .map(|i| d.mem.load(v.customers + i * 64 * line))
+                .sum();
+            assert_eq!(sold, booked, "reservation conservation violated");
+            sold + 1
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// kmeans: clustering with transactional centre updates
+// ---------------------------------------------------------------------
+
+/// Run kmeans: points are assigned to the nearest of K centres; centre
+/// accumulators are updated transactionally (the STAMP hot spot).
+pub fn kmeans(cfg: &RunConfig) -> RunOutcome {
+    const K: u64 = 16;
+    const DIMS: u64 = 4;
+    struct S {
+        /// Per-cluster accumulators: [count, sum0.. sum3] padded per line.
+        centres: Addr,
+        points: Addr,
+        n_points: u64,
+        f_update: FuncId,
+    }
+    run_workload(
+        "stamp/kmeans",
+        cfg,
+        |d, c| {
+            let line = d.geometry.line_bytes;
+            let n_points = 12_000 * c.scale.max(1) / 100;
+            let points = d.heap.alloc_words(n_points * DIMS);
+            let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(c.seed);
+            for i in 0..n_points * DIMS {
+                d.mem.store(points + 8 * i, rng.gen_range(0..1000));
+            }
+            S {
+                centres: d.heap.alloc_aligned(K * line, line),
+                points,
+                n_points,
+                f_update: d.funcs.intern("kmeans_update", "kmeans/normal.c", 160),
+            }
+        },
+        move |w, s| {
+            let chunk = s.n_points.div_ceil(w.threads as u64);
+            let start = (w.idx as u64 * chunk).min(s.n_points);
+            let end = ((w.idx as u64 + 1) * chunk).min(s.n_points);
+            let line = w.cpu.domain().geometry.line_bytes;
+            for p in start..end {
+                // Distance computation outside the transaction.
+                let mut coords = [0u64; DIMS as usize];
+                for (d_i, c) in coords.iter_mut().enumerate() {
+                    *c = w
+                        .cpu
+                        .load(161, s.points + 8 * (p * DIMS + d_i as u64))
+                        .expect("outside tx");
+                }
+                w.cpu.compute(162, 80).expect("outside tx"); // distance math
+                let cluster = coords.iter().sum::<u64>() % K;
+                let centre = s.centres + cluster * line;
+                let f = s.f_update;
+                let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                rtm_runtime::named_critical_section(tm, cpu, f, 163, |cpu| {
+                    cpu.rmw(164, centre, |v| v + 1)?; // membership count
+                    for (d_i, &c) in coords.iter().enumerate() {
+                        cpu.rmw(165, centre + 8 * (1 + d_i as u64), |v| v + c)?;
+                    }
+                    Ok(())
+                });
+            }
+        },
+        |d, s| {
+            let line = 64;
+            let assigned: u64 = (0..K).map(|k| d.mem.load(s.centres + k * line)).sum();
+            assert_eq!(assigned, s.n_points, "every point assigned exactly once");
+            assigned
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// genome: segment dedup via hash set + chain linking
+// ---------------------------------------------------------------------
+
+/// Run genome: phase 1 dedups DNA segments through a transactional hash
+/// set; phase 2 links unique segments into chains.
+pub fn genome(cfg: &RunConfig) -> RunOutcome {
+    const BUCKETS: u64 = 2048;
+    struct S {
+        buckets: Addr,
+        pool: Addr,
+        next_node: std::sync::atomic::AtomicU64,
+        segments: u64,
+        f_insert: FuncId,
+    }
+    run_workload(
+        "stamp/genome",
+        cfg,
+        |d, c| {
+            let line = d.geometry.line_bytes;
+            let segments = 8_000 * c.scale.max(1) / 100 * c.threads as u64;
+            S {
+                buckets: d.heap.alloc_padded(BUCKETS * 8, line),
+                pool: d.heap.alloc_aligned((segments + 8) * line, line),
+                next_node: std::sync::atomic::AtomicU64::new(0),
+                segments,
+                f_insert: d.funcs.intern("hashtable_insert", "genome/table.c", 55),
+            }
+        },
+        move |w, s| {
+            let per_thread = s.segments / w.threads as u64;
+            let line = w.cpu.domain().geometry.line_bytes;
+            for _ in 0..per_thread {
+                // Segment values repeat ~4× (the dedup opportunity).
+                let seg: u64 = 1 + w.rng.gen_range(0..s.segments / 4);
+                let idx = s
+                    .next_node
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let node = s.pool + idx * line;
+                let bucket = s.buckets + 8 * (seg.wrapping_mul(0x9e3779b9) % BUCKETS);
+                let f = s.f_insert;
+                let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                rtm_runtime::named_critical_section(tm, cpu, f, 56, |cpu| {
+                    let mut cur = cpu.load(57, bucket)?;
+                    while cur != 0 {
+                        if cpu.load(58, cur)? == seg {
+                            return Ok(()); // duplicate
+                        }
+                        cur = cpu.load(59, cur + 8)?;
+                    }
+                    let head = cpu.load(60, bucket)?;
+                    cpu.store(61, node, seg)?;
+                    cpu.store(62, node + 8, head)?;
+                    cpu.store(63, bucket, node)?;
+                    Ok(())
+                });
+            }
+        },
+        |d, s| {
+            let mut unique = 0u64;
+            let mut seen = std::collections::HashSet::new();
+            for b in 0..BUCKETS {
+                let mut cur = d.mem.load(s.buckets + 8 * b);
+                while cur != 0 {
+                    assert!(seen.insert(d.mem.load(cur)), "set must be duplicate-free");
+                    unique += 1;
+                    cur = d.mem.load(cur + 8);
+                }
+            }
+            unique
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// intruder: packet reassembly through a shared work queue + dictionary
+// ---------------------------------------------------------------------
+
+/// Run intruder: threads pop packet fragments from a shared transactional
+/// queue and assemble flows in a shared map — queue-head contention is the
+/// signature bottleneck.
+pub fn intruder(cfg: &RunConfig) -> RunOutcome {
+    struct S {
+        /// Queue cursor (hot!) and the fragment array.
+        cursor: Addr,
+        fragments: Addr,
+        n_fragments: u64,
+        /// Flow map: per-flow fragment counters.
+        flows: Addr,
+        n_flows: u64,
+        done: Addr,
+        f_pop: FuncId,
+    }
+    run_workload(
+        "stamp/intruder",
+        cfg,
+        |d, c| {
+            let line = d.geometry.line_bytes;
+            let n_fragments = 20_000 * c.scale.max(1) / 100;
+            let n_flows = 512;
+            let fragments = d.heap.alloc_words(n_fragments);
+            let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(c.seed);
+            for i in 0..n_fragments {
+                d.mem.store(fragments + 8 * i, rng.gen_range(0..n_flows));
+            }
+            S {
+                cursor: d.heap.alloc_padded(8, line),
+                fragments,
+                n_fragments,
+                flows: d.heap.alloc_aligned(n_flows * line, line),
+                n_flows,
+                done: d.heap.alloc_padded(8, line),
+                f_pop: d.funcs.intern("queue_pop", "intruder/queue.c", 88),
+            }
+        },
+        move |w, s| {
+            let line = w.cpu.domain().geometry.line_bytes;
+            loop {
+                // Transaction 1: pop a fragment index from the shared queue.
+                let (cursor, n) = (s.cursor, s.n_fragments);
+                let f = s.f_pop;
+                let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                let idx = rtm_runtime::named_critical_section(tm, cpu, f, 89, |cpu| {
+                    let c = cpu.load(90, cursor)?;
+                    if c < n {
+                        cpu.store(91, cursor, c + 1)?;
+                        Ok(Some(c))
+                    } else {
+                        Ok(None)
+                    }
+                });
+                let Some(idx) = idx else { break };
+                // Decode outside.
+                let flow = w.cpu.load(95, s.fragments + 8 * idx).expect("outside tx");
+                w.cpu.compute(96, 60).expect("outside tx");
+                // Transaction 2: account the fragment to its flow.
+                let flow_addr = s.flows + flow * line;
+                let done = s.done;
+                let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                tm.critical_section(cpu, 97, |cpu| {
+                    cpu.rmw(98, flow_addr, |v| v + 1)?;
+                    cpu.rmw(99, done, |v| v + 1)?;
+                    Ok(())
+                });
+            }
+        },
+        |d, s| {
+            let assembled: u64 = (0..s.n_flows).map(|f| d.mem.load(s.flows + f * 64)).sum();
+            assert_eq!(assembled, s.n_fragments);
+            assert_eq!(d.mem.load(s.done), s.n_fragments);
+            assembled
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// labyrinth: grid path routing with big transactional claims
+// ---------------------------------------------------------------------
+
+/// Run labyrinth: each router claims a path of grid cells in one
+/// transaction — long paths mean big read/write sets (capacity-prone) and
+/// overlapping paths conflict.
+pub fn labyrinth(cfg: &RunConfig) -> RunOutcome {
+    const GRID: u64 = 64; // 64×64 cells, one word each
+    struct S {
+        grid: Addr,
+        routed: Addr,
+        f_route: FuncId,
+    }
+    run_workload(
+        "stamp/labyrinth",
+        cfg,
+        |d, _| S {
+            grid: d.heap.alloc_words(GRID * GRID),
+            routed: d.heap.alloc_padded(8, d.geometry.line_bytes),
+            f_route: d.funcs.intern("router_solve", "labyrinth/router.c", 310),
+        },
+        move |w, s| {
+            let routes = w.scaled(600);
+            for r in 0..routes {
+                let x0 = w.rng.gen_range(0..GRID);
+                let y0 = w.rng.gen_range(0..GRID);
+                let x1 = w.rng.gen_range(0..GRID);
+                let y1 = w.rng.gen_range(0..GRID);
+                let (grid, routed, f) = (s.grid, s.routed, s.f_route);
+                let me = (w.idx as u64 + 1) * 1_000_000 + r;
+                let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                rtm_runtime::named_critical_section(tm, cpu, f, 311, |cpu| {
+                    // L-shaped path: horizontal then vertical, claiming
+                    // free cells (occupied cells are routed around by
+                    // simply skipping — capacity/conflict behaviour is what
+                    // matters here).
+                    let (lo_x, hi_x) = (x0.min(x1), x0.max(x1));
+                    for x in lo_x..=hi_x {
+                        let cell = grid + 8 * (y0 * GRID + x);
+                        if cpu.load(312, cell)? == 0 {
+                            cpu.store(313, cell, me)?;
+                        }
+                    }
+                    let (lo_y, hi_y) = (y0.min(y1), y0.max(y1));
+                    for y in lo_y..=hi_y {
+                        let cell = grid + 8 * (y * GRID + x1);
+                        if cpu.load(314, cell)? == 0 {
+                            cpu.store(315, cell, me)?;
+                        }
+                    }
+                    cpu.rmw(316, routed, |v| v + 1)?;
+                    Ok(())
+                });
+            }
+        },
+        |d, s| {
+            assert!(d.mem.load(s.routed) > 0);
+            d.mem.load(s.routed)
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// yada: Delaunay-refinement-shaped neighbourhood updates
+// ---------------------------------------------------------------------
+
+/// Run yada: workers grab a "bad triangle" from a shared worklist and
+/// re-triangulate its cavity — modelled as a transactional update of a
+/// random neighbourhood in a mesh array.
+pub fn yada(cfg: &RunConfig) -> RunOutcome {
+    const MESH: u64 = 16_384;
+    struct S {
+        mesh: Addr,
+        cursor: Addr,
+        n_work: u64,
+        f_refine: FuncId,
+    }
+    run_workload(
+        "stamp/yada",
+        cfg,
+        |d, c| S {
+            mesh: d.heap.alloc_words(MESH),
+            cursor: d.heap.alloc_padded(8, d.geometry.line_bytes),
+            n_work: 4_000 * c.scale.max(1) / 100 * c.threads as u64,
+            f_refine: d.funcs.intern("refine_cavity", "yada/mesh.c", 220),
+        },
+        move |w, s| {
+            loop {
+                let (cursor, n) = (s.cursor, s.n_work);
+                let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                let item = tm.critical_section(cpu, 221, |cpu| {
+                    let c = cpu.load(222, cursor)?;
+                    if c < n {
+                        cpu.store(223, cursor, c + 1)?;
+                        Ok(Some(c))
+                    } else {
+                        Ok(None)
+                    }
+                });
+                let Some(item) = item else { break };
+                // The cavity: a pseudo-random cluster of ~12 mesh cells.
+                let centre = (item.wrapping_mul(2654435761)) % MESH;
+                let (mesh, f) = (s.mesh, s.f_refine);
+                let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                rtm_runtime::named_critical_section(tm, cpu, f, 224, |cpu| {
+                    for k in 0..12u64 {
+                        let cell = mesh + 8 * ((centre + k * 37) % MESH);
+                        cpu.rmw(225, cell, |v| v + 1)?;
+                    }
+                    cpu.compute(226, 100)?; // geometric predicates
+                    Ok(())
+                });
+            }
+        },
+        |d, s| {
+            let total: u64 = (0..MESH).map(|i| d.mem.load(s.mesh + 8 * i)).sum();
+            assert_eq!(total, s.n_work * 12, "every cavity update applied once");
+            total
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// ssca (STAMP build of SSCA2): graph kernel
+// ---------------------------------------------------------------------
+
+/// Run stamp/ssca: parallel graph construction — threads insert directed
+/// edges into per-vertex adjacency counters.
+pub fn ssca(cfg: &RunConfig) -> RunOutcome {
+    const VERTICES: u64 = 8_192;
+    struct S {
+        degrees: Addr,
+        edges_done: Addr,
+        f_add: FuncId,
+    }
+    run_workload(
+        "stamp/ssca",
+        cfg,
+        |d, _| S {
+            degrees: d.heap.alloc_words(VERTICES),
+            edges_done: d.heap.alloc_padded(8, d.geometry.line_bytes),
+            f_add: d.funcs.intern("computeGraph_addEdge", "ssca2/computeGraph.c", 405),
+        },
+        move |w, s| {
+            let edges = w.scaled(10_000);
+            for _ in 0..edges {
+                // R-MAT-ish skew: a quarter of edges hit 64 hub vertices.
+                let v = if w.rng.gen_ratio(1, 4) {
+                    w.rng.gen_range(0..64)
+                } else {
+                    w.rng.gen_range(0..VERTICES)
+                };
+                let (degrees, f) = (s.degrees, s.f_add);
+                let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                rtm_runtime::named_critical_section(tm, cpu, f, 406, |cpu| {
+                    cpu.rmw(407, degrees + 8 * v, |x| x + 1).map(|_| ())
+                });
+                w.cpu.compute(410, 30).expect("outside tx");
+            }
+            let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+            let edges_done = s.edges_done;
+            tm.critical_section(cpu, 412, |cpu| {
+                cpu.rmw(413, edges_done, |v| v + edges).map(|_| ())
+            });
+        },
+        |d, s| {
+            let total: u64 = (0..VERTICES).map(|v| d.mem.load(s.degrees + 8 * v)).sum();
+            assert_eq!(total, d.mem.load(s.edges_done), "edges conserved");
+            total
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RunConfig {
+        RunConfig::quick()
+    }
+
+    #[test]
+    fn vacation_conserves_inventory() {
+        for v in [VacationVariant::Original, VacationVariant::SmallTx] {
+            let out = vacation(v, &quick());
+            assert!(out.checksum > 1, "{v:?} booked nothing");
+        }
+    }
+
+    #[test]
+    fn vacation_small_tx_reduces_aborts_and_time() {
+        // Contention needs enough threads to bite (the paper ran 14).
+        let cfg = quick().with_threads(14).with_scale(20);
+        let orig = vacation(VacationVariant::Original, &cfg);
+        let opt = vacation(VacationVariant::SmallTx, &cfg);
+        assert!(
+            opt.truth_abort_commit_ratio() < orig.truth_abort_commit_ratio(),
+            "opt {} vs orig {}",
+            opt.truth_abort_commit_ratio(),
+            orig.truth_abort_commit_ratio()
+        );
+        assert!(opt.makespan_cycles < orig.makespan_cycles);
+    }
+
+    #[test]
+    fn kmeans_assigns_every_point() {
+        let out = kmeans(&quick());
+        assert!(out.checksum > 0);
+    }
+
+    #[test]
+    fn genome_set_is_duplicate_free() {
+        let out = genome(&quick());
+        assert!(out.checksum > 0);
+    }
+
+    #[test]
+    fn intruder_processes_every_fragment() {
+        let out = intruder(&quick());
+        assert!(out.checksum > 0);
+        // Queue-head contention must show up.
+        assert!(out.truth.totals().aborts_conflict > 0);
+    }
+
+    #[test]
+    fn labyrinth_routes() {
+        let out = labyrinth(&quick());
+        assert!(out.checksum > 0);
+    }
+
+    #[test]
+    fn yada_applies_all_cavity_updates() {
+        let out = yada(&quick());
+        assert!(out.checksum > 0);
+    }
+
+    #[test]
+    fn ssca_conserves_edges() {
+        let out = ssca(&quick());
+        assert_eq!(out.checksum, 4 * ((10_000 * 10) / 100));
+    }
+}

@@ -1,0 +1,270 @@
+//! The RTM runtime library: lock-elided critical sections (`TM_BEGIN` /
+//! `TM_END`) with the paper's profiler-facing state extension.
+//!
+//! This is the library the paper adapts from Yoo et al. and extends with
+//! ~21 lines (§3.2, §6): a critical section first attempts hardware
+//! transactions (after waiting for the global fallback lock to be free),
+//! retries transient aborts up to a budget, and finally falls back to
+//! acquiring the global lock and running the same user code
+//! non-speculatively. Throughout, a thread-private state word records which
+//! component is executing — `inCS`, `inHTM`, `inFallback`, `inLockWaiting`,
+//! `inOverhead` — and a query function exposes it to profilers.
+//!
+//! ```
+//! use txsim_htm::{HtmDomain, SamplingConfig};
+//! use rtm_runtime::TmLib;
+//!
+//! let domain = HtmDomain::with_defaults();
+//! let lib = TmLib::new(&domain);
+//! let counter = domain.heap.alloc_words(1);
+//!
+//! let mut cpu = domain.spawn_cpu(SamplingConfig::disabled());
+//! let mut tm = lib.thread();
+//! for _ in 0..10 {
+//!     tm.critical_section(&mut cpu, 42, |cpu| {
+//!         cpu.rmw(43, counter, |v| v + 1)?;
+//!         Ok(())
+//!     });
+//! }
+//! assert_eq!(domain.mem.load(counter), 10);
+//! assert_eq!(tm.truth.totals().htm_commits + tm.truth.totals().fallbacks, 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hle;
+pub mod state;
+pub mod truth;
+
+use std::sync::Arc;
+
+use txsim_htm::{Addr, FuncId, HtmDomain, Ip, SimCpu, TxResult, XABORT_LOCK_HELD};
+use txsim_pmu::AbortClass;
+
+pub use state::{
+    StateFlags, ThreadState, IN_CS, IN_FALLBACK, IN_HTM, IN_LOCK_WAITING, IN_OVERHEAD,
+};
+pub use hle::HleLock;
+pub use truth::{SiteTruth, Truth};
+
+/// Global (per-domain) RTM library state: the elided fallback lock and the
+/// retry policy.
+pub struct TmLib {
+    /// Address of the global fallback lock word, alone on its cache line.
+    lock_addr: Addr,
+    /// The runtime's own symbol: `TM_END` returns through library code,
+    /// whose (non-transactional) call/return branches appear in the LBR
+    /// and delimit one transaction's in-tsx records from the next — the
+    /// profiler's reconstruction depends on that boundary.
+    f_tm_end: FuncId,
+    /// Transient aborts tolerated before taking the fallback path.
+    /// The paper's evaluation uses 5.
+    pub max_retries: u32,
+}
+
+impl TmLib {
+    /// Create the library for a domain, allocating the global lock word on
+    /// its own cache line (the lock must not false-share with user data —
+    /// every transaction reads it).
+    pub fn new(domain: &Arc<HtmDomain>) -> Arc<TmLib> {
+        TmLib::with_retries(domain, 5)
+    }
+
+    /// Same, with a custom retry budget.
+    pub fn with_retries(domain: &Arc<HtmDomain>, max_retries: u32) -> Arc<TmLib> {
+        let lock_addr = domain.heap.alloc_padded(8, domain.geometry.line_bytes);
+        Arc::new(TmLib {
+            lock_addr,
+            f_tm_end: domain.funcs.intern("TM_END", "rtm_runtime.rs", 1),
+            max_retries,
+        })
+    }
+
+    /// Address of the global lock word (tests and diagnostics).
+    pub fn lock_addr(&self) -> Addr {
+        self.lock_addr
+    }
+
+    /// Create the per-thread runtime handle.
+    pub fn thread(self: &Arc<Self>) -> TmThread {
+        TmThread {
+            lib: Arc::clone(self),
+            state: ThreadState::new(),
+            truth: Truth::default(),
+        }
+    }
+}
+
+/// Per-thread runtime state: the state word and ground-truth counters.
+pub struct TmThread {
+    lib: Arc<TmLib>,
+    pub(crate) state: ThreadState,
+    /// Exact per-site instrumentation (validation only — see [`truth`]).
+    pub truth: Truth,
+}
+
+impl TmThread {
+    /// Handle to this thread's state word for the profiler — the paper's
+    /// proposed runtime extension (`GetState()`).
+    pub fn state_handle(&self) -> ThreadState {
+        self.state.clone()
+    }
+
+    /// Execute `body` as a critical section beginning at source `line`
+    /// (`TM_BEGIN` … `TM_END`).
+    ///
+    /// The same `body` runs on the HTM path — where any simulated
+    /// instruction may abort, surfacing as `Err` which `body` propagates —
+    /// and on the fallback path, where instructions never fail. Aborted
+    /// attempts discard their memory writes, so re-running the body is the
+    /// standard transactional contract.
+    pub fn critical_section<T>(
+        &mut self,
+        cpu: &mut SimCpu,
+        line: u32,
+        mut body: impl FnMut(&mut SimCpu) -> TxResult<T>,
+    ) -> T {
+        let lock = self.lib.lock_addr;
+        let site = Ip::new(cpu.cur_ip().func, line);
+        self.state.set(IN_CS | IN_OVERHEAD);
+
+        let mut retries = 0u32;
+        let value = loop {
+            // Fast path: wait (outside the transaction) for the lock to be
+            // free, then speculate.
+            self.wait_lock_free(cpu, line, lock);
+
+            self.state.set(IN_CS | IN_OVERHEAD);
+            let attempt = self.attempt_htm(cpu, line, lock, &mut body);
+            match attempt {
+                Ok(v) => {
+                    self.state.set(IN_CS | IN_OVERHEAD);
+                    // TM_END cleanup runs in (and returns through) the
+                    // runtime library; its branches delimit this
+                    // transaction's LBR records from the next one's.
+                    cpu.call(line, self.lib.f_tm_end).expect("outside tx");
+                    cpu.ret().expect("outside tx");
+                    self.truth.commit(site);
+                    break v;
+                }
+                Err(_) => {
+                    self.state.set(IN_CS | IN_OVERHEAD);
+                    let info = cpu.last_abort().expect("abort must record status");
+                    self.truth.abort(site, info);
+
+                    let lock_held_elision = info.class == AbortClass::Explicit
+                        && info.explicit_code == XABORT_LOCK_HELD;
+                    if lock_held_elision {
+                        // Not a data pathology: loop back to waiting without
+                        // burning retry budget (standard elision practice).
+                        continue;
+                    }
+                    if info.retry_hint && retries < self.lib.max_retries {
+                        retries += 1;
+                        continue;
+                    }
+                    // Persistent abort (capacity/sync/explicit) or budget
+                    // exhausted: take the slow path.
+                    break self.run_fallback(cpu, line, lock, site, &mut body);
+                }
+            }
+        };
+
+        self.state.set(0);
+        value
+    }
+
+    /// Execute `body` under the global lock *without* attempting HTM —
+    /// models a conventional (non-elided) lock acquisition, like the AVL
+    /// tree's pthread read lock in §7.3/Table 2. Holding the lock aborts
+    /// every concurrently speculating peer (the elision read subscribes
+    /// them to the lock word), so this serializes the world.
+    pub fn locked_section<T>(
+        &mut self,
+        cpu: &mut SimCpu,
+        line: u32,
+        mut body: impl FnMut(&mut SimCpu) -> TxResult<T>,
+    ) -> T {
+        let lock = self.lib.lock_addr;
+        let site = Ip::new(cpu.cur_ip().func, line);
+        self.state.set(IN_CS | IN_OVERHEAD);
+        let v = self.run_fallback(cpu, line, lock, site, &mut body);
+        self.state.set(0);
+        v
+    }
+
+    /// Spin outside the transaction until the global lock reads free.
+    fn wait_lock_free(&mut self, cpu: &mut SimCpu, line: u32, lock: Addr) {
+        self.state.set(IN_CS | IN_LOCK_WAITING);
+        loop {
+            let v = cpu.load(line, lock).expect("plain load cannot abort");
+            if v == 0 {
+                return;
+            }
+            cpu.spin(line).expect("spin outside tx cannot abort");
+        }
+    }
+
+    /// One hardware-transaction attempt: `xbegin`, the elision read of the
+    /// lock word, the user body, `xend`.
+    fn attempt_htm<T>(
+        &mut self,
+        cpu: &mut SimCpu,
+        line: u32,
+        lock: Addr,
+        body: &mut impl FnMut(&mut SimCpu) -> TxResult<T>,
+    ) -> TxResult<T> {
+        cpu.xbegin(line)?;
+        self.state.set(IN_CS | IN_HTM);
+        // Lock elision: the transactional read subscribes the lock word to
+        // the read set; a fallback acquirer's store will abort us.
+        if cpu.load(line, lock)? != 0 {
+            cpu.xabort(line, XABORT_LOCK_HELD)?;
+        }
+        let v = body(cpu)?;
+        cpu.xend(line)?;
+        Ok(v)
+    }
+
+    /// The slow path: acquire the global lock, run the body plainly,
+    /// release.
+    fn run_fallback<T>(
+        &mut self,
+        cpu: &mut SimCpu,
+        line: u32,
+        lock: Addr,
+        site: Ip,
+        body: &mut impl FnMut(&mut SimCpu) -> TxResult<T>,
+    ) -> T {
+        self.state.set(IN_CS | IN_LOCK_WAITING);
+        loop {
+            match cpu.cas(line, lock, 0, 1).expect("plain CAS cannot abort") {
+                Ok(_) => break,
+                Err(_) => cpu.spin(line).expect("spin outside tx cannot abort"),
+            }
+        }
+        self.state.set(IN_CS | IN_FALLBACK);
+        let v = body(cpu).expect("fallback instructions cannot abort");
+        self.state.set(IN_CS | IN_OVERHEAD);
+        cpu.store_forced(line, lock, 0)
+            .expect("plain store cannot abort");
+        self.truth.fallback(site);
+        v
+    }
+}
+
+/// Run `body` as a critical section inside the simulated function `func` —
+/// sugar used throughout the benchmark suite so transaction sites get
+/// meaningful names in profiles.
+pub fn named_critical_section<T>(
+    tm: &mut TmThread,
+    cpu: &mut SimCpu,
+    func: FuncId,
+    line: u32,
+    body: impl FnMut(&mut SimCpu) -> TxResult<T>,
+) -> T {
+    cpu.call(line, func).expect("call outside tx cannot abort");
+    let v = tm.critical_section(cpu, line, body);
+    cpu.ret().expect("ret outside tx cannot abort");
+    v
+}

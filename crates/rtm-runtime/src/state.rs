@@ -1,0 +1,116 @@
+//! The thread-private execution-state word and its query function —
+//! the paper's proposed ~20-line extension to HTM runtime libraries (§3.2).
+//!
+//! The runtime keeps five flags, encoded in one word, that tell a profiler
+//! *which component of a critical section* the thread is executing:
+//! `inCS`, `inHTM`, `inFallback`, `inLockWaiting`, `inOverhead`. The flags
+//! are thread-private (only the owning thread writes them), so maintaining
+//! them costs a single uncontended atomic store per transition; the profiler
+//! reads them from its sample handler on the same thread.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Executing anywhere inside a critical section.
+pub const IN_CS: u32 = 1 << 0;
+/// Executing the speculative (HTM) path.
+pub const IN_HTM: u32 = 1 << 1;
+/// Executing the fallback (slow) path under the global lock.
+pub const IN_FALLBACK: u32 = 1 << 2;
+/// Spinning for the global lock to become free.
+pub const IN_LOCK_WAITING: u32 = 1 << 3;
+/// Transaction bookkeeping: begin/retry/cleanup code.
+pub const IN_OVERHEAD: u32 = 1 << 4;
+
+/// A decoded snapshot of the state word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateFlags(pub u32);
+
+impl StateFlags {
+    /// Inside a critical section?
+    #[inline]
+    pub fn in_cs(self) -> bool {
+        self.0 & IN_CS != 0
+    }
+    /// On the transactional path?
+    #[inline]
+    pub fn in_htm(self) -> bool {
+        self.0 & IN_HTM != 0
+    }
+    /// On the fallback path?
+    #[inline]
+    pub fn in_fallback(self) -> bool {
+        self.0 & IN_FALLBACK != 0
+    }
+    /// Waiting for the global lock?
+    #[inline]
+    pub fn in_lock_waiting(self) -> bool {
+        self.0 & IN_LOCK_WAITING != 0
+    }
+    /// In transaction setup/retry/cleanup code?
+    #[inline]
+    pub fn in_overhead(self) -> bool {
+        self.0 & IN_OVERHEAD != 0
+    }
+}
+
+/// The shared state word. The runtime holds one per thread and updates it at
+/// component boundaries; the profiler clones the handle and calls
+/// [`ThreadState::query`] from its sample handler — the paper's
+/// `GetState()`.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadState(Arc<AtomicU32>);
+
+impl ThreadState {
+    /// Create a state word with all flags clear.
+    pub fn new() -> Self {
+        ThreadState::default()
+    }
+
+    /// Runtime-side: replace the flags.
+    #[inline]
+    pub fn set(&self, bits: u32) {
+        self.0.store(bits, Ordering::Release);
+    }
+
+    /// Profiler-side: the state query function.
+    #[inline]
+    pub fn query(&self) -> StateFlags {
+        StateFlags(self.0.load(Ordering::Acquire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_decode() {
+        let f = StateFlags(IN_CS | IN_HTM);
+        assert!(f.in_cs());
+        assert!(f.in_htm());
+        assert!(!f.in_fallback());
+        assert!(!f.in_lock_waiting());
+        assert!(!f.in_overhead());
+    }
+
+    #[test]
+    fn handle_is_shared() {
+        let state = ThreadState::new();
+        let profiler_view = state.clone();
+        state.set(IN_CS | IN_LOCK_WAITING);
+        assert!(profiler_view.query().in_lock_waiting());
+        state.set(0);
+        assert!(!profiler_view.query().in_cs());
+    }
+
+    #[test]
+    fn bits_are_distinct() {
+        let all = [IN_CS, IN_HTM, IN_FALLBACK, IN_LOCK_WAITING, IN_OVERHEAD];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_eq!(a & b, 0);
+            }
+        }
+    }
+}

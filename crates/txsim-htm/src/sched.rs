@@ -1,0 +1,235 @@
+//! The virtual-time scheduler.
+//!
+//! Simulated concurrency must not depend on host concurrency: on a
+//! single-core host, free-running worker threads time-share and their
+//! transactions almost never overlap in real time, which would make every
+//! contended workload look conflict-free. The scheduler interleaves worker
+//! threads in *virtual* time instead: a thread may only run while its
+//! virtual clock is within one quantum of the slowest registered thread,
+//! so two transactions overlap iff their `[xbegin, xend]` cycle ranges
+//! overlap — a property of the workload, not of the host.
+//!
+//! The discipline is min-clock turn-taking: effectively one thread runs at
+//! a time (which also matches a single-core host perfectly); each grant
+//! lasts a jittered quantum so switch points do not phase-lock with loop
+//! structure. Scheduling is deterministic up to host-side randomness the
+//! workloads themselves introduce.
+//!
+//! The quantum must be *smaller than typical transactions*: a turn that
+//! contains a whole transaction executes it atomically in real time, and
+//! concurrent transactions would never observe each other's claims. The
+//! default (150 cycles) slices the suite's transactions (≳300 cycles)
+//! across several turns.
+//!
+//! Deadlock freedom: the thread owning the minimum clock is always
+//! eligible to run; every potentially unbounded wait in the simulator
+//! either advances the waiter's virtual clock (sim spin loops) or waits
+//! for a condition that a non-blocked thread completes without an
+//! intervening scheduler call (commit publication).
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::directory::MAX_THREADS;
+
+/// Clock value marking a retired thread.
+const RETIRED: u64 = u64::MAX;
+/// Clock value marking an unregistered slot.
+const ABSENT: u64 = u64::MAX - 1;
+
+struct Inner {
+    clocks: [u64; MAX_THREADS],
+    /// xorshift state for quantum jitter.
+    rng: u64,
+}
+
+/// Cooperative virtual-time scheduler; one per [`crate::HtmDomain`].
+pub struct Scheduler {
+    enabled: bool,
+    quantum: u64,
+    inner: Mutex<Inner>,
+    cvs: Vec<Condvar>,
+    /// Total sync calls (diagnostics).
+    pub syncs: std::sync::atomic::AtomicU64,
+    /// Sync calls that had to block (diagnostics).
+    pub blocks: std::sync::atomic::AtomicU64,
+}
+
+impl Scheduler {
+    /// Create a scheduler. When `enabled` is false, [`Scheduler::sync`]
+    /// always grants an unbounded quantum (single-threaded tests drive
+    /// several CPUs from one host thread and must never block).
+    pub fn new(enabled: bool, quantum: u64) -> Self {
+        Scheduler {
+            enabled,
+            quantum: quantum.max(2),
+            inner: Mutex::new(Inner {
+                clocks: [ABSENT; MAX_THREADS],
+                rng: 0x2545f4914f6cdd1d,
+            }),
+            cvs: (0..MAX_THREADS).map(|_| Condvar::new()).collect(),
+            syncs: std::sync::atomic::AtomicU64::new(0),
+            blocks: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Whether virtual-time interleaving is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Register a thread at virtual time `clock`.
+    pub fn register(&self, tid: usize, clock: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.clocks[tid] = clock;
+    }
+
+    /// Permanently remove a thread (on CPU drop). Idempotent.
+    pub fn retire(&self, tid: usize) {
+        if !self.enabled {
+            return;
+        }
+        {
+            let mut inner = self.inner.lock();
+            inner.clocks[tid] = RETIRED;
+        }
+        for cv in &self.cvs {
+            cv.notify_all();
+        }
+    }
+
+    fn min_tid(clocks: &[u64; MAX_THREADS]) -> Option<usize> {
+        let mut best: Option<(usize, u64)> = None;
+        for (tid, &c) in clocks.iter().enumerate() {
+            if c < ABSENT && best.map(|(_, b)| c < b).unwrap_or(true) {
+                best = Some((tid, c));
+            }
+        }
+        best.map(|(tid, _)| tid)
+    }
+
+    /// Report `clock` for `tid` and block until the thread is eligible to
+    /// run. Returns the virtual time until which the caller may run
+    /// without calling back.
+    pub fn sync(&self, tid: usize, clock: u64) -> u64 {
+        if !self.enabled {
+            return u64::MAX;
+        }
+        self.syncs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        inner.clocks[tid] = clock;
+        loop {
+            let Some(min_tid) = Self::min_tid(&inner.clocks) else {
+                return u64::MAX;
+            };
+            let min_clock = inner.clocks[min_tid];
+            if min_tid == tid || clock <= min_clock.saturating_add(self.quantum) {
+                // Eligible: run for a jittered quantum so switch points do
+                // not resonate with loop periods.
+                let mut x = inner.rng;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                inner.rng = x;
+                let grant = self.quantum / 2 + x % self.quantum;
+                return clock.saturating_add(grant);
+            }
+            // Not eligible: make sure the minimum thread is awake, then
+            // sleep until someone advances past us.
+            self.blocks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.cvs[min_tid].notify_one();
+            self.cvs[tid].wait(&mut inner);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn disabled_scheduler_never_blocks() {
+        let s = Scheduler::new(false, 100);
+        s.register(0, 0);
+        assert_eq!(s.sync(0, 0), u64::MAX);
+        assert_eq!(s.sync(5, 1_000_000), u64::MAX);
+    }
+
+    #[test]
+    fn single_thread_always_eligible() {
+        let s = Scheduler::new(true, 100);
+        s.register(0, 0);
+        let grant = s.sync(0, 0);
+        assert!(grant >= 50 && grant <= 200, "grant {grant}");
+        assert!(s.sync(0, 10_000) > 10_000);
+    }
+
+    #[test]
+    fn min_thread_runs_even_when_behind_peers_exist() {
+        let s = Scheduler::new(true, 100);
+        s.register(0, 0);
+        s.register(1, 1_000_000);
+        // Thread 0 is the minimum: eligible immediately.
+        assert!(s.sync(0, 0) < 1000);
+    }
+
+    #[test]
+    fn retire_unblocks_waiters() {
+        let s = Arc::new(Scheduler::new(true, 100));
+        s.register(0, 0);
+        s.register(1, 10_000); // far ahead: would block
+        let s2 = Arc::clone(&s);
+        let waiter = std::thread::spawn(move || s2.sync(1, 10_000));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        s.retire(0); // thread 1 becomes the minimum
+        let grant = waiter.join().unwrap();
+        assert!(grant >= 10_000);
+    }
+
+    #[test]
+    fn virtual_time_stays_within_quantum_band() {
+        // Two real threads advancing virtual clocks: their clocks must
+        // never diverge by much more than one max grant.
+        const STEPS: u64 = 2_000;
+        const QUANTUM: u64 = 100;
+        let s = Arc::new(Scheduler::new(true, QUANTUM));
+        let clocks: Arc<[AtomicU64; 2]> = Arc::new([AtomicU64::new(0), AtomicU64::new(0)]);
+        let max_diverge = Arc::new(AtomicU64::new(0));
+        s.register(0, 0);
+        s.register(1, 0);
+        let handles: Vec<_> = (0..2usize)
+            .map(|tid| {
+                let s = Arc::clone(&s);
+                let clocks = Arc::clone(&clocks);
+                let max_diverge = Arc::clone(&max_diverge);
+                std::thread::spawn(move || {
+                    let mut clock = 0u64;
+                    let mut allowed = 0u64;
+                    for _ in 0..STEPS {
+                        clock += 7;
+                        if clock >= allowed {
+                            allowed = s.sync(tid, clock);
+                            clocks[tid].store(clock, Ordering::Relaxed);
+                            let other = clocks[1 - tid].load(Ordering::Relaxed);
+                            let d = clock.abs_diff(other);
+                            max_diverge.fetch_max(d, Ordering::Relaxed);
+                        }
+                    }
+                    s.retire(tid);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let d = max_diverge.load(Ordering::Relaxed);
+        assert!(
+            d <= 4 * QUANTUM,
+            "threads diverged by {d} virtual cycles (quantum {QUANTUM})"
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Abort status reporting — the simulator's analogue of the EAX status code
+//! software reads after a failed `xbegin`.
+
+use txsim_pmu::AbortClass;
+
+/// The zero-sized "a transaction aborted" error. Transactional instructions
+/// return `Err(TxAbort)` and user code propagates it with `?`; all detail
+/// about the abort lives in [`AbortInfo`], retrieved from the CPU by the RTM
+/// runtime. Outside a transaction, instructions never fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxAbort;
+
+impl std::fmt::Display for TxAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("hardware transaction aborted")
+    }
+}
+
+impl std::error::Error for TxAbort {}
+
+/// Result type of every simulated instruction.
+pub type TxResult<T> = Result<T, TxAbort>;
+
+/// Explicit-abort code used by the RTM runtime when a transaction observes
+/// the fallback lock held and must retry after the lock is released
+/// (the standard lock-elision idiom).
+pub const XABORT_LOCK_HELD: u8 = 0xff;
+
+/// Everything software learns about the most recent abort — the status-code
+/// analogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbortInfo {
+    /// Why the transaction aborted.
+    pub class: AbortClass,
+    /// Hardware hint that retrying may succeed (TSX `_XABORT_RETRY`).
+    /// Set for transient causes — conflicts and interrupt-induced aborts —
+    /// and clear for capacity, synchronous and explicit aborts.
+    pub retry_hint: bool,
+    /// The 8-bit code passed to `xabort` for explicit aborts, 0 otherwise.
+    pub explicit_code: u8,
+    /// Cycles wasted in the aborted attempt (from `xbegin` to the abort) —
+    /// what the PMU reports as the abort *weight*.
+    pub weight: u64,
+}
+
+impl AbortInfo {
+    /// Build the info for an abort of the given class.
+    pub fn new(class: AbortClass, explicit_code: u8, weight: u64) -> Self {
+        let retry_hint = matches!(class, AbortClass::Conflict | AbortClass::Interrupt);
+        AbortInfo {
+            class,
+            retry_hint,
+            explicit_code,
+            weight,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_hint_matches_tsx_semantics() {
+        assert!(AbortInfo::new(AbortClass::Conflict, 0, 10).retry_hint);
+        assert!(AbortInfo::new(AbortClass::Interrupt, 0, 10).retry_hint);
+        assert!(!AbortInfo::new(AbortClass::Capacity, 0, 10).retry_hint);
+        assert!(!AbortInfo::new(AbortClass::Sync, 0, 10).retry_hint);
+        assert!(!AbortInfo::new(AbortClass::Explicit, XABORT_LOCK_HELD, 10).retry_hint);
+    }
+
+    #[test]
+    fn explicit_code_is_preserved() {
+        let info = AbortInfo::new(AbortClass::Explicit, 0x42, 5);
+        assert_eq!(info.explicit_code, 0x42);
+        assert_eq!(info.weight, 5);
+    }
+
+    #[test]
+    fn txabort_displays() {
+        assert_eq!(TxAbort.to_string(), "hardware transaction aborted");
+    }
+}

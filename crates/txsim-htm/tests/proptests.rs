@@ -1,0 +1,210 @@
+//! Property-based tests of the RTM engine: transactional semantics checked
+//! against a plain model for randomized single-threaded histories, plus
+//! randomized multi-CPU interleavings driven from one host thread.
+
+use proptest::prelude::*;
+use txsim_htm::{AbortClass, CacheGeometry, DomainConfig, HtmDomain, SamplingConfig};
+
+/// One step of a generated transactional program.
+#[derive(Debug, Clone)]
+enum Op {
+    Load(u64),
+    Store(u64, u64),
+    Compute(u64),
+    Abort(u8),
+    Syscall,
+}
+
+fn arb_op(words: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0..words).prop_map(Op::Load),
+        6 => (0..words, any::<u64>()).prop_map(|(w, v)| Op::Store(w, v)),
+        3 => (1u64..100).prop_map(Op::Compute),
+        1 => any::<u8>().prop_map(Op::Abort),
+        1 => Just(Op::Syscall),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A single-threaded transaction either commits with exactly its writes
+    /// visible, or aborts with memory untouched — never anything between.
+    #[test]
+    fn transaction_is_atomic_against_a_model(
+        ops in proptest::collection::vec(arb_op(16), 0..40)
+    ) {
+        let d = HtmDomain::new(DomainConfig::default().with_memory(1 << 20));
+        let base = d.heap.alloc_words(16);
+        // Pre-fill with a recognizable pattern.
+        for w in 0..16u64 {
+            d.mem.store(base + 8 * w, 1000 + w);
+        }
+        let before: Vec<u64> = (0..16).map(|w| d.mem.load(base + 8 * w)).collect();
+
+        let mut cpu = d.spawn_cpu(SamplingConfig::disabled());
+        let mut model: Vec<u64> = before.clone();
+        let result = (|| {
+            cpu.xbegin(1)?;
+            for op in &ops {
+                match op {
+                    Op::Load(w) => {
+                        let v = cpu.load(2, base + 8 * w)?;
+                        prop_assert_eq!(v, model[*w as usize], "read-own-writes");
+                    }
+                    Op::Store(w, v) => {
+                        cpu.store(3, base + 8 * w, *v)?;
+                        model[*w as usize] = *v;
+                    }
+                    Op::Compute(n) => cpu.compute(4, *n)?,
+                    Op::Abort(code) => cpu.xabort(5, *code)?,
+                    Op::Syscall => cpu.syscall(6)?,
+                }
+            }
+            cpu.xend(7)?;
+            Ok(())
+        })();
+
+        let after: Vec<u64> = (0..16).map(|w| d.mem.load(base + 8 * w)).collect();
+        match result {
+            Ok(()) => prop_assert_eq!(after, model, "commit must publish the model state"),
+            Err(_) => {
+                prop_assert_eq!(after, before, "abort must leave memory untouched");
+                prop_assert!(!cpu.in_tx());
+                prop_assert!(cpu.last_abort().is_some());
+            }
+        }
+        prop_assert_eq!(d.tracked_lines(), 0, "directory must drain");
+    }
+
+    /// Abort classes are mutually consistent with the generated op stream:
+    /// syscalls yield Sync, xaborts yield Explicit with the right code.
+    #[test]
+    fn abort_class_matches_trigger(code in any::<u8>(), use_syscall in any::<bool>()) {
+        let d = HtmDomain::new(DomainConfig::default().with_memory(1 << 20));
+        let mut cpu = d.spawn_cpu(SamplingConfig::disabled());
+        cpu.xbegin(1).unwrap();
+        let r = if use_syscall { cpu.syscall(2) } else { cpu.xabort(2, code) };
+        prop_assert!(r.is_err());
+        let info = cpu.last_abort().unwrap();
+        if use_syscall {
+            prop_assert_eq!(info.class, AbortClass::Sync);
+        } else {
+            prop_assert_eq!(info.class, AbortClass::Explicit);
+            prop_assert_eq!(info.explicit_code, code);
+        }
+    }
+
+    /// Interleaving two CPUs' transactions from one host thread: any
+    /// serialization the engine permits must keep a shared counter exact
+    /// once retries are applied (lost updates are never acceptable).
+    #[test]
+    fn interleaved_counter_never_loses_updates(
+        schedule in proptest::collection::vec(any::<bool>(), 10..120)
+    ) {
+        let d = HtmDomain::new(DomainConfig::default().with_memory(1 << 20)); // scheduler off: we interleave manually
+        let counter = d.heap.alloc_words(1);
+        let mut cpus = [
+            d.spawn_cpu(SamplingConfig::disabled()),
+            d.spawn_cpu(SamplingConfig::disabled()),
+        ];
+        // Per-CPU state machine: 0 = must begin, 1 = has loaded (value in
+        // reg), 2 = has stored, then commit.
+        let mut phase = [0usize; 2];
+        let mut reg = [0u64; 2];
+        let mut committed = 0u64;
+
+        for &pick in &schedule {
+            let i = pick as usize;
+            let cpu = &mut cpus[i];
+            let step: Result<(), txsim_htm::TxAbort> = (|| {
+                match phase[i] {
+                    0 => {
+                        cpu.xbegin(1)?;
+                        phase[i] = 1;
+                    }
+                    1 => {
+                        reg[i] = cpu.load(2, counter)?;
+                        phase[i] = 2;
+                    }
+                    2 => {
+                        cpu.store(3, counter, reg[i] + 1)?;
+                        phase[i] = 3;
+                    }
+                    _ => {
+                        cpu.xend(4)?;
+                        phase[i] = 0;
+                        committed += 1;
+                    }
+                }
+                Ok(())
+            })();
+            if step.is_err() {
+                phase[i] = 0; // retry from scratch
+            }
+        }
+        // Drain both: finish any open transaction to completion with
+        // retries.
+        for i in 0..2 {
+            while phase[i] != 0 {
+                let cpu = &mut cpus[i];
+                let step: Result<(), txsim_htm::TxAbort> = (|| {
+                    match phase[i] {
+                        1 => { reg[i] = cpu.load(2, counter)?; phase[i] = 2; }
+                        2 => { cpu.store(3, counter, reg[i] + 1)?; phase[i] = 3; }
+                        _ => { cpu.xend(4)?; phase[i] = 0; committed += 1; }
+                    }
+                    Ok(())
+                })();
+                if step.is_err() {
+                    if cpus[i].in_tx() {
+                        // cannot happen: aborts close the tx
+                        prop_assert!(false);
+                    }
+                    // restart
+                    cpus[i].xbegin(1).unwrap();
+                    phase[i] = 1;
+                }
+            }
+        }
+        prop_assert_eq!(d.mem.load(counter), committed, "every commit adds exactly one");
+        prop_assert_eq!(d.tracked_lines(), 0);
+    }
+
+    /// Capacity aborts trigger exactly when the footprint crosses the
+    /// geometry's budget, independent of access order.
+    #[test]
+    fn capacity_threshold_is_exact(mut lines in proptest::collection::vec(0u64..64, 1..64)) {
+        // Distinct lines in a tiny cache (4 sets × 2 ways = 8 lines max,
+        // read budget 32).
+        lines.sort_unstable();
+        lines.dedup();
+        let d = HtmDomain::new(DomainConfig::default().with_memory(1 << 20).with_geometry(CacheGeometry::tiny()));
+        let g = d.geometry;
+        let base = d.heap.alloc_aligned(64 * g.line_bytes, g.line_bytes);
+        let mut cpu = d.spawn_cpu(SamplingConfig::disabled());
+        cpu.xbegin(1).unwrap();
+
+        // Track per-set write occupancy like the engine should.
+        let mut per_set = std::collections::HashMap::new();
+        let mut expect_abort = false;
+        for &l in &lines {
+            let addr = base + l * g.line_bytes;
+            let set = g.set_of(g.line_of(addr)).0;
+            let occupied = per_set.entry(set).or_insert(0u32);
+            let r = cpu.store(2, addr, 1);
+            if *occupied >= g.ways {
+                prop_assert!(r.is_err(), "set {set} overflow must abort");
+                prop_assert_eq!(cpu.last_abort().unwrap().class, AbortClass::Capacity);
+                expect_abort = true;
+                break;
+            } else {
+                prop_assert!(r.is_ok());
+                *occupied += 1;
+            }
+        }
+        if !expect_abort {
+            cpu.xend(3).unwrap();
+        }
+    }
+}

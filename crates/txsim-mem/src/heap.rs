@@ -1,0 +1,181 @@
+//! A simple concurrent bump allocator for the simulated address space.
+//!
+//! Workloads allocate their data structures (arrays, hash tables, list
+//! nodes…) from a [`TxHeap`]. The allocator never frees — simulated runs are
+//! bounded and the benchmark suite sizes its memory up front — which keeps it
+//! a single atomic fetch-add on the hot path.
+//!
+//! Layout control matters for this reproduction: false-sharing workloads need
+//! to place two threads' data in the *same* cache line on purpose, while
+//! optimized variants need per-line padding. [`TxHeap::alloc_aligned`] and
+//! [`TxHeap::alloc_padded`] provide both.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{align_up, Addr, WORD_BYTES};
+
+/// Bump allocator over a region of simulated memory.
+///
+/// Address 0 is reserved (kept unallocated) so workloads can use 0 as a
+/// "null" simulated pointer.
+pub struct TxHeap {
+    next: AtomicU64,
+    end: Addr,
+}
+
+impl TxHeap {
+    /// Create a heap covering `[base, base + bytes)`. If `base` is 0 the
+    /// first word is skipped to reserve the null address.
+    pub fn new(base: Addr, bytes: u64) -> Self {
+        let start = if base == 0 { WORD_BYTES } else { align_up(base, WORD_BYTES) };
+        TxHeap {
+            next: AtomicU64::new(start),
+            end: base + bytes,
+        }
+    }
+
+    /// Allocate `bytes` with word alignment. Panics on exhaustion: workloads
+    /// are expected to size their heap; running out indicates a harness bug,
+    /// not a recoverable condition.
+    pub fn alloc(&self, bytes: u64) -> Addr {
+        self.alloc_aligned(bytes, WORD_BYTES)
+    }
+
+    /// Allocate `bytes` aligned to `align` (power of two, ≥ word size).
+    pub fn alloc_aligned(&self, bytes: u64, align: u64) -> Addr {
+        assert!(align.is_power_of_two() && align >= WORD_BYTES);
+        let size = align_up(bytes.max(1), WORD_BYTES);
+        // CAS loop rather than plain fetch_add so alignment padding can be
+        // computed against the actual current pointer.
+        let mut cur = self.next.load(Ordering::Relaxed);
+        loop {
+            let base = align_up(cur, align);
+            let new_next = base + size;
+            assert!(
+                new_next <= self.end,
+                "TxHeap exhausted: need {size} bytes at {base:#x}, heap ends at {:#x}",
+                self.end
+            );
+            match self
+                .next
+                .compare_exchange_weak(cur, new_next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return base,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Allocate `bytes` on its own cache line(s): aligned to `line_bytes`
+    /// and padded so nothing else shares its last line. This is the
+    /// "relocate data to different cache lines" fix from the paper's
+    /// decision tree.
+    pub fn alloc_padded(&self, bytes: u64, line_bytes: u64) -> Addr {
+        self.alloc_aligned(align_up(bytes.max(1), line_bytes), line_bytes)
+    }
+
+    /// Allocate an array of `n` words; returns the base address.
+    pub fn alloc_words(&self, n: u64) -> Addr {
+        self.alloc(n * WORD_BYTES)
+    }
+
+    /// Bytes currently allocated (including alignment padding).
+    pub fn used(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for TxHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxHeap")
+            .field("used", &self.used())
+            .field("end", &self.end)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn reserves_null() {
+        let h = TxHeap::new(0, 1024);
+        assert!(h.alloc(8) >= WORD_BYTES);
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let h = TxHeap::new(0, 4096);
+        let a = h.alloc(24);
+        let b = h.alloc(8);
+        let c = h.alloc(100);
+        assert!(a + 24 <= b);
+        assert!(b + 8 <= c);
+    }
+
+    #[test]
+    fn aligned_allocation_is_aligned() {
+        let h = TxHeap::new(0, 65536);
+        h.alloc(8); // disturb alignment
+        let a = h.alloc_aligned(10, 64);
+        assert_eq!(a % 64, 0);
+        let b = h.alloc_aligned(10, 4096);
+        assert_eq!(b % 4096, 0);
+    }
+
+    #[test]
+    fn padded_allocation_owns_its_lines() {
+        let h = TxHeap::new(0, 65536);
+        let a = h.alloc_padded(10, 64);
+        let b = h.alloc(8);
+        // b must start on the next line.
+        assert!(b >= a + 64);
+        assert_eq!(a % 64, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "TxHeap exhausted")]
+    fn exhaustion_panics() {
+        let h = TxHeap::new(0, 64);
+        h.alloc(128);
+    }
+
+    #[test]
+    fn concurrent_allocations_are_disjoint() {
+        let h = Arc::new(TxHeap::new(0, 1 << 20));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || (0..1000).map(|_| h.alloc(16)).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut all: Vec<Addr> = handles
+            .into_iter()
+            .flat_map(|t| t.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        for w in all.windows(2) {
+            assert!(w[0] + 16 <= w[1], "overlapping allocations");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn alloc_respects_alignment_and_bounds(
+            sizes in proptest::collection::vec((1u64..512, 0u32..4), 1..50)
+        ) {
+            let h = TxHeap::new(0, 1 << 22);
+            let mut prev_end = 0u64;
+            for (size, align_pow) in sizes {
+                let align = WORD_BYTES << align_pow;
+                let a = h.alloc_aligned(size, align);
+                prop_assert_eq!(a % align, 0);
+                prop_assert!(a >= prev_end);
+                prev_end = a + align_up(size, WORD_BYTES);
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The simulated flat address space.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{Addr, WORD_BYTES};
+
+/// A flat, word-granular simulated memory shared by all simulated CPUs.
+///
+/// Storage is `AtomicU64` per word so committed accesses from concurrent
+/// threads never constitute a host-level data race. All cross-thread
+/// *transactional* consistency (dooming readers on a conflicting store,
+/// publish locking at commit) is layered on top by `txsim-htm`; this type
+/// only guarantees tear-free word reads and writes.
+///
+/// Word accesses use `Relaxed` ordering: the simulator's own synchronization
+/// (directory locks, doom flags with acquire/release, publish locks) provides
+/// all required happens-before edges, and per the Rust atomics guidance we do
+/// not pay for stronger orderings the protocol does not need.
+pub struct SimMemory {
+    words: Box<[AtomicU64]>,
+}
+
+impl SimMemory {
+    /// Create a zero-initialized memory of `bytes` bytes (rounded up to a
+    /// whole number of words).
+    pub fn new(bytes: u64) -> Self {
+        let words = bytes.div_ceil(WORD_BYTES) as usize;
+        let mut v = Vec::with_capacity(words);
+        v.resize_with(words, || AtomicU64::new(0));
+        SimMemory {
+            words: v.into_boxed_slice(),
+        }
+    }
+
+    /// Size of the address space in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> u64 {
+        self.words.len() as u64 * WORD_BYTES
+    }
+
+    #[inline]
+    fn word_index(&self, addr: Addr) -> usize {
+        debug_assert_eq!(
+            addr % WORD_BYTES,
+            0,
+            "unaligned word access at {addr:#x}"
+        );
+        let idx = (addr / WORD_BYTES) as usize;
+        assert!(
+            idx < self.words.len(),
+            "simulated address {addr:#x} out of bounds ({} bytes)",
+            self.size_bytes()
+        );
+        idx
+    }
+
+    /// Read the word at `addr` (committed state).
+    #[inline]
+    pub fn load(&self, addr: Addr) -> u64 {
+        self.words[self.word_index(addr)].load(Ordering::Relaxed)
+    }
+
+    /// Write the word at `addr` (committed state).
+    #[inline]
+    pub fn store(&self, addr: Addr, value: u64) {
+        self.words[self.word_index(addr)].store(value, Ordering::Relaxed)
+    }
+
+    /// Atomic compare-and-swap on the word at `addr`. Used by the simulated
+    /// fallback lock and by workloads that model lock-free operations.
+    ///
+    /// Returns `Ok(current)` on success and `Err(actual)` on failure, like
+    /// [`AtomicU64::compare_exchange`].
+    #[inline]
+    pub fn compare_exchange(&self, addr: Addr, current: u64, new: u64) -> Result<u64, u64> {
+        self.words[self.word_index(addr)].compare_exchange(
+            current,
+            new,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        )
+    }
+
+    /// Atomic fetch-add on the word at `addr`.
+    #[inline]
+    pub fn fetch_add(&self, addr: Addr, delta: u64) -> u64 {
+        self.words[self.word_index(addr)].fetch_add(delta, Ordering::AcqRel)
+    }
+}
+
+impl std::fmt::Debug for SimMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimMemory")
+            .field("size_bytes", &self.size_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn new_memory_is_zeroed_and_sized() {
+        let m = SimMemory::new(100);
+        assert_eq!(m.size_bytes(), 104); // rounded to 13 words
+        assert_eq!(m.load(0), 0);
+        assert_eq!(m.load(96), 0);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let m = SimMemory::new(1024);
+        m.store(8, 0xdead_beef);
+        m.store(16, u64::MAX);
+        assert_eq!(m.load(8), 0xdead_beef);
+        assert_eq!(m.load(16), u64::MAX);
+        assert_eq!(m.load(24), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let m = SimMemory::new(64);
+        m.load(64);
+    }
+
+    #[test]
+    fn compare_exchange_semantics() {
+        let m = SimMemory::new(64);
+        assert_eq!(m.compare_exchange(0, 0, 7), Ok(0));
+        assert_eq!(m.load(0), 7);
+        assert_eq!(m.compare_exchange(0, 0, 9), Err(7));
+        assert_eq!(m.load(0), 7);
+    }
+
+    #[test]
+    fn fetch_add_returns_previous() {
+        let m = SimMemory::new(64);
+        assert_eq!(m.fetch_add(8, 5), 0);
+        assert_eq!(m.fetch_add(8, 5), 5);
+        assert_eq!(m.load(8), 10);
+    }
+
+    #[test]
+    fn concurrent_fetch_add_is_atomic() {
+        let m = Arc::new(SimMemory::new(64));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        m.fetch_add(0, 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.load(0), 80_000);
+    }
+}

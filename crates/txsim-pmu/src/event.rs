@@ -1,0 +1,207 @@
+//! PMU event kinds and sampling configuration.
+
+/// The hardware events the simulated PMU can count and sample.
+///
+/// These mirror the events TxSampler programs on real hardware (§6 of the
+/// paper): `cycles`, `RTM_RETIRED:ABORTED`, `RTM_RETIRED:COMMIT`, and
+/// `MEM_UOPS_RETIRED:ALL_LOADS/ALL_STORES`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// CPU cycles (the time-analysis driver).
+    Cycles,
+    /// A hardware transaction committed.
+    TxCommit,
+    /// A hardware transaction aborted (sample carries weight + class).
+    TxAbort,
+    /// A memory load retired (precise: carries the effective address).
+    MemLoad,
+    /// A memory store retired (precise: carries the effective address).
+    MemStore,
+}
+
+/// All event kinds, in counter-index order.
+pub const EVENT_KINDS: [EventKind; 5] = [
+    EventKind::Cycles,
+    EventKind::TxCommit,
+    EventKind::TxAbort,
+    EventKind::MemLoad,
+    EventKind::MemStore,
+];
+
+impl EventKind {
+    /// Dense index used for counter arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            EventKind::Cycles => 0,
+            EventKind::TxCommit => 1,
+            EventKind::TxAbort => 2,
+            EventKind::MemLoad => 3,
+            EventKind::MemStore => 4,
+        }
+    }
+
+    /// Whether samples of this event carry an effective address.
+    #[inline]
+    pub fn is_memory(self) -> bool {
+        matches!(self, EventKind::MemLoad | EventKind::MemStore)
+    }
+
+    /// The PMU event name on Intel hardware, for report rendering.
+    pub fn hw_name(self) -> &'static str {
+        match self {
+            EventKind::Cycles => "cycles",
+            EventKind::TxCommit => "RTM_RETIRED:COMMIT",
+            EventKind::TxAbort => "RTM_RETIRED:ABORTED",
+            EventKind::MemLoad => "MEM_UOPS_RETIRED:ALL_LOADS",
+            EventKind::MemStore => "MEM_UOPS_RETIRED:ALL_STORES",
+        }
+    }
+}
+
+/// Sampling configuration for one simulated thread's PMU.
+///
+/// A period of `None` disables sampling for that event; the counter is still
+/// maintained (counting mode) so aggregate counts stay available. The paper's
+/// defaults are 10^7 for cycles and 10^4 for RTM and memory events; our
+/// virtual-cycle defaults are scaled to yield a comparable
+/// samples-per-second-per-thread rate on the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SamplingConfig {
+    /// Sampling period per event (see [`EVENT_KINDS`] for index order).
+    pub periods: [Option<u64>; 5],
+    /// Number of LBR entries (16 on Haswell/Broadwell, 32 on Skylake+).
+    pub lbr_depth: usize,
+    /// Master enable: when false no interrupts fire and the LBR is not fed,
+    /// which is the "native" configuration for overhead experiments.
+    pub enabled: bool,
+}
+
+impl SamplingConfig {
+    /// Sampling fully disabled — the native-run baseline.
+    pub fn disabled() -> Self {
+        SamplingConfig {
+            periods: [None; 5],
+            lbr_depth: 16,
+            enabled: false,
+        }
+    }
+
+    /// The paper's default TxSampler configuration, scaled to virtual
+    /// cycles: the paper samples cycles at 10^7 on ≥30 s runs (hundreds of
+    /// samples per thread); simulator runs are 10^6–10^8 virtual cycles,
+    /// so periods scale down to keep per-thread sample counts comparable.
+    pub fn txsampler_default() -> Self {
+        let mut periods = [None; 5];
+        periods[EventKind::Cycles.index()] = Some(50_000);
+        periods[EventKind::TxCommit.index()] = Some(1_009);
+        periods[EventKind::TxAbort.index()] = Some(13);
+        periods[EventKind::MemLoad.index()] = Some(5_003);
+        periods[EventKind::MemStore.index()] = Some(5_003);
+        SamplingConfig {
+            periods,
+            lbr_depth: 16,
+            enabled: true,
+        }
+    }
+
+    /// A dense configuration for short runs (unit tests, quick configs):
+    /// the paper notes short-running programs need higher sampling rates
+    /// to gather enough samples.
+    pub fn dense() -> Self {
+        let mut periods = [None; 5];
+        periods[EventKind::Cycles.index()] = Some(20_000);
+        periods[EventKind::TxCommit.index()] = Some(509);
+        periods[EventKind::TxAbort.index()] = Some(7);
+        periods[EventKind::MemLoad.index()] = Some(2_003);
+        periods[EventKind::MemStore.index()] = Some(2_003);
+        SamplingConfig {
+            periods,
+            lbr_depth: 16,
+            enabled: true,
+        }
+    }
+
+    /// Sampling enabled for exactly one event — handy in tests and
+    /// microbenchmarks.
+    pub fn only(event: EventKind, period: u64) -> Self {
+        let mut cfg = SamplingConfig::disabled();
+        cfg.enabled = true;
+        cfg.periods[event.index()] = Some(period);
+        cfg
+    }
+
+    /// Set the period for one event (builder style).
+    pub fn with_period(mut self, event: EventKind, period: Option<u64>) -> Self {
+        self.periods[event.index()] = period;
+        self
+    }
+
+    /// Set the LBR depth (builder style).
+    pub fn with_lbr_depth(mut self, depth: usize) -> Self {
+        self.lbr_depth = depth;
+        self
+    }
+
+    /// Period configured for `event`, if sampling is enabled for it.
+    #[inline]
+    pub fn period(&self, event: EventKind) -> Option<u64> {
+        if self.enabled {
+            self.periods[event.index()]
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig::txsampler_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; 5];
+        for kind in EVENT_KINDS {
+            assert!(!seen[kind.index()]);
+            seen[kind.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn memory_events_flagged() {
+        assert!(EventKind::MemLoad.is_memory());
+        assert!(EventKind::MemStore.is_memory());
+        assert!(!EventKind::Cycles.is_memory());
+        assert!(!EventKind::TxAbort.is_memory());
+    }
+
+    #[test]
+    fn disabled_config_reports_no_periods() {
+        let mut cfg = SamplingConfig::txsampler_default();
+        assert!(cfg.period(EventKind::Cycles).is_some());
+        cfg.enabled = false;
+        assert!(cfg.period(EventKind::Cycles).is_none());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let cfg = SamplingConfig::txsampler_default()
+            .with_period(EventKind::Cycles, Some(500))
+            .with_lbr_depth(32);
+        assert_eq!(cfg.period(EventKind::Cycles), Some(500));
+        assert_eq!(cfg.lbr_depth, 32);
+    }
+
+    #[test]
+    fn hw_names_match_the_paper() {
+        assert_eq!(EventKind::TxAbort.hw_name(), "RTM_RETIRED:ABORTED");
+        assert_eq!(EventKind::Cycles.hw_name(), "cycles");
+    }
+}

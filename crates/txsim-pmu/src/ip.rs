@@ -1,0 +1,213 @@
+//! Simulated instruction pointers and the function registry.
+//!
+//! Workloads are written as ordinary Rust, but every simulated instruction is
+//! tagged with a position in the *simulated* program: a function plus a line
+//! number. The [`FuncRegistry`] is the equivalent of a binary's symbol table
+//! plus line map — it is what the offline analyzer uses to associate metrics
+//! with "source code".
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Identifier of a registered simulated function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// The "unknown" function, used for the bootstrap IP of a thread before
+    /// it enters any registered function.
+    pub const UNKNOWN: FuncId = FuncId(0);
+}
+
+/// A simulated instruction pointer: a function and a line within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ip {
+    /// The function this instruction belongs to.
+    pub func: FuncId,
+    /// Line number within the function's source file.
+    pub line: u32,
+}
+
+impl Ip {
+    /// IP used before any function context exists.
+    pub const UNKNOWN: Ip = Ip {
+        func: FuncId::UNKNOWN,
+        line: 0,
+    };
+
+    /// Construct an IP.
+    pub fn new(func: FuncId, line: u32) -> Self {
+        Ip { func, line }
+    }
+}
+
+/// A shadow-call-stack frame: which function is active and the call site
+/// (in the *caller*) that entered it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Frame {
+    /// The function executing in this frame.
+    pub func: FuncId,
+    /// The call instruction in the caller that created this frame.
+    pub callsite: Ip,
+}
+
+/// Metadata for a registered function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncInfo {
+    /// Human-readable name (e.g. `hashtable_search`).
+    pub name: String,
+    /// Source file the function lives in.
+    pub file: String,
+    /// Line of the function definition.
+    pub line: u32,
+}
+
+#[derive(Default)]
+struct Inner {
+    funcs: Vec<FuncInfo>,
+    by_name: HashMap<String, FuncId>,
+}
+
+/// Interning registry of simulated functions. Cloning shares the table.
+///
+/// Registration happens once per workload setup; lookups on the profiling
+/// hot path are reads under an `RwLock` taken only by the offline analyzer,
+/// never per-instruction.
+#[derive(Clone, Default)]
+pub struct FuncRegistry {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl FuncRegistry {
+    /// Create a registry with the `UNKNOWN` function pre-interned as id 0.
+    pub fn new() -> Self {
+        let reg = FuncRegistry::default();
+        let id = reg.intern("<unknown>", "<unknown>", 0);
+        debug_assert_eq!(id, FuncId::UNKNOWN);
+        reg
+    }
+
+    /// Intern a function by name; repeated interning of the same name
+    /// returns the same id (file/line of the first registration win).
+    pub fn intern(&self, name: &str, file: &str, line: u32) -> FuncId {
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.by_name.get(name) {
+            return id;
+        }
+        let id = FuncId(inner.funcs.len() as u32);
+        inner.funcs.push(FuncInfo {
+            name: name.to_string(),
+            file: file.to_string(),
+            line,
+        });
+        inner.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Resolve an id to its metadata. Returns `None` for ids from a
+    /// different registry.
+    pub fn resolve(&self, id: FuncId) -> Option<FuncInfo> {
+        self.inner.read().funcs.get(id.0 as usize).cloned()
+    }
+
+    /// Name of a function, or `"<invalid>"` if unregistered.
+    pub fn name(&self, id: FuncId) -> String {
+        self.resolve(id)
+            .map(|f| f.name)
+            .unwrap_or_else(|| "<invalid>".to_string())
+    }
+
+    /// Look up a function id by name.
+    pub fn lookup(&self, name: &str) -> Option<FuncId> {
+        self.inner.read().by_name.get(name).copied()
+    }
+
+    /// Number of registered functions (including `<unknown>`).
+    pub fn len(&self) -> usize {
+        self.inner.read().funcs.len()
+    }
+
+    /// Whether only the `<unknown>` placeholder is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 1
+    }
+}
+
+impl std::fmt::Debug for FuncRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FuncRegistry")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Register a simulated function at the current Rust source location.
+///
+/// ```
+/// # use txsim_pmu::{func, FuncRegistry};
+/// let reg = FuncRegistry::new();
+/// let id = func!(reg, "hashtable_search");
+/// assert_eq!(reg.name(id), "hashtable_search");
+/// ```
+#[macro_export]
+macro_rules! func {
+    ($reg:expr, $name:expr) => {
+        $reg.intern($name, file!(), line!())
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_is_id_zero() {
+        let reg = FuncRegistry::new();
+        assert_eq!(reg.lookup("<unknown>"), Some(FuncId::UNKNOWN));
+        assert_eq!(reg.name(FuncId::UNKNOWN), "<unknown>");
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let reg = FuncRegistry::new();
+        let a = reg.intern("foo", "f.rs", 1);
+        let b = reg.intern("foo", "g.rs", 99);
+        assert_eq!(a, b);
+        assert_eq!(reg.resolve(a).unwrap().file, "f.rs");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let reg = FuncRegistry::new();
+        let a = reg.intern("foo", "f.rs", 1);
+        let b = reg.intern("bar", "f.rs", 2);
+        assert_ne!(a, b);
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn clones_share_the_table() {
+        let reg = FuncRegistry::new();
+        let clone = reg.clone();
+        let id = reg.intern("shared", "f.rs", 1);
+        assert_eq!(clone.lookup("shared"), Some(id));
+    }
+
+    #[test]
+    fn resolve_out_of_range_is_none() {
+        let reg = FuncRegistry::new();
+        assert!(reg.resolve(FuncId(42)).is_none());
+        assert_eq!(reg.name(FuncId(42)), "<invalid>");
+    }
+
+    #[test]
+    fn func_macro_registers() {
+        let reg = FuncRegistry::new();
+        let id = func!(reg, "macro_fn");
+        let info = reg.resolve(id).unwrap();
+        assert_eq!(info.name, "macro_fn");
+        assert!(info.file.ends_with("ip.rs"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Sample payloads and the sink interface profilers implement.
+
+use crate::event::EventKind;
+use crate::ip::{Frame, Ip};
+use crate::lbr::LbrEntry;
+
+/// The abort classes the PMU can attribute an `RTM_RETIRED:ABORTED` sample
+/// to. On Intel hardware this comes from the `RTM_RETIRED.ABORTED_*`
+/// sub-events plus the transaction status word; the paper groups them as
+/// conflict (asynchronous), capacity (asynchronous) and synchronous aborts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortClass {
+    /// A conflicting memory access in another thread (async abort).
+    Conflict,
+    /// Transaction footprint exceeded tracking capacity (async abort).
+    Capacity,
+    /// An HTM-unfriendly instruction or event: syscall, page fault… (sync).
+    Sync,
+    /// An explicit `xabort` from software (e.g. lock observed held).
+    Explicit,
+    /// The abort was caused by the PMU sampling interrupt itself. The
+    /// profiler must recognise and discount these to avoid observing its
+    /// own perturbation.
+    Interrupt,
+}
+
+impl AbortClass {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortClass::Conflict => "conflict",
+            AbortClass::Capacity => "capacity",
+            AbortClass::Sync => "sync",
+            AbortClass::Explicit => "explicit",
+            AbortClass::Interrupt => "interrupt",
+        }
+    }
+}
+
+/// One PMU sample, delivered to the registered [`SampleSink`] when an event
+/// counter overflows.
+///
+/// `ip` is the *precise* instruction pointer at the sample point (PEBS
+/// semantics): for a sample whose interrupt aborted a transaction, `ip`
+/// still names the in-transaction instruction even though the architectural
+/// state has rolled back — which is exactly what makes the paper's LBR
+/// trick necessary and sufficient.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Which event counter overflowed.
+    pub event: EventKind,
+    /// Precise instruction pointer at the sample point.
+    pub ip: Ip,
+    /// Simulated thread id.
+    pub tid: usize,
+    /// Whether the CPU was speculating (inside a transaction) at the event.
+    /// Real PEBS exposes this as the "in-TX" record flag.
+    pub in_tx: bool,
+    /// Whether delivering this sample's interrupt aborted a transaction.
+    /// Mirrors the abort bit the profiler reads from `lbr[last]`.
+    pub caused_abort: bool,
+    /// Effective address for memory events.
+    pub addr: Option<u64>,
+    /// Abort weight (cycles wasted in the aborted attempt) for
+    /// `TxAbort` samples; 0 otherwise.
+    pub weight: u64,
+    /// Abort class for `TxAbort` samples.
+    pub abort_class: Option<AbortClass>,
+    /// Global timestamp (`rdtsc` analogue) at the sample.
+    pub tsc: u64,
+    /// LBR snapshot at the sample, oldest entry first.
+    pub lbr: Vec<LbrEntry>,
+}
+
+/// Receiver of PMU samples. Implemented by TxSampler's online collector.
+///
+/// `stack` is the architecturally visible shadow call stack at delivery
+/// time — i.e. what a signal handler could unwind. For a sample that
+/// aborted a transaction the stack has already rolled back to its depth at
+/// `xbegin`, so frames entered inside the transaction are *absent* and can
+/// only be recovered from `sample.lbr` (paper §3.4).
+pub trait SampleSink: Send {
+    /// Handle one sample. Runs synchronously on the sampled thread, like a
+    /// signal handler; implementations must not block on other threads.
+    fn on_sample(&mut self, sample: &Sample, stack: &[Frame]);
+}
+
+/// A sink that stores samples for later inspection — used by tests.
+#[derive(Default)]
+pub struct VecSink {
+    /// All delivered samples with their stack snapshots.
+    pub samples: Vec<(Sample, Vec<Frame>)>,
+}
+
+impl SampleSink for VecSink {
+    fn on_sample(&mut self, sample: &Sample, stack: &[Frame]) {
+        self.samples.push((sample.clone(), stack.to_vec()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::FuncId;
+
+    #[test]
+    fn abort_class_labels() {
+        assert_eq!(AbortClass::Conflict.label(), "conflict");
+        assert_eq!(AbortClass::Capacity.label(), "capacity");
+        assert_eq!(AbortClass::Sync.label(), "sync");
+        assert_eq!(AbortClass::Explicit.label(), "explicit");
+        assert_eq!(AbortClass::Interrupt.label(), "interrupt");
+    }
+
+    #[test]
+    fn vec_sink_records() {
+        let mut sink = VecSink::default();
+        let sample = Sample {
+            event: EventKind::Cycles,
+            ip: Ip::new(FuncId(1), 10),
+            tid: 3,
+            in_tx: false,
+            caused_abort: false,
+            addr: None,
+            weight: 0,
+            abort_class: None,
+            tsc: 42,
+            lbr: vec![],
+        };
+        let stack = [Frame {
+            func: FuncId(1),
+            callsite: Ip::UNKNOWN,
+        }];
+        sink.on_sample(&sample, &stack);
+        assert_eq!(sink.samples.len(), 1);
+        assert_eq!(sink.samples[0].0.tid, 3);
+        assert_eq!(sink.samples[0].1.len(), 1);
+    }
+}

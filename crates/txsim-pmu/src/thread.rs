@@ -1,0 +1,220 @@
+//! Per-thread PMU state: event counters with overflow detection, the LBR,
+//! and aggregate (counting-mode) totals.
+
+use crate::event::{EventKind, SamplingConfig, EVENT_KINDS};
+use crate::lbr::{Lbr, LbrEntry};
+
+/// Per-thread PMU: one down-counter per event plus the LBR.
+///
+/// The owning simulated CPU calls [`PmuThread::advance`] as instructions
+/// retire. A `true` return means the counter overflowed and an interrupt
+/// must be delivered — inside a transaction that interrupt aborts it first,
+/// which is the measurement hazard (Challenge I) TxSampler is built around.
+///
+/// Counters always *count* (aggregate totals stay correct) even when
+/// sampling is disabled; only overflow detection and LBR recording are
+/// gated on [`SamplingConfig::enabled`], matching hardware counting mode.
+#[derive(Debug)]
+pub struct PmuThread {
+    config: SamplingConfig,
+    /// Remaining events until overflow, per event.
+    remaining: [u64; 5],
+    /// Aggregate totals per event (counting mode).
+    totals: [u64; 5],
+    /// Samples taken per event.
+    sample_counts: [u64; 5],
+    lbr: Lbr,
+    /// xorshift state for period randomization (seeded per thread,
+    /// deterministic for reproducibility).
+    rng: u64,
+}
+
+impl PmuThread {
+    /// Create a PMU with the given configuration. `tid` staggers the initial
+    /// counter phases so identical threads do not sample in lockstep.
+    pub fn new(config: SamplingConfig, tid: usize) -> Self {
+        let mut remaining = [u64::MAX; 5];
+        for kind in EVENT_KINDS {
+            if let Some(p) = config.period(kind) {
+                // Prime-ish stagger keeps thread phases distinct.
+                remaining[kind.index()] = p - (tid as u64 * 7919) % p.max(1).min(p);
+            }
+        }
+        let lbr = Lbr::new(config.lbr_depth);
+        PmuThread {
+            config,
+            remaining,
+            totals: [0; 5],
+            sample_counts: [0; 5],
+            lbr,
+            rng: 0x9e3779b97f4a7c15 ^ (tid as u64).wrapping_mul(0xd1b54a32d192ed03) | 1,
+        }
+    }
+
+    /// xorshift64 step.
+    #[inline]
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SamplingConfig {
+        &self.config
+    }
+
+    /// Advance the counter for `event` by `count` occurrences. Returns
+    /// `true` if the counter overflowed (an interrupt must be delivered);
+    /// the counter is re-armed with its period.
+    #[inline]
+    pub fn advance(&mut self, event: EventKind, count: u64) -> bool {
+        let idx = event.index();
+        self.totals[idx] += count;
+        let Some(period) = self.config.period(event) else {
+            return false;
+        };
+        if self.remaining[idx] > count {
+            self.remaining[idx] -= count;
+            false
+        } else {
+            // Re-arm carrying the overshoot, plus a ±12.5% randomization of
+            // the next period. Both guard against the same failure mode:
+            // with a fixed period and a deterministic cost model, samples
+            // phase-lock onto whatever instruction crosses the counter
+            // boundary in a periodic loop, hiding entire program regions
+            // from the profiler. Hardware PMUs randomize sample periods for
+            // the same reason. Multiple periods crossed by one bulk advance
+            // fold into one interrupt.
+            let overshoot = (count - self.remaining[idx]) % period;
+            let jitter_span = (period / 4).max(2);
+            let jitter = self.next_rand() % jitter_span;
+            let next = period - overshoot.min(period / 2) + jitter;
+            self.remaining[idx] = (next.saturating_sub(jitter_span / 2)).max(1);
+            self.sample_counts[idx] += 1;
+            true
+        }
+    }
+
+    /// Record a branch in the LBR. No-op when sampling is disabled (hardware
+    /// LBR is free; our simulation of it is not, and the native baseline
+    /// must not pay for it).
+    #[inline]
+    pub fn record_branch(&mut self, entry: LbrEntry) {
+        if self.config.enabled {
+            self.lbr.push(entry);
+        }
+    }
+
+    /// Read access to the LBR (for snapshotting at sample delivery).
+    pub fn lbr(&self) -> &Lbr {
+        &self.lbr
+    }
+
+    /// Aggregate count for `event` (counting mode, exact).
+    pub fn total(&self, event: EventKind) -> u64 {
+        self.totals[event.index()]
+    }
+
+    /// Number of samples taken for `event`.
+    pub fn samples_taken(&self, event: EventKind) -> u64 {
+        self.sample_counts[event.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::{FuncId, Ip};
+    use crate::lbr::BranchKind;
+
+    fn cycles_only(period: u64) -> SamplingConfig {
+        let mut cfg = SamplingConfig::disabled();
+        cfg.enabled = true;
+        cfg.periods[EventKind::Cycles.index()] = Some(period);
+        cfg
+    }
+
+    #[test]
+    fn overflow_fires_roughly_every_period() {
+        // Periods are jittered ±12.5% (anti-phase-lock); over many periods
+        // the rate converges on 1/period.
+        let mut pmu = PmuThread::new(cycles_only(100), 0);
+        let mut fired = 0u64;
+        for _ in 0..100_000 {
+            if pmu.advance(EventKind::Cycles, 1) {
+                fired += 1;
+            }
+        }
+        assert!((900..=1100).contains(&fired), "fired {fired} of ~1000");
+        assert_eq!(pmu.total(EventKind::Cycles), 100_000);
+        assert_eq!(pmu.samples_taken(EventKind::Cycles), fired);
+    }
+
+    #[test]
+    fn bulk_advance_overflows() {
+        let mut pmu = PmuThread::new(cycles_only(100), 0);
+        assert!(!pmu.advance(EventKind::Cycles, 99));
+        assert!(pmu.advance(EventKind::Cycles, 1));
+        assert!(!pmu.advance(EventKind::Cycles, 50));
+        assert!(pmu.advance(EventKind::Cycles, 1000)); // multiple periods fold into one interrupt
+    }
+
+    #[test]
+    fn disabled_sampling_still_counts() {
+        let mut pmu = PmuThread::new(SamplingConfig::disabled(), 0);
+        for _ in 0..500 {
+            assert!(!pmu.advance(EventKind::Cycles, 10));
+        }
+        assert_eq!(pmu.total(EventKind::Cycles), 5000);
+        assert_eq!(pmu.samples_taken(EventKind::Cycles), 0);
+    }
+
+    #[test]
+    fn unconfigured_event_never_fires() {
+        let mut pmu = PmuThread::new(cycles_only(10), 0);
+        for _ in 0..100 {
+            assert!(!pmu.advance(EventKind::TxAbort, 1));
+        }
+        assert_eq!(pmu.total(EventKind::TxAbort), 100);
+    }
+
+    #[test]
+    fn thread_phases_are_staggered() {
+        let mut first_overflow_at = vec![];
+        for tid in 0..4 {
+            let mut pmu = PmuThread::new(cycles_only(1000), tid);
+            let mut at = 0u64;
+            loop {
+                at += 1;
+                if pmu.advance(EventKind::Cycles, 1) {
+                    break;
+                }
+            }
+            first_overflow_at.push(at);
+        }
+        let distinct: std::collections::HashSet<_> = first_overflow_at.iter().collect();
+        assert!(distinct.len() > 1, "all threads overflowed in lockstep");
+    }
+
+    #[test]
+    fn lbr_gated_on_enable() {
+        let entry = LbrEntry {
+            from: Ip::new(FuncId(1), 1),
+            to: Ip::new(FuncId(2), 0),
+            kind: BranchKind::Call,
+            in_tsx: false,
+            abort: false,
+        };
+        let mut disabled = PmuThread::new(SamplingConfig::disabled(), 0);
+        disabled.record_branch(entry);
+        assert!(disabled.lbr().is_empty());
+
+        let mut enabled = PmuThread::new(cycles_only(10), 0);
+        enabled.record_branch(entry);
+        assert_eq!(enabled.lbr().len(), 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! The global time-stamp counter analogue.
+//!
+//! TxSampler's contention detector (§3.3) timestamps sampled memory accesses
+//! with `rdtsc` and treats two accesses as contending only when they fall
+//! within a window P (100 ms in the paper). The simulator needs a clock that
+//! is comparable *across* threads — per-thread virtual cycle counters are
+//! not — so we use wall-clock nanoseconds since the first call in the
+//! process, which is exactly the monotonic-global property `rdtsc` provides.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since process profiling epoch. Monotonic, global.
+pub fn now_tsc() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsc_is_monotonic() {
+        let a = now_tsc();
+        let b = now_tsc();
+        let c = now_tsc();
+        assert!(a <= b && b <= c);
+    }
+
+    #[test]
+    fn tsc_advances() {
+        let a = now_tsc();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = now_tsc();
+        assert!(b - a >= 1_000_000, "expected ≥1ms advance, got {}ns", b - a);
+    }
+
+    #[test]
+    fn tsc_is_comparable_across_threads() {
+        let before = now_tsc();
+        let from_thread = std::thread::spawn(now_tsc).join().unwrap();
+        let after = now_tsc();
+        assert!(before <= from_thread);
+        assert!(from_thread <= after);
+    }
+}

@@ -1,0 +1,103 @@
+//! Quickstart: profile a small transactional program with TxSampler and
+//! print every report the tool offers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use rtm_runtime::TmLib;
+use txsampler::{attach, diagnose, merge_profiles, report, ContentionMap, Thresholds};
+use txsim_htm::{DomainConfig, HtmDomain, SamplingConfig};
+
+fn main() {
+    // 1. Build a machine: simulated memory + TSX engine + PMU, with
+    //    cooperative virtual-time scheduling so contention is a property
+    //    of the program, not of the host's core count.
+    let domain = HtmDomain::new(DomainConfig::default().cooperative());
+    let lib = TmLib::new(&domain);
+    let contention = Arc::new(ContentionMap::with_defaults(domain.geometry));
+
+    // 2. A tiny program: four threads increment a *shared* counter and a
+    //    private one inside HTM critical sections.
+    let shared = domain.heap.alloc_padded(8, 64);
+    let private_base = domain.heap.alloc_aligned(4 * 64, 64);
+    let f_update = domain.funcs.intern("update_stats", "app.rs", 40);
+
+    const THREADS: usize = 4;
+    let barrier = std::sync::Barrier::new(THREADS);
+    let profiles = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|idx| {
+                let domain = Arc::clone(&domain);
+                let lib = Arc::clone(&lib);
+                let contention = Arc::clone(&contention);
+                let barrier = &barrier;
+                s.spawn(move |_| {
+                    // Each worker: a simulated CPU with the default
+                    // TxSampler sampling configuration, a runtime handle,
+                    // and an attached collector.
+                    let mut cpu = domain.spawn_cpu(SamplingConfig::dense());
+                    let mut tm = lib.thread();
+                    let handle = attach(&mut cpu, tm.state_handle(), contention);
+                    barrier.wait();
+
+                    let private = private_base + 64 * idx as u64;
+                    for i in 0..50_000u64 {
+                        rtm_runtime::named_critical_section(&mut tm, &mut cpu, f_update, 41, |cpu| {
+                            cpu.rmw(42, private, |v| v + 1)?;
+                            if i % 4 == 0 {
+                                cpu.rmw(43, shared, |v| v + 1)?; // the hot word
+                            }
+                            cpu.compute(44, 60)
+                        });
+                        cpu.compute(10, 80).expect("outside tx");
+                    }
+                    (handle.take(), tm.truth)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    })
+    .unwrap();
+
+    // 3. Offline analysis: merge the per-thread profiles (reduction tree)
+    //    and derive everything the paper's GUI shows.
+    let mut truth = rtm_runtime::Truth::default();
+    let mut thread_profiles = Vec::new();
+    for (p, t) in profiles {
+        thread_profiles.push(p);
+        truth.merge(&t);
+    }
+    let profile = merge_profiles(thread_profiles);
+
+    println!("== sanity: counter is exact despite {} aborts", truth.totals().total_aborts());
+    println!(
+        "   shared = {}, expected {}\n",
+        domain.mem.load(shared),
+        THREADS as u64 * 50_000 / 4 + THREADS as u64 * 50_000 / 4 * 0 // every 4th iteration
+    );
+
+    println!("== time decomposition (paper §4)");
+    print!("{}", report::render_time_breakdown(&profile));
+    println!();
+
+    println!("== abort analysis (paper §5)");
+    print!("{}", report::render_abort_breakdown(&profile));
+    println!();
+
+    println!("== calling-context view (paper Figure 9)");
+    let view = report::render_cct(&profile, &domain.funcs, &Default::default());
+    for line in view.lines().take(25) {
+        println!("{line}");
+    }
+    println!();
+
+    println!("== decision tree (paper Figure 1)");
+    let diagnosis = diagnose(&profile, &Thresholds::default());
+    print!("{}", report::render_diagnosis(&diagnosis, &domain.funcs));
+}

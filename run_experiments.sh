@@ -1,0 +1,11 @@
+#!/bin/bash
+# Regenerates every table/figure stage by stage (restartable).
+set -e
+cd "$(dirname "$0")"
+BIN=./target/release/repro
+[ -f results/stage1.done ] || { $BIN --threads 14 --scale 60 --trials 2 --out results table1 fig7 table2 > results/repro_main.txt 2>&1 && touch results/stage1.done; }
+[ -f results/stage2.done ] || { $BIN --threads 14 --scale 60 --trials 1 --out results fig8 > results/repro_fig8.txt 2>&1 && touch results/stage2.done; }
+[ -f results/stage3.done ] || { $BIN --threads 14 --scale 60 --trials 1 case-dedup case-leveldb case-histo > results/repro_cases.txt 2>&1 && touch results/stage3.done; }
+[ -f results/stage4.done ] || { $BIN --threads 14 --scale 60 --trials 1 --out results fig5 > results/repro_fig5.txt 2>&1 && touch results/stage4.done; }
+[ -f results/stage5.done ] || { $BIN --threads 14 --scale 40 --trials 1 fig6 > results/repro_fig6.txt 2>&1 && touch results/stage5.done; }
+echo ALL_STAGES_DONE

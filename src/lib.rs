@@ -1,0 +1,13 @@
+//! Umbrella crate for the TxSampler reproduction workspace.
+//!
+//! Re-exports every layer so examples and integration tests can depend on a
+//! single crate. Library users should depend on the individual crates
+//! (`txsampler`, `rtm-runtime`, `txsim-htm`, …) directly.
+
+pub use htmbench;
+pub use txbench;
+pub use rtm_runtime;
+pub use txsampler;
+pub use txsim_htm;
+pub use txsim_mem;
+pub use txsim_pmu;

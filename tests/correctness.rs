@@ -1,0 +1,263 @@
+//! §7.2 correctness validation: TxSampler's sampled estimates must agree
+//! with the ground truth the RTM runtime's instrumentation records. The
+//! microbenchmarks trigger low/moderate/high abort ratios from known causes
+//! (true sharing, false sharing, capacity, special instructions); the
+//! profiler must identify each.
+
+use htmbench::harness::{RunConfig, RunOutcome};
+use htmbench::micro;
+use txsampler::NodeKey;
+
+fn quick() -> RunConfig {
+    RunConfig::quick().with_threads(8).with_scale(30)
+}
+
+/// Relative-share agreement helper: both shares within `tol` of each other.
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+#[test]
+fn abort_class_shares_match_ground_truth() {
+    // Each micro has one dominant abort class; the profiler's sampled class
+    // shares must agree with the exact runtime instrumentation.
+    let cases: Vec<(RunOutcome, &str)> = vec![
+        (micro::true_sharing(&quick()), "conflict"),
+        (micro::sync_abort(&quick()), "sync"),
+    ];
+    for (out, expect) in cases {
+        let truth = out.truth.totals();
+        let p = out.profile.as_ref().expect("profiled");
+        let m = p.totals();
+        assert!(m.abort_samples > 0, "{}: no abort samples", out.name);
+
+        // Ground-truth dominant class.
+        let truth_dominant = [
+            ("conflict", truth.aborts_conflict),
+            ("capacity", truth.aborts_capacity),
+            ("sync", truth.aborts_sync),
+        ]
+        .into_iter()
+        .max_by_key(|&(_, n)| n)
+        .unwrap()
+        .0;
+        assert_eq!(truth_dominant, expect, "{}: workload changed", out.name);
+
+        // Profiler-sampled dominant class must agree.
+        let sampled_dominant = [
+            ("conflict", m.aborts_conflict),
+            ("capacity", m.aborts_capacity),
+            ("sync", m.aborts_sync),
+        ]
+        .into_iter()
+        .max_by_key(|&(_, n)| n)
+        .unwrap()
+        .0;
+        assert_eq!(
+            sampled_dominant, expect,
+            "{}: profiler misclassified the dominant abort cause",
+            out.name
+        );
+
+        // Share agreement within sampling noise.
+        let truth_share = match expect {
+            "conflict" => truth.aborts_conflict,
+            "sync" => truth.aborts_sync,
+            _ => truth.aborts_capacity,
+        } as f64
+            / truth.app_aborts().max(1) as f64;
+        let sampled_share = match expect {
+            "conflict" => m.aborts_conflict,
+            "sync" => m.aborts_sync,
+            _ => m.aborts_capacity,
+        } as f64
+            / m.abort_samples.max(1) as f64;
+        assert!(
+            close(truth_share, sampled_share, 0.15),
+            "{}: share mismatch truth {truth_share:.2} vs sampled {sampled_share:.2}",
+            out.name
+        );
+    }
+}
+
+#[test]
+fn capacity_micro_is_classified_capacity() {
+    let mut cfg = quick();
+    cfg.domain.geometry.read_set_lines = 64;
+    let out = micro::capacity(&cfg);
+    let p = out.profile.as_ref().unwrap();
+    let m = p.totals();
+    assert!(
+        m.aborts_capacity > 0,
+        "profiler must sample capacity aborts: {m:?}"
+    );
+}
+
+#[test]
+fn estimated_abort_commit_ratio_tracks_truth() {
+    for out in [
+        micro::low_conflict(&quick()),
+        micro::moderate(&quick()),
+        micro::true_sharing(&quick()),
+    ] {
+        let p = out.profile.as_ref().unwrap();
+        let truth_ratio = out.truth_abort_commit_ratio();
+        // Scale sampled counts back to event estimates.
+        let est_aborts = p.totals().abort_samples * p.periods.abort;
+        let est_commits = p.totals().commit_samples * p.periods.commit;
+        if est_commits == 0 {
+            continue;
+        }
+        let est_ratio = est_aborts as f64 / est_commits as f64;
+        // Both near zero, or within 2x of each other (sampling noise).
+        let both_low = truth_ratio < 0.05 && est_ratio < 0.05;
+        let within = est_ratio <= truth_ratio * 2.5 + 0.05 && truth_ratio <= est_ratio * 2.5 + 0.05;
+        assert!(
+            both_low || within,
+            "{}: truth a/c {truth_ratio:.3} vs estimated {est_ratio:.3}",
+            out.name
+        );
+    }
+}
+
+#[test]
+fn contention_analysis_separates_true_and_false_sharing() {
+    let ts = micro::true_sharing(&quick());
+    let fs = micro::false_sharing(&quick());
+    let tm = ts.profile.as_ref().unwrap().totals();
+    let fm = fs.profile.as_ref().unwrap().totals();
+    assert!(
+        tm.true_sharing > tm.false_sharing,
+        "true-sharing micro must be flagged true sharing: {}t vs {}f",
+        tm.true_sharing,
+        tm.false_sharing
+    );
+    assert!(
+        fm.false_sharing > fm.true_sharing,
+        "false-sharing micro must be flagged false sharing: {}t vs {}f",
+        fm.true_sharing,
+        fm.false_sharing
+    );
+}
+
+#[test]
+fn low_conflict_micro_shows_no_contention_pathology() {
+    let out = micro::low_conflict(&quick());
+    let truth = out.truth.totals();
+    assert_eq!(truth.aborts_conflict, 0);
+    let m = out.profile.as_ref().unwrap().totals();
+    assert_eq!(m.aborts_conflict, 0, "profiler must not invent conflicts");
+}
+
+#[test]
+fn in_transaction_call_paths_are_reconstructed() {
+    // micro::nested_calls: critical sections call A-or-B → C → D, all
+    // inside the transaction. Stack unwinds stop at the section; the
+    // speculative frames must come from the LBR (paper Figure 3).
+    let out = micro::nested_calls(&quick());
+    let p = out.profile.as_ref().unwrap();
+
+    // Find speculative frames — these only exist via LBR reconstruction.
+    let spec_frames = p
+        .cct
+        .find_all(|k| matches!(k, NodeKey::Frame { speculative: true, .. }));
+    assert!(
+        !spec_frames.is_empty(),
+        "no speculative frames reconstructed"
+    );
+
+    // Both call paths (via A and via B) must exist and carry samples at
+    // depth ≥ 2 (C and D nested).
+    let mut max_spec_depth = 0;
+    for id in &spec_frames {
+        let path = p.cct.path_to(*id);
+        let spec_depth = path.iter().filter(|k| k.speculative()).count();
+        max_spec_depth = max_spec_depth.max(spec_depth);
+    }
+    assert!(
+        max_spec_depth >= 3,
+        "deep in-tx chains must reconstruct (depth {max_spec_depth})"
+    );
+
+    // Distinct middle functions (A and B) must both appear as parents of
+    // deeper speculative frames — the disambiguation Perf/VTune cannot do.
+    let mid_funcs: std::collections::HashSet<_> = spec_frames
+        .iter()
+        .filter_map(|&id| {
+            let path = p.cct.path_to(id);
+            let specs: Vec<_> = path.iter().filter(|k| k.speculative()).collect();
+            if specs.len() >= 2 {
+                Some(specs[0].func())
+            } else {
+                None
+            }
+        })
+        .collect();
+    assert!(
+        mid_funcs.len() >= 2,
+        "both A→C→D and B→C→D contexts must be distinguished, got {mid_funcs:?}"
+    );
+}
+
+#[test]
+fn time_attribution_is_consistent() {
+    // Equations 1 and 2 must hold on the merged profile, and a
+    // transaction-heavy workload must attribute most CS time to T_tx.
+    let out = micro::low_conflict(&quick());
+    let p = out.profile.as_ref().unwrap();
+    let m = p.totals();
+    assert_eq!(m.t, m.t_tx + m.t_fb + m.t_wait + m.t_oh, "Equation 2");
+    assert!(m.w >= m.t, "Equation 1: W = T + S with S ≥ 0");
+    assert!(m.t > 0, "critical sections must receive samples");
+    // low_conflict commits everything: no fallback time to speak of.
+    assert!(
+        m.t_fb < m.t / 5,
+        "no-abort workload cannot be fallback-heavy: {m:?}"
+    );
+}
+
+#[test]
+fn sync_heavy_workload_shows_fallback_time() {
+    let out = micro::sync_abort(&quick());
+    let p = out.profile.as_ref().unwrap();
+    let b = p.time_breakdown();
+    // Every section falls back; fallback + lock-wait should dominate CS.
+    assert!(
+        b.fallback + b.lock_waiting > b.tx,
+        "all-fallback workload must show fallback/wait time: {b:?}"
+    );
+}
+
+#[test]
+fn profiler_discounts_its_own_aborts() {
+    // The interrupt-induced aborts the profiler itself causes must be
+    // tracked separately, not blamed on the application.
+    let out = micro::low_conflict(&quick());
+    let truth = out.truth.totals();
+    let p = out.profile.as_ref().unwrap();
+    // The simulator records interrupt aborts; the profile must not count
+    // them as application aborts.
+    if truth.aborts_interrupt > 0 {
+        assert_eq!(
+            p.totals().abort_samples,
+            0,
+            "no app aborts exist; sampled aborts must be zero"
+        );
+    }
+}
+
+#[test]
+fn per_thread_histogram_covers_all_threads() {
+    let cfg = quick();
+    let out = micro::true_sharing(&cfg);
+    let p = out.profile.as_ref().unwrap();
+    assert_eq!(p.threads.len(), cfg.threads);
+    // Commit work should be spread across threads (no starvation in this
+    // symmetric workload): every thread must have committed something.
+    let per_thread: Vec<u64> = p.threads.iter().map(|t| t.totals.commit_samples).collect();
+    let active = per_thread.iter().filter(|&&c| c > 0).count();
+    assert!(
+        active >= cfg.threads / 2,
+        "commit samples must cover most threads: {per_thread:?}"
+    );
+}

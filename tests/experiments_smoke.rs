@@ -1,0 +1,147 @@
+//! Smoke tests for the experiment harness: every table/figure runner must
+//! complete at reduced scale and produce structurally sane results whose
+//! *shape* matches the paper.
+
+use txbench::*;
+
+fn cfg() -> ExpConfig {
+    ExpConfig {
+        threads: 4,
+        scale: 8,
+        trials: 1,
+    }
+}
+
+#[test]
+fn fig5_overhead_is_modest() {
+    let rows = fig5_overhead(&cfg());
+    assert!(rows.len() > 30, "HTMBench population: {}", rows.len());
+    let geo = geomean_ratio(&rows);
+    // The paper reports ~4% mean; at tiny scale the fixed costs loom
+    // larger, so accept anything clearly sub-2x while catching disasters.
+    assert!(
+        geo < 1.75,
+        "sampling overhead geomean {geo:.2} is not lightweight"
+    );
+    assert!(geo > 0.5, "sampled runs cannot be dramatically faster");
+    let text = render_fig5(&rows);
+    assert!(text.contains("geometric mean"));
+    assert_eq!(fig5_tsv(&rows).lines().count(), rows.len() + 1);
+}
+
+#[test]
+fn fig6_thread_sweep_runs() {
+    let rows = fig6_thread_sweep(&cfg(), &[1, 2, 4]);
+    assert_eq!(rows.len(), 3);
+    for r in &rows {
+        assert!(r.ratio < 2.0, "threads={} ratio={}", r.threads, r.ratio);
+    }
+    assert!(render_fig6(&rows).contains("thread count"));
+}
+
+#[test]
+fn fig7_clomp_shapes_match_paper() {
+    let mut c = cfg();
+    c.threads = 8;
+    c.scale = 30;
+    let rows = fig7_clomp(&c);
+    assert_eq!(rows.len(), 6);
+    let by_label = |label: &str| rows.iter().find(|r| r.label == label).unwrap();
+
+    // Small transactions: higher overhead share than large, any input.
+    let oh = |label: &str| {
+        by_label(label)
+            .outcome
+            .profile
+            .as_ref()
+            .unwrap()
+            .time_breakdown()
+            .overhead
+    };
+    assert!(oh("small-1") > oh("large-1"), "small-tx overhead pathology");
+
+    // Input 1 large: mostly transactional time, near-zero aborts.
+    let l1 = by_label("large-1");
+    let b1 = l1.outcome.profile.as_ref().unwrap().time_breakdown();
+    assert!(b1.tx > 0.5, "large-1 must be HTM-dominated: {b1:?}");
+    assert_eq!(l1.outcome.truth.totals().aborts_conflict, 0);
+
+    // Input 2 large: conflict aborts and substantial wait+fallback time.
+    let l2 = by_label("large-2");
+    assert!(l2.outcome.truth.totals().aborts_conflict > 0);
+    let b2 = l2.outcome.profile.as_ref().unwrap().time_breakdown();
+    assert!(
+        b2.lock_waiting + b2.fallback > b1.lock_waiting + b1.fallback,
+        "high conflicts must serialize: {b2:?}"
+    );
+
+    // Input 3 large: larger capacity share than input 2.
+    let l3 = by_label("large-3");
+    let cap_share = |r: &ClompRow| {
+        let t = r.outcome.truth.totals();
+        t.aborts_capacity as f64 / t.app_aborts().max(1) as f64
+    };
+    assert!(
+        cap_share(l3) > cap_share(l2),
+        "input 3 must show more capacity aborts than input 2"
+    );
+
+    let text = render_fig7(&rows);
+    assert!(text.contains("time decomposition"));
+    assert!(render_table1(&rows).contains("Adjacent"));
+}
+
+#[test]
+fn fig8_has_all_three_types() {
+    let mut c = cfg();
+    c.threads = 8;
+    c.scale = 20;
+    let rows = fig8_characterize(&c);
+    assert!(rows.len() > 30);
+    use txsampler::ProgramType::*;
+    for ty in [TypeI, TypeII, TypeIII] {
+        assert!(
+            rows.iter().any(|r| r.program_type == ty),
+            "no {ty:?} programs found"
+        );
+    }
+    // The SPLASH2 family must land in Type I, as in the paper.
+    for r in rows.iter().filter(|r| r.name.starts_with("splash2/")) {
+        assert_eq!(r.program_type, TypeI, "{} misclassified", r.name);
+    }
+    assert!(render_fig8(&rows).contains("Type III"));
+}
+
+#[test]
+fn table2_all_optimizations_win() {
+    let mut c = cfg();
+    c.threads = 8;
+    c.scale = 30;
+    let rows = table2_speedups(&c);
+    assert_eq!(rows.len(), 9, "Table 2 has nine rows");
+    for r in &rows {
+        assert!(
+            r.measured_speedup > 1.0,
+            "{}: optimization must win, got {:.2}x",
+            r.code,
+            r.measured_speedup
+        );
+    }
+    let text = render_table2(&rows);
+    assert!(text.contains("linkedlist"));
+    assert!(table2_tsv(&rows).lines().count() == 10);
+}
+
+#[test]
+fn case_studies_render() {
+    let mut c = cfg();
+    c.threads = 8;
+    c.scale = 30;
+    let dedup = case_dedup(&c);
+    assert!(dedup.contains("decision-tree walk"));
+    assert!(dedup.contains("speedup"));
+    let leveldb = case_leveldb(&c);
+    assert!(leveldb.contains("abort/commit ratio"));
+    let histo = case_histo(&c);
+    assert!(histo.contains("T_oh"));
+}

@@ -1,0 +1,152 @@
+//! End-to-end checks of the LBR window semantics: deep in-transaction call
+//! chains overflow the 16-entry Haswell window and must be *flagged* as
+//! truncated (the paper's acknowledged limitation, §3.4), while a Skylake
+//! window (32) captures them fully.
+
+use std::sync::Arc;
+
+use rtm_runtime::TmLib;
+use txsampler::{attach, merge_profiles, ContentionMap};
+use txsim_htm::{DomainConfig, EventKind, HtmDomain, SamplingConfig, TxResult};
+
+/// Run one thread that executes critical sections containing a call chain
+/// of `depth` functions (each call+return = 2 LBR entries).
+fn run_deep_chain(depth: usize, lbr_depth: usize) -> txsampler::Profile {
+    let domain = HtmDomain::new(DomainConfig::default().with_memory(1 << 22));
+    let lib = TmLib::new(&domain);
+    let contention = Arc::new(ContentionMap::with_defaults(domain.geometry));
+    let funcs: Vec<_> = (0..depth)
+        .map(|i| domain.funcs.intern(&format!("level{i}"), "deep.rs", i as u32))
+        .collect();
+    let counter = domain.heap.alloc_words(1);
+
+    let sampling = SamplingConfig::dense().with_lbr_depth(lbr_depth);
+    let mut cpu = domain.spawn_cpu(sampling);
+    let mut tm = lib.thread();
+    let handle = attach(&mut cpu, tm.state_handle(), contention);
+
+    fn descend(
+        cpu: &mut txsim_htm::SimCpu,
+        funcs: &[txsim_htm::FuncId],
+        counter: u64,
+    ) -> TxResult<()> {
+        match funcs.split_first() {
+            Some((f, rest)) => cpu.frame(1, *f, |cpu| descend(cpu, rest, counter)),
+            None => {
+                cpu.compute(2, 50)?;
+                cpu.rmw(3, counter, |v| v + 1).map(|_| ())
+            }
+        }
+    }
+
+    for _ in 0..30_000 {
+        tm.critical_section(&mut cpu, 10, |cpu| descend(cpu, &funcs, counter));
+    }
+    drop(cpu);
+    merge_profiles(vec![handle.take()])
+}
+
+#[test]
+fn shallow_chain_fits_the_haswell_window() {
+    // 4 calls = 8 branch records < 16: reconstruction must be exact.
+    let p = run_deep_chain(4, 16);
+    assert!(p.samples > 0);
+    assert_eq!(
+        p.truncated_paths, 0,
+        "a 4-deep chain must reconstruct without truncation"
+    );
+    // The deepest speculative frame must be present.
+    let deep = p
+        .cct
+        .find_all(|k| matches!(k, txsampler::NodeKey::Frame { speculative: true, .. }));
+    let max_depth = deep
+        .iter()
+        .map(|&id| {
+            p.cct
+                .path_to(id)
+                .iter()
+                .filter(|k| k.speculative())
+                .count()
+        })
+        .max()
+        .unwrap_or(0);
+    assert_eq!(max_depth, 4, "all four in-tx frames must appear");
+}
+
+#[test]
+fn deep_chain_overflows_and_is_flagged() {
+    // 12 calls: the hot leaf sits 12 frames deep; each sample's window
+    // holds the last 16 branches — calls+returns from the descent exceed
+    // it, so some samples must be flagged truncated.
+    let p = run_deep_chain(12, 16);
+    assert!(p.samples > 0);
+    assert!(
+        p.truncated_paths > 0,
+        "a 12-deep chain cannot always fit 16 LBR entries"
+    );
+}
+
+#[test]
+fn skylake_window_recovers_the_deep_chain() {
+    let narrow = run_deep_chain(12, 16);
+    let wide = run_deep_chain(12, 32);
+    let rate = |p: &txsampler::Profile| p.truncated_paths as f64 / p.samples.max(1) as f64;
+    assert!(
+        rate(&wide) < rate(&narrow),
+        "a 32-entry LBR must truncate less: {:.3} vs {:.3}",
+        rate(&wide),
+        rate(&narrow)
+    );
+}
+
+#[test]
+fn state_machine_covers_every_component() {
+    // Figure 2: drive a workload whose sections visit every state and
+    // check the profiler attributes samples to all four CS components.
+    let domain = HtmDomain::new(DomainConfig::default().cooperative());
+    let lib = TmLib::new(&domain);
+    let contention = Arc::new(ContentionMap::with_defaults(domain.geometry));
+    let hot = domain.heap.alloc_words(1);
+
+    const THREADS: usize = 6;
+    let barrier = std::sync::Barrier::new(THREADS);
+    let profiles: Vec<_> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|i| {
+                let domain = Arc::clone(&domain);
+                let lib = Arc::clone(&lib);
+                let contention = Arc::clone(&contention);
+                let barrier = &barrier;
+                s.spawn(move |_| {
+                    let mut cpu = domain
+                        .spawn_cpu(SamplingConfig::dense().with_period(EventKind::Cycles, Some(997)));
+                    let mut tm = lib.thread();
+                    let handle = attach(&mut cpu, tm.state_handle(), contention);
+                    barrier.wait();
+                    for k in 0..4_000u64 {
+                        cpu.compute(9, 150).expect("outside tx");
+                        tm.critical_section(&mut cpu, 1, |cpu| {
+                            cpu.rmw(2, hot, |v| v + 1)?; // conflicts → fallback
+                            cpu.compute(3, 120)?;
+                            if k % 16 == i as u64 {
+                                cpu.syscall(4)?; // guarantees fallback visits
+                            }
+                            Ok(())
+                        });
+                    }
+                    handle.take()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap();
+
+    let p = merge_profiles(profiles);
+    let m = p.totals();
+    assert!(m.t_tx > 0, "transactional samples: {m:?}");
+    assert!(m.t_fb > 0, "fallback samples: {m:?}");
+    assert!(m.t_wait > 0, "lock-waiting samples: {m:?}");
+    assert!(m.t_oh > 0, "overhead samples: {m:?}");
+    assert!(m.w > m.t, "some samples must land outside critical sections");
+}

@@ -1,0 +1,53 @@
+//! Profile persistence on real data: a profile collected from a live
+//! workload must round-trip through the on-disk format with every analysis
+//! producing identical results.
+
+use htmbench::harness::RunConfig;
+use txsampler::store;
+
+#[test]
+fn live_profile_roundtrips_through_the_store() {
+    let cfg = RunConfig::quick().with_threads(2).with_scale(5);
+    let out = htmbench::micro::nested_calls(&cfg);
+    let p = out.profile.as_ref().expect("profiled");
+
+    let text = store::save(p);
+    let q = store::load(&text).expect("roundtrip");
+
+    // Totals, structure and derived analyses all survive.
+    assert_eq!(q.totals(), p.totals());
+    assert_eq!(q.cct.len(), p.cct.len());
+    assert_eq!(q.samples, p.samples);
+    assert_eq!(q.threads.len(), p.threads.len());
+    assert_eq!(q.time_breakdown(), p.time_breakdown());
+    assert_eq!(q.hot_abort_sites(), p.hot_abort_sites());
+
+    // The decision tree reaches identical conclusions on the loaded copy.
+    let d1 = txsampler::diagnose(p, &Default::default());
+    let d2 = txsampler::diagnose(&q, &Default::default());
+    assert_eq!(d1.suggestions, d2.suggestions);
+    assert_eq!(d1.sites.len(), d2.sites.len());
+
+    // And the rendered report is byte-identical.
+    let reg = out.funcs.clone();
+    let r1 = txsampler::report::render_cct(p, &reg, &Default::default());
+    let r2 = txsampler::report::render_cct(&q, &reg, &Default::default());
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn store_format_is_stable_text() {
+    let cfg = RunConfig::quick().with_threads(2).with_scale(5);
+    let out = htmbench::micro::low_conflict(&cfg);
+    let p = out.profile.as_ref().unwrap();
+    let text = store::save(p);
+    assert!(text.starts_with("txsampler-profile\tv1\t"));
+    // Line-oriented: every line has a known record tag.
+    for line in text.lines().skip(1).filter(|l| !l.is_empty()) {
+        let tag = line.split('\t').next().unwrap();
+        assert!(
+            matches!(tag, "periods" | "node" | "thread" | "site"),
+            "unknown record tag {tag}"
+        );
+    }
+}
