@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Offline CI gate: format, lint, test — all without touching the network.
+# Run from the repository root: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "== ci.sh: all green"

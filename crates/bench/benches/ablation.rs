@@ -5,61 +5,48 @@
 //!   UA optimizations;
 //! * LBR depth — reconstruction fidelity (16 = Haswell vs 32 = Skylake).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use htmbench::harness::RunConfig;
+use txbench::microbench::Group;
 use txsim_htm::CostModel;
 
-fn bench_quantum(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_quantum");
-    group.sample_size(10);
+fn bench_quantum() {
+    let group = Group::new("ablation_quantum").sample_size(10);
     for quantum in [75u64, 150, 600, 2400] {
         let mut cfg = RunConfig::paper_default().with_threads(4).with_scale(10);
         cfg.domain.quantum = quantum;
-        group.bench_with_input(
-            BenchmarkId::from_parameter(quantum),
-            &cfg,
-            |b, cfg| b.iter(|| htmbench::micro::true_sharing(cfg)),
-        );
+        group.bench(&quantum.to_string(), || htmbench::micro::true_sharing(&cfg));
     }
-    group.finish();
 }
 
-fn bench_tx_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_tx_overhead");
-    group.sample_size(10);
+fn bench_tx_overhead() {
+    let group = Group::new("ablation_tx_overhead").sample_size(10);
     for (label, costs) in [
         ("default", CostModel::default()),
         ("zero_tx_overhead", CostModel::zero_tx_overhead()),
     ] {
         let mut cfg = RunConfig::paper_default().with_threads(4).with_scale(10);
         cfg.domain.costs = costs;
-        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
-            b.iter(|| {
-                htmbench::histo::run(
-                    htmbench::histo::Input::Skewed,
-                    htmbench::histo::Variant::Original,
-                    cfg,
-                )
-            })
+        group.bench(label, || {
+            htmbench::histo::run(
+                htmbench::histo::Input::Skewed,
+                htmbench::histo::Variant::Original,
+                &cfg,
+            )
         });
     }
-    group.finish();
 }
 
-fn bench_lbr_depth(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_lbr_depth");
-    group.sample_size(10);
+fn bench_lbr_depth() {
+    let group = Group::new("ablation_lbr_depth").sample_size(10);
     for depth in [8usize, 16, 32] {
         let mut cfg = RunConfig::paper_default().with_threads(4).with_scale(10);
         cfg.sampling = cfg.sampling.with_lbr_depth(depth);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(depth),
-            &cfg,
-            |b, cfg| b.iter(|| htmbench::micro::nested_calls(cfg)),
-        );
+        group.bench(&depth.to_string(), || htmbench::micro::nested_calls(&cfg));
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_quantum, bench_tx_overhead, bench_lbr_depth);
-criterion_main!(benches);
+fn main() {
+    bench_quantum();
+    bench_tx_overhead();
+    bench_lbr_depth();
+}

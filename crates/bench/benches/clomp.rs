@@ -1,30 +1,25 @@
 //! Figure 7 / Table 1 companion bench: the six CLOMP-TM configurations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use htmbench::clomp::{all_configs, run, ScatterMode, TxSize};
 use htmbench::harness::RunConfig;
+use txbench::microbench::Group;
 
 fn label(size: TxSize, scatter: ScatterMode) -> String {
     format!(
         "{}-{}",
-        if size == TxSize::Small { "small" } else { "large" },
+        if size == TxSize::Small {
+            "small"
+        } else {
+            "large"
+        },
         scatter.input_number()
     )
 }
 
-fn bench_clomp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_clomp");
-    group.sample_size(10);
+fn main() {
+    let group = Group::new("fig7_clomp").sample_size(10);
     let cfg = RunConfig::paper_default().with_threads(4).with_scale(10);
     for (size, scatter) in all_configs() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(label(size, scatter)),
-            &(size, scatter),
-            |b, &(size, scatter)| b.iter(|| run(size, scatter, &cfg)),
-        );
+        group.bench(&label(size, scatter), || run(size, scatter, &cfg));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_clomp);
-criterion_main!(benches);

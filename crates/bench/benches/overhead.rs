@@ -1,10 +1,9 @@
 //! Figure 5 companion bench: wall time of representative HTMBench programs
 //! native vs. with TxSampler attached. `cargo bench -p txbench --bench
-//! overhead` gives the statistically robust version of the `repro fig5`
-//! quick pass.
+//! overhead` gives the repeated-run version of the `repro fig5` quick pass.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use htmbench::harness::RunConfig;
+use txbench::microbench::Group;
 
 fn cfg(profiled: bool) -> RunConfig {
     let base = RunConfig::paper_default().with_threads(4).with_scale(10);
@@ -15,11 +14,13 @@ fn cfg(profiled: bool) -> RunConfig {
     }
 }
 
-fn bench_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5_overhead");
-    group.sample_size(10);
+fn main() {
+    let group = Group::new("fig5_overhead").sample_size(10);
 
-    type Runner = (&'static str, fn(&RunConfig) -> htmbench::harness::RunOutcome);
+    type Runner = (
+        &'static str,
+        fn(&RunConfig) -> htmbench::harness::RunOutcome,
+    );
     let cases: Vec<Runner> = vec![
         ("micro/low_conflict", htmbench::micro::low_conflict),
         ("stamp/kmeans", htmbench::stamp::kmeans),
@@ -27,15 +28,7 @@ fn bench_overhead(c: &mut Criterion) {
         ("synchro/skiplist", htmbench::lists::skiplist),
     ];
     for (name, run) in cases {
-        group.bench_with_input(BenchmarkId::new("native", name), &run, |b, run| {
-            b.iter(|| run(&cfg(false)))
-        });
-        group.bench_with_input(BenchmarkId::new("sampled", name), &run, |b, run| {
-            b.iter(|| run(&cfg(true)))
-        });
+        group.bench(&format!("native/{name}"), || run(&cfg(false)));
+        group.bench(&format!("sampled/{name}"), || run(&cfg(true)));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);

@@ -2,12 +2,11 @@
 //! study programs, measured as host wall time (the `repro table2` harness
 //! reports the simulated-cycle speedups).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use htmbench::harness::RunConfig;
+use txbench::microbench::Group;
 
-fn bench_speedups(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_speedup");
-    group.sample_size(10);
+fn main() {
+    let group = Group::new("table2_speedup").sample_size(10);
     let cfg = RunConfig::paper_default().with_threads(4).with_scale(10);
 
     for pair in htmbench::optimization_pairs() {
@@ -15,19 +14,9 @@ fn bench_speedups(c: &mut Criterion) {
         if !matches!(pair.code, "histo" | "LevelDB" | "linkedlist") {
             continue;
         }
-        group.bench_with_input(
-            BenchmarkId::new("original", pair.code),
-            &pair,
-            |b, pair| b.iter(|| (pair.original)(&cfg)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("optimized", pair.code),
-            &pair,
-            |b, pair| b.iter(|| (pair.optimized)(&cfg)),
-        );
+        group.bench(&format!("original/{}", pair.code), || (pair.original)(&cfg));
+        group.bench(&format!("optimized/{}", pair.code), || {
+            (pair.optimized)(&cfg)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_speedups);
-criterion_main!(benches);

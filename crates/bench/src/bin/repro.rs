@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [--threads N] [--scale S] [--trials T] [--out DIR] <experiment>...
+//! repro --self-profile <experiment>
 //!
 //! experiments:
 //!   table1        CLOMP-TM input characteristics
@@ -18,9 +19,16 @@
 //!   profile NAME  run one HTMBench program under TxSampler and print its
 //!                 full report (CCT view, decomposition, decision tree);
 //!                 with --out, also saves the raw profile
+//!
+//! --self-profile runs the experiment twice — instrumentation off, then
+//! counters + tracing on — and prints an overhead-decomposition report for
+//! the profiler itself (see crates/obs). Artifacts land in `results/` (or
+//! --out): `self_profile_<exp>.json` and a Chrome-traceable
+//! `self_profile_<exp>.trace.json`.
 //! ```
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use txbench::*;
 
@@ -37,19 +45,36 @@ fn profile_one(cfg: &ExpConfig, name: &str, save: &dyn Fn(&str, &str)) {
     let run_cfg = htmbench::harness::RunConfig::paper_default()
         .with_threads(cfg.threads)
         .with_scale(cfg.scale);
+    // Counters on so the report can end with the self-cost footer.
+    obs::registry().reset();
+    obs::set_enabled(true);
     let out = (spec.run)(&run_cfg);
+    obs::set_enabled(false);
     let profile = out.profile.as_ref().expect("profiled");
     let registry = out.funcs.clone();
 
-    println!("== {} — {} samples, truth a/c {:.3}", spec.name, profile.samples,
-        out.truth_abort_commit_ratio());
+    println!(
+        "== {} — {} samples, truth a/c {:.3}",
+        spec.name,
+        profile.samples,
+        out.truth_abort_commit_ratio()
+    );
     print!("{}", txsampler::report::render_time_breakdown(profile));
     print!("{}", txsampler::report::render_abort_breakdown(profile));
     println!();
-    println!("{}", txsampler::report::render_cct(profile, &registry, &Default::default()));
+    println!(
+        "{}",
+        txsampler::report::render_cct(profile, &registry, &Default::default())
+    );
     let diagnosis = txsampler::diagnose(profile, &txsampler::Thresholds::default());
-    println!("{}", txsampler::report::render_diagnosis(&diagnosis, &registry));
-    for imb in txsampler::detect_imbalance(profile, 2.0, 50).into_iter().take(3) {
+    println!(
+        "{}",
+        txsampler::report::render_diagnosis(&diagnosis, &registry)
+    );
+    for imb in txsampler::detect_imbalance(profile, 2.0, 50)
+        .into_iter()
+        .take(3)
+    {
         println!(
             "imbalance: site func{}:{} {:?} skew {:.1}x worst thread t{}",
             imb.site.func.0, imb.site.line, imb.kind, imb.factor, imb.worst_tid
@@ -59,12 +84,121 @@ fn profile_one(cfg: &ExpConfig, name: &str, save: &dyn Fn(&str, &str)) {
         &format!("profile-{}.txsp", spec.name.replace('/', "_")),
         &txsampler::store::save(profile),
     );
+    let self_cost = txsampler::report::render_self_cost(&obs::registry().snapshot());
+    if !self_cost.is_empty() {
+        print!("{self_cost}");
+    }
+}
+
+/// Dispatch one named experiment. Returns `false` for an unknown name.
+fn run_experiment(cfg: &ExpConfig, exp: &str, save: &dyn Fn(&str, &str)) -> bool {
+    match exp {
+        "table1" => {
+            let rows = fig7_clomp(cfg);
+            let text = render_table1(&rows);
+            println!("{text}");
+        }
+        "fig5" => {
+            let rows = fig5_overhead(cfg);
+            println!("{}", render_fig5(&rows));
+            save("fig5.tsv", &fig5_tsv(&rows));
+        }
+        "fig6" => {
+            let max = cfg.threads.max(2);
+            let counts: Vec<usize> = [1usize, 2, 4, 8, 14]
+                .into_iter()
+                .filter(|&c| c <= max)
+                .collect();
+            let rows = fig6_thread_sweep(cfg, &counts);
+            println!("{}", render_fig6(&rows));
+        }
+        "fig7" => {
+            let rows = fig7_clomp(cfg);
+            println!("{}", render_fig7(&rows));
+        }
+        "fig8" => {
+            let rows = fig8_characterize(cfg);
+            println!("{}", render_fig8(&rows));
+            save("fig8.tsv", &fig8_tsv(&rows));
+        }
+        "table2" => {
+            let rows = table2_speedups(cfg);
+            println!("{}", render_table2(&rows));
+            save("table2.tsv", &table2_tsv(&rows));
+        }
+        "case-dedup" => println!("{}", case_dedup(cfg)),
+        "case-leveldb" => println!("{}", case_leveldb(cfg)),
+        "case-histo" => println!("{}", case_histo(cfg)),
+        "case-supplementary" => println!("{}", case_supplementary(cfg)),
+        _ => return false,
+    }
+    true
+}
+
+/// Run `exp` twice — instrumentation off, then on — and report what the
+/// profiler spent on itself (crates/obs, ISSUE: Fig. 5-style decomposition).
+fn self_profile(cfg: &ExpConfig, exp: &str, out_dir: Option<&Path>) {
+    let discard = |_: &str, _: &str| {};
+
+    // Clean slate: instrumentation off, counters zeroed, trace sink empty.
+    obs::set_enabled(false);
+    obs::set_tracing(false);
+    obs::registry().reset();
+    let _ = obs::take_traces();
+
+    eprintln!("# self-profile[{exp}]: baseline run (instrumentation off)");
+    let t0 = Instant::now();
+    if !run_experiment(cfg, exp, &discard) {
+        eprintln!("unknown experiment: {exp} (--self-profile takes a table/fig/case name)");
+        std::process::exit(2);
+    }
+    let baseline_wall_ns = t0.elapsed().as_nanos() as u64;
+
+    eprintln!("# self-profile[{exp}]: instrumented run (counters + tracing on)");
+    obs::set_enabled(true);
+    obs::set_tracing(true);
+    let t1 = Instant::now();
+    run_experiment(cfg, exp, &discard);
+    let instrumented_wall_ns = t1.elapsed().as_nanos() as u64;
+
+    // Collect traces before disabling so the main thread's flush is counted.
+    let traces = obs::take_traces();
+    let snapshot = obs::registry().snapshot();
+    obs::set_enabled(false);
+    obs::set_tracing(false);
+
+    let profile = obs::SelfProfile {
+        experiment: exp.to_string(),
+        baseline_wall_ns,
+        instrumented_wall_ns,
+        spans: obs::aggregate_spans(&traces),
+        spans_dropped: traces.iter().map(|t| t.dropped).sum(),
+        snapshot,
+    };
+    println!("{}", profile.render());
+
+    let dir = out_dir
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let slug = exp.replace('/', "_");
+    let json_path = dir.join(format!("self_profile_{slug}.json"));
+    std::fs::write(&json_path, profile.to_json()).expect("write self-profile json");
+    let trace_path = dir.join(format!("self_profile_{slug}.trace.json"));
+    std::fs::write(&trace_path, obs::chrome::export_chrome_trace(&traces))
+        .expect("write chrome trace");
+    eprintln!(
+        "# wrote {} and {}",
+        json_path.display(),
+        trace_path.display()
+    );
 }
 
 fn main() {
     let mut args = std::env::args().skip(1).collect::<Vec<_>>();
     let mut cfg = ExpConfig::default();
     let mut out_dir: Option<PathBuf> = None;
+    let mut self_profile_exp: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
 
     let i = 0;
@@ -86,15 +220,35 @@ fn main() {
                 out_dir = Some(PathBuf::from(&args[i + 1]));
                 args.drain(i..=i + 1);
             }
+            "--self-profile" => {
+                self_profile_exp = Some(args[i + 1].clone());
+                args.drain(i..=i + 1);
+            }
             _ => {
                 experiments.push(args.remove(i));
             }
         }
     }
+    if let Some(exp) = self_profile_exp {
+        eprintln!(
+            "# repro: threads={} scale={} trials={}",
+            cfg.threads, cfg.scale, cfg.trials
+        );
+        self_profile(&cfg, &exp, out_dir.as_deref());
+        return;
+    }
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
         experiments = [
-            "table1", "fig5", "fig6", "fig7", "fig8", "table2", "case-dedup", "case-leveldb",
-            "case-histo", "case-supplementary",
+            "table1",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "table2",
+            "case-dedup",
+            "case-leveldb",
+            "case-histo",
+            "case-supplementary",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -115,59 +269,20 @@ fn main() {
     );
 
     for exp in &experiments {
-        match exp.as_str() {
-            "table1" => {
-                let rows = fig7_clomp(&cfg);
-                let text = render_table1(&rows);
-                println!("{text}");
-            }
-            "fig5" => {
-                let rows = fig5_overhead(&cfg);
-                println!("{}", render_fig5(&rows));
-                save("fig5.tsv", &fig5_tsv(&rows));
-            }
-            "fig6" => {
-                let max = cfg.threads.max(2);
-                let counts: Vec<usize> = [1usize, 2, 4, 8, 14]
-                    .into_iter()
-                    .filter(|&c| c <= max)
-                    .collect();
-                let rows = fig6_thread_sweep(&cfg, &counts);
-                println!("{}", render_fig6(&rows));
-            }
-            "fig7" => {
-                let rows = fig7_clomp(&cfg);
-                println!("{}", render_fig7(&rows));
-            }
-            "fig8" => {
-                let rows = fig8_characterize(&cfg);
-                println!("{}", render_fig8(&rows));
-                save("fig8.tsv", &fig8_tsv(&rows));
-            }
-            "table2" => {
-                let rows = table2_speedups(&cfg);
-                println!("{}", render_table2(&rows));
-                save("table2.tsv", &table2_tsv(&rows));
-            }
-            "case-dedup" => println!("{}", case_dedup(&cfg)),
-            "case-leveldb" => println!("{}", case_leveldb(&cfg)),
-            "case-histo" => println!("{}", case_histo(&cfg)),
-            "case-supplementary" => println!("{}", case_supplementary(&cfg)),
-            "profile" => {
-                // consume the workload name that follows
-                let name = experiments
-                    .iter()
-                    .skip_while(|e| e.as_str() != "profile")
-                    .nth(1)
-                    .cloned()
-                    .unwrap_or_default();
-                profile_one(&cfg, &name, &save);
-                break;
-            }
-            other => {
-                eprintln!("unknown experiment: {other}");
-                std::process::exit(2);
-            }
+        if exp == "profile" {
+            // consume the workload name that follows
+            let name = experiments
+                .iter()
+                .skip_while(|e| e.as_str() != "profile")
+                .nth(1)
+                .cloned()
+                .unwrap_or_default();
+            profile_one(&cfg, &name, &save);
+            break;
+        }
+        if !run_experiment(&cfg, exp, &save) {
+            eprintln!("unknown experiment: {exp}");
+            std::process::exit(2);
         }
     }
 }

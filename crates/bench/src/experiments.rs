@@ -124,7 +124,12 @@ pub fn render_fig5(rows: &[OverheadRow]) -> String {
         "Figure 5 — runtime overhead of TxSampler (native vs. with sampling)"
     )
     .unwrap();
-    writeln!(out, "{:<28} {:>10} {:>10} {:>9}", "benchmark", "native", "sampled", "overhead").unwrap();
+    writeln!(
+        out,
+        "{:<28} {:>10} {:>10} {:>9}",
+        "benchmark", "native", "sampled", "overhead"
+    )
+    .unwrap();
     for r in rows {
         writeln!(
             out,
@@ -199,9 +204,19 @@ pub fn fig6_thread_sweep(cfg: &ExpConfig, thread_counts: &[usize]) -> Vec<Thread
 /// Render Figure 6.
 pub fn render_fig6(rows: &[ThreadOverheadRow]) -> String {
     let mut out = String::new();
-    writeln!(out, "Figure 6 — TxSampler overhead vs. thread count (STAMP mean)").unwrap();
+    writeln!(
+        out,
+        "Figure 6 — TxSampler overhead vs. thread count (STAMP mean)"
+    )
+    .unwrap();
     for r in rows {
-        writeln!(out, "  {:>2} threads: {:+.1}%", r.threads, (r.ratio - 1.0) * 100.0).unwrap();
+        writeln!(
+            out,
+            "  {:>2} threads: {:+.1}%",
+            r.threads,
+            (r.ratio - 1.0) * 100.0
+        )
+        .unwrap();
     }
     out
 }
@@ -237,8 +252,17 @@ pub fn fig7_clomp(cfg: &ExpConfig) -> Vec<ClompRow> {
 /// weight decomposition per configuration.
 pub fn render_fig7(rows: &[ClompRow]) -> String {
     let mut out = String::new();
-    writeln!(out, "Figure 7 — CLOMP-TM data from TxSampler ({} configs)", rows.len()).unwrap();
-    writeln!(out, "time decomposition (. non-CS, H HTM, F fallback, w lock-wait, o overhead):").unwrap();
+    writeln!(
+        out,
+        "Figure 7 — CLOMP-TM data from TxSampler ({} configs)",
+        rows.len()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "time decomposition (. non-CS, H HTM, F fallback, w lock-wait, o overhead):"
+    )
+    .unwrap();
     for r in rows {
         let p = r.outcome.profile.as_ref().expect("profiled");
         let b = p.time_breakdown();
@@ -266,7 +290,14 @@ pub fn render_fig7(rows: &[ClompRow]) -> String {
             ],
             40,
         );
-        writeln!(out, "  {:<8} |{}| ({} aborts)", r.label, barstr, t.app_aborts()).unwrap();
+        writeln!(
+            out,
+            "  {:<8} |{}| ({} aborts)",
+            r.label,
+            barstr,
+            t.app_aborts()
+        )
+        .unwrap();
     }
     writeln!(out, "abort weight decomposition (sampled, by class):").unwrap();
     for r in rows {
@@ -281,7 +312,12 @@ pub fn render_fig7(rows: &[ClompRow]) -> String {
             ],
             40,
         );
-        writeln!(out, "  {:<8} |{}| (weight {})", r.label, barstr, m.abort_weight).unwrap();
+        writeln!(
+            out,
+            "  {:<8} |{}| (weight {})",
+            r.label, barstr, m.abort_weight
+        )
+        .unwrap();
     }
     out
 }
@@ -290,7 +326,11 @@ pub fn render_fig7(rows: &[ClompRow]) -> String {
 /// characteristics.
 pub fn render_table1(rows: &[ClompRow]) -> String {
     let mut out = String::new();
-    writeln!(out, "Table 1 — inputs for CLOMP-TM (expected vs. measured, large-tx runs)").unwrap();
+    writeln!(
+        out,
+        "Table 1 — inputs for CLOMP-TM (expected vs. measured, large-tx runs)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<8} {:<12} {:<38} {:>10} {:>10}",
@@ -435,7 +475,11 @@ pub fn table2_speedups(cfg: &ExpConfig) -> Vec<SpeedupRow> {
 /// Render Table 2.
 pub fn render_table2(rows: &[SpeedupRow]) -> String {
     let mut out = String::new();
-    writeln!(out, "Table 2 — optimization overview (measured on the simulator)").unwrap();
+    writeln!(
+        out,
+        "Table 2 — optimization overview (measured on the simulator)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<12} {:<46} {:<44} {:>7} {:>9}",
@@ -468,7 +512,14 @@ pub fn case_dedup(cfg: &ExpConfig) -> String {
     let diagnosis = txsampler::diagnose(profile, &txsampler::Thresholds::default());
     writeln!(out, "-- TxSampler decision-tree walk on the original:").unwrap();
     for (i, step) in diagnosis.steps.iter().enumerate().take(8) {
-        writeln!(out, "   ({}) {} = {:.3}", i + 1, step.observation, step.value).unwrap();
+        writeln!(
+            out,
+            "   ({}) {} = {:.3}",
+            i + 1,
+            step.observation,
+            step.value
+        )
+        .unwrap();
     }
     for s in diagnosis.all_suggestions().iter().take(6) {
         writeln!(out, "   -> {}", s.describe()).unwrap();
@@ -482,12 +533,24 @@ pub fn case_dedup(cfg: &ExpConfig) -> String {
 
     let cap_cut = 100.0 * (1.0 - t1.aborts_capacity as f64 / t0.aborts_capacity.max(1) as f64);
     let sync_cut = 100.0 * (1.0 - t2.aborts_sync as f64 / t1.aborts_sync.max(1) as f64);
-    writeln!(out, "-- hash-function fix: capacity aborts {} -> {} ({cap_cut:.0}% reduction; paper: 97%)",
-        t0.aborts_capacity, t1.aborts_capacity).unwrap();
-    writeln!(out, "-- I/O moved out of transaction: sync aborts {} -> {} ({sync_cut:.0}% reduction)",
-        t1.aborts_sync, t2.aborts_sync).unwrap();
-    writeln!(out, "-- end-to-end speedup: {:.2}x (paper: 1.20x)",
-        orig.makespan_cycles as f64 / full.makespan_cycles.max(1) as f64).unwrap();
+    writeln!(
+        out,
+        "-- hash-function fix: capacity aborts {} -> {} ({cap_cut:.0}% reduction; paper: 97%)",
+        t0.aborts_capacity, t1.aborts_capacity
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "-- I/O moved out of transaction: sync aborts {} -> {} ({sync_cut:.0}% reduction)",
+        t1.aborts_sync, t2.aborts_sync
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "-- end-to-end speedup: {:.2}x (paper: 1.20x)",
+        orig.makespan_cycles as f64 / full.makespan_cycles.max(1) as f64
+    )
+    .unwrap();
     out
 }
 
@@ -529,11 +592,23 @@ pub fn case_histo(cfg: &ExpConfig) -> String {
     writeln!(out, "§8.3 case study — Parboil Histo").unwrap();
 
     let gran = 100;
-    for (input, label) in [(Input::Skewed, "input 1 (skewed)"), (Input::Uniform, "input 2 (uniform)")] {
+    for (input, label) in [
+        (Input::Skewed, "input 1 (skewed)"),
+        (Input::Uniform, "input 2 (uniform)"),
+    ] {
         let orig = run(input, Variant::Original, &cfg.sampled_run());
         let b = orig.profile.as_ref().unwrap().time_breakdown();
-        writeln!(out, "-- {label}: original T_oh = {:.0}% of execution (paper: >40%)", b.overhead * 100.0).unwrap();
-        let coal = run(input, Variant::Coalesced { txn_gran: gran }, &cfg.sampled_run());
+        writeln!(
+            out,
+            "-- {label}: original T_oh = {:.0}% of execution (paper: >40%)",
+            b.overhead * 100.0
+        )
+        .unwrap();
+        let coal = run(
+            input,
+            Variant::Coalesced { txn_gran: gran },
+            &cfg.sampled_run(),
+        );
         let bc = coal.profile.as_ref().unwrap().time_breakdown();
         writeln!(
             out,
@@ -545,7 +620,11 @@ pub fn case_histo(cfg: &ExpConfig) -> String {
         )
         .unwrap();
         if input == Input::Uniform {
-            let sorted = run(input, Variant::CoalescedSorted { txn_gran: gran }, &cfg.sampled_run());
+            let sorted = run(
+                input,
+                Variant::CoalescedSorted { txn_gran: gran },
+                &cfg.sampled_run(),
+            );
             let conflicts = |o: &RunOutcome| o.truth.totals().aborts_conflict;
             writeln!(
                 out,
@@ -568,7 +647,11 @@ pub fn case_supplementary(cfg: &ExpConfig) -> String {
     // SSCA2: high T_wait → defer transactions.
     {
         use htmbench::apps::{ssca2, Ssca2Variant};
-        writeln!(out, "supplementary — SSCA2 (high T_wait → defer transactions)").unwrap();
+        writeln!(
+            out,
+            "supplementary — SSCA2 (high T_wait → defer transactions)"
+        )
+        .unwrap();
         let orig = ssca2(Ssca2Variant::Original, &cfg.sampled_run());
         let b = orig.profile.as_ref().unwrap().time_breakdown();
         writeln!(
@@ -592,10 +675,19 @@ pub fn case_supplementary(cfg: &ExpConfig) -> String {
     // UA: high T_oh → merge transactions.
     {
         use htmbench::apps::{ua, UaVariant};
-        writeln!(out, "supplementary — NPB UA (high T_oh → merge transactions)").unwrap();
+        writeln!(
+            out,
+            "supplementary — NPB UA (high T_oh → merge transactions)"
+        )
+        .unwrap();
         let orig = ua(UaVariant::Original, &cfg.sampled_run());
         let b = orig.profile.as_ref().unwrap().time_breakdown();
-        writeln!(out, "-- original: T_oh {:.0}% of execution", b.overhead * 100.0).unwrap();
+        writeln!(
+            out,
+            "-- original: T_oh {:.0}% of execution",
+            b.overhead * 100.0
+        )
+        .unwrap();
         let opt = ua(UaVariant::Merged, &cfg.sampled_run());
         let bo = opt.profile.as_ref().unwrap().time_breakdown();
         writeln!(
@@ -610,7 +702,11 @@ pub fn case_supplementary(cfg: &ExpConfig) -> String {
     // vacation: high abort rate → reduce transaction size.
     {
         use htmbench::stamp::{vacation, VacationVariant};
-        writeln!(out, "supplementary — vacation (high abort rate → smaller transactions)").unwrap();
+        writeln!(
+            out,
+            "supplementary — vacation (high abort rate → smaller transactions)"
+        )
+        .unwrap();
         let orig = vacation(VacationVariant::Original, &cfg.sampled_run());
         writeln!(
             out,
@@ -657,7 +753,15 @@ pub fn fig5_tsv(rows: &[OverheadRow]) -> String {
 pub fn fig8_tsv(rows: &[CharacterizationRow]) -> String {
     let mut out = String::from("name\tr_cs\tr_ac\ttype\n");
     for r in rows {
-        writeln!(out, "{}\t{:.4}\t{:.4}\t{}", r.name, r.r_cs, r.r_ac, r.program_type.label()).unwrap();
+        writeln!(
+            out,
+            "{}\t{:.4}\t{:.4}\t{}",
+            r.name,
+            r.r_cs,
+            r.r_ac,
+            r.program_type.label()
+        )
+        .unwrap();
     }
     out
 }
@@ -666,7 +770,12 @@ pub fn fig8_tsv(rows: &[CharacterizationRow]) -> String {
 pub fn table2_tsv(rows: &[SpeedupRow]) -> String {
     let mut out = String::from("code\tpaper_speedup\tmeasured_speedup\n");
     for r in rows {
-        writeln!(out, "{}\t{:.2}\t{:.3}", r.code, r.paper_speedup, r.measured_speedup).unwrap();
+        writeln!(
+            out,
+            "{}\t{:.2}\t{:.3}",
+            r.code, r.paper_speedup, r.measured_speedup
+        )
+        .unwrap();
     }
     out
 }

@@ -1,7 +1,8 @@
 //! Shared plumbing for the figure/table harness (`repro` binary and the
-//! Criterion benches): experiment runners that regenerate every table and
+//! std-only benches): experiment runners that regenerate every table and
 //! figure of the paper's evaluation, printing paper-style rows.
 
 pub mod experiments;
+pub mod microbench;
 
 pub use experiments::*;

@@ -1,0 +1,61 @@
+//! A minimal std-only micro-benchmark harness.
+//!
+//! Replaces Criterion for the offline build: each case runs a fixed number
+//! of timed iterations (plus one warm-up) and prints min / median / mean
+//! wall times in a stable, grep-friendly format. Not statistically fancy —
+//! the `repro` experiments report simulated cycles, which are deterministic;
+//! these benches only gauge host cost.
+
+use std::time::{Duration, Instant};
+
+/// Default timed iterations per case.
+pub const DEFAULT_ITERS: usize = 10;
+
+/// A named group of benchmark cases, printed with a header.
+pub struct Group {
+    name: String,
+    iters: usize,
+}
+
+impl Group {
+    /// Start a group; prints the header immediately.
+    pub fn new(name: &str) -> Self {
+        println!("== bench group: {name} ==");
+        Group {
+            name: name.to_string(),
+            iters: DEFAULT_ITERS,
+        }
+    }
+
+    /// Override the per-case iteration count.
+    pub fn sample_size(mut self, iters: usize) -> Self {
+        self.iters = iters.max(1);
+        self
+    }
+
+    /// Time `f` for this group's iteration count and print one row.
+    /// The closure's return value is consumed so the work is not optimized
+    /// away.
+    pub fn bench<T>(&self, case: &str, mut f: impl FnMut() -> T) {
+        std::hint::black_box(f()); // warm-up
+        let mut times: Vec<Duration> = (0..self.iters)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{:<40} {:>4} iters   min {:>10.3} ms   median {:>10.3} ms   mean {:>10.3} ms",
+            format!("{}/{}", self.name, case),
+            self.iters,
+            min.as_secs_f64() * 1e3,
+            median.as_secs_f64() * 1e3,
+            mean.as_secs_f64() * 1e3,
+        );
+    }
+}

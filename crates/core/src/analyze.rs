@@ -55,19 +55,21 @@ fn reduce(profiles: Vec<ThreadProfile>) -> crate::cct::Cct {
         }
         if pairs.len() >= 2 {
             // Merge pairs concurrently — the reduction tree.
-            let merged: Vec<crate::cct::Cct> = crossbeam::thread::scope(|s| {
+            let merged: Vec<crate::cct::Cct> = std::thread::scope(|s| {
                 let handles: Vec<_> = pairs
                     .into_iter()
                     .map(|(mut a, b)| {
-                        s.spawn(move |_| {
+                        s.spawn(move || {
                             a.merge(&b);
                             a
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .expect("merge threads must not panic");
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("merge threads must not panic"))
+                    .collect()
+            });
             next.extend(merged);
         } else {
             for (mut a, b) in pairs {
@@ -157,7 +159,9 @@ mod tests {
 
     #[test]
     fn merge_sums_across_threads() {
-        let profiles: Vec<_> = (0..7).map(|tid| thread_profile(tid, (tid as u64) + 1)).collect();
+        let profiles: Vec<_> = (0..7)
+            .map(|tid| thread_profile(tid, (tid as u64) + 1))
+            .collect();
         let merged = merge_profiles(profiles);
         assert_eq!(merged.totals().w, 28); // 1+2+…+7
         assert_eq!(merged.threads.len(), 7);

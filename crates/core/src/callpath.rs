@@ -44,6 +44,7 @@ impl TxCallPath {
 /// reconstructed; otherwise the window lost the path prefix and the result
 /// is flagged truncated.
 pub fn reconstruct_tx_path(entries: &[LbrEntry], anchor: FuncId) -> TxCallPath {
+    obs::count(obs::Counter::LbrWindowReconstructions);
     // Step 1: isolate the *current* transaction's branches — the contiguous
     // trailing run of in-tsx entries. Trailing non-tsx entries (the abort
     // branch and the interrupt delivery) are skipped; anything before an
@@ -75,6 +76,7 @@ pub fn reconstruct_tx_path(entries: &[LbrEntry], anchor: FuncId) -> TxCallPath {
     let mut frames: Vec<Frame> = Vec::new();
     let mut truncated = false;
     for e in tx_entries {
+        #[allow(clippy::collapsible_match)]
         match e.kind {
             BranchKind::Call => frames.push(Frame {
                 func: e.to.func,
@@ -105,6 +107,9 @@ pub fn reconstruct_tx_path(entries: &[LbrEntry], anchor: FuncId) -> TxCallPath {
         truncated = true;
     }
 
+    if truncated {
+        obs::count(obs::Counter::LbrWindowsTruncated);
+    }
     TxCallPath { frames, truncated }
 }
 
@@ -169,12 +174,12 @@ mod tests {
         // Paper Figure 3: inside a transaction in A, B() ran and returned,
         // then C() called D() where the sample hit. Expected path: C → D.
         let entries = vec![
-            call(A, 3, B, true),    // Call B
-            call(B, 12, D, true),   // Call D (from B)
-            ret(D, B, 12, true),    // D returns
-            ret(B, A, 3, true),     // B returns
-            call(A, 4, C, true),    // Call C
-            call(C, 20, D, true),   // Call D (from C)
+            call(A, 3, B, true),  // Call B
+            call(B, 12, D, true), // Call D (from B)
+            ret(D, B, 12, true),  // D returns
+            ret(B, A, 3, true),   // B returns
+            call(A, 4, C, true),  // Call C
+            call(C, 20, D, true), // Call D (from C)
             interrupt(true),
         ];
         let p = reconstruct_tx_path(&entries, A);

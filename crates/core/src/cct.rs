@@ -105,8 +105,10 @@ impl Cct {
     /// Child of `parent` with `key`, created on demand.
     pub fn child(&mut self, parent: NodeId, key: NodeKey) -> NodeId {
         if let Some(&id) = self.nodes[parent as usize].children.get(&key) {
+            obs::count(obs::Counter::CctNodesHit);
             return id;
         }
+        obs::count(obs::Counter::CctNodesCreated);
         let id = self.nodes.len() as NodeId;
         self.nodes.push(Node {
             key: Some(key),
@@ -215,14 +217,23 @@ impl Cct {
 
     /// Find any node whose key matches `pred` (tests and analyses).
     pub fn find(&self, mut pred: impl FnMut(&NodeKey) -> bool) -> Option<NodeId> {
-        (1..self.nodes.len() as NodeId)
-            .find(|&id| self.nodes[id as usize].key.map(|k| pred(&k)).unwrap_or(false))
+        (1..self.nodes.len() as NodeId).find(|&id| {
+            self.nodes[id as usize]
+                .key
+                .map(|k| pred(&k))
+                .unwrap_or(false)
+        })
     }
 
     /// All nodes whose key matches `pred`.
     pub fn find_all(&self, mut pred: impl FnMut(&NodeKey) -> bool) -> Vec<NodeId> {
         (1..self.nodes.len() as NodeId)
-            .filter(|&id| self.nodes[id as usize].key.map(|k| pred(&k)).unwrap_or(false))
+            .filter(|&id| {
+                self.nodes[id as usize]
+                    .key
+                    .map(|k| pred(&k))
+                    .unwrap_or(false)
+            })
             .collect()
     }
 }
@@ -312,7 +323,9 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.totals().w, 8);
         assert_eq!(a.totals().t, 1);
-        let merged = a.find(|k| matches!(k, NodeKey::Stmt { ip, .. } if ip.line == 2)).unwrap();
+        let merged = a
+            .find(|k| matches!(k, NodeKey::Stmt { ip, .. } if ip.line == 2))
+            .unwrap();
         assert_eq!(a.metrics(merged).w, 8);
     }
 

@@ -17,9 +17,9 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
-use parking_lot::Mutex;
+use obs::{Counter, Subsystem};
 use rtm_runtime::ThreadState;
 use txsim_pmu::{
     AbortClass, BranchKind, EventKind, Frame, FuncId, Ip, Sample, SampleSink, SamplingConfig,
@@ -49,7 +49,24 @@ pub struct CollectorHandle {
 impl CollectorHandle {
     /// Take the finished thread profile. Call after the worker joined.
     pub fn take(&self) -> ThreadProfile {
-        std::mem::take(&mut self.profile.lock())
+        std::mem::take(&mut lock_profile(&self.profile))
+    }
+}
+
+/// Acquire the profile lock, counting acquisitions and contended
+/// acquisitions (the collector lock is the tool's own hot lock; the
+/// self-profile wants to know when worker sampling fights the reader).
+fn lock_profile(profile: &Mutex<ThreadProfile>) -> MutexGuard<'_, ThreadProfile> {
+    obs::count(Counter::CollectorLockAcquisitions);
+    match profile.try_lock() {
+        Ok(guard) => guard,
+        Err(std::sync::TryLockError::WouldBlock) => {
+            obs::count(Counter::CollectorLockContended);
+            profile.lock().expect("collector profile lock poisoned")
+        }
+        Err(std::sync::TryLockError::Poisoned(_)) => {
+            panic!("collector profile lock poisoned")
+        }
     }
 }
 
@@ -154,10 +171,11 @@ impl Collector {
 
 impl SampleSink for Collector {
     fn on_sample(&mut self, sample: &Sample, stack: &[Frame]) {
+        let _span = obs::span(Subsystem::Collector, "on_sample");
         let mut truncated = false;
         let keys = Self::context_keys(sample, stack, &mut truncated);
 
-        let mut profile = self.profile.lock();
+        let mut profile = lock_profile(&self.profile);
         profile.samples += 1;
         if truncated {
             profile.truncated_paths += 1;
@@ -174,14 +192,13 @@ impl SampleSink for Collector {
                 profile.site_commits(sample.ip).0 += 1;
             }
             EventKind::TxAbort => {
-                let class = sample
-                    .abort_class
-                    .expect("abort samples carry their class");
+                let class = sample.abort_class.expect("abort samples carry their class");
                 if class == AbortClass::Interrupt {
                     // Profiler-induced abort: discount it, or the tool
                     // would observe its own perturbation as application
                     // pathology.
                     profile.interrupt_abort_samples += 1;
+                    obs::count(Counter::SamplesDropped);
                 } else {
                     let m = profile.cct.metrics_mut(node);
                     m.abort_samples += 1;

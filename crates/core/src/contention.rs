@@ -11,8 +11,9 @@
 //! decision tree.
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 
-use parking_lot::Mutex;
+use obs::Counter;
 use txsim_mem::{Addr, CacheGeometry};
 
 /// The paper sets the contention window P to 100 ms (empirically). The
@@ -91,9 +92,10 @@ impl ContentionMap {
     /// the window P; per-word shadow state then separates true from false
     /// sharing.
     pub fn record(&self, addr: Addr, tid: usize, is_store: bool, tsc: u64) -> Sharing {
+        obs::count(Counter::ShadowProbes);
         let line = self.geometry.line_of(addr).0;
         let shard = &self.shards[(line as usize) % SHARDS];
-        let mut shard = shard.lock();
+        let mut shard = shard.lock().expect("shadow shard poisoned");
 
         let mut result = Sharing::None;
         if let Some(prev) = shard.by_line.get(&line) {
@@ -104,8 +106,8 @@ impl ContentionMap {
                 prev.prev_other
             };
             if let Some(other) = candidate {
-                let contends = (other.is_store || is_store)
-                    && tsc.saturating_sub(other.tsc) < self.window_ns;
+                let contends =
+                    (other.is_store || is_store) && tsc.saturating_sub(other.tsc) < self.window_ns;
                 if contends {
                     // Same line within the window: true sharing if the word
                     // itself was last touched by a different thread.
@@ -132,13 +134,19 @@ impl ContentionMap {
                 prev_other: None,
             });
         shard.by_word.insert(addr, access);
+        if result != Sharing::None {
+            obs::count(Counter::ShadowHits);
+        }
         result
     }
 
     /// Number of distinct lines currently shadowed (diagnostics; bounds the
     /// detector's memory use in tests).
     pub fn shadowed_lines(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().by_line.len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shadow shard poisoned").by_line.len())
+            .sum()
     }
 }
 
@@ -209,7 +217,7 @@ mod tests {
         let m = map();
         m.record(64, 0, true, 0); // thread 0 wrote word 64
         m.record(72, 1, true, 10); // thread 1 wrote word 72 (false sharing)
-        // Thread 1 now touches word 64, last written by thread 0 → true.
+                                   // Thread 1 now touches word 64, last written by thread 0 → true.
         assert_eq!(m.record(64, 1, true, 20), Sharing::True);
         // Thread 0 touches word 64 again; last word access was thread 1 → true.
         assert_eq!(m.record(64, 0, true, 30), Sharing::True);

@@ -322,7 +322,9 @@ mod tests {
         let p = profile_with(|p| {
             let n = stmt(p, 1, 1);
             for _ in 0..90 {
-                p.cct.metrics_mut(n).add_cycles_sample(TimeComponent::Outside);
+                p.cct
+                    .metrics_mut(n)
+                    .add_cycles_sample(TimeComponent::Outside);
             }
             for _ in 0..10 {
                 p.cct.metrics_mut(n).add_cycles_sample(TimeComponent::Tx);
@@ -338,7 +340,9 @@ mod tests {
         let p = profile_with(|p| {
             let n = stmt(p, 1, 1);
             for _ in 0..50 {
-                p.cct.metrics_mut(n).add_cycles_sample(TimeComponent::Overhead);
+                p.cct
+                    .metrics_mut(n)
+                    .add_cycles_sample(TimeComponent::Overhead);
             }
             for _ in 0..50 {
                 p.cct.metrics_mut(n).add_cycles_sample(TimeComponent::Tx);
@@ -353,7 +357,9 @@ mod tests {
         let p = profile_with(|p| {
             let n = stmt(p, 1, 1);
             for _ in 0..80 {
-                p.cct.metrics_mut(n).add_cycles_sample(TimeComponent::LockWaiting);
+                p.cct
+                    .metrics_mut(n)
+                    .add_cycles_sample(TimeComponent::LockWaiting);
             }
             for _ in 0..20 {
                 p.cct.metrics_mut(n).add_cycles_sample(TimeComponent::Tx);
@@ -370,7 +376,9 @@ mod tests {
         assert!(d.suggestions.contains(&Suggestion::ElideReadLock));
         assert_eq!(d.sites.len(), 1);
         assert_eq!(d.sites[0].dominant_class, "conflict");
-        assert!(d.sites[0].suggestions.contains(&Suggestion::SplitTransactions));
+        assert!(d.sites[0]
+            .suggestions
+            .contains(&Suggestion::SplitTransactions));
         assert!(!d.sites[0]
             .suggestions
             .contains(&Suggestion::RelocateDataToDifferentLines));
@@ -381,7 +389,9 @@ mod tests {
         let p = profile_with(|p| {
             let n = stmt(p, 1, 1);
             for _ in 0..60 {
-                p.cct.metrics_mut(n).add_cycles_sample(TimeComponent::Fallback);
+                p.cct
+                    .metrics_mut(n)
+                    .add_cycles_sample(TimeComponent::Fallback);
             }
             for _ in 0..40 {
                 p.cct.metrics_mut(n).add_cycles_sample(TimeComponent::Tx);
@@ -405,7 +415,9 @@ mod tests {
         let p = profile_with(|p| {
             let n = stmt(p, 1, 1);
             for _ in 0..70 {
-                p.cct.metrics_mut(n).add_cycles_sample(TimeComponent::Fallback);
+                p.cct
+                    .metrics_mut(n)
+                    .add_cycles_sample(TimeComponent::Fallback);
             }
             for _ in 0..30 {
                 p.cct.metrics_mut(n).add_cycles_sample(TimeComponent::Tx);
@@ -420,7 +432,9 @@ mod tests {
         });
         let d = diagnose(&p, &Thresholds::default());
         assert_eq!(d.sites[0].dominant_class, "capacity");
-        assert!(d.sites[0].suggestions.contains(&Suggestion::SplitTransactions));
+        assert!(d.sites[0]
+            .suggestions
+            .contains(&Suggestion::SplitTransactions));
     }
 
     #[test]
@@ -428,7 +442,9 @@ mod tests {
         let p = profile_with(|p| {
             let n = stmt(p, 1, 1);
             for _ in 0..70 {
-                p.cct.metrics_mut(n).add_cycles_sample(TimeComponent::Fallback);
+                p.cct
+                    .metrics_mut(n)
+                    .add_cycles_sample(TimeComponent::Fallback);
             }
             for _ in 0..30 {
                 p.cct.metrics_mut(n).add_cycles_sample(TimeComponent::Tx);
@@ -454,7 +470,9 @@ mod tests {
                 p.cct.metrics_mut(n).add_cycles_sample(TimeComponent::Tx);
             }
             for _ in 0..5 {
-                p.cct.metrics_mut(n).add_cycles_sample(TimeComponent::Overhead);
+                p.cct
+                    .metrics_mut(n)
+                    .add_cycles_sample(TimeComponent::Overhead);
             }
         });
         let d = diagnose(&p, &Thresholds::default());

@@ -40,7 +40,7 @@
 //! let counter = domain.heap.alloc_words(1);
 //! let contention = Arc::new(ContentionMap::with_defaults(domain.geometry));
 //!
-//! // One worker thread (usually many, via crossbeam::scope):
+//! // One worker thread (usually many, via std::thread::scope):
 //! let mut cpu = domain.spawn_cpu(SamplingConfig::txsampler_default());
 //! let mut tm = lib.thread();
 //! let handle = attach(&mut cpu, tm.state_handle(), Arc::clone(&contention));

@@ -151,9 +151,7 @@ pub fn render_cct(profile: &Profile, registry: &FuncRegistry, opts: &CctViewOpti
         "calling context", "W", "T%", "Ttx%", "abort-wt", "a/c"
     )
     .unwrap();
-    render_node(
-        profile, registry, ROOT, 0, &totals, opts, &mut out, false,
-    );
+    render_node(profile, registry, ROOT, 0, &totals, opts, &mut out, false);
     out
 }
 
@@ -180,14 +178,22 @@ fn render_node(
     }
 
     let indent = "  ".repeat(depth);
-    let speculative_now = profile.cct.key(node).map(|k| k.speculative()).unwrap_or(false);
+    let speculative_now = profile
+        .cct
+        .key(node)
+        .map(|k| k.speculative())
+        .unwrap_or(false);
     if speculative_now && !parent_speculative {
         writeln!(out, "{indent}[begin_in_tx]").unwrap();
     }
     let label = match profile.cct.key(node) {
         None => "<thread root>".to_string(),
         Some(NodeKey::Frame { func, callsite, .. }) => {
-            format!("{} (from {})", registry.name(func), ip_name(registry, callsite))
+            format!(
+                "{} (from {})",
+                registry.name(func),
+                ip_name(registry, callsite)
+            )
         }
         Some(NodeKey::Stmt { ip, .. }) => format!("@ {}", ip_name(registry, ip)),
     };
@@ -262,7 +268,14 @@ pub fn render_diagnosis(diagnosis: &Diagnosis, registry: &FuncRegistry) -> Strin
     let mut out = String::new();
     writeln!(out, "decision-tree traversal:").unwrap();
     for (i, step) in diagnosis.steps.iter().enumerate() {
-        writeln!(out, "  ({}) {} = {:.3}", i + 1, step.observation, step.value).unwrap();
+        writeln!(
+            out,
+            "  ({}) {} = {:.3}",
+            i + 1,
+            step.observation,
+            step.value
+        )
+        .unwrap();
     }
     writeln!(out, "program-level guidance:").unwrap();
     for s in &diagnosis.suggestions {
@@ -282,6 +295,30 @@ pub fn render_diagnosis(diagnosis: &Diagnosis, registry: &FuncRegistry) -> Strin
         }
     }
     out
+}
+
+/// One-line "profiler self-cost" footer summarizing what the profiler spent
+/// on itself during a run, from an observability counter snapshot: samples
+/// processed and discarded, and trace-span retention. Returns an empty
+/// string when the snapshot is all zero (instrumentation was off), so
+/// callers can print it unconditionally.
+pub fn render_self_cost(snapshot: &obs::Snapshot) -> String {
+    use obs::Counter;
+    if snapshot.is_zero() {
+        return String::new();
+    }
+    let taken = snapshot.get(Counter::SamplesTaken);
+    let dropped = snapshot.get(Counter::SamplesDropped);
+    let drop_rate = dropped as f64 / (taken + dropped).max(1) as f64;
+    let retained = snapshot.get(Counter::SpansRecorded);
+    let overwritten = snapshot.get(Counter::SpansDropped);
+    let occupancy = retained as f64 / (retained + overwritten).max(1) as f64;
+    format!(
+        "profiler self-cost: {taken} samples processed, {dropped} dropped ({:.1}%); \
+         {retained} trace spans retained, {overwritten} overwritten ({:.0}% kept)\n",
+        drop_rate * 100.0,
+        occupancy * 100.0,
+    )
 }
 
 /// Export the headline metrics as one TSV row (used by the figure harness).

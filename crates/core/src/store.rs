@@ -67,7 +67,12 @@ pub fn save(profile: &Profile) -> String {
     for t in &profile.threads {
         writeln!(out, "thread\t{}\t{}", t.tid, metrics_fields(&t.totals)).unwrap();
         for (site, (c, a)) in &t.sites {
-            writeln!(out, "site\t{}\t{}\t{}\t{}\t{}", t.tid, site.func.0, site.line, c, a).unwrap();
+            writeln!(
+                out,
+                "site\t{}\t{}\t{}\t{}\t{}",
+                t.tid, site.func.0, site.line, c, a
+            )
+            .unwrap();
         }
     }
     out
@@ -231,8 +236,11 @@ pub fn load(text: &str) -> Result<Profile, LoadError> {
                     .and_then(|f| f.parse().ok())
                     .ok_or_else(|| LoadError::bad("node parent"))?;
                 let key = parse_key(fields.next().ok_or_else(|| LoadError::bad("node key"))?)?;
-                let metrics =
-                    parse_metrics(fields.next().ok_or_else(|| LoadError::bad("node metrics"))?)?;
+                let metrics = parse_metrics(
+                    fields
+                        .next()
+                        .ok_or_else(|| LoadError::bad("node metrics"))?,
+                )?;
                 let live = match key {
                     None => ROOT,
                     Some(key) => {
@@ -250,8 +258,11 @@ pub fn load(text: &str) -> Result<Profile, LoadError> {
                     .next()
                     .and_then(|f| f.parse().ok())
                     .ok_or_else(|| LoadError::bad("thread id"))?;
-                let totals =
-                    parse_metrics(fields.next().ok_or_else(|| LoadError::bad("thread totals"))?)?;
+                let totals = parse_metrics(
+                    fields
+                        .next()
+                        .ok_or_else(|| LoadError::bad("thread totals"))?,
+                )?;
                 profile.threads.push(ThreadSummary {
                     tid,
                     totals,
@@ -270,8 +281,10 @@ pub fn load(text: &str) -> Result<Profile, LoadError> {
                     .iter_mut()
                     .find(|t| t.tid == vals[0] as usize)
                     .ok_or_else(|| LoadError::bad("site before thread"))?;
-                t.sites
-                    .insert(Ip::new(FuncId(vals[1] as u32), vals[2] as u32), (vals[3], vals[4]));
+                t.sites.insert(
+                    Ip::new(FuncId(vals[1] as u32), vals[2] as u32),
+                    (vals[3], vals[4]),
+                );
             }
             Some("") | None => {}
             Some(other) => return Err(LoadError::bad(other)),
@@ -374,7 +387,9 @@ mod tests {
     fn rejects_garbage() {
         assert!(load("").is_err());
         assert!(load("not-a-profile\tv1").is_err());
-        assert!(load("txsampler-profile\tv99\tsamples=0\ttruncated=0\tinterrupt_aborts=0").is_err());
+        assert!(
+            load("txsampler-profile\tv99\tsamples=0\ttruncated=0\tinterrupt_aborts=0").is_err()
+        );
         let p = sample_profile();
         let mut text = save(&p);
         text.push_str("\ngibberish\tline\n");

@@ -1,4 +1,8 @@
 //! Property-based tests on the profiler's core data structures.
+//!
+//! Gated behind the off-by-default `proptest` feature: the crate is not
+//! vendored in the offline build.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use txsampler::cct::{Cct, NodeKey, ROOT};

@@ -13,8 +13,6 @@
 //! vacation, ssca2, ua) are implemented structurally instead, in their own
 //! modules.
 
-use rand::Rng;
-
 use crate::harness::{run_workload, RunConfig, RunOutcome, Worker};
 use txsim_htm::{Addr, FuncId};
 
@@ -250,7 +248,9 @@ pub fn run_shape(shape: &AppShape, cfg: &RunConfig) -> RunOutcome {
             let ops = w.scaled(shape.ops);
             for op in 0..ops {
                 if shape.outside_compute > 0 {
-                    w.cpu.compute(101, shape.outside_compute).expect("outside tx");
+                    w.cpu
+                        .compute(101, shape.outside_compute)
+                        .expect("outside tx");
                 }
                 // Pick targets before entering the transaction so retries
                 // replay the same footprint.
@@ -263,10 +263,7 @@ pub fn run_shape(shape: &AppShape, cfg: &RunConfig) -> RunOutcome {
                     };
                     targets.push(addr);
                 }
-                let do_syscall = shape
-                    .syscall_every
-                    .map(|n| op % n == 0)
-                    .unwrap_or(false);
+                let do_syscall = shape.syscall_every.map(|n| op % n == 0).unwrap_or(false);
                 let (tx_compute, f) = (shape.tx_compute, s.f);
                 let (cpu, tm) = (&mut w.cpu, &mut w.tm);
                 rtm_runtime::named_critical_section(tm, cpu, f, 102, |cpu| {
@@ -318,11 +315,36 @@ pub fn splash2_shapes() -> Vec<AppShape> {
         ops: 1_500,
     };
     vec![
-        AppShape { name: "splash2/barnes", func: "computeForces", ..base.clone() },
-        AppShape { name: "splash2/fmm", func: "interactionPhase", outside_compute: 5_000, ..base.clone() },
-        AppShape { name: "splash2/ocean", func: "relax", outside_compute: 3_500, ..base.clone() },
-        AppShape { name: "splash2/water", func: "intermolecular", outside_compute: 4_500, ..base.clone() },
-        AppShape { name: "splash2/raytrace", func: "traceRay", outside_compute: 6_000, tx_accesses: 2, ..base },
+        AppShape {
+            name: "splash2/barnes",
+            func: "computeForces",
+            ..base.clone()
+        },
+        AppShape {
+            name: "splash2/fmm",
+            func: "interactionPhase",
+            outside_compute: 5_000,
+            ..base.clone()
+        },
+        AppShape {
+            name: "splash2/ocean",
+            func: "relax",
+            outside_compute: 3_500,
+            ..base.clone()
+        },
+        AppShape {
+            name: "splash2/water",
+            func: "intermolecular",
+            outside_compute: 4_500,
+            ..base.clone()
+        },
+        AppShape {
+            name: "splash2/raytrace",
+            func: "traceRay",
+            outside_compute: 6_000,
+            tx_accesses: 2,
+            ..base
+        },
     ]
 }
 

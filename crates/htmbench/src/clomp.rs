@@ -16,8 +16,6 @@
 //!   overflow L1 sets ⇒ capacity aborts; prefetch-unfriendly, modelled as
 //!   a higher per-access latency).
 
-use rand::Rng;
-
 use crate::harness::{run_workload, RunConfig, RunOutcome};
 use txsim_htm::Addr;
 
@@ -84,7 +82,9 @@ pub fn run(size: TxSize, scatter: ScatterMode, cfg: &RunConfig) -> RunOutcome {
         &name,
         cfg,
         |d, _| Zones {
-            base: d.heap.alloc_aligned(ZONES * d.geometry.line_bytes, d.geometry.line_bytes),
+            base: d
+                .heap
+                .alloc_aligned(ZONES * d.geometry.line_bytes, d.geometry.line_bytes),
             update_fn: d.funcs.intern("update_zone", "clomp.rs", 30),
         },
         move |w, z| {
@@ -126,7 +126,11 @@ pub fn run(size: TxSize, scatter: ScatterMode, cfg: &RunConfig) -> RunOutcome {
                 });
             }
         },
-        |d, z| (0..ZONES).map(|i| d.mem.load(z.base + i * d.geometry.line_bytes)).sum(),
+        |d, z| {
+            (0..ZONES)
+                .map(|i| d.mem.load(z.base + i * d.geometry.line_bytes))
+                .sum()
+        },
     )
 }
 
@@ -197,9 +201,8 @@ mod tests {
         // speculating peers — the lemming effect.)
         let firstparts = run(TxSize::Large, ScatterMode::FirstParts, &quick());
         let t2 = firstparts.truth.totals();
-        let share = |t: &rtm_runtime::SiteTruth| {
-            t.aborts_capacity as f64 / t.app_aborts().max(1) as f64
-        };
+        let share =
+            |t: &rtm_runtime::SiteTruth| t.aborts_capacity as f64 / t.app_aborts().max(1) as f64;
         assert!(
             share(&t3) > share(&t2),
             "input 3 capacity share {:.2} must exceed input 2's {:.2}",

@@ -15,8 +15,6 @@
 //! each step; the sync-abort-only pair doubles as the paper's `netdedup`
 //! row in Table 2.
 
-use rand::Rng;
-
 use crate::harness::{run_workload, RunConfig, RunOutcome};
 use txsim_htm::{Addr, FuncId, TxResult};
 
@@ -222,7 +220,11 @@ mod tests {
 
     #[test]
     fn chunk_accounting_is_exact() {
-        for variant in [Variant::Original, Variant::FixedHash, Variant::FixedHashAndIo] {
+        for variant in [
+            Variant::Original,
+            Variant::FixedHash,
+            Variant::FixedHashAndIo,
+        ] {
             let out = run(variant, &quick());
             // unique + dups == total chunks processed
             let expected: u64 = 4 * ((2_500 * 10) / 100); // threads × scaled chunks

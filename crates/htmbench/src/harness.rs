@@ -5,11 +5,12 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use obs::{Counter, Subsystem};
 use rtm_runtime::{TmLib, TmThread, Truth};
 use txsampler::{merge_profiles, ContentionMap, Profile};
 use txsim_htm::{CpuStats, DomainConfig, FuncRegistry, HtmDomain, SamplingConfig, SimCpu};
+
+use crate::rng::SmallRng;
 
 /// Configuration of one workload run.
 #[derive(Debug, Clone)]
@@ -143,7 +144,11 @@ impl RunOutcome {
     pub fn truth_abort_commit_ratio(&self) -> f64 {
         let t = self.truth.totals();
         if t.htm_commits == 0 {
-            return if t.total_aborts() == 0 { 0.0 } else { f64::INFINITY };
+            return if t.total_aborts() == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
         }
         (t.total_aborts() - t.aborts_interrupt) as f64 / t.htm_commits as f64
     }
@@ -174,12 +179,14 @@ pub fn run_workload<S: Sync>(
     work: impl Fn(&mut Worker, &S) + Sync,
     verify: impl FnOnce(&Arc<HtmDomain>, &S) -> u64,
 ) -> RunOutcome {
+    let setup_span = obs::span(Subsystem::Harness, "setup");
     let mut domain_cfg = cfg.domain.clone();
     domain_cfg.cooperative = cfg.threads > 1;
     let domain = HtmDomain::new(domain_cfg);
     let lib = TmLib::new(&domain);
     let contention = Arc::new(ContentionMap::with_defaults(domain.geometry));
     let shared = setup(&domain, cfg);
+    drop(setup_span);
 
     struct WorkerResult {
         cycles: u64,
@@ -190,7 +197,7 @@ pub fn run_workload<S: Sync>(
 
     let started = Instant::now();
     let start_barrier = std::sync::Barrier::new(cfg.threads);
-    let results: Vec<WorkerResult> = crossbeam::thread::scope(|s| {
+    let results: Vec<WorkerResult> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.threads)
             .map(|idx| {
                 let domain = Arc::clone(&domain);
@@ -200,7 +207,9 @@ pub fn run_workload<S: Sync>(
                 let work = &work;
                 let start_barrier = &start_barrier;
                 let cfg = cfg.clone();
-                s.spawn(move |_| {
+                obs::count(Counter::WorkersSpawned);
+                s.spawn(move || {
+                    let _worker_span = obs::span(Subsystem::Harness, "worker");
                     let mut cpu = domain.spawn_cpu(cfg.sampling.clone());
                     let tm = lib.thread();
                     let handle = if cfg.profile {
@@ -230,9 +239,11 @@ pub fn run_workload<S: Sync>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("worker panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
     let wall = started.elapsed();
 
     let mut truth = Truth::default();
@@ -255,8 +266,10 @@ pub fn run_workload<S: Sync>(
         Some(merge_profiles(thread_profiles))
     };
 
+    let verify_span = obs::span(Subsystem::Harness, "verify");
     let checksum = verify(&domain, &shared);
     debug_assert_eq!(domain.tracked_lines(), 0, "directory must drain");
+    drop(verify_span);
 
     RunOutcome {
         name: name.to_string(),

@@ -9,9 +9,6 @@
 //! transactions — fixed in turn by sorting the input so each thread's
 //! (statically scheduled) chunk hits a concentrated bin range (2.91×).
 
-use rand::Rng;
-use rand::SeedableRng;
-
 use crate::harness::{run_workload, RunConfig, RunOutcome};
 use txsim_htm::Addr;
 
@@ -70,14 +67,14 @@ struct Image {
 }
 
 fn generate_pixels(input: Input, pixels: u64, seed: u64, sorted: bool) -> Vec<u64> {
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut rng = crate::rng::SmallRng::seed_from_u64(seed);
     let mut values: Vec<u64> = (0..pixels)
         .map(|_| match input {
             // Skewed: the paper's input 1 yields a heavily uneven output;
             // all pixels land in 8 hot bins, which saturate during warmup —
             // after that every update is a pure read of an already-full
             // bin, exactly the regime where coalescing transactions pays.
-            Input::Skewed => rng.gen_range(0..8),
+            Input::Skewed => rng.gen_range(0u64..8),
             Input::Uniform => rng.gen_range(0..BINS),
         })
         .collect();
@@ -172,7 +169,11 @@ mod tests {
         // multiset (per-bin counts saturate at the same value), so every
         // variant of the same input must produce the same checksum.
         let a = run(Input::Uniform, Variant::Original, &quick());
-        let b = run(Input::Uniform, Variant::Coalesced { txn_gran: 100 }, &quick());
+        let b = run(
+            Input::Uniform,
+            Variant::Coalesced { txn_gran: 100 },
+            &quick(),
+        );
         let c = run(
             Input::Uniform,
             Variant::CoalescedSorted { txn_gran: 100 },
@@ -211,7 +212,11 @@ mod tests {
     #[test]
     fn coalescing_speeds_up_skewed_input() {
         let orig = run(Input::Skewed, Variant::Original, &quick());
-        let coal = run(Input::Skewed, Variant::Coalesced { txn_gran: 100 }, &quick());
+        let coal = run(
+            Input::Skewed,
+            Variant::Coalesced { txn_gran: 100 },
+            &quick(),
+        );
         assert!(
             coal.makespan_cycles < orig.makespan_cycles,
             "coalescing must speed up input 1: {} vs {}",
@@ -222,7 +227,11 @@ mod tests {
 
     #[test]
     fn sorting_reduces_conflicts_on_uniform_input() {
-        let coal = run(Input::Uniform, Variant::Coalesced { txn_gran: 100 }, &quick());
+        let coal = run(
+            Input::Uniform,
+            Variant::Coalesced { txn_gran: 100 },
+            &quick(),
+        );
         let sorted = run(
             Input::Uniform,
             Variant::CoalescedSorted { txn_gran: 100 },

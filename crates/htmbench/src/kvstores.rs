@@ -11,8 +11,6 @@
 //!   any transaction, then lays its track transactionally; concurrent nets
 //!   only conflict where their routes cross. Type II.
 
-use rand::Rng;
-
 use crate::harness::{run_workload, RunConfig, RunOutcome};
 use rtm_runtime::HleLock;
 use txsim_htm::{Addr, FuncId};
@@ -37,9 +35,13 @@ pub fn kyotocabinet(cfg: &RunConfig) -> RunOutcome {
         "kyotocabinet",
         cfg,
         |d, _| S {
-            pages: d.heap.alloc_aligned(KC_BUCKETS * d.geometry.line_bytes, d.geometry.line_bytes),
+            pages: d
+                .heap
+                .alloc_aligned(KC_BUCKETS * d.geometry.line_bytes, d.geometry.line_bytes),
             locks: (0..64).map(|_| HleLock::new(d)).collect(),
-            evictions: d.heap.alloc_aligned(64 * d.geometry.line_bytes, d.geometry.line_bytes),
+            evictions: d
+                .heap
+                .alloc_aligned(64 * d.geometry.line_bytes, d.geometry.line_bytes),
             f_set: d.funcs.intern("HashDB::set", "kchashdb.cc", 2120),
             line: d.geometry.line_bytes,
         },
@@ -107,8 +109,12 @@ pub fn lee_tm(cfg: &RunConfig) -> RunOutcome {
         cfg,
         |d, _| S {
             grid: d.heap.alloc_words(LEE_GRID * LEE_GRID),
-            routed: d.heap.alloc_aligned(64 * d.geometry.line_bytes, d.geometry.line_bytes),
-            failed: d.heap.alloc_aligned(64 * d.geometry.line_bytes, d.geometry.line_bytes),
+            routed: d
+                .heap
+                .alloc_aligned(64 * d.geometry.line_bytes, d.geometry.line_bytes),
+            failed: d
+                .heap
+                .alloc_aligned(64 * d.geometry.line_bytes, d.geometry.line_bytes),
             f_lay: d.funcs.intern("lay_track", "lee_router.c", 410),
             line: d.geometry.line_bytes,
         },
@@ -121,8 +127,8 @@ pub fn lee_tm(cfg: &RunConfig) -> RunOutcome {
                 let x0 = w.rng.gen_range(0..LEE_GRID);
                 let y0 = w.rng.gen_range(0..LEE_GRID);
                 // Short nets: Lee-TM's tracks are mostly local.
-                let dx = w.rng.gen_range(0..12);
-                let dy = w.rng.gen_range(0..12);
+                let dx = w.rng.gen_range(0u64..12);
+                let dy = w.rng.gen_range(0u64..12);
                 let (x1, y1) = ((x0 + dx).min(LEE_GRID - 1), (y0 + dy).min(LEE_GRID - 1));
 
                 // Phase 1 (outside): breadth-first expansion to find the

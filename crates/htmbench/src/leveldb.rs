@@ -12,8 +12,6 @@
 //! updates (the lookup work happens outside), shrinking the conflict
 //! window. The paper gets a/c down to 0.38 and 2.06× on ReadRandom.
 
-use rand::Rng;
-
 use crate::harness::{run_workload, RunConfig, RunOutcome};
 use txsim_htm::{Addr, FuncId, TxResult};
 

@@ -36,6 +36,7 @@ pub mod leveldb;
 pub mod lists;
 pub mod micro;
 pub mod registry;
+pub mod rng;
 pub mod stamp;
 
 pub use harness::{run_workload, RunConfig, RunOutcome, Worker};

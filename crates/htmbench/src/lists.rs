@@ -14,8 +14,6 @@
 //! * **skiplist** / **bplustree**: healthy HTM citizens included for suite
 //!   coverage (Figure 8 Type II).
 
-use rand::Rng;
-
 use crate::harness::{run_workload, RunConfig, RunOutcome};
 use txsim_htm::{Addr, FuncId, SimCpu, TxResult};
 
@@ -87,7 +85,9 @@ pub fn linkedlist(variant: ListVariant, cfg: &RunConfig) -> RunOutcome {
             let key_range = 420; // the list grows toward ~420 nodes: a long walk
             let s = ListState {
                 head: d.heap.alloc_padded(8, line),
-                pool: d.heap.alloc_aligned((ops_total + key_range + 8) * line, line),
+                pool: d
+                    .heap
+                    .alloc_aligned((ops_total + key_range + 8) * line, line),
                 next_node: std::sync::atomic::AtomicU64::new(0),
                 ops_done: d.heap.alloc_padded(8, line),
                 key_range,
@@ -128,8 +128,7 @@ pub fn linkedlist(variant: ListVariant, cfg: &RunConfig) -> RunOutcome {
                         loop {
                             let (prev, cur) = {
                                 let mut prev = head;
-                                let mut cur =
-                                    cpu.load(70, head).expect("plain traversal");
+                                let mut cur = cpu.load(70, head).expect("plain traversal");
                                 while cur != 0 {
                                     let k = cpu.load(71, cur).expect("plain traversal");
                                     if k >= key {
@@ -140,12 +139,8 @@ pub fn linkedlist(variant: ListVariant, cfg: &RunConfig) -> RunOutcome {
                                 }
                                 (prev, cur)
                             };
-                            let ok = rtm_runtime::named_critical_section(
-                                tm,
-                                cpu,
-                                f_op,
-                                75,
-                                |cpu| {
+                            let ok =
+                                rtm_runtime::named_critical_section(tm, cpu, f_op, 75, |cpu| {
                                     // Validate: prev still points at cur and
                                     // the window still brackets the key.
                                     if cpu.load(76, prev)? != cur {
@@ -156,8 +151,7 @@ pub fn linkedlist(variant: ListVariant, cfg: &RunConfig) -> RunOutcome {
                                     }
                                     apply_op(cpu, prev, cur, key, insert, node)?;
                                     Ok(true)
-                                },
-                            );
+                                });
                             if ok {
                                 break;
                             }
@@ -201,7 +195,11 @@ fn apply_op(
     insert: bool,
     node: Addr,
 ) -> TxResult<bool> {
-    let cur_key = if cur != 0 { cpu.load(80, cur)? } else { u64::MAX };
+    let cur_key = if cur != 0 {
+        cpu.load(80, cur)?
+    } else {
+        u64::MAX
+    };
     if insert {
         if cur_key == key {
             return Ok(true); // already present
@@ -308,7 +306,7 @@ pub fn avltree(variant: AvlVariant, cfg: &RunConfig) -> RunOutcome {
             };
             // Pre-populate with a balanced shuffle.
             let mut keys: Vec<u64> = (0..s.key_range).step_by(2).collect();
-            let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(c.seed);
+            let mut rng = crate::rng::SmallRng::seed_from_u64(c.seed);
             for i in (1..keys.len()).rev() {
                 keys.swap(i, rng.gen_range(0..=i));
             }
@@ -377,8 +375,7 @@ pub fn avltree(variant: AvlVariant, cfg: &RunConfig) -> RunOutcome {
                 }
                 let k = d.mem.load(node);
                 assert!(k >= lo && k < hi, "BST order violated");
-                1 + walk(d, d.mem.load(node + 8), lo, k)
-                    + walk(d, d.mem.load(node + 16), k + 1, hi)
+                1 + walk(d, d.mem.load(node + 8), lo, k) + walk(d, d.mem.load(node + 16), k + 1, hi)
             }
             let count = walk(d, d.mem.load(s.root), 0, u64::MAX);
             let hits: u64 = (0..64).map(|i| d.mem.load(s.hits + 8 * i)).sum();
@@ -425,7 +422,9 @@ pub fn skiplist(cfg: &RunConfig) -> RunOutcome {
             // and most runtime inserts are read-only membership checks.
             let mut prev = [s.heads, s.heads + 64, s.heads + 128, s.heads + 192];
             for key in (2..s.key_range).step_by(2) {
-                let idx = s.next_node.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let idx = s
+                    .next_node
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let node = s.pool + idx * s.line;
                 d.mem.store(node, key);
                 let height = 1 + (key / 2).trailing_zeros().min(3) as u64;

@@ -4,8 +4,6 @@
 //! instructions), so the profiler's output can be validated against the
 //! runtime's ground-truth instrumentation.
 
-use rand::Rng;
-
 use crate::harness::{run_workload, RunConfig, RunOutcome, Worker};
 use txsim_htm::{Addr, HtmDomain};
 

@@ -171,7 +171,11 @@ pub fn optimization_pairs() -> Vec<OptimizationPair> {
             // txn_gran=10,000 assumes Parboil-sized images; 100 keeps the
             // same transactions-per-chunk ratio at simulator scales).
             optimized: Box::new(|c| {
-                histo::run(HistoInput::Skewed, HistoVariant::Coalesced { txn_gran: 100 }, c)
+                histo::run(
+                    HistoInput::Skewed,
+                    HistoVariant::Coalesced { txn_gran: 100 },
+                    c,
+                )
             }),
         },
         OptimizationPair {

@@ -1,0 +1,182 @@
+//! A tiny deterministic RNG for workload generation.
+//!
+//! The benchmarks only need reproducible, roughly uniform streams to shape
+//! key distributions and branch mixes — not statistical-grade randomness —
+//! so a SplitMix64 generator (the seeding function of xoshiro) keeps the
+//! workspace dependency-free. The API mirrors the subset of `rand::Rng`
+//! the suite uses, so workload code reads the same as before.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic SplitMix64 generator, seeded per worker.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Seed the generator. Equal seeds give equal streams on every host.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value of a supported integer type.
+    #[inline]
+    pub fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// A uniform value in `range` (modulo reduction; the negligible bias
+    /// does not matter for workload shaping).
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    #[inline]
+    pub fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0 && numerator <= denominator);
+        self.next_u64() % u64::from(denominator) < u64::from(numerator)
+    }
+}
+
+/// Types [`SmallRng::gen`] can produce.
+pub trait FromRng {
+    /// Draw one uniform value.
+    fn from_rng(rng: &mut SmallRng) -> Self;
+}
+
+impl FromRng for u64 {
+    #[inline]
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for u32 {
+    #[inline]
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Ranges [`SmallRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The element type of the range.
+    type Output;
+    /// Draw one uniform value from the range.
+    fn sample(self, rng: &mut SmallRng) -> Self::Output;
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    #[inline]
+    fn sample(self, rng: &mut SmallRng) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.next_u64() % (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<u32> {
+    type Output = u32;
+    #[inline]
+    fn sample(self, rng: &mut SmallRng) -> u32 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (rng.next_u64() % u64::from(self.end - self.start)) as u32
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample(self, rng: &mut SmallRng) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + (rng.next_u64() % (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample(self, rng: &mut SmallRng) -> usize {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range");
+        start + (rng.next_u64() % (end - start + 1) as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(0usize..=3);
+            assert!(w <= 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_range() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_ratio_is_roughly_calibrated() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| r.gen_ratio(1, 4)).count();
+        assert!((20_000..30_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(5);
+        assert!(!(0..1000).any(|_| r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+    }
+}

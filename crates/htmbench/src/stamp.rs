@@ -6,12 +6,10 @@
 //! at a scale the simulator sweeps quickly. `vacation` additionally has the
 //! Table 2 optimized variant (reduce transaction size, 1.21× in the paper).
 
-use rand::Rng;
-
 use crate::harness::{run_workload, RunConfig, RunOutcome};
-use txsim_htm::{Addr, FuncId};
 #[allow(unused_imports)]
 use txsim_htm::SimCpu;
+use txsim_htm::{Addr, FuncId};
 
 // ---------------------------------------------------------------------
 // vacation: travel reservation database
@@ -78,7 +76,7 @@ pub fn vacation(variant: VacationVariant, cfg: &RunConfig) -> RunOutcome {
                 let mut rows = [0u64; 6];
                 for r in &mut rows {
                     *r = if w.rng.gen_ratio(1, 4) {
-                        w.rng.gen_range(0..4)
+                        w.rng.gen_range(0u64..4)
                     } else {
                         w.rng.gen_range(0..VACATION_ROWS)
                     };
@@ -125,20 +123,14 @@ pub fn vacation(variant: VacationVariant, cfg: &RunConfig) -> RunOutcome {
                         cpu.compute(123, 240).expect("outside tx");
                         let mut booked = 0u64;
                         for &(addr, seats) in &wanted {
-                            booked += rtm_runtime::named_critical_section(
-                                tm,
-                                cpu,
-                                f,
-                                125,
-                                |cpu| {
-                                    let avail = cpu.load(126, addr)?;
-                                    let take = seats.min(avail);
-                                    if take > 0 {
-                                        cpu.store(127, addr, avail - take)?;
-                                    }
-                                    Ok(take)
-                                },
-                            );
+                            booked += rtm_runtime::named_critical_section(tm, cpu, f, 125, |cpu| {
+                                let avail = cpu.load(126, addr)?;
+                                let take = seats.min(avail);
+                                if take > 0 {
+                                    cpu.store(127, addr, avail - take)?;
+                                }
+                                Ok(take)
+                            });
                         }
                         tm.critical_section(cpu, 128, |cpu| {
                             cpu.rmw(129, customer, |v| v + booked).map(|_| ())
@@ -191,9 +183,9 @@ pub fn kmeans(cfg: &RunConfig) -> RunOutcome {
             let line = d.geometry.line_bytes;
             let n_points = 12_000 * c.scale.max(1) / 100;
             let points = d.heap.alloc_words(n_points * DIMS);
-            let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(c.seed);
+            let mut rng = crate::rng::SmallRng::seed_from_u64(c.seed);
             for i in 0..n_points * DIMS {
-                d.mem.store(points + 8 * i, rng.gen_range(0..1000));
+                d.mem.store(points + 8 * i, rng.gen_range(0u64..1000));
             }
             S {
                 centres: d.heap.alloc_aligned(K * line, line),
@@ -340,7 +332,7 @@ pub fn intruder(cfg: &RunConfig) -> RunOutcome {
             let n_fragments = 20_000 * c.scale.max(1) / 100;
             let n_flows = 512;
             let fragments = d.heap.alloc_words(n_fragments);
-            let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(c.seed);
+            let mut rng = crate::rng::SmallRng::seed_from_u64(c.seed);
             for i in 0..n_fragments {
                 d.mem.store(fragments + 8 * i, rng.gen_range(0..n_flows));
             }
@@ -536,14 +528,16 @@ pub fn ssca(cfg: &RunConfig) -> RunOutcome {
         |d, _| S {
             degrees: d.heap.alloc_words(VERTICES),
             edges_done: d.heap.alloc_padded(8, d.geometry.line_bytes),
-            f_add: d.funcs.intern("computeGraph_addEdge", "ssca2/computeGraph.c", 405),
+            f_add: d
+                .funcs
+                .intern("computeGraph_addEdge", "ssca2/computeGraph.c", 405),
         },
         move |w, s| {
             let edges = w.scaled(10_000);
             for _ in 0..edges {
                 // R-MAT-ish skew: a quarter of edges hit 64 hub vertices.
                 let v = if w.rng.gen_ratio(1, 4) {
-                    w.rng.gen_range(0..64)
+                    w.rng.gen_range(0u64..64)
                 } else {
                     w.rng.gen_range(0..VERTICES)
                 };

@@ -1,0 +1,284 @@
+//! Self-profile reports: where do the profiler's own cycles go?
+//!
+//! `repro --self-profile <experiment>` runs an experiment twice — once with
+//! instrumentation off (the baseline) and once with counters and tracing on
+//! — and hands both wall times, the counter [`Snapshot`] and the collected
+//! traces to [`SelfProfile`], which renders an overhead-decomposition table
+//! in the style of the paper's Fig. 5: one bar per subsystem, sized by the
+//! share of traced time spent in it.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::counters::{Snapshot, Subsystem};
+use crate::spans::ThreadTrace;
+
+/// Aggregate of every span with the same (subsystem, label).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// The subsystem the spans belong to.
+    pub subsystem: Subsystem,
+    /// The span label.
+    pub label: &'static str,
+    /// Number of spans.
+    pub count: u64,
+    /// Summed duration in nanoseconds.
+    pub total_ns: u64,
+}
+
+/// Collapse raw traces into per-(subsystem, label) aggregates, ordered by
+/// subsystem (report order) then label.
+pub fn aggregate_spans(traces: &[ThreadTrace]) -> Vec<SpanAgg> {
+    let mut by_key: BTreeMap<(usize, &'static str), SpanAgg> = BTreeMap::new();
+    for trace in traces {
+        for ev in &trace.events {
+            let rank = Subsystem::ALL
+                .iter()
+                .position(|&s| s == ev.subsystem)
+                .unwrap_or(usize::MAX);
+            let agg = by_key.entry((rank, ev.label)).or_insert(SpanAgg {
+                subsystem: ev.subsystem,
+                label: ev.label,
+                count: 0,
+                total_ns: 0,
+            });
+            agg.count += 1;
+            agg.total_ns += ev.end_ns.saturating_sub(ev.begin_ns);
+        }
+    }
+    by_key.into_values().collect()
+}
+
+/// The complete self-profile of one experiment.
+#[derive(Debug, Clone)]
+pub struct SelfProfile {
+    /// Experiment name (e.g. `fig7`).
+    pub experiment: String,
+    /// Wall time of the uninstrumented run, nanoseconds.
+    pub baseline_wall_ns: u64,
+    /// Wall time of the instrumented run, nanoseconds.
+    pub instrumented_wall_ns: u64,
+    /// Counter snapshot taken after the instrumented run.
+    pub snapshot: Snapshot,
+    /// Span aggregates from the instrumented run.
+    pub spans: Vec<SpanAgg>,
+    /// Spans lost to ring wraparound.
+    pub spans_dropped: u64,
+}
+
+/// A fixed-width ASCII bar showing `share` of `width` cells.
+fn share_bar(share: f64, width: usize) -> String {
+    let filled = ((share.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    let mut out = "#".repeat(filled.min(width));
+    out.push_str(&" ".repeat(width - filled.min(width)));
+    out
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+impl SelfProfile {
+    /// Instrumented / baseline wall-time ratio (1.0 = free).
+    pub fn overhead_ratio(&self) -> f64 {
+        self.instrumented_wall_ns as f64 / (self.baseline_wall_ns as f64).max(1.0)
+    }
+
+    /// Traced nanoseconds per subsystem, in report order (subsystems with
+    /// no spans omitted).
+    pub fn subsystem_span_ns(&self) -> Vec<(Subsystem, u64)> {
+        Subsystem::ALL
+            .iter()
+            .filter_map(|&sub| {
+                let total: u64 = self
+                    .spans
+                    .iter()
+                    .filter(|a| a.subsystem == sub)
+                    .map(|a| a.total_ns)
+                    .sum();
+                (total > 0).then_some((sub, total))
+            })
+            .collect()
+    }
+
+    /// Render the overhead-decomposition report (Fig. 5 style).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "== self-profile: {} ==", self.experiment).unwrap();
+        writeln!(
+            out,
+            "wall time    baseline {:>10.1} ms   instrumented {:>10.1} ms   overhead {:+.1}%",
+            ms(self.baseline_wall_ns),
+            ms(self.instrumented_wall_ns),
+            (self.overhead_ratio() - 1.0) * 100.0,
+        )
+        .unwrap();
+
+        let per_sub = self.subsystem_span_ns();
+        let traced_total: u64 = per_sub.iter().map(|&(_, ns)| ns).sum();
+        writeln!(
+            out,
+            "\ntraced profiler time by subsystem ({:.1} ms total):",
+            ms(traced_total)
+        )
+        .unwrap();
+        for (sub, ns) in &per_sub {
+            let share = *ns as f64 / (traced_total as f64).max(1.0);
+            writeln!(
+                out,
+                "  {:<10} |{}| {:>8.1} ms {:>6.1}%",
+                sub.label(),
+                share_bar(share, 30),
+                ms(*ns),
+                share * 100.0,
+            )
+            .unwrap();
+        }
+
+        writeln!(out, "\nhottest traced regions:").unwrap();
+        let mut by_time = self.spans.clone();
+        by_time.sort_by_key(|a| std::cmp::Reverse(a.total_ns));
+        for agg in by_time.iter().take(10) {
+            writeln!(
+                out,
+                "  {:<10} {:<20} {:>10} spans {:>10.1} ms",
+                agg.subsystem.label(),
+                agg.label,
+                agg.count,
+                ms(agg.total_ns),
+            )
+            .unwrap();
+        }
+        if self.spans_dropped > 0 {
+            writeln!(
+                out,
+                "  (ring wraparound dropped {} spans; totals undercount)",
+                self.spans_dropped
+            )
+            .unwrap();
+        }
+
+        writeln!(out, "\nsubsystem counters:").unwrap();
+        out.push_str(&self.snapshot.render_table());
+        out
+    }
+
+    /// Serialize the report as JSON (hand-rolled; std-only).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        write!(
+            out,
+            "\"experiment\":\"{}\",\"baseline_wall_ns\":{},\"instrumented_wall_ns\":{},\
+             \"overhead_ratio\":{:.6},\"spans_dropped\":{}",
+            self.experiment,
+            self.baseline_wall_ns,
+            self.instrumented_wall_ns,
+            self.overhead_ratio(),
+            self.spans_dropped,
+        )
+        .unwrap();
+        out.push_str(",\"spans\":[");
+        for (i, agg) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(
+                out,
+                "{{\"subsystem\":\"{}\",\"label\":\"{}\",\"count\":{},\"total_ns\":{}}}",
+                agg.subsystem.label(),
+                agg.label,
+                agg.count,
+                agg.total_ns,
+            )
+            .unwrap();
+        }
+        out.push_str("],\"counters\":");
+        out.push_str(&self.snapshot.to_json());
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{Counter, Registry};
+    use crate::spans::SpanEvent;
+
+    fn trace(tid: u64, events: Vec<SpanEvent>) -> ThreadTrace {
+        ThreadTrace {
+            tid,
+            events,
+            dropped: 0,
+        }
+    }
+
+    fn ev(sub: Subsystem, label: &'static str, begin: u64, end: u64) -> SpanEvent {
+        SpanEvent {
+            subsystem: sub,
+            label,
+            begin_ns: begin,
+            end_ns: end,
+        }
+    }
+
+    #[test]
+    fn aggregation_merges_across_threads() {
+        let traces = [
+            trace(0, vec![ev(Subsystem::Collector, "on_sample", 0, 10)]),
+            trace(1, vec![ev(Subsystem::Collector, "on_sample", 5, 25)]),
+        ];
+        let aggs = aggregate_spans(&traces);
+        assert_eq!(aggs.len(), 1);
+        assert_eq!(aggs[0].count, 2);
+        assert_eq!(aggs[0].total_ns, 30);
+    }
+
+    #[test]
+    fn aggregation_orders_by_subsystem_then_label() {
+        let traces = [trace(
+            0,
+            vec![
+                ev(Subsystem::Harness, "worker", 0, 1),
+                ev(Subsystem::Runtime, "fallback", 0, 1),
+                ev(Subsystem::Runtime, "attempt", 0, 1),
+            ],
+        )];
+        let labels: Vec<_> = aggregate_spans(&traces)
+            .iter()
+            .map(|a| (a.subsystem, a.label))
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                (Subsystem::Runtime, "attempt"),
+                (Subsystem::Runtime, "fallback"),
+                (Subsystem::Harness, "worker"),
+            ]
+        );
+    }
+
+    #[test]
+    fn report_renders_overhead_and_counters() {
+        let registry = Registry::new();
+        registry.add(Counter::SamplesTaken, 42);
+        let profile = SelfProfile {
+            experiment: "fig7".into(),
+            baseline_wall_ns: 1_000_000,
+            instrumented_wall_ns: 1_100_000,
+            snapshot: registry.snapshot(),
+            spans: aggregate_spans(&[trace(
+                0,
+                vec![ev(Subsystem::Collector, "on_sample", 0, 500_000)],
+            )]),
+            spans_dropped: 0,
+        };
+        let text = profile.render();
+        assert!(text.contains("overhead +10.0%"), "text:\n{text}");
+        assert!(text.contains("collector"));
+        assert!(text.contains("samples_taken"));
+        let json = profile.to_json();
+        assert!(json.contains("\"experiment\":\"fig7\""));
+        assert!(json.contains("\"samples_taken\":42"));
+    }
+}

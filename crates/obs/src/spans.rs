@@ -1,0 +1,301 @@
+//! Trace spans: per-thread ring buffers of begin/end events.
+//!
+//! Each thread that records a span lazily allocates a [`SpanRing`] — a
+//! fixed-capacity circular buffer that overwrites its oldest events on
+//! wraparound, so a long run's trace memory is bounded and the *most
+//! recent* window survives. When a thread exits, its ring drains into a
+//! process-wide sink; [`take_traces`] collects everything (including the
+//! calling thread's live ring) for export.
+//!
+//! Spans are recorded through the [`span`] RAII guard (or the `span!`
+//! macro): the guard captures the virtual TSC on construction and records
+//! one complete event on drop. While tracing is disabled the guard is
+//! inert — constructing and dropping it touches no thread-local state.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::counters::{Counter, Subsystem};
+use crate::{count_n, now_ns, tracing};
+
+/// Default per-thread ring capacity (events).
+pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
+
+static SPAN_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_SPAN_CAPACITY);
+static NEXT_TRACE_TID: AtomicU64 = AtomicU64::new(0);
+static SINK: Mutex<Vec<ThreadTrace>> = Mutex::new(Vec::new());
+
+/// Set the ring capacity used by threads that have not traced yet.
+pub fn set_span_capacity(events: usize) {
+    SPAN_CAPACITY.store(events.max(1), Ordering::Relaxed);
+}
+
+/// One completed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Subsystem the span belongs to (the trace category).
+    pub subsystem: Subsystem,
+    /// Static label, e.g. `"on_sample"`.
+    pub label: &'static str,
+    /// Virtual-TSC timestamp at guard construction.
+    pub begin_ns: u64,
+    /// Virtual-TSC timestamp at guard drop.
+    pub end_ns: u64,
+}
+
+/// A fixed-capacity circular buffer of [`SpanEvent`]s. Overwrites the
+/// oldest event once full and counts what it discarded.
+#[derive(Debug)]
+pub struct SpanRing {
+    cap: usize,
+    buf: Vec<SpanEvent>,
+    /// Monotone count of pushes; `next % cap` is the overwrite slot.
+    next: usize,
+    dropped: u64,
+}
+
+impl SpanRing {
+    /// An empty ring holding at most `cap` events (minimum 1).
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(1);
+        SpanRing {
+            cap,
+            buf: Vec::with_capacity(cap),
+            next: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, overwriting the oldest once the ring is full.
+    pub fn push(&mut self, event: SpanEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(event);
+        } else {
+            self.buf[self.next % self.cap] = event;
+            self.dropped += 1;
+        }
+        self.next += 1;
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no event is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten by wraparound so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drain the retained events in chronological (push) order, resetting
+    /// the ring.
+    pub fn drain_ordered(&mut self) -> Vec<SpanEvent> {
+        let split = if self.buf.len() < self.cap {
+            0
+        } else {
+            self.next % self.cap
+        };
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[split..]);
+        out.extend_from_slice(&self.buf[..split]);
+        self.buf.clear();
+        self.next = 0;
+        self.dropped = 0;
+        out
+    }
+}
+
+/// All spans one thread contributed, in chronological order.
+#[derive(Debug, Clone)]
+pub struct ThreadTrace {
+    /// Trace-local thread id (dense, in order of first span).
+    pub tid: u64,
+    /// Retained events, oldest first.
+    pub events: Vec<SpanEvent>,
+    /// Events lost to ring wraparound.
+    pub dropped: u64,
+}
+
+struct LocalTracer {
+    tid: u64,
+    ring: SpanRing,
+}
+
+impl LocalTracer {
+    fn new() -> Self {
+        LocalTracer {
+            tid: NEXT_TRACE_TID.fetch_add(1, Ordering::Relaxed),
+            ring: SpanRing::with_capacity(SPAN_CAPACITY.load(Ordering::Relaxed)),
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.ring.is_empty() && self.ring.dropped() == 0 {
+            return;
+        }
+        let dropped = self.ring.dropped();
+        let events = self.ring.drain_ordered();
+        count_n(Counter::SpansRecorded, events.len() as u64);
+        count_n(Counter::SpansDropped, dropped);
+        let trace = ThreadTrace {
+            tid: self.tid,
+            events,
+            dropped,
+        };
+        SINK.lock().expect("trace sink poisoned").push(trace);
+    }
+}
+
+impl Drop for LocalTracer {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static TRACER: RefCell<Option<LocalTracer>> = const { RefCell::new(None) };
+}
+
+fn record(subsystem: Subsystem, label: &'static str, begin_ns: u64, end_ns: u64) {
+    let event = SpanEvent {
+        subsystem,
+        label,
+        begin_ns,
+        end_ns,
+    };
+    // During thread teardown the thread-local may already be gone; a span
+    // dropped that late is not worth keeping.
+    let _ = TRACER.try_with(|t| {
+        t.borrow_mut()
+            .get_or_insert_with(LocalTracer::new)
+            .ring
+            .push(event);
+    });
+}
+
+/// RAII guard returned by [`span`]; records one event when dropped.
+/// Inert (no timestamp, no thread-local access) while tracing is off.
+#[must_use = "a span guard records its event on drop"]
+pub struct SpanGuard {
+    live: Option<(Subsystem, &'static str, u64)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((subsystem, label, begin)) = self.live.take() {
+            record(subsystem, label, begin, now_ns());
+        }
+    }
+}
+
+/// Open a span: `let _g = obs::span(Subsystem::Collector, "on_sample");`.
+/// The event covers the guard's lifetime. No-op while tracing is disabled.
+#[inline]
+pub fn span(subsystem: Subsystem, label: &'static str) -> SpanGuard {
+    SpanGuard {
+        live: tracing().then(|| (subsystem, label, now_ns())),
+    }
+}
+
+/// Open a span for the enclosing scope (sugar over [`span`]).
+#[macro_export]
+macro_rules! span {
+    ($subsystem:expr, $label:expr) => {
+        $crate::span($subsystem, $label)
+    };
+}
+
+/// Flush the calling thread's live ring into the sink (worker threads
+/// flush automatically on exit; the main thread calls this via
+/// [`take_traces`]).
+pub fn flush_thread() {
+    let _ = TRACER.try_with(|t| {
+        if let Some(tracer) = t.borrow_mut().as_mut() {
+            tracer.flush();
+        }
+    });
+}
+
+/// Collect every flushed trace (plus the calling thread's live ring),
+/// sorted by trace tid. Leaves the sink empty.
+pub fn take_traces() -> Vec<ThreadTrace> {
+    flush_thread();
+    let mut traces = std::mem::take(&mut *SINK.lock().expect("trace sink poisoned"));
+    traces.sort_by_key(|t| t.tid);
+    traces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(begin: u64) -> SpanEvent {
+        SpanEvent {
+            subsystem: Subsystem::Harness,
+            label: "t",
+            begin_ns: begin,
+            end_ns: begin + 1,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_everything_under_capacity() {
+        let mut r = SpanRing::with_capacity(4);
+        for i in 0..3 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+        let drained = r.drain_ordered();
+        assert_eq!(
+            drained.iter().map(|e| e.begin_ns).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_most_recent_in_order() {
+        let mut r = SpanRing::with_capacity(4);
+        for i in 0..7 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 3);
+        let drained = r.drain_ordered();
+        assert_eq!(
+            drained.iter().map(|e| e.begin_ns).collect::<Vec<_>>(),
+            [3, 4, 5, 6],
+            "the most recent capacity-many events survive, oldest first"
+        );
+    }
+
+    #[test]
+    fn ring_exact_capacity_boundary() {
+        let mut r = SpanRing::with_capacity(2);
+        r.push(ev(0));
+        r.push(ev(1));
+        assert_eq!(r.dropped(), 0);
+        let drained = r.drain_ordered();
+        assert_eq!(
+            drained.iter().map(|e| e.begin_ns).collect::<Vec<_>>(),
+            [0, 1]
+        );
+        // Reusable after drain.
+        r.push(ev(9));
+        assert_eq!(r.drain_ordered().len(), 1);
+    }
+
+    #[test]
+    fn disabled_span_guard_is_inert() {
+        assert!(!tracing());
+        let g = span(Subsystem::Engine, "noop");
+        assert!(g.live.is_none());
+    }
+}

@@ -1,0 +1,43 @@
+//! Golden-file test for the Chrome `trace_event` exporter: a fixed
+//! multi-thread fixture must serialize byte-identically to the checked-in
+//! `tests/golden/chrome_trace.json`. Catches accidental format drift —
+//! the file is what users load into `chrome://tracing`/Perfetto, so its
+//! shape is an external contract.
+
+use obs::chrome::export_chrome_trace;
+use obs::{SpanEvent, Subsystem, ThreadTrace};
+
+const GOLDEN: &str = include_str!("golden/chrome_trace.json");
+
+fn ev(subsystem: Subsystem, label: &'static str, begin_ns: u64, end_ns: u64) -> SpanEvent {
+    SpanEvent {
+        subsystem,
+        label,
+        begin_ns,
+        end_ns,
+    }
+}
+
+#[test]
+fn multi_thread_trace_matches_golden_file() {
+    let traces = [
+        ThreadTrace {
+            tid: 0,
+            events: vec![
+                ev(Subsystem::Harness, "setup", 1_500, 2_000),
+                ev(Subsystem::Collector, "on_sample", 2_000, 2_007),
+            ],
+            dropped: 0,
+        },
+        ThreadTrace {
+            tid: 1,
+            events: vec![ev(Subsystem::Runtime, "fallback", 1_000_000, 2_500_000)],
+            dropped: 0,
+        },
+    ];
+    assert_eq!(
+        export_chrome_trace(&traces),
+        GOLDEN.trim_end(),
+        "exporter output drifted from tests/golden/chrome_trace.json"
+    );
+}

@@ -188,12 +188,12 @@ mod tests {
         let b = d.heap.alloc_padded(8, 64);
 
         let barrier = std::sync::Barrier::new(2);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (lock, addr) in [(lock_a, a), (lock_b, b)] {
                 let d = Arc::clone(&d);
                 let lib = Arc::clone(&lib);
                 let barrier = &barrier;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut cpu = d.spawn_cpu(SamplingConfig::disabled());
                     let mut tm = lib.thread();
                     barrier.wait();
@@ -209,8 +209,7 @@ mod tests {
                     );
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(d.mem.load(a), 2_000);
         assert_eq!(d.mem.load(b), 2_000);
     }

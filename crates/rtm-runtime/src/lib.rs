@@ -38,13 +38,14 @@ pub mod truth;
 
 use std::sync::Arc;
 
+use obs::{Counter, Subsystem};
 use txsim_htm::{Addr, FuncId, HtmDomain, Ip, SimCpu, TxResult, XABORT_LOCK_HELD};
 use txsim_pmu::AbortClass;
 
+pub use hle::HleLock;
 pub use state::{
     StateFlags, ThreadState, IN_CS, IN_FALLBACK, IN_HTM, IN_LOCK_WAITING, IN_OVERHEAD,
 };
-pub use hle::HleLock;
 pub use truth::{SiteTruth, Truth};
 
 /// Global (per-domain) RTM library state: the elided fallback lock and the
@@ -161,6 +162,7 @@ impl TmThread {
                     }
                     if info.retry_hint && retries < self.lib.max_retries {
                         retries += 1;
+                        obs::count(Counter::RtmRetries);
                         continue;
                     }
                     // Persistent abort (capacity/sync/explicit) or budget
@@ -196,6 +198,7 @@ impl TmThread {
     /// Spin outside the transaction until the global lock reads free.
     fn wait_lock_free(&mut self, cpu: &mut SimCpu, line: u32, lock: Addr) {
         self.state.set(IN_CS | IN_LOCK_WAITING);
+        obs::count(Counter::RtmLockWaits);
         loop {
             let v = cpu.load(line, lock).expect("plain load cannot abort");
             if v == 0 {
@@ -214,6 +217,7 @@ impl TmThread {
         lock: Addr,
         body: &mut impl FnMut(&mut SimCpu) -> TxResult<T>,
     ) -> TxResult<T> {
+        obs::count(Counter::RtmHtmAttempts);
         cpu.xbegin(line)?;
         self.state.set(IN_CS | IN_HTM);
         // Lock elision: the transactional read subscribes the lock word to
@@ -236,6 +240,8 @@ impl TmThread {
         site: Ip,
         body: &mut impl FnMut(&mut SimCpu) -> TxResult<T>,
     ) -> T {
+        obs::count(Counter::RtmFallbacks);
+        let _span = obs::span(Subsystem::Runtime, "fallback");
         self.state.set(IN_CS | IN_LOCK_WAITING);
         loop {
             match cpu.cas(line, lock, 0, 1).expect("plain CAS cannot abort") {

@@ -16,7 +16,9 @@ fn single_thread_counter_commits_in_htm() {
     let mut tm = lib.thread();
 
     for _ in 0..100 {
-        tm.critical_section(&mut cpu, 10, |cpu| cpu.rmw(11, counter, |v| v + 1).map(|_| ()));
+        tm.critical_section(&mut cpu, 10, |cpu| {
+            cpu.rmw(11, counter, |v| v + 1).map(|_| ())
+        });
     }
     assert_eq!(d.mem.load(counter), 100);
     let t = tm.truth.totals();
@@ -78,13 +80,13 @@ fn conflicts_are_retried_then_fall_back() {
     const ITERS: u64 = 3_000;
 
     let barrier = std::sync::Barrier::new(THREADS);
-    let truths: Vec<_> = crossbeam::thread::scope(|s| {
+    let truths: Vec<_> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..THREADS)
             .map(|_| {
                 let d = Arc::clone(&d);
                 let lib = Arc::clone(&lib);
                 let barrier = &barrier;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut cpu = d.spawn_cpu(SamplingConfig::disabled());
                     let mut tm = lib.thread();
                     barrier.wait();
@@ -98,8 +100,7 @@ fn conflicts_are_retried_then_fall_back() {
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
+    });
 
     assert_eq!(d.mem.load(counter), THREADS as u64 * ITERS, "lost updates");
     let mut total = rtm_runtime::Truth::default();
@@ -124,12 +125,12 @@ fn fallback_serializes_against_transactions() {
     let counter = d.heap.alloc_words(1);
     const ITERS: u64 = 500;
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         // The fallback-heavy thread.
         {
             let d = Arc::clone(&d);
             let lib = Arc::clone(&lib);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut cpu = d.spawn_cpu(SamplingConfig::disabled());
                 let mut tm = lib.thread();
                 for _ in 0..ITERS {
@@ -144,7 +145,7 @@ fn fallback_serializes_against_transactions() {
         for _ in 0..4 {
             let d = Arc::clone(&d);
             let lib = Arc::clone(&lib);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut cpu = d.spawn_cpu(SamplingConfig::disabled());
                 let mut tm = lib.thread();
                 for _ in 0..ITERS {
@@ -154,8 +155,7 @@ fn fallback_serializes_against_transactions() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
 
     assert_eq!(d.mem.load(counter), 5 * ITERS);
 }
@@ -163,12 +163,15 @@ fn fallback_serializes_against_transactions() {
 /// Sink that records the runtime state flags seen at each sample.
 struct StateProbe {
     state: ThreadState,
-    seen: Arc<parking_lot::Mutex<Vec<(Sample, u32)>>>,
+    seen: Arc<std::sync::Mutex<Vec<(Sample, u32)>>>,
 }
 
 impl SampleSink for StateProbe {
     fn on_sample(&mut self, sample: &Sample, _stack: &[Frame]) {
-        self.seen.lock().push((sample.clone(), self.state.query().0));
+        self.seen
+            .lock()
+            .unwrap()
+            .push((sample.clone(), self.state.query().0));
     }
 }
 
@@ -179,7 +182,7 @@ fn state_word_transitions_are_visible_to_sampler() {
     let counter = d.heap.alloc_words(1);
     let mut cpu = d.spawn_cpu(SamplingConfig::only(EventKind::Cycles, 400));
     let mut tm = lib.thread();
-    let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
     cpu.set_sink(Box::new(StateProbe {
         state: tm.state_handle(),
         seen: Arc::clone(&seen),
@@ -194,7 +197,7 @@ fn state_word_transitions_are_visible_to_sampler() {
         cpu.compute(5, 100).unwrap();
     }
 
-    let seen = seen.lock();
+    let seen = seen.lock().unwrap();
     assert!(!seen.is_empty(), "sampling must deliver samples");
     let in_cs = seen
         .iter()

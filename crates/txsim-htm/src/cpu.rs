@@ -3,6 +3,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use obs::Counter;
 use txsim_mem::{Addr, LineId};
 use txsim_pmu::{
     now_tsc, AbortClass, BranchKind, EventKind, Frame, FuncId, Ip, LbrEntry, PmuThread, Sample,
@@ -240,7 +241,10 @@ impl SimCpu {
                     self.tid,
                     self.clock,
                     self.tx.is_some(),
-                    self.tx.as_ref().map(|t| t.read_lines.len() + t.write_lines.len()).unwrap_or(0)
+                    self.tx
+                        .as_ref()
+                        .map(|t| t.read_lines.len() + t.write_lines.len())
+                        .unwrap_or(0)
                 );
             }
             self.allowed_until = self.domain.scheduler.sync(self.tid, self.clock);
@@ -281,6 +285,7 @@ impl SimCpu {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn deliver_sample(
         &mut self,
         event: EventKind,
@@ -292,9 +297,14 @@ impl SimCpu {
         abort_class: Option<AbortClass>,
     ) {
         let Self {
-            sink, stack, pmu, tid, ..
+            sink,
+            stack,
+            pmu,
+            tid,
+            ..
         } = self;
         if let Some(sink) = sink {
+            obs::count(Counter::SamplesTaken);
             let sample = Sample {
                 event,
                 ip,
@@ -319,13 +329,18 @@ impl SimCpu {
     /// roll the stack and IP back to `xbegin`, record the LBR abort branch,
     /// count the PMU abort event (possibly sampling it).
     fn abort_rollback(&mut self, class: AbortClass, code: u8) {
-        let tx = self.tx.take().expect("abort_rollback outside a transaction");
+        let tx = self
+            .tx
+            .take()
+            .expect("abort_rollback outside a transaction");
         let weight = self.clock - tx.begin_clock;
         let abort_from = self.cur_ip();
 
         let read: Vec<LineId> = tx.read_lines.iter().map(|&l| LineId(l)).collect();
         let write: Vec<LineId> = tx.write_lines.iter().map(|&l| LineId(l)).collect();
-        self.domain.directory.release_aborted(self.tid, &read, &write);
+        self.domain
+            .directory
+            .release_aborted(self.tid, &read, &write);
         self.domain.directory.tx_finished();
 
         // Roll back the architectural state: stack depth and IP return to
@@ -349,6 +364,7 @@ impl SimCpu {
             .advance(EventKind::Cycles, self.domain.costs.abort_rollback);
 
         self.stats.record_abort(class, weight);
+        obs::count(Counter::TxAborts);
         self.last_abort = Some(AbortInfo::new(class, code, weight));
 
         // RTM_RETIRED:ABORTED retires now; its PEBS record carries the abort
@@ -395,12 +411,10 @@ impl SimCpu {
             set_ways: HashMap::new(),
             begin_clock: self.clock,
             begin_depth: self.stack.len(),
-            begin_ip: Ip::new(
-                self.stack.last().map_or(FuncId::UNKNOWN, |f| f.func),
-                line,
-            ),
+            begin_ip: Ip::new(self.stack.last().map_or(FuncId::UNKNOWN, |f| f.func), line),
         });
         self.stats.tx_begins += 1;
+        obs::count(Counter::TxBegins);
         Ok(())
     }
 
@@ -441,6 +455,7 @@ impl SimCpu {
             .end_commit(self.tid, &read_lines, &write_lines);
         self.domain.directory.tx_finished();
         self.stats.commits += 1;
+        obs::count(Counter::TxCommits);
         if self.pmu.advance(EventKind::TxCommit, 1) {
             let ip = self.cur_ip();
             self.deliver_sample(EventKind::TxCommit, ip, false, false, None, 0, None);
@@ -682,12 +697,7 @@ impl SimCpu {
             }
         }
         let lid = self.domain.geometry.line_of(addr);
-        let need_declare = !self
-            .tx
-            .as_ref()
-            .unwrap()
-            .read_lines
-            .contains(&lid.0);
+        let need_declare = !self.tx.as_ref().unwrap().read_lines.contains(&lid.0);
         if need_declare {
             let over_budget = self.tx.as_ref().unwrap().read_lines.len()
                 >= self.domain.geometry.read_set_lines as usize;
@@ -708,12 +718,7 @@ impl SimCpu {
 
     fn tx_store(&mut self, addr: Addr, value: u64) -> TxResult<()> {
         let lid = self.domain.geometry.line_of(addr);
-        let need_declare = !self
-            .tx
-            .as_ref()
-            .unwrap()
-            .write_lines
-            .contains(&lid.0);
+        let need_declare = !self.tx.as_ref().unwrap().write_lines.contains(&lid.0);
         if need_declare {
             let geometry = self.domain.geometry;
             let set = geometry.set_of(lid).0;

@@ -14,8 +14,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use parking_lot::Mutex;
+use obs::Counter;
 use txsim_mem::LineId;
 
 /// Maximum simulated threads per domain (reader sets are a `u64` bitmask).
@@ -139,6 +140,7 @@ impl Directory {
     #[inline]
     fn doom(&self, tid: usize, cause: u32) {
         self.dooms.fetch_add(1, Ordering::Relaxed);
+        obs::count(Counter::DirectoryDooms);
         self.threads[tid].doomed.fetch_or(cause, Ordering::SeqCst);
     }
 
@@ -162,8 +164,9 @@ impl Directory {
     /// remote writer (requester wins) unless that writer is publishing, in
     /// which case the requester must self-abort.
     pub fn tx_read(&self, line: LineId, tid: usize) -> Declare {
+        obs::count(Counter::DirectoryConflictChecks);
         let shard = self.shard(line);
-        let mut map = shard.lines.lock();
+        let mut map = shard.lines.lock().expect("directory shard poisoned");
         let entry = map.entry(line).or_default();
         if entry.readers == 0 && entry.writer.is_none() {
             shard.len.fetch_add(1, Ordering::Relaxed);
@@ -187,12 +190,10 @@ impl Directory {
     /// reader and any other writer (requester wins) unless the line is
     /// mid-publish.
     pub fn tx_write(&self, line: LineId, tid: usize) -> Declare {
+        obs::count(Counter::DirectoryConflictChecks);
         let shard = self.shard(line);
-        let mut map = shard.lines.lock();
+        let mut map = shard.lines.lock().expect("directory shard poisoned");
         let entry = map.entry(line).or_default();
-        if std::env::var_os("TXSIM_TRACE").is_some() {
-            eprintln!("tx_write line={} tid={tid} readers={:b} writer={:?}", line.0, entry.readers, entry.writer);
-        }
         if entry.readers == 0 && entry.writer.is_none() {
             shard.len.fetch_add(1, Ordering::Relaxed);
         }
@@ -229,7 +230,8 @@ impl Directory {
         if shard.len.load(Ordering::Relaxed) == 0 {
             return;
         }
-        let mut map = shard.lines.lock();
+        obs::count(Counter::DirectoryConflictChecks);
+        let mut map = shard.lines.lock().expect("directory shard poisoned");
         if let Some(entry) = map.get_mut(&line) {
             if let Some(w) = entry.writer {
                 if !entry.committing {
@@ -261,7 +263,13 @@ impl Directory {
     ///
     /// `forced` disables the active-transaction fast path; required for the
     /// elided lock word, where a racing `xbegin` must never miss the snoop.
-    pub fn plain_store(&self, line: LineId, tid: Option<usize>, forced: bool, apply: impl FnOnce()) {
+    pub fn plain_store(
+        &self,
+        line: LineId,
+        tid: Option<usize>,
+        forced: bool,
+        apply: impl FnOnce(),
+    ) {
         if !forced && !self.any_active_tx() {
             apply();
             return;
@@ -271,10 +279,11 @@ impl Directory {
             apply();
             return;
         }
+        obs::count(Counter::DirectoryConflictChecks);
         loop {
             let mut wait_for: Vec<usize> = Vec::new();
             {
-                let mut map = shard.lines.lock();
+                let mut map = shard.lines.lock().expect("directory shard poisoned");
                 if let Some(entry) = map.get_mut(&line) {
                     if let Some(w) = entry.writer {
                         if Some(w as usize) != tid {
@@ -330,13 +339,17 @@ impl Directory {
     /// doom flag. On success the caller must publish its write buffer and
     /// then call [`Directory::end_commit`]. On failure all acquired publish
     /// flags are rolled back and the caller must abort.
-    pub fn begin_commit(&self, tid: usize, write_lines: &mut Vec<LineId>) -> bool {
+    pub fn begin_commit(&self, tid: usize, write_lines: &mut [LineId]) -> bool {
         write_lines.sort_unstable();
         self.threads[tid].committing.store(true, Ordering::SeqCst);
         let mut acquired = 0usize;
         let mut stolen = false;
         for (i, &line) in write_lines.iter().enumerate() {
-            let mut map = self.shard(line).lines.lock();
+            let mut map = self
+                .shard(line)
+                .lines
+                .lock()
+                .expect("directory shard poisoned");
             match map.get_mut(&line) {
                 Some(entry) if entry.writer == Some(tid as u8) => {
                     entry.committing = true;
@@ -353,7 +366,11 @@ impl Directory {
         let doomed = self.doomed(tid) != 0;
         if stolen || doomed {
             for &line in &write_lines[..acquired] {
-                let mut map = self.shard(line).lines.lock();
+                let mut map = self
+                    .shard(line)
+                    .lines
+                    .lock()
+                    .expect("directory shard poisoned");
                 if let Some(entry) = map.get_mut(&line) {
                     if entry.writer == Some(tid as u8) {
                         entry.committing = false;
@@ -389,7 +406,7 @@ impl Directory {
     fn clear_ownership(&self, tid: usize, read_lines: &[LineId], write_lines: &[LineId]) {
         for &line in read_lines.iter().chain(write_lines) {
             let shard = self.shard(line);
-            let mut map = shard.lines.lock();
+            let mut map = shard.lines.lock().expect("directory shard poisoned");
             if let Some(entry) = map.get_mut(&line) {
                 entry.readers &= !bit(tid);
                 if entry.writer == Some(tid as u8) {
@@ -408,7 +425,7 @@ impl Directory {
     pub fn tracked_lines(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lines.lock().len())
+            .map(|s| s.lines.lock().expect("directory shard poisoned").len())
             .sum()
     }
 }

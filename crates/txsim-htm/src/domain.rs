@@ -117,17 +117,23 @@ impl HtmDomain {
 
     /// Diagnostic: total dooms issued by the conflict directory.
     pub fn dooms(&self) -> u64 {
-        self.directory.dooms.load(std::sync::atomic::Ordering::Relaxed)
+        self.directory
+            .dooms
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Diagnostic: scheduler sync calls so far.
     pub fn scheduler_syncs(&self) -> u64 {
-        self.scheduler.syncs.load(std::sync::atomic::Ordering::Relaxed)
+        self.scheduler
+            .syncs
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Diagnostic: scheduler sync calls that blocked.
     pub fn scheduler_blocks(&self) -> u64 {
-        self.scheduler.blocks.load(std::sync::atomic::Ordering::Relaxed)
+        self.scheduler
+            .blocks
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Number of cache lines currently tracked by the conflict directory.

@@ -27,7 +27,9 @@
 //! for a condition that a non-blocked thread completes without an
 //! intervening scheduler call (commit publication).
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
+
+use obs::{Counter, Subsystem};
 
 use crate::directory::MAX_THREADS;
 
@@ -82,7 +84,7 @@ impl Scheduler {
         if !self.enabled {
             return;
         }
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("scheduler lock poisoned");
         inner.clocks[tid] = clock;
     }
 
@@ -92,7 +94,7 @@ impl Scheduler {
             return;
         }
         {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.lock().expect("scheduler lock poisoned");
             inner.clocks[tid] = RETIRED;
         }
         for cv in &self.cvs {
@@ -117,8 +119,10 @@ impl Scheduler {
         if !self.enabled {
             return u64::MAX;
         }
-        self.syncs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let mut inner = self.inner.lock();
+        self.syncs
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        obs::count(Counter::SchedSyncs);
+        let mut inner = self.inner.lock().expect("scheduler lock poisoned");
         inner.clocks[tid] = clock;
         loop {
             let Some(min_tid) = Self::min_tid(&inner.clocks) else {
@@ -138,9 +142,12 @@ impl Scheduler {
             }
             // Not eligible: make sure the minimum thread is awake, then
             // sleep until someone advances past us.
-            self.blocks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.blocks
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            obs::count(Counter::SchedBlocks);
+            let _blocked = obs::span(Subsystem::Sched, "block_wait");
             self.cvs[min_tid].notify_one();
-            self.cvs[tid].wait(&mut inner);
+            inner = self.cvs[tid].wait(inner).expect("scheduler lock poisoned");
         }
     }
 }
@@ -164,7 +171,7 @@ mod tests {
         let s = Scheduler::new(true, 100);
         s.register(0, 0);
         let grant = s.sync(0, 0);
-        assert!(grant >= 50 && grant <= 200, "grant {grant}");
+        assert!((50..=200).contains(&grant), "grant {grant}");
         assert!(s.sync(0, 10_000) > 10_000);
     }
 

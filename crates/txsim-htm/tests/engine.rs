@@ -179,7 +179,9 @@ fn write_capacity_aborts_on_associativity_overflow() {
     let g = d.geometry;
     let mut cpu = d.spawn_cpu(SamplingConfig::disabled());
     // Touch 3 lines mapping to the same set: line stride = sets*line_bytes.
-    let base = d.heap.alloc_aligned(g.line_bytes * g.sets as u64 * 4, g.line_bytes);
+    let base = d
+        .heap
+        .alloc_aligned(g.line_bytes * g.sets as u64 * 4, g.line_bytes);
     cpu.xbegin(1).unwrap();
     let stride = g.line_bytes * g.sets as u64;
     cpu.store(2, base, 1).unwrap();
@@ -269,13 +271,18 @@ fn frame_helper_balances_stack() {
     assert_eq!(cpu.stack_depth(), depth0);
 }
 
+type SampleLog = Vec<(txsim_pmu::Sample, Vec<txsim_pmu::Frame>)>;
+
 /// A sink that shares its sample log with the test body.
 #[derive(Clone, Default)]
-struct ShareSink(Arc<parking_lot::Mutex<Vec<(txsim_pmu::Sample, Vec<txsim_pmu::Frame>)>>>);
+struct ShareSink(Arc<std::sync::Mutex<SampleLog>>);
 
 impl txsim_pmu::SampleSink for ShareSink {
     fn on_sample(&mut self, sample: &txsim_pmu::Sample, stack: &[txsim_pmu::Frame]) {
-        self.0.lock().push((sample.clone(), stack.to_vec()));
+        self.0
+            .lock()
+            .unwrap()
+            .push((sample.clone(), stack.to_vec()));
     }
 }
 
@@ -299,10 +306,13 @@ fn sampling_interrupt_aborts_transaction_with_lbr_abort_bit() {
             cpu.xend(3).unwrap();
         }
     }
-    assert!(aborted_by_sample, "a PMU interrupt must abort the transaction");
+    assert!(
+        aborted_by_sample,
+        "a PMU interrupt must abort the transaction"
+    );
     assert!(cpu.last_abort().unwrap().retry_hint);
 
-    let samples = sink.0.lock();
+    let samples = sink.0.lock().unwrap();
     let aborting: Vec<_> = samples.iter().filter(|(s, _)| s.caused_abort).collect();
     assert!(!aborting.is_empty());
     for (s, _) in &aborting {
@@ -340,7 +350,10 @@ fn lbr_records_in_tx_calls() {
         .iter()
         .find(|e| e.kind == BranchKind::Call && e.to.func == f_b)
         .expect("call into fb must be recorded");
-    assert!(call_b.in_tsx, "in-transaction call must carry the in-tsx bit");
+    assert!(
+        call_b.in_tsx,
+        "in-transaction call must carry the in-tsx bit"
+    );
     assert_eq!(call_b.from.func, f_a);
     assert_eq!(call_b.from.line, 3);
     let call_a = snap
@@ -412,10 +425,10 @@ fn concurrent_transactional_counter_is_exact() {
     const THREADS: usize = 8;
     const INCS: u64 = 2_000;
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..THREADS {
             let d = Arc::clone(&d);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut cpu = d.spawn_cpu(SamplingConfig::disabled());
                 for _ in 0..INCS {
                     loop {
@@ -431,8 +444,7 @@ fn concurrent_transactional_counter_is_exact() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
 
     assert_eq!(d.mem.load(addr), THREADS as u64 * INCS);
     assert_eq!(d.tracked_lines(), 0, "directory must drain at quiescence");
@@ -447,21 +459,24 @@ fn concurrent_disjoint_writers_never_conflict() {
         .map(|_| d.heap.alloc_padded(8, g.line_bytes))
         .collect();
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for addr in addrs.iter().copied() {
             let d = Arc::clone(&d);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut cpu = d.spawn_cpu(SamplingConfig::disabled());
                 for i in 0..3_000u64 {
                     cpu.xbegin(1).unwrap();
                     cpu.store(2, addr, i).unwrap();
                     cpu.xend(3).unwrap();
                 }
-                assert_eq!(cpu.stats().total_aborts(), 0, "padded data must not conflict");
+                assert_eq!(
+                    cpu.stats().total_aborts(),
+                    0,
+                    "padded data must not conflict"
+                );
             });
         }
-    })
-    .unwrap();
+    });
 }
 
 #[test]
@@ -474,11 +489,11 @@ fn false_sharing_neighbours_do_conflict() {
     let base = d.heap.alloc_aligned(16, 64);
     let total_aborts = std::sync::atomic::AtomicU64::new(0);
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for k in 0..2u64 {
             let d = Arc::clone(&d);
             let total_aborts = &total_aborts;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut cpu = d.spawn_cpu(SamplingConfig::disabled());
                 let addr = base + 8 * k;
                 for i in 0..5_000u64 {
@@ -502,8 +517,7 @@ fn false_sharing_neighbours_do_conflict() {
                 );
             });
         }
-    })
-    .unwrap();
+    });
 
     assert!(
         total_aborts.load(std::sync::atomic::Ordering::Relaxed) > 0,

@@ -1,6 +1,10 @@
 //! Property-based tests of the RTM engine: transactional semantics checked
 //! against a plain model for randomized single-threaded histories, plus
 //! randomized multi-CPU interleavings driven from one host thread.
+//!
+//! Gated behind the off-by-default `proptest` feature: the crate is not
+//! vendored in the offline build.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use txsim_htm::{AbortClass, CacheGeometry, DomainConfig, HtmDomain, SamplingConfig};

@@ -110,7 +110,6 @@ impl CacheGeometry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn default_matches_haswell_l1d() {
@@ -144,27 +143,34 @@ mod tests {
         assert_ne!(g.set_of(LineId(0)), g.set_of(LineId(1)));
     }
 
-    proptest! {
-        #[test]
-        fn line_base_is_floor(addr in 0u64..1u64<<40) {
-            let g = CacheGeometry::default();
-            let line = g.line_of(addr);
-            let base = g.line_base(line);
-            prop_assert!(base <= addr);
-            prop_assert!(addr - base < g.line_bytes);
-            prop_assert_eq!(g.offset_in_line(addr), addr - base);
-        }
+    // Property tests need the vendored `proptest` crate; see Cargo.toml.
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn set_id_in_range(line in 0u64..1u64<<34) {
-            let g = CacheGeometry::default();
-            prop_assert!(g.set_of(LineId(line)).0 < g.sets);
-        }
+        proptest! {
+            #[test]
+            fn line_base_is_floor(addr in 0u64..1u64<<40) {
+                let g = CacheGeometry::default();
+                let line = g.line_of(addr);
+                let base = g.line_base(line);
+                prop_assert!(base <= addr);
+                prop_assert!(addr - base < g.line_bytes);
+                prop_assert_eq!(g.offset_in_line(addr), addr - base);
+            }
 
-        #[test]
-        fn same_line_iff_equal_line_ids(a in 0u64..1u64<<30, b in 0u64..1u64<<30) {
-            let g = CacheGeometry::default();
-            prop_assert_eq!(g.same_line(a, b), g.line_of(a) == g.line_of(b));
+            #[test]
+            fn set_id_in_range(line in 0u64..1u64<<34) {
+                let g = CacheGeometry::default();
+                prop_assert!(g.set_of(LineId(line)).0 < g.sets);
+            }
+
+            #[test]
+            fn same_line_iff_equal_line_ids(a in 0u64..1u64<<30, b in 0u64..1u64<<30) {
+                let g = CacheGeometry::default();
+                prop_assert_eq!(g.same_line(a, b), g.line_of(a) == g.line_of(b));
+            }
         }
     }
 }

@@ -27,7 +27,11 @@ impl TxHeap {
     /// Create a heap covering `[base, base + bytes)`. If `base` is 0 the
     /// first word is skipped to reserve the null address.
     pub fn new(base: Addr, bytes: u64) -> Self {
-        let start = if base == 0 { WORD_BYTES } else { align_up(base, WORD_BYTES) };
+        let start = if base == 0 {
+            WORD_BYTES
+        } else {
+            align_up(base, WORD_BYTES)
+        };
         TxHeap {
             next: AtomicU64::new(start),
             end: base + bytes,
@@ -56,10 +60,12 @@ impl TxHeap {
                 "TxHeap exhausted: need {size} bytes at {base:#x}, heap ends at {:#x}",
                 self.end
             );
-            match self
-                .next
-                .compare_exchange_weak(cur, new_next, Ordering::Relaxed, Ordering::Relaxed)
-            {
+            match self.next.compare_exchange_weak(
+                cur,
+                new_next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
                 Ok(_) => return base,
                 Err(actual) => cur = actual,
             }
@@ -97,7 +103,6 @@ impl std::fmt::Debug for TxHeap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use std::sync::Arc;
 
     #[test]
@@ -162,19 +167,26 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn alloc_respects_alignment_and_bounds(
-            sizes in proptest::collection::vec((1u64..512, 0u32..4), 1..50)
-        ) {
-            let h = TxHeap::new(0, 1 << 22);
-            let mut prev_end = 0u64;
-            for (size, align_pow) in sizes {
-                let align = WORD_BYTES << align_pow;
-                let a = h.alloc_aligned(size, align);
-                prop_assert_eq!(a % align, 0);
-                prop_assert!(a >= prev_end);
-                prev_end = a + align_up(size, WORD_BYTES);
+    // Property tests need the vendored `proptest` crate; see Cargo.toml.
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn alloc_respects_alignment_and_bounds(
+                sizes in proptest::collection::vec((1u64..512, 0u32..4), 1..50)
+            ) {
+                let h = TxHeap::new(0, 1 << 22);
+                let mut prev_end = 0u64;
+                for (size, align_pow) in sizes {
+                    let align = WORD_BYTES << align_pow;
+                    let a = h.alloc_aligned(size, align);
+                    prop_assert_eq!(a % align, 0);
+                    prop_assert!(a >= prev_end);
+                    prev_end = a + align_up(size, WORD_BYTES);
+                }
             }
         }
     }

@@ -40,11 +40,7 @@ impl SimMemory {
 
     #[inline]
     fn word_index(&self, addr: Addr) -> usize {
-        debug_assert_eq!(
-            addr % WORD_BYTES,
-            0,
-            "unaligned word access at {addr:#x}"
-        );
+        debug_assert_eq!(addr % WORD_BYTES, 0, "unaligned word access at {addr:#x}");
         let idx = (addr / WORD_BYTES) as usize;
         assert!(
             idx < self.words.len(),

@@ -7,9 +7,7 @@
 //! with "source code".
 
 use std::collections::HashMap;
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, RwLock};
 
 /// Identifier of a registered simulated function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -92,7 +90,7 @@ impl FuncRegistry {
     /// Intern a function by name; repeated interning of the same name
     /// returns the same id (file/line of the first registration win).
     pub fn intern(&self, name: &str, file: &str, line: u32) -> FuncId {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("registry lock poisoned");
         if let Some(&id) = inner.by_name.get(name) {
             return id;
         }
@@ -109,7 +107,12 @@ impl FuncRegistry {
     /// Resolve an id to its metadata. Returns `None` for ids from a
     /// different registry.
     pub fn resolve(&self, id: FuncId) -> Option<FuncInfo> {
-        self.inner.read().funcs.get(id.0 as usize).cloned()
+        self.inner
+            .read()
+            .expect("registry lock poisoned")
+            .funcs
+            .get(id.0 as usize)
+            .cloned()
     }
 
     /// Name of a function, or `"<invalid>"` if unregistered.
@@ -121,12 +124,21 @@ impl FuncRegistry {
 
     /// Look up a function id by name.
     pub fn lookup(&self, name: &str) -> Option<FuncId> {
-        self.inner.read().by_name.get(name).copied()
+        self.inner
+            .read()
+            .expect("registry lock poisoned")
+            .by_name
+            .get(name)
+            .copied()
     }
 
     /// Number of registered functions (including `<unknown>`).
     pub fn len(&self) -> usize {
-        self.inner.read().funcs.len()
+        self.inner
+            .read()
+            .expect("registry lock poisoned")
+            .funcs
+            .len()
     }
 
     /// Whether only the `<unknown>` placeholder is registered.

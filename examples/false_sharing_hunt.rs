@@ -40,7 +40,10 @@ fn main() {
     let true_sharing = micro::true_sharing(&cfg);
     let false_sharing = micro::false_sharing(&cfg);
 
-    let ts = investigate("true sharing: all threads increment ONE word", &true_sharing);
+    let ts = investigate(
+        "true sharing: all threads increment ONE word",
+        &true_sharing,
+    );
     let fs = investigate(
         "false sharing: each thread has its OWN word — on one cache line",
         &false_sharing,

@@ -56,7 +56,11 @@ fn main() {
     );
 
     println!("== step 5: sort the input so each thread's chunk concentrates its bins");
-    let sorted2 = run(Input::Uniform, Variant::CoalescedSorted { txn_gran: 100 }, &cfg);
+    let sorted2 = run(
+        Input::Uniform,
+        Variant::CoalescedSorted { txn_gran: 100 },
+        &cfg,
+    );
     println!(
         "   conflict aborts {} -> {}; speedup vs original {:.2}x (paper: 2.91x)",
         coal2.truth.totals().aborts_conflict,

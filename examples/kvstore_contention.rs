@@ -38,7 +38,10 @@ fn main() {
     if let Some((site, _)) = p.hot_abort_sites().into_iter().next() {
         println!("== per-thread commit/abort histogram at the hottest site:");
         let reg = orig.funcs.clone();
-        for line in report::render_thread_histogram(p, &reg, site).lines().take(10) {
+        for line in report::render_thread_histogram(p, &reg, site)
+            .lines()
+            .take(10)
+        {
             println!("  {line}");
         }
     }

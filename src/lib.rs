@@ -5,8 +5,8 @@
 //! (`txsampler`, `rtm-runtime`, `txsim-htm`, …) directly.
 
 pub use htmbench;
-pub use txbench;
 pub use rtm_runtime;
+pub use txbench;
 pub use txsampler;
 pub use txsim_htm;
 pub use txsim_mem;

@@ -158,9 +158,15 @@ fn in_transaction_call_paths_are_reconstructed() {
     let p = out.profile.as_ref().unwrap();
 
     // Find speculative frames — these only exist via LBR reconstruction.
-    let spec_frames = p
-        .cct
-        .find_all(|k| matches!(k, NodeKey::Frame { speculative: true, .. }));
+    let spec_frames = p.cct.find_all(|k| {
+        matches!(
+            k,
+            NodeKey::Frame {
+                speculative: true,
+                ..
+            }
+        )
+    });
     assert!(
         !spec_frames.is_empty(),
         "no speculative frames reconstructed"

@@ -16,7 +16,11 @@ fn run_deep_chain(depth: usize, lbr_depth: usize) -> txsampler::Profile {
     let lib = TmLib::new(&domain);
     let contention = Arc::new(ContentionMap::with_defaults(domain.geometry));
     let funcs: Vec<_> = (0..depth)
-        .map(|i| domain.funcs.intern(&format!("level{i}"), "deep.rs", i as u32))
+        .map(|i| {
+            domain
+                .funcs
+                .intern(&format!("level{i}"), "deep.rs", i as u32)
+        })
         .collect();
     let counter = domain.heap.alloc_words(1);
 
@@ -56,18 +60,18 @@ fn shallow_chain_fits_the_haswell_window() {
         "a 4-deep chain must reconstruct without truncation"
     );
     // The deepest speculative frame must be present.
-    let deep = p
-        .cct
-        .find_all(|k| matches!(k, txsampler::NodeKey::Frame { speculative: true, .. }));
+    let deep = p.cct.find_all(|k| {
+        matches!(
+            k,
+            txsampler::NodeKey::Frame {
+                speculative: true,
+                ..
+            }
+        )
+    });
     let max_depth = deep
         .iter()
-        .map(|&id| {
-            p.cct
-                .path_to(id)
-                .iter()
-                .filter(|k| k.speculative())
-                .count()
-        })
+        .map(|&id| p.cct.path_to(id).iter().filter(|k| k.speculative()).count())
         .max()
         .unwrap_or(0);
     assert_eq!(max_depth, 4, "all four in-tx frames must appear");
@@ -110,16 +114,17 @@ fn state_machine_covers_every_component() {
 
     const THREADS: usize = 6;
     let barrier = std::sync::Barrier::new(THREADS);
-    let profiles: Vec<_> = crossbeam::thread::scope(|s| {
+    let profiles: Vec<_> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..THREADS)
             .map(|i| {
                 let domain = Arc::clone(&domain);
                 let lib = Arc::clone(&lib);
                 let contention = Arc::clone(&contention);
                 let barrier = &barrier;
-                s.spawn(move |_| {
-                    let mut cpu = domain
-                        .spawn_cpu(SamplingConfig::dense().with_period(EventKind::Cycles, Some(997)));
+                s.spawn(move || {
+                    let mut cpu = domain.spawn_cpu(
+                        SamplingConfig::dense().with_period(EventKind::Cycles, Some(997)),
+                    );
                     let mut tm = lib.thread();
                     let handle = attach(&mut cpu, tm.state_handle(), contention);
                     barrier.wait();
@@ -139,8 +144,7 @@ fn state_machine_covers_every_component() {
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
+    });
 
     let p = merge_profiles(profiles);
     let m = p.totals();
@@ -148,5 +152,8 @@ fn state_machine_covers_every_component() {
     assert!(m.t_fb > 0, "fallback samples: {m:?}");
     assert!(m.t_wait > 0, "lock-waiting samples: {m:?}");
     assert!(m.t_oh > 0, "overhead samples: {m:?}");
-    assert!(m.w > m.t, "some samples must land outside critical sections");
+    assert!(
+        m.w > m.t,
+        "some samples must land outside critical sections"
+    );
 }

@@ -1,0 +1,70 @@
+//! End-to-end check of the self-observability layer's core contract:
+//! with instrumentation disabled (the default), running a full profiled
+//! workload increments *no* counter and records *no* span; flipping the
+//! process-wide switches makes the same workload light up counters across
+//! subsystems and produce trace spans.
+//!
+//! Kept as a single test function in its own integration-test binary: the
+//! enable/disable switches and the counter registry are process-wide, so
+//! this must not share a process with concurrently running tests that
+//! enable instrumentation.
+
+use obs::Counter;
+
+#[test]
+fn instrumentation_is_exactly_free_when_disabled() {
+    let cfg = htmbench::harness::RunConfig::quick();
+
+    // Phase 1: defaults (everything off). A complete profiled run must
+    // leave the registry untouched and the trace sink empty.
+    assert!(!obs::enabled(), "counters must default to off");
+    assert!(!obs::tracing(), "tracing must default to off");
+    obs::registry().reset();
+    let out = htmbench::micro::true_sharing(&cfg);
+    assert!(
+        out.profile.expect("quick config profiles").samples > 0,
+        "the workload itself must have done real work"
+    );
+    let snap = obs::registry().snapshot();
+    assert!(
+        snap.is_zero(),
+        "disabled instrumentation incremented counters: {:?}",
+        snap.nonzero()
+    );
+    assert!(
+        obs::take_traces().is_empty(),
+        "disabled tracing recorded spans"
+    );
+
+    // Phase 2: switches on. The same workload now populates counters in
+    // every major subsystem and yields spans.
+    obs::set_enabled(true);
+    obs::set_tracing(true);
+    let _ = htmbench::micro::true_sharing(&cfg);
+    let traces = obs::take_traces();
+    let snap = obs::registry().snapshot();
+    obs::set_enabled(false);
+    obs::set_tracing(false);
+
+    for counter in [
+        Counter::SamplesTaken,
+        Counter::TxBegins,
+        Counter::TxCommits,
+        Counter::DirectoryConflictChecks,
+        Counter::RtmHtmAttempts,
+        Counter::CollectorLockAcquisitions,
+        Counter::WorkersSpawned,
+    ] {
+        assert!(
+            snap.get(counter) > 0,
+            "expected {} > 0 with instrumentation on\n{}",
+            counter.name(),
+            snap.render_table()
+        );
+    }
+    assert!(!traces.is_empty(), "tracing on must yield thread traces");
+    assert!(
+        traces.iter().any(|t| !t.events.is_empty()),
+        "at least one thread must retain span events"
+    );
+}
