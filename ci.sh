@@ -15,4 +15,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== serve-mode smoke test (ephemeral port, /healthz + /metrics scrape)"
+cargo test -q -p txbench --test serve_smoke
+
 echo "== ci.sh: all green"

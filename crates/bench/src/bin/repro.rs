@@ -1,36 +1,73 @@
-//! `repro` — regenerate every table and figure of the TxSampler paper.
-//!
-//! ```text
-//! repro [--threads N] [--scale S] [--trials T] [--out DIR] <experiment>...
-//! repro --self-profile <experiment>
-//!
-//! experiments:
-//!   table1        CLOMP-TM input characteristics
-//!   fig5          runtime overhead across HTMBench
-//!   fig6          overhead vs. thread count (STAMP mean)
-//!   fig7          CLOMP-TM time/abort/weight decomposition
-//!   fig8          application categorization
-//!   table2        optimization speedups
-//!   case-dedup    §8.1 walkthrough
-//!   case-leveldb  §8.2 walkthrough
-//!   case-histo    §8.3 walkthrough
-//!   case-supplementary  SSCA2/UA/vacation (supplementary material)
-//!   all           everything above
-//!   profile NAME  run one HTMBench program under TxSampler and print its
-//!                 full report (CCT view, decomposition, decision tree);
-//!                 with --out, also saves the raw profile
-//!
-//! --self-profile runs the experiment twice — instrumentation off, then
-//! counters + tracing on — and prints an overhead-decomposition report for
-//! the profiler itself (see crates/obs). Artifacts land in `results/` (or
-//! --out): `self_profile_<exp>.json` and a Chrome-traceable
-//! `self_profile_<exp>.trace.json`.
-//! ```
+//! `repro` — regenerate every table and figure of the TxSampler paper,
+//! plus live-profiling utilities (see `USAGE` below for the full text).
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use txbench::*;
+
+const USAGE: &str = "\
+repro — regenerate every table and figure of the TxSampler paper
+
+usage:
+  repro [--threads N] [--scale S] [--trials T] [--out DIR] <experiment>...
+  repro --self-profile <experiment>
+  repro serve <experiment> [--port N] [--snapshot-interval K] [--rounds R]
+  repro flamegraph <file.txsp>
+
+experiments:
+  table1        CLOMP-TM input characteristics
+  fig5          runtime overhead across HTMBench
+  fig6          overhead vs. thread count (STAMP mean)
+  fig7          CLOMP-TM time/abort/weight decomposition
+  fig8          application categorization
+  table2        optimization speedups
+  case-dedup    §8.1 walkthrough
+  case-leveldb  §8.2 walkthrough
+  case-histo    §8.3 walkthrough
+  case-supplementary  SSCA2/UA/vacation (supplementary material)
+  all           everything above
+  profile NAME  run one HTMBench program under TxSampler and print its
+                full report (CCT view, decomposition, decision tree);
+                with --out, also saves the raw profile
+
+serve drives the experiment's workload mix in a loop while exposing the
+live profile over HTTP on 127.0.0.1 (--port 0 picks an ephemeral port):
+/healthz, /metrics (Prometheus), /profile.json, /flamegraph. A delta is
+published to the snapshot hub every K samples (--snapshot-interval,
+default 1000); --rounds 0 (default) runs until interrupted. The
+cumulative snapshot is saved to <out>/serve_<exp>.txsp each round.
+
+flamegraph prints a saved profile as collapsed stacks (flamegraph.pl
+input); speculative frames carry the _[tx] suffix.
+
+--self-profile runs the experiment twice — instrumentation off, then
+counters + tracing on — and prints an overhead-decomposition report for
+the profiler itself (see crates/obs). Artifacts land in results/ (or
+--out): self_profile_<exp>.json and a Chrome-traceable
+self_profile_<exp>.trace.json.";
+
+/// Print usage to stderr and exit nonzero (flag errors must not panic).
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// The value following a flag, or a usage error when the flag is last.
+fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) => v,
+        None => usage_error(&format!("{flag} requires a value")),
+    }
+}
+
+/// Parse a flag's numeric value, or exit with usage on garbage.
+fn parse_flag<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> T {
+    let v = flag_value(args, i, flag);
+    v.parse()
+        .unwrap_or_else(|_| usage_error(&format!("{flag} expects a number, got '{v}'")))
+}
 
 /// Run one registry workload under TxSampler and print every report.
 fn profile_one(cfg: &ExpConfig, name: &str, save: &dyn Fn(&str, &str)) {
@@ -194,41 +231,126 @@ fn self_profile(cfg: &ExpConfig, exp: &str, out_dir: Option<&Path>) {
     );
 }
 
+/// `repro serve`: start the live driver + HTTP server and block.
+fn serve_command(serve_cfg: serve::ServeConfig) -> ! {
+    let finite = serve_cfg.rounds > 0;
+    let mut handle = match serve::serve_start(serve_cfg) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Parseable by scripts (and humans) even when the port was ephemeral.
+    println!("serving on http://{}", handle.addr());
+    println!("endpoints: /healthz /metrics /profile.json /flamegraph");
+    // Blocks forever with --rounds 0 — serve mode runs until interrupted.
+    let outcome = handle.wait_workload();
+    if let Some(outcome) = outcome {
+        eprintln!(
+            "# workload finished: {} rounds in {:.2?}",
+            outcome.rounds, outcome.wall
+        );
+    }
+    if finite {
+        let view = handle.hub().latest();
+        eprintln!(
+            "# final snapshot: epoch {} with {} samples",
+            view.epoch, view.profile.samples
+        );
+        let self_cost = txsampler::report::render_self_cost(&obs::registry().snapshot());
+        if !self_cost.is_empty() {
+            eprint!("{self_cost}");
+        }
+        std::process::exit(0);
+    }
+    // rounds == 0 and the driver returned anyway: treat as failure.
+    std::process::exit(1);
+}
+
+/// `repro flamegraph <file.txsp>`: render a saved profile as folded stacks.
+fn flamegraph_command(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match txsampler::store::load_with_funcs(&text) {
+        Ok((profile, names)) => {
+            print!(
+                "{}",
+                txsampler::report::render_folded_names(&profile, &names)
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {path} is not a valid profile: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1).collect::<Vec<_>>();
+    let args = std::env::args().skip(1).collect::<Vec<_>>();
     let mut cfg = ExpConfig::default();
     let mut out_dir: Option<PathBuf> = None;
     let mut self_profile_exp: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
+    let mut port: u16 = 0;
+    let mut snapshot_interval: u64 = 1000;
+    let mut rounds: u64 = 0;
 
-    let i = 0;
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--threads" => {
-                cfg.threads = args[i + 1].parse().expect("--threads N");
-                args.drain(i..=i + 1);
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
             }
-            "--scale" => {
-                cfg.scale = args[i + 1].parse().expect("--scale S");
-                args.drain(i..=i + 1);
-            }
-            "--trials" => {
-                cfg.trials = args[i + 1].parse().expect("--trials T");
-                args.drain(i..=i + 1);
-            }
-            "--out" => {
-                out_dir = Some(PathBuf::from(&args[i + 1]));
-                args.drain(i..=i + 1);
-            }
+            "--threads" => cfg.threads = parse_flag(&args, &mut i, "--threads"),
+            "--scale" => cfg.scale = parse_flag(&args, &mut i, "--scale"),
+            "--trials" => cfg.trials = parse_flag(&args, &mut i, "--trials"),
+            "--out" => out_dir = Some(PathBuf::from(flag_value(&args, &mut i, "--out"))),
             "--self-profile" => {
-                self_profile_exp = Some(args[i + 1].clone());
-                args.drain(i..=i + 1);
+                self_profile_exp = Some(flag_value(&args, &mut i, "--self-profile").to_string())
             }
-            _ => {
-                experiments.push(args.remove(i));
+            "--port" => port = parse_flag(&args, &mut i, "--port"),
+            "--snapshot-interval" => {
+                snapshot_interval = parse_flag(&args, &mut i, "--snapshot-interval")
             }
+            "--rounds" => rounds = parse_flag(&args, &mut i, "--rounds"),
+            flag if flag.starts_with('-') => usage_error(&format!("unknown flag '{flag}'")),
+            _ => experiments.push(args[i].clone()),
         }
+        i += 1;
     }
+
+    match experiments.first().map(String::as_str) {
+        Some("serve") => {
+            let experiment = experiments
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| "fig5".to_string());
+            serve_command(serve::ServeConfig {
+                experiment,
+                port,
+                snapshot_interval,
+                rounds,
+                exp: cfg,
+                out_dir: Some(out_dir.unwrap_or_else(|| PathBuf::from("results"))),
+            });
+        }
+        Some("flamegraph") => {
+            let Some(path) = experiments.get(1) else {
+                usage_error("flamegraph requires a saved profile path (.txsp)");
+            };
+            flamegraph_command(path);
+        }
+        _ => {}
+    }
+
     if let Some(exp) = self_profile_exp {
         eprintln!(
             "# repro: threads={} scale={} trials={}",

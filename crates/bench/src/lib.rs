@@ -4,5 +4,6 @@
 
 pub mod experiments;
 pub mod microbench;
+pub mod serve;
 
 pub use experiments::*;

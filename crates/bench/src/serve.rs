@@ -1,0 +1,216 @@
+//! `repro serve` — sustained-load driver wired to the live observability
+//! plane.
+//!
+//! Builds one shared [`FuncRegistry`] and one [`SnapshotHub`], attaches a
+//! [`live::LiveServer`] to them, and then drives the selected workloads in
+//! a loop on a background thread ([`htmbench::harness::run_sustained`]).
+//! Because interning is idempotent by name and every round reuses the same
+//! registry, function ids stay stable across rounds, so the hub's
+//! cumulative profile — and everything served over HTTP — spans the whole
+//! serve session, not just the round in flight.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use htmbench::harness::{run_sustained, RunConfig, SustainedOutcome};
+use htmbench::registry::{self, Spec};
+use live::LiveServer;
+use txsampler::collect::{SnapshotHub, SnapshotPolicy};
+use txsim_pmu::FuncRegistry;
+
+use crate::ExpConfig;
+
+/// Configuration for a serve session.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Experiment or workload to drive (see [`workloads_for`]).
+    pub experiment: String,
+    /// TCP port to bind on 127.0.0.1 (0 picks an ephemeral port).
+    pub port: u16,
+    /// Snapshot policy: publish a delta every this many samples.
+    pub snapshot_interval: u64,
+    /// Rounds to drive before stopping; 0 means until shutdown.
+    pub rounds: u64,
+    /// Thread/scale/trials knobs shared with the offline experiments.
+    pub exp: ExpConfig,
+    /// Where to drop the per-round `serve_<slug>.txsp` snapshot (skipped
+    /// when `None`).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl ServeConfig {
+    /// Default serve session: `fig5` workload mix, ephemeral port,
+    /// snapshot every 1000 samples, run until shutdown.
+    pub fn new(experiment: &str) -> ServeConfig {
+        ServeConfig {
+            experiment: experiment.to_string(),
+            port: 0,
+            snapshot_interval: 1000,
+            rounds: 0,
+            exp: ExpConfig::default(),
+            out_dir: None,
+        }
+    }
+}
+
+/// Resolve an experiment name to the workload mix it drives:
+/// `fig5`/`fig8`/`all` → the full HTMBench registry, `fig6` → the STAMP
+/// subset, `fig7`/`table1` → the CLOMP-TM suite, anything else → the
+/// single registry workload with that exact name.
+pub fn workloads_for(experiment: &str) -> Result<Vec<Spec>, String> {
+    let specs = match experiment {
+        "fig5" | "fig8" | "all" => registry::all(),
+        "fig6" => registry::stamp_subset(),
+        "fig7" | "table1" => registry::all()
+            .into_iter()
+            .filter(|s| s.suite == "clomp")
+            .collect(),
+        name => {
+            let mut specs: Vec<Spec> = registry::all()
+                .into_iter()
+                .filter(|s| s.name == name)
+                .collect();
+            if specs.is_empty() {
+                let mut msg = format!(
+                    "unknown experiment or workload '{name}'. experiments: \
+                     fig5 fig6 fig7 fig8 table1 all; workloads:"
+                );
+                for s in registry::all() {
+                    msg.push_str("\n  ");
+                    msg.push_str(s.name);
+                }
+                return Err(msg);
+            }
+            specs.truncate(1);
+            specs
+        }
+    };
+    Ok(specs)
+}
+
+/// A running serve session: HTTP server + workload driver thread.
+pub struct ServeHandle {
+    server: LiveServer,
+    hub: Arc<SnapshotHub>,
+    funcs: FuncRegistry,
+    stop: Arc<AtomicBool>,
+    driver: Option<JoinHandle<SustainedOutcome>>,
+}
+
+impl ServeHandle {
+    /// The HTTP server's bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.server.addr()
+    }
+
+    /// The snapshot hub backing the session (e.g. for offline renders of
+    /// the final snapshot).
+    pub fn hub(&self) -> &Arc<SnapshotHub> {
+        &self.hub
+    }
+
+    /// The shared function registry.
+    pub fn funcs(&self) -> &FuncRegistry {
+        &self.funcs
+    }
+
+    /// Block until the driver finishes its rounds (only returns with a
+    /// finite `rounds`; with `rounds == 0` call [`ServeHandle::shutdown`]
+    /// from another thread first). The HTTP server stays up afterwards so
+    /// the final snapshot remains scrapeable until shutdown.
+    pub fn wait_workload(&mut self) -> Option<SustainedOutcome> {
+        self.driver.take().map(|d| d.join().expect("driver thread"))
+    }
+
+    /// Stop the driver loop at the next round boundary, join it, and shut
+    /// the HTTP server down. Returns the driver's outcome if it had not
+    /// been waited on yet.
+    pub fn shutdown(mut self) -> Option<SustainedOutcome> {
+        self.stop.store(true, Ordering::SeqCst);
+        let outcome = self.wait_workload();
+        self.server.shutdown();
+        outcome
+    }
+}
+
+/// Start a serve session: bind the HTTP server, then launch the sustained
+/// workload driver on a background thread. Returns as soon as both are up.
+pub fn serve_start(cfg: ServeConfig) -> io::Result<ServeHandle> {
+    let specs = workloads_for(&cfg.experiment)
+        .map_err(|msg| io::Error::new(io::ErrorKind::InvalidInput, msg))?;
+
+    let funcs = FuncRegistry::new();
+    let hub = SnapshotHub::new(SnapshotPolicy::EverySamples(cfg.snapshot_interval.max(1)));
+    // Counters on: the /metrics self-cost families and the report footer
+    // are the point of watching a live run.
+    obs::set_enabled(true);
+    let server = LiveServer::start(Arc::clone(&hub), funcs.clone(), cfg.port)?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let driver_hub = Arc::clone(&hub);
+    let driver_funcs = funcs.clone();
+    let slug = cfg.experiment.replace('/', "_");
+    let run_cfg = RunConfig::paper_default()
+        .with_threads(cfg.exp.threads)
+        .with_scale(cfg.exp.scale)
+        .with_funcs(driver_funcs.clone())
+        .with_hub(Arc::clone(&driver_hub));
+    let rounds = cfg.rounds;
+    let out_dir = cfg.out_dir.clone();
+
+    let driver = std::thread::Builder::new()
+        .name("txsampler-serve-driver".into())
+        .spawn(move || {
+            run_sustained(
+                &run_cfg,
+                rounds,
+                |_| !stop_flag.load(Ordering::SeqCst),
+                |round_cfg| {
+                    let mut last = None;
+                    for spec in &specs {
+                        last = Some((spec.run)(round_cfg));
+                    }
+                    // Persist the cumulative snapshot at every round
+                    // boundary so a crash never loses more than a round.
+                    if let Some(dir) = &out_dir {
+                        let view = driver_hub.latest();
+                        let text = txsampler::store::save_with_funcs(&view.profile, &driver_funcs);
+                        let _ = std::fs::create_dir_all(dir);
+                        let _ = std::fs::write(dir.join(format!("serve_{slug}.txsp")), text);
+                    }
+                    last.expect("workload mix is non-empty")
+                },
+            )
+        })?;
+
+    Ok(ServeHandle {
+        server,
+        hub,
+        funcs,
+        stop,
+        driver: Some(driver),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_mapping_covers_experiments_and_exact_names() {
+        assert!(workloads_for("fig5").unwrap().len() > 30);
+        let clomp = workloads_for("fig7").unwrap();
+        assert!(!clomp.is_empty() && clomp.iter().all(|s| s.suite == "clomp"));
+        assert_eq!(workloads_for("micro/moderate").unwrap().len(), 1);
+        let err = match workloads_for("no-such-workload") {
+            Err(err) => err,
+            Ok(_) => panic!("unknown workload must be rejected"),
+        };
+        assert!(err.contains("unknown experiment"));
+        assert!(err.contains("micro/moderate"), "error lists workloads");
+    }
+}

@@ -17,6 +17,7 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use obs::{Counter, Subsystem};
@@ -28,8 +29,203 @@ use txsim_pmu::{
 use crate::callpath::reconstruct_tx_path;
 use crate::cct::NodeKey;
 use crate::contention::{ContentionMap, Sharing};
-use crate::metrics::TimeComponent;
-use crate::profile::{Periods, ThreadProfile};
+use crate::metrics::{Metrics, TimeComponent};
+use crate::profile::{Periods, Profile, ThreadProfile};
+
+/// When a collector flushes its accumulated delta to the attached
+/// [`SnapshotHub`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotPolicy {
+    /// Flush after this many samples delivered to the thread (the default;
+    /// sample count tracks profiling work directly).
+    EverySamples(u64),
+    /// Flush when the virtual TSC has advanced this many cycles since the
+    /// thread's last flush (wall-clock-like pacing in simulated time).
+    EveryCycles(u64),
+}
+
+impl SnapshotPolicy {
+    fn normalized(self) -> SnapshotPolicy {
+        match self {
+            SnapshotPolicy::EverySamples(n) => SnapshotPolicy::EverySamples(n.max(1)),
+            SnapshotPolicy::EveryCycles(n) => SnapshotPolicy::EveryCycles(n.max(1)),
+        }
+    }
+}
+
+/// A lightweight trend row retained per merge epoch so delta-vs-cumulative
+/// regressions (abort mix shifting, lock-wait share creeping up) are
+/// visible without storing whole profiles.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochSummary {
+    /// Epoch counter after this merge.
+    pub epoch: u64,
+    /// Cumulative samples at this epoch.
+    pub samples: u64,
+    /// Cumulative whole-program metric totals at this epoch.
+    pub totals: Metrics,
+}
+
+struct HubState {
+    cumulative: Profile,
+    history: Vec<EpochSummary>,
+}
+
+/// Shared, versioned aggregation point for live profiling.
+///
+/// Worker collectors periodically publish per-thread deltas (per the
+/// [`SnapshotPolicy`]); the hub folds them into one cumulative [`Profile`]
+/// and bumps its epoch. Readers (the `/metrics`, `/profile.json` and
+/// `/flamegraph` endpoints of `crates/live`) clone the latest snapshot at
+/// any time — collection never stops or blocks on a reader beyond the one
+/// short merge mutex.
+///
+/// A hub is strictly opt-in: a collector with no hub attached keeps the
+/// exact pre-hub fast path (one `Option` branch, zero additional atomic
+/// operations).
+pub struct SnapshotHub {
+    policy: SnapshotPolicy,
+    epoch: AtomicU64,
+    state: Mutex<HubState>,
+}
+
+impl std::fmt::Debug for SnapshotHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotHub")
+            .field("policy", &self.policy)
+            .field("epoch", &self.epoch.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// How many epoch trend rows the hub retains (oldest dropped first).
+const HISTORY_CAP: usize = 256;
+
+/// A point-in-time copy of the hub's cumulative profile.
+#[derive(Debug, Clone)]
+pub struct SnapshotView {
+    /// Merge epoch this snapshot corresponds to.
+    pub epoch: u64,
+    /// The cumulative merged profile.
+    pub profile: Profile,
+}
+
+impl SnapshotHub {
+    /// Create a hub that asks collectors to flush per `policy`.
+    pub fn new(policy: SnapshotPolicy) -> Arc<SnapshotHub> {
+        Arc::new(SnapshotHub {
+            policy: policy.normalized(),
+            epoch: AtomicU64::new(0),
+            state: Mutex::new(HubState {
+                cumulative: Profile::default(),
+                history: Vec::new(),
+            }),
+        })
+    }
+
+    /// The flush policy collectors attached to this hub follow.
+    pub fn policy(&self) -> SnapshotPolicy {
+        self.policy
+    }
+
+    /// Current merge epoch (bumped once per absorbed delta).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Fold one per-thread delta into the cumulative snapshot. Called by
+    /// collectors on their flush boundary and by the harness for each
+    /// thread's residual delta at the end of a run.
+    pub fn publish(&self, delta: &ThreadProfile) {
+        if delta.is_empty() {
+            return;
+        }
+        let t0 = txsim_pmu::now_tsc();
+        let mut state = self.state.lock().expect("snapshot hub lock poisoned");
+        state.cumulative.absorb_thread_delta(delta);
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        let summary = EpochSummary {
+            epoch,
+            samples: state.cumulative.samples,
+            totals: state.cumulative.totals(),
+        };
+        if state.history.len() == HISTORY_CAP {
+            state.history.remove(0);
+        }
+        state.history.push(summary);
+        drop(state);
+        obs::count(Counter::SnapshotsMerged);
+        obs::count_n(
+            Counter::SnapshotMergeCycles,
+            txsim_pmu::now_tsc().saturating_sub(t0),
+        );
+    }
+
+    /// Clone the latest cumulative snapshot together with its epoch.
+    pub fn latest(&self) -> SnapshotView {
+        let state = self.state.lock().expect("snapshot hub lock poisoned");
+        SnapshotView {
+            epoch: self.epoch.load(Ordering::Acquire),
+            profile: state.cumulative.clone(),
+        }
+    }
+
+    /// The retained epoch trend, oldest first.
+    pub fn history(&self) -> Vec<EpochSummary> {
+        self.state
+            .lock()
+            .expect("snapshot hub lock poisoned")
+            .history
+            .clone()
+    }
+
+    /// Activity of the most recent merge window: metric totals of the last
+    /// epoch minus the one before it. `None` until a first merge happened.
+    pub fn window(&self) -> Option<Metrics> {
+        let state = self.state.lock().expect("snapshot hub lock poisoned");
+        let last = state.history.last()?;
+        match state.history.len() {
+            0 => None,
+            1 => Some(last.totals),
+            n => Some(last.totals.minus(&state.history[n - 2].totals)),
+        }
+    }
+}
+
+/// A collector's link to its hub: the shared hub plus the local (entirely
+/// non-atomic) flush bookkeeping.
+struct HubLink {
+    hub: Arc<SnapshotHub>,
+    samples_since_flush: u64,
+    last_flush_tsc: u64,
+}
+
+impl HubLink {
+    /// Whether this sample crosses the flush boundary. Plain integer
+    /// arithmetic on collector-local state; the only synchronization cost
+    /// of the hub is the merge itself.
+    fn due(&mut self, sample_tsc: u64) -> bool {
+        match self.hub.policy {
+            SnapshotPolicy::EverySamples(n) => {
+                self.samples_since_flush += 1;
+                if self.samples_since_flush >= n {
+                    self.samples_since_flush = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            SnapshotPolicy::EveryCycles(n) => {
+                if sample_tsc.saturating_sub(self.last_flush_tsc) >= n {
+                    self.last_flush_tsc = sample_tsc;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
 
 /// Per-thread online collector. Implements [`SampleSink`]; hand it to
 /// [`txsim_htm::SimCpu::set_sink`] via [`Collector::into_sink`] and read the
@@ -38,6 +234,7 @@ pub struct Collector {
     state: ThreadState,
     contention: Arc<ContentionMap>,
     profile: Arc<Mutex<ThreadProfile>>,
+    hub: Option<HubLink>,
 }
 
 /// Shared handle to a collector's profile, retained by the harness.
@@ -97,9 +294,22 @@ impl Collector {
                 state,
                 contention,
                 profile,
+                hub: None,
             },
             handle,
         )
+    }
+
+    /// Attach a live snapshot hub: the collector will publish its
+    /// accumulated delta per the hub's [`SnapshotPolicy`]. Without this the
+    /// collector keeps the exact post-mortem-only fast path.
+    pub fn with_hub(mut self, hub: Arc<SnapshotHub>) -> Self {
+        self.hub = Some(HubLink {
+            hub,
+            samples_since_flush: 0,
+            last_flush_tsc: 0,
+        });
+        self
     }
 
     /// Box the collector for [`txsim_htm::SimCpu::set_sink`].
@@ -240,6 +450,17 @@ impl SampleSink for Collector {
                 }
             }
         }
+
+        // Epoch boundary: with a hub attached, periodically hand off the
+        // delta accumulated since the last flush. The check is collector-
+        // local arithmetic; without a hub this whole block is one branch.
+        if let Some(link) = &mut self.hub {
+            if link.due(sample.tsc) {
+                let delta = profile.take_delta();
+                drop(profile);
+                link.hub.publish(&delta);
+            }
+        }
     }
 }
 
@@ -250,8 +471,25 @@ pub fn attach(
     state: ThreadState,
     contention: Arc<ContentionMap>,
 ) -> CollectorHandle {
+    attach_with_hub(cpu, state, contention, None)
+}
+
+/// [`attach`], optionally linking the collector to a live [`SnapshotHub`].
+/// After the worker joins, the caller should publish the residual
+/// [`CollectorHandle::take`] delta to the hub so the cumulative snapshot is
+/// complete.
+pub fn attach_with_hub(
+    cpu: &mut txsim_htm::SimCpu,
+    state: ThreadState,
+    contention: Arc<ContentionMap>,
+    hub: Option<Arc<SnapshotHub>>,
+) -> CollectorHandle {
     let sampling = cpu.pmu().config().clone();
     let (collector, handle) = Collector::new(cpu.tid(), state, contention, &sampling);
+    let collector = match hub {
+        Some(hub) => collector.with_hub(hub),
+        None => collector,
+    };
     cpu.set_sink(collector.into_sink());
     handle
 }
@@ -259,3 +497,165 @@ pub fn attach(
 /// Per-site commit/abort sample pairs (used for the per-thread histograms
 /// of §5's contention metrics).
 pub type SiteCounts = HashMap<Ip, (u64, u64)>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cct::ROOT;
+    use crate::metrics::TimeComponent;
+
+    fn delta(tid: usize, line: u32, cycles: u64, aborts: u64) -> ThreadProfile {
+        let mut p = ThreadProfile {
+            tid,
+            ..ThreadProfile::default()
+        };
+        let leaf = p.cct.child(
+            ROOT,
+            NodeKey::Stmt {
+                ip: Ip::new(FuncId(1), line),
+                speculative: false,
+            },
+        );
+        for _ in 0..cycles {
+            p.cct.metrics_mut(leaf).add_cycles_sample(TimeComponent::Tx);
+        }
+        p.cct.metrics_mut(leaf).abort_samples = aborts;
+        p.cct.metrics_mut(leaf).aborts_conflict = aborts;
+        p.samples = cycles + aborts;
+        *p.site_commits(Ip::new(FuncId(1), line)) = (cycles, aborts);
+        p
+    }
+
+    #[test]
+    fn hub_merges_deltas_and_versions_snapshots() {
+        let hub = SnapshotHub::new(SnapshotPolicy::EverySamples(100));
+        assert_eq!(hub.epoch(), 0);
+        assert!(hub.window().is_none());
+
+        hub.publish(&delta(0, 10, 5, 1));
+        assert_eq!(hub.epoch(), 1);
+        let v1 = hub.latest();
+        assert_eq!(v1.epoch, 1);
+        assert_eq!(v1.profile.samples, 6);
+        assert_eq!(v1.profile.threads.len(), 1);
+
+        // Second delta from another thread: cumulative grows, epoch bumps,
+        // and the window view shows only the new activity.
+        hub.publish(&delta(1, 10, 7, 2));
+        let v2 = hub.latest();
+        assert_eq!(v2.epoch, 2);
+        assert_eq!(v2.profile.samples, 15);
+        assert_eq!(v2.profile.threads.len(), 2);
+        assert_eq!(v2.profile.totals().abort_samples, 3);
+        let window = hub.window().expect("two epochs");
+        assert_eq!(window.w, 7);
+        assert_eq!(window.abort_samples, 2);
+
+        // Same thread again: its summary row is extended, not duplicated.
+        hub.publish(&delta(0, 11, 3, 0));
+        let v3 = hub.latest();
+        assert_eq!(v3.profile.threads.len(), 2);
+        assert_eq!(v3.profile.threads[0].totals.w, 8);
+        assert_eq!(hub.history().len(), 3);
+
+        // Empty deltas are ignored entirely (no epoch churn).
+        hub.publish(&ThreadProfile::default());
+        assert_eq!(hub.epoch(), 3);
+    }
+
+    #[test]
+    fn incremental_absorption_matches_postmortem_merge() {
+        // Split each thread's activity into several deltas, publish them
+        // interleaved, and compare against merging the whole thread
+        // profiles at once (the pre-hub path).
+        let hub = SnapshotHub::new(SnapshotPolicy::EverySamples(1));
+        let mut whole: Vec<ThreadProfile> = Vec::new();
+        for tid in 0..3usize {
+            let mut acc = ThreadProfile {
+                tid,
+                ..ThreadProfile::default()
+            };
+            for part in 0..4u32 {
+                let d = delta(
+                    tid,
+                    10 + part,
+                    (tid as u64 + 1) * (part as u64 + 1),
+                    part as u64,
+                );
+                hub.publish(&d);
+                acc.cct.merge(&d.cct);
+                acc.samples += d.samples;
+                for (site, (c, a)) in &d.sites {
+                    let e = acc.site_commits(*site);
+                    e.0 += c;
+                    e.1 += a;
+                }
+            }
+            whole.push(acc);
+        }
+        let merged = crate::merge_profiles(whole);
+        let live = hub.latest().profile;
+        assert_eq!(live.samples, merged.samples);
+        assert_eq!(live.totals(), merged.totals());
+        assert_eq!(live.cct.len(), merged.cct.len());
+        assert_eq!(live.threads.len(), merged.threads.len());
+        for (a, b) in live.threads.iter().zip(merged.threads.iter()) {
+            assert_eq!(a.tid, b.tid);
+            assert_eq!(a.totals, b.totals);
+            assert_eq!(a.sites, b.sites);
+        }
+        // And the canonical renders agree, so live endpoints and offline
+        // reports describe the same program.
+        assert_eq!(
+            crate::report::render_folded_names(&live, &Default::default()),
+            crate::report::render_folded_names(&merged, &Default::default()),
+        );
+    }
+
+    #[test]
+    fn take_delta_preserves_identity_and_empties() {
+        let mut p = delta(7, 10, 3, 1);
+        p.periods = Periods {
+            cycles: 9,
+            commit: 9,
+            abort: 9,
+            mem: 9,
+        };
+        let d = p.take_delta();
+        assert_eq!(d.tid, 7);
+        assert_eq!(d.samples, 4);
+        assert_eq!(d.periods.cycles, 9);
+        assert!(p.is_empty());
+        assert_eq!(p.tid, 7);
+        assert_eq!(p.periods.cycles, 9, "periods survive the take");
+    }
+
+    #[test]
+    fn snapshot_policy_boundaries() {
+        let hub = SnapshotHub::new(SnapshotPolicy::EverySamples(3));
+        let mut link = HubLink {
+            hub: Arc::clone(&hub),
+            samples_since_flush: 0,
+            last_flush_tsc: 0,
+        };
+        let due: Vec<bool> = (0..7).map(|_| link.due(0)).collect();
+        assert_eq!(due, [false, false, true, false, false, true, false]);
+
+        let hub = SnapshotHub::new(SnapshotPolicy::EveryCycles(100));
+        let mut link = HubLink {
+            hub,
+            samples_since_flush: 0,
+            last_flush_tsc: 0,
+        };
+        assert!(!link.due(99));
+        assert!(link.due(130));
+        assert!(!link.due(200));
+        assert!(link.due(231));
+
+        // Degenerate intervals are clamped, not division-by-zero footguns.
+        assert_eq!(
+            SnapshotHub::new(SnapshotPolicy::EverySamples(0)).policy(),
+            SnapshotPolicy::EverySamples(1)
+        );
+    }
+}

@@ -72,7 +72,10 @@ pub mod store;
 pub use analyze::{characterize, characterize_profile, merge_profiles, ProgramType};
 pub use callpath::{reconstruct_tx_path, TxCallPath};
 pub use cct::{Cct, NodeKey};
-pub use collect::{attach, Collector, CollectorHandle};
+pub use collect::{
+    attach, attach_with_hub, Collector, CollectorHandle, EpochSummary, SnapshotHub, SnapshotPolicy,
+    SnapshotView,
+};
 pub use contention::{ContentionMap, Sharing};
 pub use decision::{diagnose, Diagnosis, Suggestion, Thresholds};
 pub use imbalance::{detect_imbalance, Imbalance, ImbalanceKind};

@@ -72,6 +72,33 @@ impl Metrics {
         *self == Metrics::default()
     }
 
+    /// Field-wise saturating difference `self - earlier`. All metrics are
+    /// monotone sample counts, so the difference of two cumulative
+    /// snapshots is the activity of the window between them (the live
+    /// hub's delta-vs-cumulative view).
+    pub fn minus(&self, earlier: &Metrics) -> Metrics {
+        Metrics {
+            w: self.w.saturating_sub(earlier.w),
+            t: self.t.saturating_sub(earlier.t),
+            t_tx: self.t_tx.saturating_sub(earlier.t_tx),
+            t_fb: self.t_fb.saturating_sub(earlier.t_fb),
+            t_wait: self.t_wait.saturating_sub(earlier.t_wait),
+            t_oh: self.t_oh.saturating_sub(earlier.t_oh),
+            commit_samples: self.commit_samples.saturating_sub(earlier.commit_samples),
+            abort_samples: self.abort_samples.saturating_sub(earlier.abort_samples),
+            abort_weight: self.abort_weight.saturating_sub(earlier.abort_weight),
+            aborts_conflict: self.aborts_conflict.saturating_sub(earlier.aborts_conflict),
+            aborts_capacity: self.aborts_capacity.saturating_sub(earlier.aborts_capacity),
+            aborts_sync: self.aborts_sync.saturating_sub(earlier.aborts_sync),
+            aborts_explicit: self.aborts_explicit.saturating_sub(earlier.aborts_explicit),
+            conflict_weight: self.conflict_weight.saturating_sub(earlier.conflict_weight),
+            capacity_weight: self.capacity_weight.saturating_sub(earlier.capacity_weight),
+            sync_weight: self.sync_weight.saturating_sub(earlier.sync_weight),
+            true_sharing: self.true_sharing.saturating_sub(earlier.true_sharing),
+            false_sharing: self.false_sharing.saturating_sub(earlier.false_sharing),
+        }
+    }
+
     /// Average weight per sampled abort — the penalty metric w_t of
     /// Equation 3. `None` when no aborts were sampled.
     pub fn avg_abort_weight(&self) -> Option<f64> {
@@ -214,6 +241,28 @@ mod tests {
         assert!((a.r_conflict() - 0.25).abs() < 1e-9);
         assert!((a.r_capacity() - 0.75).abs() < 1e-9);
         assert_eq!(a.r_sync(), 0.0);
+    }
+
+    #[test]
+    fn minus_is_the_window_between_snapshots() {
+        let mut earlier = Metrics::default();
+        earlier.add_cycles_sample(TimeComponent::Tx);
+        earlier.abort_samples = 2;
+        earlier.abort_weight = 100;
+        let mut later = earlier;
+        later.add_cycles_sample(TimeComponent::LockWaiting);
+        later.add_cycles_sample(TimeComponent::Outside);
+        later.abort_samples = 5;
+        later.abort_weight = 170;
+        let window = later.minus(&earlier);
+        assert_eq!(window.w, 2);
+        assert_eq!(window.t_wait, 1);
+        assert_eq!(window.t_tx, 0);
+        assert_eq!(window.abort_samples, 3);
+        assert_eq!(window.abort_weight, 70);
+        // Differencing against a newer snapshot saturates to zero instead
+        // of wrapping.
+        assert!(earlier.minus(&later).is_zero());
     }
 
     #[test]

@@ -70,6 +70,28 @@ impl ThreadProfile {
     pub fn site_commits(&mut self, site: Ip) -> &mut (u64, u64) {
         self.sites.entry(site).or_insert((0, 0))
     }
+
+    /// Drain the accumulated data, leaving an empty profile that keeps its
+    /// identity (`tid`, `periods`). Used by the live snapshot hub: the
+    /// collector periodically takes the delta accumulated since the last
+    /// flush and publishes it, then keeps collecting into the emptied
+    /// profile without ever stopping.
+    pub fn take_delta(&mut self) -> ThreadProfile {
+        ThreadProfile {
+            tid: self.tid,
+            periods: self.periods,
+            cct: std::mem::take(&mut self.cct),
+            samples: std::mem::take(&mut self.samples),
+            truncated_paths: std::mem::take(&mut self.truncated_paths),
+            interrupt_abort_samples: std::mem::take(&mut self.interrupt_abort_samples),
+            sites: std::mem::take(&mut self.sites),
+        }
+    }
+
+    /// Whether the profile holds no samples at all.
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0 && self.cct.is_empty() && self.interrupt_abort_samples == 0
+    }
 }
 
 /// Per-thread summary retained in the merged profile (the GUI's per-thread
@@ -116,10 +138,71 @@ pub struct TimeBreakdown {
     pub overhead: f64,
 }
 
+impl TimeBreakdown {
+    /// Decompose a metric total into shares of W. With no work sampled all
+    /// shares are zero.
+    pub fn from_metrics(m: &Metrics) -> TimeBreakdown {
+        let w = m.w.max(1) as f64;
+        TimeBreakdown {
+            outside: m.w.saturating_sub(m.t) as f64 / w,
+            tx: m.t_tx as f64 / w,
+            fallback: m.t_fb as f64 / w,
+            lock_waiting: m.t_wait as f64 / w,
+            overhead: m.t_oh as f64 / w,
+        }
+    }
+
+    /// Sum of all five shares (1.0 when any work was sampled).
+    pub fn sum(&self) -> f64 {
+        self.outside + self.tx + self.fallback + self.lock_waiting + self.overhead
+    }
+}
+
 impl Profile {
     /// Whole-program metric totals.
     pub fn totals(&self) -> Metrics {
         self.cct.totals()
+    }
+
+    /// Fold a per-thread delta into this cumulative profile without
+    /// requiring the thread to finish: the CCT is merged path-wise, and the
+    /// thread's summary row is created or extended in place. Incremental
+    /// equivalent of [`crate::merge_profiles`] — absorbing every delta a
+    /// run produces yields the same profile as a single post-mortem merge.
+    pub fn absorb_thread_delta(&mut self, delta: &ThreadProfile) {
+        if delta.is_empty() {
+            return;
+        }
+        if self.samples == 0 && self.threads.is_empty() {
+            self.periods = delta.periods;
+        }
+        self.samples += delta.samples;
+        self.truncated_paths += delta.truncated_paths;
+        self.interrupt_abort_samples += delta.interrupt_abort_samples;
+        self.cct.merge(&delta.cct);
+
+        let delta_totals = delta.cct.totals();
+        let pos = match self.threads.binary_search_by_key(&delta.tid, |t| t.tid) {
+            Ok(pos) => pos,
+            Err(pos) => {
+                self.threads.insert(
+                    pos,
+                    ThreadSummary {
+                        tid: delta.tid,
+                        totals: Metrics::default(),
+                        sites: HashMap::new(),
+                    },
+                );
+                pos
+            }
+        };
+        let summary = &mut self.threads[pos];
+        summary.totals.merge(&delta_totals);
+        for (site, (c, a)) in &delta.sites {
+            let entry = summary.sites.entry(*site).or_insert((0, 0));
+            entry.0 += c;
+            entry.1 += a;
+        }
     }
 
     /// The critical-section duration ratio r_cs = T/W.
@@ -149,15 +232,7 @@ impl Profile {
 
     /// The Figure-7-style time decomposition.
     pub fn time_breakdown(&self) -> TimeBreakdown {
-        let m = self.totals();
-        let w = m.w.max(1) as f64;
-        TimeBreakdown {
-            outside: (m.w - m.t) as f64 / w,
-            tx: m.t_tx as f64 / w,
-            fallback: m.t_fb as f64 / w,
-            lock_waiting: m.t_wait as f64 / w,
-            overhead: m.t_oh as f64 / w,
-        }
+        TimeBreakdown::from_metrics(&self.totals())
     }
 
     /// Transaction sites ranked by sampled abort weight, descending —

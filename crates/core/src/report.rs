@@ -3,13 +3,15 @@
 //! decomposition bars (Figure 7), per-thread histograms, and the decision
 //! tree's narrative. Plus TSV export for the experiment harness.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use txsim_pmu::{FuncRegistry, Ip};
+use txsim_pmu::{FuncId, FuncRegistry, Ip};
 
 use crate::cct::{NodeId, NodeKey, ROOT};
 use crate::decision::Diagnosis;
 use crate::profile::Profile;
+use crate::store::FuncNames;
 
 /// Render a percentage.
 fn pct(x: f64) -> String {
@@ -235,6 +237,94 @@ fn render_node(
     }
 }
 
+/// One folded-stack frame label. Speculative (in-transaction) frames get
+/// the flamegraph.pl-style `_[tx]` annotation so the transaction-interior
+/// call paths — the paper's contribution — are visually distinct in the
+/// rendered flamegraph.
+fn folded_frame(key: NodeKey, name_of: &dyn Fn(FuncId) -> String) -> String {
+    match key {
+        NodeKey::Frame {
+            func, speculative, ..
+        } => {
+            if speculative {
+                format!("{}_[tx]", name_of(func))
+            } else {
+                name_of(func)
+            }
+        }
+        NodeKey::Stmt { ip, speculative } => {
+            if speculative {
+                format!("{}:{}_[tx]", name_of(ip.func), ip.line)
+            } else {
+                format!("{}:{}", name_of(ip.func), ip.line)
+            }
+        }
+    }
+}
+
+/// Render the CCT as collapsed-stack ("folded") text — one
+/// `frame;frame;frame weight` line per calling context, weighted by
+/// estimated cycles (exclusive W samples × the cycles sampling period) —
+/// the input format of Brendan Gregg's `flamegraph.pl` and of every
+/// flamegraph web viewer. Lines are aggregated per distinct stack and
+/// sorted, so the output is canonical: two profiles with equal CCT metrics
+/// fold identically regardless of node insertion order.
+pub fn render_folded(profile: &Profile, name_of: &dyn Fn(FuncId) -> String) -> String {
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    let mut frames: Vec<String> = Vec::new();
+    fold_node(profile, ROOT, name_of, &mut frames, &mut stacks);
+    let mut out = String::new();
+    for (stack, weight) in stacks {
+        writeln!(out, "{stack} {weight}").unwrap();
+    }
+    out
+}
+
+fn fold_node(
+    profile: &Profile,
+    node: NodeId,
+    name_of: &dyn Fn(FuncId) -> String,
+    frames: &mut Vec<String>,
+    stacks: &mut BTreeMap<String, u64>,
+) {
+    if node != ROOT {
+        frames.push(folded_frame(
+            profile.cct.key(node).expect("non-root has key"),
+            name_of,
+        ));
+        let w = profile.cct.metrics(node).w;
+        if w > 0 {
+            let weight = w * profile.periods.cycles.max(1);
+            *stacks.entry(frames.join(";")).or_insert(0) += weight;
+        }
+    }
+    let mut children: Vec<NodeId> = profile.cct.children(node).collect();
+    children.sort_by_key(|&c| profile.cct.key(c).map(key_rank));
+    for child in children {
+        fold_node(profile, child, name_of, frames, stacks);
+    }
+    if node != ROOT {
+        frames.pop();
+    }
+}
+
+/// [`render_folded`] resolving names through the run's live registry.
+pub fn render_folded_registry(profile: &Profile, registry: &FuncRegistry) -> String {
+    render_folded(profile, &|id| registry.name(id))
+}
+
+/// [`render_folded`] resolving names through `func` records loaded from a
+/// stored profile (see [`crate::store::load_with_funcs`]); unknown ids fall
+/// back to a stable `funcN` label.
+pub fn render_folded_names(profile: &Profile, names: &FuncNames) -> String {
+    render_folded(profile, &|id| {
+        names
+            .get(&id.0)
+            .cloned()
+            .unwrap_or_else(|| format!("func{}", id.0))
+    })
+}
+
 /// Render the per-thread commit/abort histogram for a transaction site
 /// (the GUI's thread view used to spot imbalance and starvation).
 pub fn render_thread_histogram(profile: &Profile, registry: &FuncRegistry, site: Ip) -> String {
@@ -313,12 +403,45 @@ pub fn render_self_cost(snapshot: &obs::Snapshot) -> String {
     let retained = snapshot.get(Counter::SpansRecorded);
     let overwritten = snapshot.get(Counter::SpansDropped);
     let occupancy = retained as f64 / (retained + overwritten).max(1) as f64;
-    format!(
+    let mut out = format!(
         "profiler self-cost: {taken} samples processed, {dropped} dropped ({:.1}%); \
          {retained} trace spans retained, {overwritten} overwritten ({:.0}% kept)\n",
         drop_rate * 100.0,
         occupancy * 100.0,
-    )
+    );
+    // Serve-mode overhead is itself measured: report what the live layer
+    // spent on snapshot merging and request serving, when it ran at all.
+    let merges = snapshot.get(Counter::SnapshotsMerged);
+    if merges > 0 {
+        writeln!(
+            out,
+            "live hub self-cost: {merges} snapshot merges, {} merge cycles ({:.0} cycles/merge)",
+            snapshot.get(Counter::SnapshotMergeCycles),
+            snapshot.get(Counter::SnapshotMergeCycles) as f64 / merges as f64,
+        )
+        .unwrap();
+    }
+    let http = [
+        ("healthz", Counter::HttpHealthzRequests),
+        ("metrics", Counter::HttpMetricsRequests),
+        ("profile", Counter::HttpProfileRequests),
+        ("flamegraph", Counter::HttpFlamegraphRequests),
+        ("other", Counter::HttpOtherRequests),
+    ];
+    if http.iter().any(|&(_, c)| snapshot.get(c) > 0) {
+        let detail: Vec<String> = http
+            .iter()
+            .map(|&(name, c)| format!("{name} {}", snapshot.get(c)))
+            .collect();
+        writeln!(
+            out,
+            "live http requests served: {} ({})",
+            http.iter().map(|&(_, c)| snapshot.get(c)).sum::<u64>(),
+            detail.join(", "),
+        )
+        .unwrap();
+    }
+    out
 }
 
 /// Export the headline metrics as one TSV row (used by the figure harness).
@@ -447,6 +570,49 @@ mod tests {
         let header_fields = tsv_header().split('\t').count();
         let row_fields = tsv_row("x", &p).split('\t').count();
         assert_eq!(header_fields, row_fields);
+    }
+
+    #[test]
+    fn folded_output_marks_speculative_frames_and_scales_weights() {
+        let registry = FuncRegistry::new();
+        let mut p = sample_profile(&registry);
+        p.periods.cycles = 100;
+        let folded = render_folded_registry(&p, &registry);
+        assert_eq!(folded, "main;work_[tx];work:12_[tx] 1000\n");
+        // Resolving through loaded func records produces identical text.
+        let names: crate::store::FuncNames = (0..registry.len() as u32)
+            .map(|id| (id, registry.name(FuncId(id))))
+            .collect();
+        assert_eq!(render_folded_names(&p, &names), folded);
+        // Without names the labels degrade to stable ids, not garbage.
+        let anon = render_folded_names(&p, &Default::default());
+        assert_eq!(anon, "func1;func2_[tx];func2:12_[tx] 1000\n");
+    }
+
+    #[test]
+    fn folded_aggregates_interior_and_leaf_weights() {
+        let registry = FuncRegistry::new();
+        let main = registry.intern("main", "m.rs", 1);
+        let mut p = Profile::default();
+        let frame = p.cct.child(
+            ROOT,
+            NodeKey::Frame {
+                func: main,
+                callsite: Ip::UNKNOWN,
+                speculative: false,
+            },
+        );
+        let leaf = p.cct.child(
+            frame,
+            NodeKey::Stmt {
+                ip: Ip::new(main, 3),
+                speculative: false,
+            },
+        );
+        p.cct.metrics_mut(frame).w = 2; // self time in main
+        p.cct.metrics_mut(leaf).w = 5;
+        let folded = render_folded_registry(&p, &registry);
+        assert_eq!(folded, "main 2\nmain;main:3 5\n");
     }
 
     #[test]

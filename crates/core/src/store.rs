@@ -7,9 +7,10 @@
 //! in id order — parents always precede children — so loading is a single
 //! forward pass.
 
+use std::collections::{BTreeSet, HashMap};
 use std::fmt::Write as _;
 
-use txsim_pmu::{FuncId, Ip};
+use txsim_pmu::{FuncId, FuncRegistry, Ip};
 
 use crate::cct::{NodeKey, ROOT};
 use crate::metrics::Metrics;
@@ -18,8 +19,49 @@ use crate::profile::{Periods, Profile, ThreadSummary};
 /// Format version written into the header.
 pub const FORMAT_VERSION: u32 = 1;
 
-/// Serialize a profile to the text format.
+/// Function names carried alongside a profile: serialized func id → name.
+/// Optional in the format (`func` records); when present they make the
+/// profile self-describing, so offline renderers (e.g. `repro flamegraph`)
+/// produce the same labels as the live endpoints that had the run's
+/// [`FuncRegistry`] in hand.
+pub type FuncNames = HashMap<u32, String>;
+
+/// Serialize a profile to the text format (no function names).
 pub fn save(profile: &Profile) -> String {
+    save_with_names(profile, &|_| None)
+}
+
+/// Serialize a profile with `func` records resolved from `registry`.
+pub fn save_with_funcs(profile: &Profile, registry: &FuncRegistry) -> String {
+    save_with_names(profile, &|id| registry.resolve(id).map(|f| f.name))
+}
+
+/// Every function id referenced by the profile's CCT and site tables.
+fn referenced_funcs(profile: &Profile) -> BTreeSet<u32> {
+    let mut ids = BTreeSet::new();
+    for node in profile.cct.preorder() {
+        match profile.cct.key(node) {
+            None => {}
+            Some(NodeKey::Frame { func, callsite, .. }) => {
+                ids.insert(func.0);
+                ids.insert(callsite.func.0);
+            }
+            Some(NodeKey::Stmt { ip, .. }) => {
+                ids.insert(ip.func.0);
+            }
+        }
+    }
+    for t in &profile.threads {
+        for site in t.sites.keys() {
+            ids.insert(site.func.0);
+        }
+    }
+    ids
+}
+
+/// Serialize a profile, attaching a `func` record for every referenced
+/// function id that `name_of` can resolve.
+pub fn save_with_names(profile: &Profile, name_of: &dyn Fn(FuncId) -> Option<String>) -> String {
     let mut out = String::new();
     writeln!(
         out,
@@ -33,6 +75,11 @@ pub fn save(profile: &Profile) -> String {
         profile.periods.cycles, profile.periods.commit, profile.periods.abort, profile.periods.mem
     )
     .unwrap();
+    for id in referenced_funcs(profile) {
+        if let Some(name) = name_of(FuncId(id)) {
+            writeln!(out, "func\t{id}\t{name}").unwrap();
+        }
+    }
 
     // Nodes, preorder: id, parent, key, metrics. Node ids are re-mapped to
     // visit order so the loader can rebuild with a single pass.
@@ -178,8 +225,15 @@ fn parse_key(s: &str) -> Result<Option<NodeKey>, LoadError> {
     }
 }
 
-/// Load a profile previously produced by [`save`].
+/// Load a profile previously produced by [`save`] (function names, if
+/// present, are discarded).
 pub fn load(text: &str) -> Result<Profile, LoadError> {
+    load_with_funcs(text).map(|(profile, _)| profile)
+}
+
+/// Load a profile plus any `func` name records it carries.
+pub fn load_with_funcs(text: &str) -> Result<(Profile, FuncNames), LoadError> {
+    let mut funcs = FuncNames::new();
     let mut lines = text.lines();
     let header = lines.next().ok_or_else(|| LoadError::bad("empty file"))?;
     let hfields: Vec<&str> = header.split('\t').collect();
@@ -226,11 +280,27 @@ pub fn load(text: &str) -> Result<Profile, LoadError> {
                     mem: vals[3],
                 };
             }
+            Some("func") => {
+                let id: u32 = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| LoadError::bad("func id"))?;
+                let name = fields.next().ok_or_else(|| LoadError::bad("func name"))?;
+                if funcs.insert(id, name.to_string()).is_some() {
+                    return Err(LoadError::bad("duplicate func id"));
+                }
+            }
             Some("node") => {
-                let _id: usize = fields
+                let id: usize = fields
                     .next()
                     .and_then(|f| f.parse().ok())
                     .ok_or_else(|| LoadError::bad("node id"))?;
+                // Ids are the writer's visit order: strictly sequential.
+                // Anything else (duplicates, gaps, reordering) means the
+                // file was corrupted or hand-edited.
+                if id != ids.len() {
+                    return Err(LoadError::bad("node id out of sequence"));
+                }
                 let parent: usize = fields
                     .next()
                     .and_then(|f| f.parse().ok())
@@ -290,7 +360,7 @@ pub fn load(text: &str) -> Result<Profile, LoadError> {
             Some(other) => return Err(LoadError::bad(other)),
         }
     }
-    Ok(profile)
+    Ok((profile, funcs))
 }
 
 #[cfg(test)]
@@ -402,5 +472,55 @@ mod tests {
         let q = load(&save(&p)).unwrap();
         assert_eq!(q.cct.len(), 1);
         assert_eq!(q.samples, 0);
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let text = save(&sample_profile());
+        // Chopping the file anywhere inside a record must fail, never
+        // silently load a partial profile.
+        let cut = text.len() - 7;
+        assert!(load(&text[..cut]).is_err(), "truncated tail must error");
+        let first_node = text.find("\nnode").unwrap() + 20;
+        assert!(load(&text[..first_node]).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_sequence_node_ids() {
+        let text = save(&sample_profile());
+        // Duplicate a node line: its id repeats, which the loader must
+        // reject instead of double-counting metrics.
+        let node_line = text
+            .lines()
+            .find(|l| l.starts_with("node\t1\t"))
+            .unwrap()
+            .to_string();
+        let dup = text.replace(&node_line, &format!("{node_line}\n{node_line}"));
+        let err = load(&dup).unwrap_err();
+        assert!(err.what.contains("node id"), "got: {err}");
+        // A gap (skipped id) is equally malformed.
+        let gapped = text.replace("node\t1\t", "node\t5\t");
+        assert!(load(&gapped).is_err());
+    }
+
+    #[test]
+    fn func_records_roundtrip_and_stay_optional() {
+        let p = sample_profile();
+        let names: FuncNames = [(1, "main".to_string()), (3, "work".to_string())]
+            .into_iter()
+            .collect();
+        let text = save_with_names(&p, &|id| names.get(&id.0).cloned());
+        assert!(text.contains("func\t1\tmain"));
+        let (q, loaded) = load_with_funcs(&text).expect("roundtrip");
+        assert_eq!(q.totals(), p.totals());
+        assert_eq!(loaded, names);
+        // Saving the loaded copy with the loaded names is byte-stable.
+        let text2 = save_with_names(&q, &|id| loaded.get(&id.0).cloned());
+        assert_eq!(text, text2);
+        // Plain save never emits func records (legacy shape preserved).
+        assert!(!save(&p).contains("func\t"));
+        // Duplicate func ids are rejected.
+        let dup = text.replace("func\t1\tmain", "func\t1\tmain\nfunc\t1\tother");
+        assert!(load(&dup).is_err());
     }
 }

@@ -1,0 +1,85 @@
+//! Golden-file test for the collapsed-stack flamegraph exporter: a fixed
+//! CCT fixture must fold byte-identically to the checked-in
+//! `tests/golden/flamegraph.folded`. Mirrors the Chrome-trace golden test
+//! in `crates/obs` — the folded format is consumed by flamegraph.pl and
+//! every flamegraph web viewer, so its shape is an external contract.
+
+use txsampler::cct::{NodeKey, ROOT};
+use txsampler::report::render_folded_registry;
+use txsampler::Profile;
+use txsim_pmu::{FuncRegistry, Ip};
+
+const GOLDEN: &str = include_str!("golden/flamegraph.folded");
+
+#[test]
+fn fixed_cct_folds_to_golden_file() {
+    let registry = FuncRegistry::new();
+    let main = registry.intern("main", "m.rs", 1);
+    let worker = registry.intern("worker", "m.rs", 5);
+    let hash_insert = registry.intern("hash_insert", "h.rs", 9);
+
+    let mut p = Profile::default();
+    p.periods.cycles = 50_000;
+
+    let main_frame = p.cct.child(
+        ROOT,
+        NodeKey::Frame {
+            func: main,
+            callsite: Ip::UNKNOWN,
+            speculative: false,
+        },
+    );
+    // Self time in main (interior weight).
+    let main_stmt = p.cct.child(
+        main_frame,
+        NodeKey::Stmt {
+            ip: Ip::new(main, 2),
+            speculative: false,
+        },
+    );
+    p.cct.metrics_mut(main_stmt).w = 1;
+
+    let worker_frame = p.cct.child(
+        main_frame,
+        NodeKey::Frame {
+            func: worker,
+            callsite: Ip::new(main, 3),
+            speculative: false,
+        },
+    );
+    let worker_stmt = p.cct.child(
+        worker_frame,
+        NodeKey::Stmt {
+            ip: Ip::new(worker, 7),
+            speculative: false,
+        },
+    );
+    p.cct.metrics_mut(worker_stmt).w = 3;
+
+    // The paper's contribution: an in-transaction path reconstructed from
+    // the LBR, rendered with the `_[tx]` annotation.
+    let spec_frame = p.cct.child(
+        worker_frame,
+        NodeKey::Frame {
+            func: hash_insert,
+            callsite: Ip::new(worker, 8),
+            speculative: true,
+        },
+    );
+    for (line, w) in [(12, 5), (14, 2)] {
+        let leaf = p.cct.child(
+            spec_frame,
+            NodeKey::Stmt {
+                ip: Ip::new(hash_insert, line),
+                speculative: true,
+            },
+        );
+        p.cct.metrics_mut(leaf).w = w;
+    }
+
+    assert_eq!(
+        render_folded_registry(&p, &registry),
+        GOLDEN,
+        "folded exporter output drifted from tests/golden/flamegraph.folded"
+    );
+}

@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use obs::{Counter, Subsystem};
 use rtm_runtime::{TmLib, TmThread, Truth};
-use txsampler::{merge_profiles, ContentionMap, Profile};
+use txsampler::{merge_profiles, ContentionMap, Profile, SnapshotHub};
 use txsim_htm::{CpuStats, DomainConfig, FuncRegistry, HtmDomain, SamplingConfig, SimCpu};
 
 use crate::rng::SmallRng;
@@ -32,6 +32,11 @@ pub struct RunConfig {
     /// always enables cooperative virtual-time scheduling: simulated
     /// contention must not depend on host core count.
     pub domain: DomainConfig,
+    /// Live snapshot hub: when set (and `profile` is on), every collector
+    /// publishes periodic deltas to it and the run's final profile is the
+    /// hub's cumulative snapshot. `None` (the default) keeps the exact
+    /// post-mortem path with zero additional work per sample.
+    pub hub: Option<Arc<SnapshotHub>>,
 }
 
 impl RunConfig {
@@ -44,6 +49,7 @@ impl RunConfig {
             profile: true,
             seed: 0x7c5,
             domain: DomainConfig::default(),
+            hub: None,
         }
     }
 
@@ -57,6 +63,7 @@ impl RunConfig {
             profile: true,
             seed: 0x7c5,
             domain: DomainConfig::default(),
+            hub: None,
         }
     }
 
@@ -82,6 +89,19 @@ impl RunConfig {
     /// Builder: seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder: attach a live snapshot hub.
+    pub fn with_hub(mut self, hub: Arc<SnapshotHub>) -> Self {
+        self.hub = Some(hub);
+        self
+    }
+
+    /// Builder: share a function registry across runs (see
+    /// [`DomainConfig::with_funcs`]).
+    pub fn with_funcs(mut self, funcs: FuncRegistry) -> Self {
+        self.domain.funcs = Some(funcs);
         self
     }
 }
@@ -213,7 +233,12 @@ pub fn run_workload<S: Sync>(
                     let mut cpu = domain.spawn_cpu(cfg.sampling.clone());
                     let tm = lib.thread();
                     let handle = if cfg.profile {
-                        Some(txsampler::attach(&mut cpu, tm.state_handle(), contention))
+                        Some(txsampler::attach_with_hub(
+                            &mut cpu,
+                            tm.state_handle(),
+                            contention,
+                            cfg.hub.clone(),
+                        ))
                     } else {
                         None
                     };
@@ -260,10 +285,20 @@ pub fn run_workload<S: Sync>(
             thread_profiles.push(p);
         }
     }
-    let profile = if thread_profiles.is_empty() {
-        None
-    } else {
-        Some(merge_profiles(thread_profiles))
+    let profile = match &cfg.hub {
+        // Live mode: the collectors already streamed most of their data to
+        // the hub; hand it the residual tail deltas, then read the
+        // cumulative snapshot back. Note the cumulative profile spans the
+        // hub's whole lifetime, which may cover several runs (sustained
+        // serving) — exactly what a live dashboard wants.
+        Some(hub) if !thread_profiles.is_empty() => {
+            for residual in &thread_profiles {
+                hub.publish(residual);
+            }
+            Some(hub.latest().profile)
+        }
+        _ if thread_profiles.is_empty() => None,
+        _ => Some(merge_profiles(thread_profiles)),
     };
 
     let verify_span = obs::span(Subsystem::Harness, "verify");
@@ -281,5 +316,52 @@ pub fn run_workload<S: Sync>(
         profile,
         funcs: domain.funcs.clone(),
         checksum,
+    }
+}
+
+/// The outcome of a sustained-load run: how many rounds completed, the
+/// total wall time, and the last round's outcome (whose profile, when a
+/// hub is attached, is the cumulative snapshot over *all* rounds).
+#[derive(Debug)]
+pub struct SustainedOutcome {
+    /// Rounds fully completed.
+    pub rounds: u64,
+    /// Wall time across all rounds.
+    pub wall: Duration,
+    /// The final round's outcome (`None` if zero rounds ran).
+    pub last: Option<RunOutcome>,
+}
+
+/// Sustained-load driver for live profiling: runs `run` over and over —
+/// the long-lived traffic a production profiler attaches to — varying the
+/// workload seed every round so contention regimes shift over the
+/// execution instead of replaying one deterministic trace. Stops after
+/// `rounds` rounds (`0` = unbounded) or as soon as `keep_going` returns
+/// false, whichever comes first.
+///
+/// Pair with [`RunConfig::with_hub`] (and [`RunConfig::with_funcs`], so
+/// function ids stay stable across rounds) to watch the cumulative profile
+/// evolve through `crates/live` while this drives load.
+pub fn run_sustained(
+    cfg: &RunConfig,
+    rounds: u64,
+    keep_going: impl Fn(u64) -> bool,
+    run: impl Fn(&RunConfig) -> RunOutcome,
+) -> SustainedOutcome {
+    let started = Instant::now();
+    let mut last = None;
+    let mut completed = 0u64;
+    while (rounds == 0 || completed < rounds) && keep_going(completed) {
+        // Golden-ratio increment: distinct, well-spread seed per round.
+        let round_cfg = cfg
+            .clone()
+            .with_seed(cfg.seed ^ completed.wrapping_mul(0x9e3779b97f4a7c15));
+        last = Some(run(&round_cfg));
+        completed += 1;
+    }
+    SustainedOutcome {
+        rounds: completed,
+        wall: started.elapsed(),
+        last,
     }
 }

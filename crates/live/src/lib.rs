@@ -1,0 +1,29 @@
+//! Live observability for the TxSampler reproduction.
+//!
+//! The offline pipeline (collect → merge → report) answers "what happened";
+//! this crate answers "what is happening". It pairs with the epoch-based
+//! [`txsampler::SnapshotHub`]: collectors publish per-thread deltas at
+//! configurable boundaries, the hub merges them into a versioned cumulative
+//! [`txsampler::Profile`], and [`LiveServer`] exposes that snapshot over
+//! plain HTTP while collection keeps running:
+//!
+//! - `/healthz` — liveness probe (`ok`).
+//! - `/metrics` — Prometheus text exposition: cycle shares per time
+//!   component (cumulative and latest-window), abort counts and weight by
+//!   cause, sharing diagnoses, and the profiler's own self-cost counters.
+//! - `/profile.json` — the latest snapshot: epoch, sample count, time
+//!   breakdown, and the full store-format text (with function names) as an
+//!   embedded string, so `repro flamegraph` can consume a saved copy.
+//! - `/flamegraph` — the snapshot's CCT as collapsed stacks (folded
+//!   format), cycle-weighted, `_[tx]` marking speculative frames; pipe to
+//!   flamegraph.pl or any flamegraph web viewer.
+//!
+//! Everything is std-only — `std::net::TcpListener`, no external HTTP or
+//! serialization dependencies — to keep the workspace offline-buildable.
+
+#![warn(missing_docs)]
+
+pub mod prometheus;
+pub mod server;
+
+pub use server::{http_get, LiveServer};

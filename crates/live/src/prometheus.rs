@@ -1,0 +1,302 @@
+//! Prometheus text exposition (version 0.0.4) for the live snapshot hub.
+//!
+//! Rendered from a [`SnapshotView`] plus the hub's window metrics and the
+//! process-wide obs counter registry — no state of its own, so a scrape is
+//! always a consistent point-in-time view of one published epoch.
+//!
+//! Metric families:
+//!
+//! - `txsampler_snapshot_epoch` (gauge): version of the snapshot scraped.
+//! - `txsampler_samples_total` (counter): samples absorbed into the hub.
+//! - `txsampler_cycle_share{component=...}` (gauge): the Figure-7 time
+//!   decomposition of the cumulative profile; the five components sum to
+//!   1.0 whenever any work was sampled.
+//! - `txsampler_window_cycle_share{component=...}` (gauge): same shares
+//!   over the delta between the two most recent epochs only.
+//! - `txsampler_commits_total`, `txsampler_aborts_total{cause=...}`,
+//!   `txsampler_abort_weight_total{cause=...}` (counters): sampled RTM
+//!   outcome counts and abort-weight cycles by abort class.
+//! - `txsampler_sharing_total{kind="true"|"false"}` (counter): sampled
+//!   memory accesses diagnosed as true/false sharing.
+//! - `txsampler_truncated_paths_total`, `txsampler_interrupt_abort_samples_total`
+//!   (counters): LBR truncations and discounted profiler-induced aborts.
+//! - `txsampler_threads` (gauge): threads that have published a delta.
+//! - `txsampler_obs_events_total{subsystem=...,counter=...}` (counter):
+//!   the profiler's self-observability counters (its own cost).
+
+use std::fmt::Write as _;
+
+use obs::{Counter, Snapshot};
+use txsampler::{Metrics, SnapshotView, TimeBreakdown};
+
+/// Render one metric family header.
+fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn gauge_f64(out: &mut String, line: &str, v: f64) {
+    // Prometheus floats: plain decimal; avoid `NaN`/`inf` surprises.
+    let v = if v.is_finite() { v } else { 0.0 };
+    let _ = writeln!(out, "{line} {v}");
+}
+
+fn shares(out: &mut String, name: &str, b: &TimeBreakdown) {
+    for (component, share) in [
+        ("outside", b.outside),
+        ("tx", b.tx),
+        ("fallback", b.fallback),
+        ("lock_waiting", b.lock_waiting),
+        ("overhead", b.overhead),
+    ] {
+        gauge_f64(out, &format!("{name}{{component=\"{component}\"}}"), share);
+    }
+}
+
+/// Render the full exposition for one snapshot.
+///
+/// `window` is the metric delta between the two most recent epochs (the
+/// hub's [`txsampler::SnapshotHub::window`]); `obs` is a point-in-time
+/// copy of the self-observability registry.
+pub fn render(view: &SnapshotView, window: Option<&Metrics>, obs: &Snapshot) -> String {
+    let mut out = String::new();
+    let totals = view.profile.totals();
+
+    family(
+        &mut out,
+        "txsampler_snapshot_epoch",
+        "gauge",
+        "Version of the live profile snapshot this scrape observed.",
+    );
+    let _ = writeln!(out, "txsampler_snapshot_epoch {}", view.epoch);
+
+    family(
+        &mut out,
+        "txsampler_samples_total",
+        "counter",
+        "PMU samples absorbed into the live snapshot hub.",
+    );
+    let _ = writeln!(out, "txsampler_samples_total {}", view.profile.samples);
+
+    family(
+        &mut out,
+        "txsampler_cycle_share",
+        "gauge",
+        "Share of sampled cycles per time component (cumulative; sums to 1 when any work was sampled).",
+    );
+    shares(
+        &mut out,
+        "txsampler_cycle_share",
+        &view.profile.time_breakdown(),
+    );
+
+    family(
+        &mut out,
+        "txsampler_window_cycle_share",
+        "gauge",
+        "Share of sampled cycles per time component over the most recent epoch window.",
+    );
+    let window_breakdown = window
+        .map(TimeBreakdown::from_metrics)
+        .unwrap_or(TimeBreakdown {
+            outside: 0.0,
+            tx: 0.0,
+            fallback: 0.0,
+            lock_waiting: 0.0,
+            overhead: 0.0,
+        });
+    shares(&mut out, "txsampler_window_cycle_share", &window_breakdown);
+
+    family(
+        &mut out,
+        "txsampler_commits_total",
+        "counter",
+        "Sampled RTM commit events.",
+    );
+    let _ = writeln!(out, "txsampler_commits_total {}", totals.commit_samples);
+
+    family(
+        &mut out,
+        "txsampler_aborts_total",
+        "counter",
+        "Sampled application-caused RTM abort events by cause.",
+    );
+    for (cause, n) in [
+        ("conflict", totals.aborts_conflict),
+        ("capacity", totals.aborts_capacity),
+        ("sync", totals.aborts_sync),
+        ("explicit", totals.aborts_explicit),
+    ] {
+        let _ = writeln!(out, "txsampler_aborts_total{{cause=\"{cause}\"}} {n}");
+    }
+
+    family(
+        &mut out,
+        "txsampler_abort_weight_total",
+        "counter",
+        "Sampled abort weight (wasted cycles) by cause.",
+    );
+    for (cause, n) in [
+        ("conflict", totals.conflict_weight),
+        ("capacity", totals.capacity_weight),
+        ("sync", totals.sync_weight),
+    ] {
+        let _ = writeln!(out, "txsampler_abort_weight_total{{cause=\"{cause}\"}} {n}");
+    }
+
+    family(
+        &mut out,
+        "txsampler_sharing_total",
+        "counter",
+        "Sampled memory accesses diagnosed as true or false sharing.",
+    );
+    let _ = writeln!(
+        out,
+        "txsampler_sharing_total{{kind=\"true\"}} {}",
+        totals.true_sharing
+    );
+    let _ = writeln!(
+        out,
+        "txsampler_sharing_total{{kind=\"false\"}} {}",
+        totals.false_sharing
+    );
+
+    family(
+        &mut out,
+        "txsampler_truncated_paths_total",
+        "counter",
+        "Samples whose in-transaction path was truncated by the LBR window.",
+    );
+    let _ = writeln!(
+        out,
+        "txsampler_truncated_paths_total {}",
+        view.profile.truncated_paths
+    );
+
+    family(
+        &mut out,
+        "txsampler_interrupt_abort_samples_total",
+        "counter",
+        "Abort samples discounted as profiler-induced.",
+    );
+    let _ = writeln!(
+        out,
+        "txsampler_interrupt_abort_samples_total {}",
+        view.profile.interrupt_abort_samples
+    );
+
+    family(
+        &mut out,
+        "txsampler_threads",
+        "gauge",
+        "Worker threads that have published at least one delta.",
+    );
+    let _ = writeln!(out, "txsampler_threads {}", view.profile.threads.len());
+
+    family(
+        &mut out,
+        "txsampler_obs_events_total",
+        "counter",
+        "Self-observability counters of the profiler itself.",
+    );
+    for &c in Counter::ALL {
+        let _ = writeln!(
+            out,
+            "txsampler_obs_events_total{{subsystem=\"{}\",counter=\"{}\"}} {}",
+            c.subsystem().label(),
+            c.name(),
+            obs.get(c)
+        );
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::Registry;
+    use txsampler::cct::{NodeKey, ROOT};
+    use txsampler::{Profile, TimeComponent};
+    use txsim_pmu::{FuncId, Ip};
+
+    fn sample_view() -> SnapshotView {
+        let mut p = Profile::default();
+        let n = p.cct.child(
+            ROOT,
+            NodeKey::Stmt {
+                ip: Ip::new(FuncId(1), 4),
+                speculative: false,
+            },
+        );
+        for (component, times) in [
+            (TimeComponent::Outside, 6),
+            (TimeComponent::Tx, 2),
+            (TimeComponent::LockWaiting, 2),
+        ] {
+            for _ in 0..times {
+                p.cct.metrics_mut(n).add_cycles_sample(component);
+            }
+        }
+        p.cct.metrics_mut(n).commit_samples = 3;
+        p.cct.metrics_mut(n).aborts_conflict = 2;
+        p.cct.metrics_mut(n).abort_samples = 2;
+        p.cct.metrics_mut(n).conflict_weight = 40;
+        p.cct.metrics_mut(n).abort_weight = 40;
+        p.samples = 15;
+        SnapshotView {
+            epoch: 7,
+            profile: p,
+        }
+    }
+
+    #[test]
+    fn exposition_is_well_formed_and_shares_sum_to_one() {
+        let view = sample_view();
+        let text = render(&view, None, &Registry::new().snapshot());
+        // Every non-comment line is `name{labels} value` with a parseable
+        // float value.
+        let mut share_sum = 0.0;
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment line: {line}"
+                );
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(!name.is_empty());
+            let v: f64 = value.parse().expect("value parses as float");
+            if name.starts_with("txsampler_cycle_share{") {
+                share_sum += v;
+            }
+        }
+        assert!((share_sum - 1.0).abs() < 1e-9, "cycle shares sum to 1");
+        assert!(text.contains("txsampler_snapshot_epoch 7"));
+        assert!(text.contains("txsampler_samples_total 15"));
+        assert!(text.contains("txsampler_aborts_total{cause=\"conflict\"} 2"));
+        assert!(text.contains("txsampler_abort_weight_total{cause=\"conflict\"} 40"));
+    }
+
+    #[test]
+    fn window_shares_render_when_present() {
+        let view = sample_view();
+        let mut window = Metrics::default();
+        window.add_cycles_sample(TimeComponent::Tx);
+        let text = render(&view, Some(&window), &Registry::new().snapshot());
+        assert!(text.contains("txsampler_window_cycle_share{component=\"tx\"} 1"));
+        let no_window = render(&view, None, &Registry::new().snapshot());
+        assert!(no_window.contains("txsampler_window_cycle_share{component=\"tx\"} 0"));
+    }
+
+    #[test]
+    fn obs_counters_appear_with_subsystem_labels() {
+        let registry = Registry::new();
+        registry.add(Counter::SnapshotsMerged, 5);
+        let text = render(&sample_view(), None, &registry.snapshot());
+        assert!(text.contains(
+            "txsampler_obs_events_total{subsystem=\"live\",counter=\"snapshots_merged\"} 5"
+        ));
+    }
+}

@@ -1,0 +1,321 @@
+//! A deliberately minimal HTTP/1.1 server on `std::net::TcpListener`.
+//!
+//! Serial accept loop on one background thread: the observability plane is
+//! a debugging aid scraped by one Prometheus instance or one person with
+//! `curl`, so concurrency would buy nothing and cost a thread pool. Every
+//! response carries `Content-Length` and `Connection: close`, which keeps
+//! the protocol state machine trivial (one request per connection).
+//!
+//! Shutdown uses a poison pill: [`LiveServer::shutdown`] raises a flag and
+//! then connects to the listener itself so the blocking `accept` wakes up,
+//! observes the flag and returns. No platform-specific socket teardown.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use obs::Counter;
+use txsampler::collect::SnapshotHub;
+use txsampler::{report, store};
+use txsim_pmu::FuncRegistry;
+
+use crate::prometheus;
+
+/// Content type for the Prometheus text exposition format.
+const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Handle to a running live-observability server. Dropping it (or calling
+/// [`LiveServer::shutdown`]) stops the accept loop and joins the thread.
+#[derive(Debug)]
+pub struct LiveServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl LiveServer {
+    /// Bind `127.0.0.1:port` (`port` 0 picks an ephemeral port) and serve
+    /// the hub's snapshots until shutdown. `funcs` is the registry the
+    /// workload interns its functions into — it resolves [`txsim_pmu::FuncId`]s
+    /// to names for `/flamegraph` and `/profile.json`.
+    pub fn start(hub: Arc<SnapshotHub>, funcs: FuncRegistry, port: u16) -> io::Result<LiveServer> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("txsampler-live".into())
+            .spawn(move || accept_loop(listener, hub, funcs, stop_flag))?;
+        Ok(LiveServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake the accept loop and join the server thread.
+    pub fn shutdown(&mut self) {
+        if self.thread.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Poison pill: unblock `accept` by connecting to ourselves. If the
+        // connect fails the listener is already gone, which is fine.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for LiveServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    hub: Arc<SnapshotHub>,
+    funcs: FuncRegistry,
+    stop: Arc<AtomicBool>,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                // A wedged client must not park the server forever.
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+                let _ = handle_connection(stream, &hub, &funcs);
+            }
+            Err(_) => continue,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, hub: &SnapshotHub, funcs: &FuncRegistry) -> io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Drain headers so well-behaved clients see us consume the request.
+    let mut header = String::new();
+    while reader.read_line(&mut header)? > 0 && header.trim() != "" {
+        header.clear();
+    }
+    let mut stream = reader.into_inner();
+
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n",
+        );
+    }
+    // Ignore any query string: `/metrics?x=1` scrapes /metrics.
+    let path = path.split('?').next().unwrap_or(path);
+
+    match path {
+        "/healthz" => {
+            obs::count(Counter::HttpHealthzRequests);
+            respond(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n")
+        }
+        "/metrics" => {
+            obs::count(Counter::HttpMetricsRequests);
+            let view = hub.latest();
+            let window = hub.window();
+            let body = prometheus::render(&view, window.as_ref(), &obs::registry().snapshot());
+            respond(&mut stream, "200 OK", PROMETHEUS_CONTENT_TYPE, &body)
+        }
+        "/profile.json" => {
+            obs::count(Counter::HttpProfileRequests);
+            let view = hub.latest();
+            let breakdown = view.profile.time_breakdown();
+            let store_text = store::save_with_funcs(&view.profile, funcs);
+            let body = format!(
+                concat!(
+                    "{{\"epoch\":{},\"samples\":{},\"threads\":{},",
+                    "\"breakdown\":{{\"outside\":{},\"tx\":{},\"fallback\":{},",
+                    "\"lock_waiting\":{},\"overhead\":{}}},\"store\":\"{}\"}}\n"
+                ),
+                view.epoch,
+                view.profile.samples,
+                view.profile.threads.len(),
+                breakdown.outside,
+                breakdown.tx,
+                breakdown.fallback,
+                breakdown.lock_waiting,
+                breakdown.overhead,
+                json_escape(&store_text),
+            );
+            respond(
+                &mut stream,
+                "200 OK",
+                "application/json; charset=utf-8",
+                &body,
+            )
+        }
+        "/flamegraph" => {
+            obs::count(Counter::HttpFlamegraphRequests);
+            let view = hub.latest();
+            let body = report::render_folded_registry(&view.profile, funcs);
+            respond(&mut stream, "200 OK", "text/plain; charset=utf-8", &body)
+        }
+        _ => {
+            obs::count(Counter::HttpOtherRequests);
+            respond(
+                &mut stream,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found; try /healthz, /metrics, /profile.json, /flamegraph\n",
+            )
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 16);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(&mut out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Issue one blocking GET against `addr` and return `(status_line, body)`.
+/// Shared by the integration tests and the serve-mode smoke test — a
+/// std-only stand-in for an HTTP client.
+pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body separator"))?;
+    let status = head.lines().next().unwrap_or("").to_string();
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txsampler::cct::{NodeKey, ROOT};
+    use txsampler::collect::SnapshotPolicy;
+    use txsampler::{Periods, ThreadProfile, TimeComponent};
+    use txsim_pmu::Ip;
+
+    fn hub_with_one_delta(funcs: &FuncRegistry) -> Arc<SnapshotHub> {
+        let hub = SnapshotHub::new(SnapshotPolicy::EverySamples(1));
+        let f = funcs.intern("busy_loop", "w.rs", 1);
+        let mut delta = ThreadProfile {
+            tid: 0,
+            periods: Periods::default(),
+            ..ThreadProfile::default()
+        };
+        let frame = delta.cct.child(
+            ROOT,
+            NodeKey::Frame {
+                func: f,
+                callsite: Ip::UNKNOWN,
+                speculative: false,
+            },
+        );
+        let leaf = delta.cct.child(
+            frame,
+            NodeKey::Stmt {
+                ip: Ip::new(f, 3),
+                speculative: false,
+            },
+        );
+        delta
+            .cct
+            .metrics_mut(leaf)
+            .add_cycles_sample(TimeComponent::Tx);
+        delta.samples = 1;
+        hub.publish(&delta);
+        hub
+    }
+
+    #[test]
+    fn serves_all_endpoints_and_shuts_down_cleanly() {
+        let funcs = FuncRegistry::new();
+        let hub = hub_with_one_delta(&funcs);
+        let mut server =
+            LiveServer::start(Arc::clone(&hub), funcs.clone(), 0).expect("bind ephemeral port");
+        let addr = server.addr();
+
+        let (status, body) = http_get(addr, "/healthz").unwrap();
+        assert!(status.contains("200"), "healthz status: {status}");
+        assert_eq!(body, "ok\n");
+
+        let (status, body) = http_get(addr, "/metrics").unwrap();
+        assert!(status.contains("200"));
+        assert!(body.contains("txsampler_snapshot_epoch 1"));
+        assert!(body.contains("txsampler_cycle_share{component=\"tx\"} 1"));
+
+        let (status, body) = http_get(addr, "/profile.json").unwrap();
+        assert!(status.contains("200"));
+        assert!(body.starts_with("{\"epoch\":1,"));
+        assert!(
+            body.contains("\\tbusy_loop"),
+            "store text carries func names"
+        );
+
+        let (status, body) = http_get(addr, "/flamegraph").unwrap();
+        assert!(status.contains("200"));
+        assert_eq!(body, "busy_loop;busy_loop:3 1\n");
+
+        let (status, _) = http_get(addr, "/nope").unwrap();
+        assert!(status.contains("404"));
+
+        server.shutdown();
+        // The port is released: connections are refused (or reset at read).
+        assert!(http_get(addr, "/healthz").is_err());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\tb\nc\"d\\e"), "a\\tb\\nc\\\"d\\\\e");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

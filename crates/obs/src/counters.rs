@@ -31,6 +31,8 @@ pub enum Subsystem {
     Shadow,
     /// The workload harness.
     Harness,
+    /// The live observability service (snapshot hub + HTTP endpoints).
+    Live,
     /// The span tracer itself.
     Tracer,
 }
@@ -47,6 +49,7 @@ impl Subsystem {
         Subsystem::Cct,
         Subsystem::Shadow,
         Subsystem::Harness,
+        Subsystem::Live,
         Subsystem::Tracer,
     ];
 
@@ -62,6 +65,7 @@ impl Subsystem {
             Subsystem::Cct => "cct",
             Subsystem::Shadow => "shadow",
             Subsystem::Harness => "harness",
+            Subsystem::Live => "live",
             Subsystem::Tracer => "tracer",
         }
     }
@@ -117,6 +121,13 @@ counters! {
     ShadowProbes => (Shadow, "shadow_probes", "Shadow-memory probes by the contention detector."),
     ShadowHits => (Shadow, "shadow_hits", "Probes classified as true or false sharing."),
     WorkersSpawned => (Harness, "workers_spawned", "Worker threads spawned by the harness."),
+    SnapshotsMerged => (Live, "snapshots_merged", "Per-thread profile deltas merged into the live snapshot hub."),
+    SnapshotMergeCycles => (Live, "snapshot_merge_cycles", "Virtual-TSC cycles spent merging deltas in the snapshot hub."),
+    HttpHealthzRequests => (Live, "http_healthz_requests", "HTTP requests served on /healthz."),
+    HttpMetricsRequests => (Live, "http_metrics_requests", "HTTP requests served on /metrics."),
+    HttpProfileRequests => (Live, "http_profile_requests", "HTTP requests served on /profile.json."),
+    HttpFlamegraphRequests => (Live, "http_flamegraph_requests", "HTTP requests served on /flamegraph."),
+    HttpOtherRequests => (Live, "http_other_requests", "HTTP requests that hit an unknown path (404)."),
     SpansRecorded => (Tracer, "spans_recorded", "Trace spans retained in ring buffers."),
     SpansDropped => (Tracer, "spans_dropped", "Trace spans overwritten on ring wraparound."),
 }

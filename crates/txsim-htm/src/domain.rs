@@ -26,6 +26,11 @@ pub struct DomainConfig {
     pub cooperative: bool,
     /// Scheduler quantum in virtual cycles (granularity of interleaving).
     pub quantum: u64,
+    /// Symbol table to use. `None` (the default) gives the domain a fresh
+    /// private registry; passing a shared one lets long-lived drivers
+    /// (e.g. `repro serve`) keep function ids stable across many domains,
+    /// so profiles from successive rounds merge coherently.
+    pub funcs: Option<FuncRegistry>,
 }
 
 impl Default for DomainConfig {
@@ -36,6 +41,7 @@ impl Default for DomainConfig {
             costs: CostModel::default(),
             cooperative: false,
             quantum: 150,
+            funcs: None,
         }
     }
 }
@@ -62,6 +68,12 @@ impl DomainConfig {
     /// Builder: enable cooperative virtual-time scheduling.
     pub fn cooperative(mut self) -> Self {
         self.cooperative = true;
+        self
+    }
+
+    /// Builder: share an existing function registry with this domain.
+    pub fn with_funcs(mut self, funcs: FuncRegistry) -> Self {
+        self.funcs = Some(funcs);
         self
     }
 }
@@ -97,7 +109,7 @@ impl HtmDomain {
             costs: config.costs,
             quantum: config.quantum,
             heap: TxHeap::new(0, config.memory_bytes),
-            funcs: FuncRegistry::new(),
+            funcs: config.funcs.unwrap_or_default(),
             directory: Directory::new(),
             scheduler: Scheduler::new(config.cooperative, config.quantum),
         })

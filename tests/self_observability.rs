@@ -67,4 +67,27 @@ fn instrumentation_is_exactly_free_when_disabled() {
         traces.iter().any(|t| !t.events.is_empty()),
         "at least one thread must retain span events"
     );
+
+    // With no snapshot hub attached (RunConfig::quick leaves `hub` at
+    // None), the collector fast path must not touch the live layer at all
+    // even with instrumentation on: no delta is ever flushed, no merge
+    // happens, and none of the live counters move. This is the
+    // zero-cost-when-detached guarantee of the epoch-based hub.
+    for counter in [
+        Counter::SnapshotsMerged,
+        Counter::SnapshotMergeCycles,
+        Counter::HttpHealthzRequests,
+        Counter::HttpMetricsRequests,
+        Counter::HttpProfileRequests,
+        Counter::HttpFlamegraphRequests,
+        Counter::HttpOtherRequests,
+    ] {
+        assert_eq!(
+            snap.get(counter),
+            0,
+            "live-layer counter {} moved during a hub-less run\n{}",
+            counter.name(),
+            snap.render_table()
+        );
+    }
 }
