@@ -14,6 +14,8 @@ usage:
   repro --self-profile <experiment>
   repro serve <experiment> [--port N] [--snapshot-interval K] [--rounds R]
   repro flamegraph <file.txsp>
+  repro report <file.txsp>
+  repro diff <a.txsp> <b.txsp>
 
 experiments:
   table1        CLOMP-TM input characteristics
@@ -21,7 +23,9 @@ experiments:
   fig6          overhead vs. thread count (STAMP mean)
   fig7          CLOMP-TM time/abort/weight decomposition
   fig8          application categorization
-  table2        optimization speedups
+  table2        optimization speedups; with --save-pairs DIR, saves each
+                original/optimized profile pair as <code>_{original,
+                optimized}.txsp for later `repro diff`
   case-dedup    §8.1 walkthrough
   case-leveldb  §8.2 walkthrough
   case-histo    §8.3 walkthrough
@@ -40,6 +44,16 @@ cumulative snapshot is saved to <out>/serve_<exp>.txsp each round.
 
 flamegraph prints a saved profile as collapsed stacks (flamegraph.pl
 input); speculative frames carry the _[tx] suffix.
+
+report renders a saved profile's full offline report: summary, time and
+abort decompositions, calling-context view, decision-tree diagnosis,
+imbalance and contention sections.
+
+diff aligns two saved profiles by call path and reports what changed:
+component-share movement (naming the dominant improvement/regression),
+top improved and regressed call paths, abort-site weight changes, and
+which decision-tree suggestions were resolved, persist, or are new.
+Warns when the two files' run provenance (workload, threads) differs.
 
 --self-profile runs the experiment twice — instrumentation off, then
 counters + tracing on — and prints an overhead-decomposition report for
@@ -91,35 +105,18 @@ fn profile_one(cfg: &ExpConfig, name: &str, save: &dyn Fn(&str, &str)) {
     let registry = out.funcs.clone();
 
     println!(
-        "== {} — {} samples, truth a/c {:.3}",
+        "== {} — truth a/c {:.3}",
         spec.name,
-        profile.samples,
         out.truth_abort_commit_ratio()
     );
-    print!("{}", txsampler::report::render_time_breakdown(profile));
-    print!("{}", txsampler::report::render_abort_breakdown(profile));
-    println!();
+    let view = txsampler::ProfileView::from_registry(profile, &registry);
     println!(
         "{}",
-        txsampler::report::render_cct(profile, &registry, &Default::default())
+        txsampler::report::render_report(&view, &Default::default())
     );
-    let diagnosis = txsampler::diagnose(profile, &txsampler::Thresholds::default());
-    println!(
-        "{}",
-        txsampler::report::render_diagnosis(&diagnosis, &registry)
-    );
-    for imb in txsampler::detect_imbalance(profile, 2.0, 50)
-        .into_iter()
-        .take(3)
-    {
-        println!(
-            "imbalance: site func{}:{} {:?} skew {:.1}x worst thread t{}",
-            imb.site.func.0, imb.site.line, imb.kind, imb.factor, imb.worst_tid
-        );
-    }
     save(
         &format!("profile-{}.txsp", spec.name.replace('/', "_")),
-        &txsampler::store::save(profile),
+        &txsampler::store::save_with_funcs(profile, &registry),
     );
     let self_cost = txsampler::report::render_self_cost(&obs::registry().snapshot());
     if !self_cost.is_empty() {
@@ -127,8 +124,59 @@ fn profile_one(cfg: &ExpConfig, name: &str, save: &dyn Fn(&str, &str)) {
     }
 }
 
+/// Load a saved profile (with func names) or exit with a usage error.
+fn load_profile_or_exit(path: &str) -> (txsampler::Profile, txsampler::store::FuncNames) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match txsampler::store::load_with_funcs(&text) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            eprintln!("error: {path} is not a valid profile: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `repro report <file.txsp>`: full offline report from a saved profile.
+fn report_command(path: &str) -> ! {
+    let (profile, names) = load_profile_or_exit(path);
+    let view = txsampler::ProfileView::from_names(&profile, &names);
+    println!(
+        "{}",
+        txsampler::report::render_report(&view, &Default::default())
+    );
+    std::process::exit(0);
+}
+
+/// `repro diff <a.txsp> <b.txsp>`: CCT-aligned differential report.
+fn diff_command(path_a: &str, path_b: &str) -> ! {
+    let (a, names_a) = load_profile_or_exit(path_a);
+    let (b, mut names) = load_profile_or_exit(path_b);
+    // Merge name tables; ids are stable across runs of the same workload
+    // (deterministic interning), B's names win on any disagreement.
+    for (id, name) in names_a {
+        names.entry(id).or_insert(name);
+    }
+    let diff = txsampler::diff_profiles(&a, &b, &txsampler::Thresholds::default());
+    print!(
+        "{}",
+        txsampler::render_diff(&diff, &txsampler::NameSource::Names(&names))
+    );
+    std::process::exit(0);
+}
+
 /// Dispatch one named experiment. Returns `false` for an unknown name.
-fn run_experiment(cfg: &ExpConfig, exp: &str, save: &dyn Fn(&str, &str)) -> bool {
+fn run_experiment(
+    cfg: &ExpConfig,
+    exp: &str,
+    save: &dyn Fn(&str, &str),
+    save_pairs: Option<&Path>,
+) -> bool {
     match exp {
         "table1" => {
             let rows = fig7_clomp(cfg);
@@ -159,9 +207,15 @@ fn run_experiment(cfg: &ExpConfig, exp: &str, save: &dyn Fn(&str, &str)) -> bool
             save("fig8.tsv", &fig8_tsv(&rows));
         }
         "table2" => {
-            let rows = table2_speedups(cfg);
+            let rows = table2_speedups_saving(cfg, save_pairs);
             println!("{}", render_table2(&rows));
             save("table2.tsv", &table2_tsv(&rows));
+            if let Some(dir) = save_pairs {
+                eprintln!(
+                    "# saved original/optimized profile pairs under {} (try: repro diff)",
+                    dir.display()
+                );
+            }
         }
         "case-dedup" => println!("{}", case_dedup(cfg)),
         "case-leveldb" => println!("{}", case_leveldb(cfg)),
@@ -185,7 +239,7 @@ fn self_profile(cfg: &ExpConfig, exp: &str, out_dir: Option<&Path>) {
 
     eprintln!("# self-profile[{exp}]: baseline run (instrumentation off)");
     let t0 = Instant::now();
-    if !run_experiment(cfg, exp, &discard) {
+    if !run_experiment(cfg, exp, &discard, None) {
         eprintln!("unknown experiment: {exp} (--self-profile takes a table/fig/case name)");
         std::process::exit(2);
     }
@@ -195,7 +249,7 @@ fn self_profile(cfg: &ExpConfig, exp: &str, out_dir: Option<&Path>) {
     obs::set_enabled(true);
     obs::set_tracing(true);
     let t1 = Instant::now();
-    run_experiment(cfg, exp, &discard);
+    run_experiment(cfg, exp, &discard, None);
     let instrumented_wall_ns = t1.elapsed().as_nanos() as u64;
 
     // Collect traces before disabling so the main thread's flush is counted.
@@ -301,6 +355,7 @@ fn main() {
     let mut port: u16 = 0;
     let mut snapshot_interval: u64 = 1000;
     let mut rounds: u64 = 0;
+    let mut save_pairs: Option<PathBuf> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -321,6 +376,9 @@ fn main() {
                 snapshot_interval = parse_flag(&args, &mut i, "--snapshot-interval")
             }
             "--rounds" => rounds = parse_flag(&args, &mut i, "--rounds"),
+            "--save-pairs" => {
+                save_pairs = Some(PathBuf::from(flag_value(&args, &mut i, "--save-pairs")))
+            }
             flag if flag.starts_with('-') => usage_error(&format!("unknown flag '{flag}'")),
             _ => experiments.push(args[i].clone()),
         }
@@ -347,6 +405,18 @@ fn main() {
                 usage_error("flamegraph requires a saved profile path (.txsp)");
             };
             flamegraph_command(path);
+        }
+        Some("report") => {
+            let Some(path) = experiments.get(1) else {
+                usage_error("report requires a saved profile path (.txsp)");
+            };
+            report_command(path);
+        }
+        Some("diff") => {
+            let (Some(a), Some(b)) = (experiments.get(1), experiments.get(2)) else {
+                usage_error("diff requires two saved profile paths (.txsp)");
+            };
+            diff_command(a, b);
         }
         _ => {}
     }
@@ -402,7 +472,7 @@ fn main() {
             profile_one(&cfg, &name, &save);
             break;
         }
-        if !run_experiment(&cfg, exp, &save) {
+        if !run_experiment(&cfg, exp, &save, save_pairs.as_deref()) {
             eprintln!("unknown experiment: {exp}");
             std::process::exit(2);
         }

@@ -3,6 +3,7 @@
 //! renderer; the `repro` binary drives them and writes TSV artifacts.
 
 use std::fmt::Write as _;
+use std::path::Path;
 use std::time::Duration;
 
 use htmbench::harness::{RunConfig, RunOutcome};
@@ -448,15 +449,52 @@ pub struct SpeedupRow {
 /// Run the Table 2 experiment: each original/optimized pair, speedup from
 /// the simulated makespan.
 pub fn table2_speedups(cfg: &ExpConfig) -> Vec<SpeedupRow> {
+    table2_speedups_saving(cfg, None)
+}
+
+/// File-name slug for a Table 2 code name (`AVL Tree` → `avl_tree`).
+fn pair_slug(code: &str) -> String {
+    code.to_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// [`table2_speedups`], optionally saving each pair's first-trial
+/// original/optimized profiles (with function names and run provenance)
+/// as `<code>_original.txsp` / `<code>_optimized.txsp` under `save_pairs`
+/// — ready-made inputs for `repro diff`.
+pub fn table2_speedups_saving(cfg: &ExpConfig, save_pairs: Option<&Path>) -> Vec<SpeedupRow> {
+    let save = |dir: &Path, code: &str, side: &str, out: &RunOutcome| {
+        let Some(profile) = &out.profile else { return };
+        let path = dir.join(format!("{}_{side}.txsp", pair_slug(code)));
+        std::fs::write(
+            &path,
+            txsampler::store::save_with_funcs(profile, &out.funcs),
+        )
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    };
+    if let Some(dir) = save_pairs {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
+    }
     optimization_pairs()
         .iter()
         .map(|pair| {
-            let orig: Vec<u64> = (0..cfg.trials)
-                .map(|_| (pair.original)(&cfg.sampled_run()).makespan_cycles)
-                .collect();
-            let opt: Vec<u64> = (0..cfg.trials)
-                .map(|_| (pair.optimized)(&cfg.sampled_run()).makespan_cycles)
-                .collect();
+            let run_side = |run: &(dyn Fn(&RunConfig) -> RunOutcome + Sync + Send), side: &str| {
+                (0..cfg.trials)
+                    .map(|trial| {
+                        let out = run(&cfg.sampled_run());
+                        if trial == 0 {
+                            if let Some(dir) = save_pairs {
+                                save(dir, pair.code, side, &out);
+                            }
+                        }
+                        out.makespan_cycles
+                    })
+                    .collect::<Vec<u64>>()
+            };
+            let orig = run_side(&pair.original, "original");
+            let opt = run_side(&pair.optimized, "optimized");
             let med = |mut v: Vec<u64>| {
                 v.sort_unstable();
                 v[v.len() / 2]

@@ -37,6 +37,7 @@ pub fn merge_profiles(mut profiles: Vec<ThreadProfile>) -> Profile {
         samples,
         truncated_paths,
         interrupt_abort_samples,
+        meta: Default::default(),
     }
 }
 

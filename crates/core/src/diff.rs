@@ -1,0 +1,676 @@
+//! Differential profiling: align two profiles and report what changed.
+//!
+//! TxSampler's workflow is iterative — profile, follow the decision tree,
+//! apply the suggested fix, re-profile (the paper's Table 2 measures
+//! exactly those before/after pairs). This module closes that loop: given
+//! a baseline profile A and a comparison profile B it
+//!
+//! 1. **aligns the two CCTs by call path** — nodes match when their
+//!    root-to-node chain of [`NodeKey`]s matches, never by node id, so
+//!    profiles from separate runs (different interleavings, different CCT
+//!    growth order) align as long as the workloads intern functions
+//!    deterministically;
+//! 2. computes per-node and per-site metric deltas ([`Metrics::minus`]
+//!    for the monotone counters, signed deltas for derived ratios like
+//!    `r_cs` and the component shares);
+//! 3. ranks the top regressed and improved call paths;
+//! 4. re-runs the Figure-1 decision tree on both sides and reports which
+//!    suggestions were *resolved*, which *persist*, and which *newly
+//!    appeared*.
+//!
+//! Provenance (the v2 store header) is compared first: diffing a 4-thread
+//! run against a 14-thread run is legal but the output says so loudly.
+
+use std::fmt::Write as _;
+
+use txsim_pmu::Ip;
+
+use crate::cct::{Cct, NodeId, NodeKey, ROOT};
+use crate::decision::{diagnose, Suggestion, Thresholds};
+use crate::metrics::Metrics;
+use crate::profile::{Profile, TimeBreakdown};
+use crate::report::{bar, key_rank, pct};
+use crate::view::NameSource;
+
+/// One aligned CCT node whose exclusive metrics differ between the sides.
+#[derive(Debug, Clone)]
+pub struct NodeDiff {
+    /// Root-to-node key path (root excluded).
+    pub path: Vec<NodeKey>,
+    /// Exclusive metrics on the baseline side (zero when absent).
+    pub a: Metrics,
+    /// Exclusive metrics on the comparison side (zero when absent).
+    pub b: Metrics,
+}
+
+impl NodeDiff {
+    /// Signed work delta (B − A) in exclusive W samples.
+    pub fn dw(&self) -> i64 {
+        self.b.w as i64 - self.a.w as i64
+    }
+
+    /// Signed abort-weight delta (B − A).
+    pub fn dabort_weight(&self) -> i64 {
+        self.b.abort_weight as i64 - self.a.abort_weight as i64
+    }
+}
+
+/// One transaction site's abort metrics on both sides.
+#[derive(Debug, Clone)]
+pub struct SiteDiff {
+    /// The site IP (aggregation key of [`Profile::hot_abort_sites`]).
+    pub site: Ip,
+    /// Baseline-side per-site metrics (zero when absent).
+    pub a: Metrics,
+    /// Comparison-side per-site metrics (zero when absent).
+    pub b: Metrics,
+}
+
+impl SiteDiff {
+    /// Signed abort-weight delta (B − A).
+    pub fn dabort_weight(&self) -> i64 {
+        self.b.abort_weight as i64 - self.a.abort_weight as i64
+    }
+}
+
+/// How the decision tree's advice moved between the two sides.
+#[derive(Debug, Clone, Default)]
+pub struct SuggestionChanges {
+    /// Suggested on A, no longer suggested on B.
+    pub resolved: Vec<Suggestion>,
+    /// Suggested on both sides.
+    pub persisting: Vec<Suggestion>,
+    /// Not suggested on A, suggested on B.
+    pub appeared: Vec<Suggestion>,
+}
+
+/// The full structured diff of two profiles.
+#[derive(Debug, Clone)]
+pub struct ProfileDiff {
+    /// Baseline totals.
+    pub a_totals: Metrics,
+    /// Comparison totals.
+    pub b_totals: Metrics,
+    /// Baseline time decomposition.
+    pub a_breakdown: TimeBreakdown,
+    /// Comparison time decomposition.
+    pub b_breakdown: TimeBreakdown,
+    /// Monotone counters gained on B relative to A ([`Metrics::minus`],
+    /// saturating — a counter that shrank reads zero here).
+    pub gained: Metrics,
+    /// Monotone counters lost on B relative to A (the other direction).
+    pub lost: Metrics,
+    /// Sample counts of the two sides.
+    pub samples: (u64, u64),
+    /// Aligned nodes whose exclusive metrics differ, canonical path order.
+    pub nodes: Vec<NodeDiff>,
+    /// Abort sites present on either side with differing abort metrics.
+    pub sites: Vec<SiteDiff>,
+    /// Decision-tree movement between the sides.
+    pub suggestions: SuggestionChanges,
+    /// Provenance mismatches (different workload/threads/period).
+    pub warnings: Vec<String>,
+}
+
+/// The five time components, labelled as the report bands label them.
+const COMPONENTS: [&str; 5] = ["non-CS", "HTM", "fallback", "lock-wait", "overhead"];
+
+fn component_shares(b: &TimeBreakdown) -> [f64; 5] {
+    [b.outside, b.tx, b.fallback, b.lock_waiting, b.overhead]
+}
+
+impl ProfileDiff {
+    /// Signed share delta per time component (B − A), in order of
+    /// [`COMPONENTS`]: non-CS, HTM, fallback, lock-wait, overhead.
+    pub fn share_deltas(&self) -> [f64; 5] {
+        let a = component_shares(&self.a_breakdown);
+        let b = component_shares(&self.b_breakdown);
+        [
+            b[0] - a[0],
+            b[1] - a[1],
+            b[2] - a[2],
+            b[3] - a[3],
+            b[4] - a[4],
+        ]
+    }
+
+    /// The time component whose share shrank the most (name, signed
+    /// delta), if any shrank — "where did the run stop spending time".
+    pub fn dominant_improvement(&self) -> Option<(&'static str, f64)> {
+        let deltas = self.share_deltas();
+        let (i, &d) = deltas
+            .iter()
+            .enumerate()
+            .min_by(|(_, x), (_, y)| x.total_cmp(y))?;
+        (d < 0.0).then_some((COMPONENTS[i], d))
+    }
+
+    /// The time component whose share grew the most (name, signed delta),
+    /// if any grew.
+    pub fn dominant_regression(&self) -> Option<(&'static str, f64)> {
+        let deltas = self.share_deltas();
+        let (i, &d) = deltas
+            .iter()
+            .enumerate()
+            .max_by(|(_, x), (_, y)| x.total_cmp(y))?;
+        (d > 0.0).then_some((COMPONENTS[i], d))
+    }
+
+    /// Signed r_cs delta (B − A).
+    pub fn d_r_cs(&self) -> f64 {
+        self.b_totals.r_cs() - self.a_totals.r_cs()
+    }
+
+    /// Nodes ranked most-regressed first (largest positive ΔW).
+    pub fn top_regressed(&self, n: usize) -> Vec<&NodeDiff> {
+        let mut v: Vec<&NodeDiff> = self.nodes.iter().filter(|d| d.dw() > 0).collect();
+        v.sort_by_key(|d| std::cmp::Reverse(d.dw()));
+        v.truncate(n);
+        v
+    }
+
+    /// Nodes ranked most-improved first (largest negative ΔW).
+    pub fn top_improved(&self, n: usize) -> Vec<&NodeDiff> {
+        let mut v: Vec<&NodeDiff> = self.nodes.iter().filter(|d| d.dw() < 0).collect();
+        v.sort_by_key(|d| d.dw());
+        v.truncate(n);
+        v
+    }
+}
+
+/// Compare the provenance of two profiles, returning human-readable
+/// warnings for every field recorded on both sides that disagrees.
+fn provenance_warnings(a: &Profile, b: &Profile) -> Vec<String> {
+    let mut warnings = Vec::new();
+    if let (Some(wa), Some(wb)) = (&a.meta.workload, &b.meta.workload) {
+        if wa != wb {
+            warnings.push(format!("workload differs: '{wa}' vs '{wb}'"));
+        }
+    }
+    if let (Some(ta), Some(tb)) = (a.meta.threads, b.meta.threads) {
+        if ta != tb {
+            warnings.push(format!("thread count differs: {ta} vs {tb}"));
+        }
+    }
+    if let (Some(pa), Some(pb)) = (a.meta.sample_period, b.meta.sample_period) {
+        if pa != pb {
+            warnings.push(format!(
+                "sample period differs: {pa} vs {pb} (sample counts are not directly comparable)"
+            ));
+        }
+    }
+    warnings
+}
+
+/// Recursive simultaneous walk of both CCTs, matching children by
+/// [`NodeKey`]. The union of child keys is visited in canonical
+/// [`key_rank`] order, so the emitted node list is deterministic
+/// regardless of either tree's insertion order.
+fn align(
+    a: &Cct,
+    an: Option<NodeId>,
+    b: &Cct,
+    bn: Option<NodeId>,
+    path: &mut Vec<NodeKey>,
+    out: &mut Vec<NodeDiff>,
+) {
+    let mut keys: Vec<NodeKey> = Vec::new();
+    if let Some(n) = an {
+        keys.extend(a.children(n).filter_map(|c| a.key(c)));
+    }
+    if let Some(n) = bn {
+        for key in b.children(n).filter_map(|c| b.key(c)) {
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+    }
+    keys.sort_by_key(|&k| key_rank(k));
+
+    for key in keys {
+        let ac = an.and_then(|n| a.children(n).find(|&c| a.key(c) == Some(key)));
+        let bc = bn.and_then(|n| b.children(n).find(|&c| b.key(c) == Some(key)));
+        let am = ac.map(|c| *a.metrics(c)).unwrap_or_default();
+        let bm = bc.map(|c| *b.metrics(c)).unwrap_or_default();
+        path.push(key);
+        if am != bm {
+            out.push(NodeDiff {
+                path: path.clone(),
+                a: am,
+                b: bm,
+            });
+        }
+        align(a, ac, b, bc, path, out);
+        path.pop();
+    }
+}
+
+/// Classify the decision-tree movement between side A and side B.
+fn suggestion_changes(a: &Profile, b: &Profile, thresholds: &Thresholds) -> SuggestionChanges {
+    let before = diagnose(a, thresholds).all_suggestions();
+    let after = diagnose(b, thresholds).all_suggestions();
+    SuggestionChanges {
+        resolved: before
+            .iter()
+            .filter(|s| !after.contains(s))
+            .copied()
+            .collect(),
+        persisting: before
+            .iter()
+            .filter(|s| after.contains(s))
+            .copied()
+            .collect(),
+        appeared: after
+            .iter()
+            .filter(|s| !before.contains(s))
+            .copied()
+            .collect(),
+    }
+}
+
+/// Diff two profiles: A is the baseline, B the comparison.
+pub fn diff_profiles(a: &Profile, b: &Profile, thresholds: &Thresholds) -> ProfileDiff {
+    let a_totals = a.totals();
+    let b_totals = b.totals();
+
+    let mut nodes = Vec::new();
+    align(
+        &a.cct,
+        Some(ROOT),
+        &b.cct,
+        Some(ROOT),
+        &mut Vec::new(),
+        &mut nodes,
+    );
+
+    // Per-site join on the abort-site aggregation both reports use.
+    let a_sites = a.hot_abort_sites();
+    let b_sites = b.hot_abort_sites();
+    let mut sites: Vec<SiteDiff> = Vec::new();
+    for (site, am) in &a_sites {
+        let bm = b_sites
+            .iter()
+            .find(|(s, _)| s == site)
+            .map(|(_, m)| *m)
+            .unwrap_or_default();
+        if *am != bm {
+            sites.push(SiteDiff {
+                site: *site,
+                a: *am,
+                b: bm,
+            });
+        }
+    }
+    for (site, bm) in &b_sites {
+        if !a_sites.iter().any(|(s, _)| s == site) {
+            sites.push(SiteDiff {
+                site: *site,
+                a: Metrics::default(),
+                b: *bm,
+            });
+        }
+    }
+    sites.sort_by_key(|d| {
+        (
+            std::cmp::Reverse(d.dabort_weight().unsigned_abs()),
+            d.site.func.0,
+            d.site.line,
+        )
+    });
+
+    ProfileDiff {
+        a_breakdown: TimeBreakdown::from_metrics(&a_totals),
+        b_breakdown: TimeBreakdown::from_metrics(&b_totals),
+        gained: b_totals.minus(&a_totals),
+        lost: a_totals.minus(&b_totals),
+        samples: (a.samples, b.samples),
+        a_totals,
+        b_totals,
+        nodes,
+        sites,
+        suggestions: suggestion_changes(a, b, thresholds),
+        warnings: provenance_warnings(a, b),
+    }
+}
+
+/// Signed percentage-point text: `+3.2pp` / `-5.0pp`.
+fn pp(delta: f64) -> String {
+    format!("{:+.1}pp", delta * 100.0)
+}
+
+/// Render a totals-level diff — time decomposition bars for both sides,
+/// signed component-share deltas, abort movement and ratio deltas. Also
+/// serves epoch-window diffs in `crates/live`, where only metric totals
+/// (no CCTs) are retained per epoch.
+pub fn render_totals_diff(label_a: &str, label_b: &str, a: &Metrics, b: &Metrics) -> String {
+    let ab = TimeBreakdown::from_metrics(a);
+    let bb = TimeBreakdown::from_metrics(b);
+    let mut out = String::new();
+    for (label, br) in [(label_a, &ab), (label_b, &bb)] {
+        let shares = [
+            ('.', br.outside),
+            ('H', br.tx),
+            ('F', br.fallback),
+            ('w', br.lock_waiting),
+            ('o', br.overhead),
+        ];
+        writeln!(
+            out,
+            "time {label:>2} |{}| non-CS {} HTM {} fallback {} lock-wait {} overhead {}",
+            bar(&shares, 50),
+            pct(br.outside),
+            pct(br.tx),
+            pct(br.fallback),
+            pct(br.lock_waiting),
+            pct(br.overhead),
+        )
+        .unwrap();
+    }
+    let deltas = [
+        bb.outside - ab.outside,
+        bb.tx - ab.tx,
+        bb.fallback - ab.fallback,
+        bb.lock_waiting - ab.lock_waiting,
+        bb.overhead - ab.overhead,
+    ];
+    writeln!(
+        out,
+        "Δshare    non-CS {} HTM {} fallback {} lock-wait {} overhead {}",
+        pp(deltas[0]),
+        pp(deltas[1]),
+        pp(deltas[2]),
+        pp(deltas[3]),
+        pp(deltas[4]),
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "aborts: samples {} → {} ({:+}), weight {} → {} ({:+})",
+        a.abort_samples,
+        b.abort_samples,
+        b.abort_samples as i64 - a.abort_samples as i64,
+        a.abort_weight,
+        b.abort_weight,
+        b.abort_weight as i64 - a.abort_weight as i64,
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  by class: conflict {} → {}, capacity {} → {}, sync {} → {}, explicit {} → {}",
+        a.aborts_conflict,
+        b.aborts_conflict,
+        a.aborts_capacity,
+        b.aborts_capacity,
+        a.aborts_sync,
+        b.aborts_sync,
+        a.aborts_explicit,
+        b.aborts_explicit,
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "r_cs {:.3} → {:.3} ({:+.3}); a/c {:.3} → {:.3} ({:+.3})",
+        a.r_cs(),
+        b.r_cs(),
+        b.r_cs() - a.r_cs(),
+        a.abort_commit_ratio(),
+        b.abort_commit_ratio(),
+        b.abort_commit_ratio() - a.abort_commit_ratio(),
+    )
+    .unwrap();
+    out
+}
+
+/// Render one node path as a `;`-joined folded-style stack.
+fn path_label(path: &[NodeKey], names: &NameSource) -> String {
+    let frames: Vec<String> = path
+        .iter()
+        .map(|key| match *key {
+            NodeKey::Frame {
+                func, speculative, ..
+            } => {
+                let name = names.func_name(func);
+                if speculative {
+                    format!("{name}_[tx]")
+                } else {
+                    name
+                }
+            }
+            NodeKey::Stmt { ip, speculative } => {
+                let name = format!("{}:{}", names.func_name(ip.func), ip.line);
+                if speculative {
+                    format!("{name}_[tx]")
+                } else {
+                    name
+                }
+            }
+        })
+        .collect();
+    frames.join(";")
+}
+
+/// Render the full diff report. Deterministic for a given pair of
+/// profiles and name source.
+pub fn render_diff(diff: &ProfileDiff, names: &NameSource) -> String {
+    let mut out = String::new();
+    writeln!(out, "== profile diff: A (baseline) → B (comparison)").unwrap();
+    for w in &diff.warnings {
+        writeln!(out, "warning: {w}").unwrap();
+    }
+    writeln!(
+        out,
+        "samples: {} → {} ({:+})",
+        diff.samples.0,
+        diff.samples.1,
+        diff.samples.1 as i64 - diff.samples.0 as i64,
+    )
+    .unwrap();
+    out.push_str(&render_totals_diff(
+        "A",
+        "B",
+        &diff.a_totals,
+        &diff.b_totals,
+    ));
+    match diff.dominant_improvement() {
+        Some((component, delta)) => {
+            writeln!(out, "dominant improvement: {component} {}", pp(delta)).unwrap()
+        }
+        None => writeln!(out, "dominant improvement: none").unwrap(),
+    }
+    if let Some((component, delta)) = diff.dominant_regression() {
+        writeln!(out, "dominant regression: {component} {}", pp(delta)).unwrap();
+    }
+
+    let improved = diff.top_improved(5);
+    if !improved.is_empty() {
+        writeln!(out, "\ntop improved call paths (ΔW):").unwrap();
+        for d in improved {
+            writeln!(out, "  {:>+7}  {}", d.dw(), path_label(&d.path, names)).unwrap();
+        }
+    }
+    let regressed = diff.top_regressed(5);
+    if !regressed.is_empty() {
+        writeln!(out, "\ntop regressed call paths (ΔW):").unwrap();
+        for d in regressed {
+            writeln!(out, "  {:>+7}  {}", d.dw(), path_label(&d.path, names)).unwrap();
+        }
+    }
+
+    let site_changes: Vec<&SiteDiff> = diff
+        .sites
+        .iter()
+        .filter(|d| d.dabort_weight() != 0)
+        .take(5)
+        .collect();
+    if !site_changes.is_empty() {
+        writeln!(out, "\nabort-site weight changes:").unwrap();
+        for d in site_changes {
+            writeln!(
+                out,
+                "  {:>+7}  {}:{} ({} → {} abort samples)",
+                d.dabort_weight(),
+                names.func_name(d.site.func),
+                d.site.line,
+                d.a.abort_samples,
+                d.b.abort_samples,
+            )
+            .unwrap();
+        }
+    }
+
+    writeln!(out, "\ndecision tree:").unwrap();
+    let s = &diff.suggestions;
+    if s.resolved.is_empty() && s.persisting.is_empty() && s.appeared.is_empty() {
+        writeln!(out, "  no suggestions on either side").unwrap();
+    }
+    for sug in &s.resolved {
+        writeln!(out, "  resolved: {}", sug.describe()).unwrap();
+    }
+    for sug in &s.persisting {
+        writeln!(out, "  persists: {}", sug.describe()).unwrap();
+    }
+    for sug in &s.appeared {
+        writeln!(out, "  new: {}", sug.describe()).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::TimeComponent;
+    use txsim_pmu::FuncId;
+
+    fn keyed_frame(f: u32, speculative: bool) -> NodeKey {
+        NodeKey::Frame {
+            func: FuncId(f),
+            callsite: Ip::new(FuncId(0), 1),
+            speculative,
+        }
+    }
+
+    fn stmt(f: u32, line: u32, speculative: bool) -> NodeKey {
+        NodeKey::Stmt {
+            ip: Ip::new(FuncId(f), line),
+            speculative,
+        }
+    }
+
+    /// Build a profile from (path, w_samples, abort_weight) triples.
+    fn profile_of(paths: &[(&[NodeKey], u64, u64)]) -> Profile {
+        let mut p = Profile::default();
+        for (path, w, weight) in paths {
+            let node = p.cct.path(path.iter().copied());
+            let m = p.cct.metrics_mut(node);
+            for _ in 0..*w {
+                m.add_cycles_sample(TimeComponent::Tx);
+            }
+            if *weight > 0 {
+                m.abort_samples += 1;
+                m.abort_weight += weight;
+                m.aborts_conflict += 1;
+                m.conflict_weight += weight;
+            }
+            p.samples += w;
+        }
+        p
+    }
+
+    #[test]
+    fn alignment_is_by_path_not_node_id() {
+        // Same two paths inserted in opposite orders: node ids differ,
+        // paths match, so identical metrics produce an empty diff.
+        let x = [keyed_frame(1, false), stmt(1, 5, false)];
+        let y = [keyed_frame(2, false), stmt(2, 9, false)];
+        let a = profile_of(&[(&x, 3, 0), (&y, 4, 0)]);
+        let b = profile_of(&[(&y, 4, 0), (&x, 3, 0)]);
+        let d = diff_profiles(&a, &b, &Thresholds::default());
+        assert!(d.nodes.is_empty(), "got node diffs: {:?}", d.nodes);
+    }
+
+    #[test]
+    fn one_sided_nodes_diff_against_zero() {
+        let x = [keyed_frame(1, false), stmt(1, 5, false)];
+        let y = [keyed_frame(1, false), stmt(1, 7, true)];
+        let a = profile_of(&[(&x, 3, 0)]);
+        let b = profile_of(&[(&x, 3, 0), (&y, 9, 0)]);
+        let d = diff_profiles(&a, &b, &Thresholds::default());
+        assert_eq!(d.nodes.len(), 1);
+        assert_eq!(d.nodes[0].path, y.to_vec());
+        assert_eq!(d.nodes[0].a.w, 0);
+        assert_eq!(d.nodes[0].b.w, 9);
+        assert_eq!(d.nodes[0].dw(), 9);
+        // And the reverse direction ranks it as improved.
+        let d = diff_profiles(&b, &a, &Thresholds::default());
+        assert_eq!(d.top_improved(5)[0].dw(), -9);
+        assert!(d.top_regressed(5).is_empty());
+    }
+
+    #[test]
+    fn provenance_mismatch_warns() {
+        let mut a = profile_of(&[]);
+        let mut b = profile_of(&[]);
+        a.meta.workload = Some("histo".to_string());
+        b.meta.workload = Some("histo/padded".to_string());
+        a.meta.threads = Some(14);
+        b.meta.threads = Some(4);
+        let d = diff_profiles(&a, &b, &Thresholds::default());
+        assert_eq!(d.warnings.len(), 2);
+        assert!(d.warnings[0].contains("workload differs"));
+        assert!(d.warnings[1].contains("thread count differs"));
+        // Absent provenance on either side warns about nothing.
+        b.meta = Default::default();
+        assert!(diff_profiles(&a, &b, &Thresholds::default())
+            .warnings
+            .is_empty());
+    }
+
+    #[test]
+    fn dominant_components_track_share_movement() {
+        // A: all time in fallback. B: all time in HTM.
+        let mut a = Profile::default();
+        let n = a.cct.path([stmt(1, 1, false)]);
+        for _ in 0..10 {
+            a.cct
+                .metrics_mut(n)
+                .add_cycles_sample(TimeComponent::Fallback);
+        }
+        let mut b = Profile::default();
+        let n = b.cct.path([stmt(1, 1, true)]);
+        for _ in 0..10 {
+            b.cct.metrics_mut(n).add_cycles_sample(TimeComponent::Tx);
+        }
+        let d = diff_profiles(&a, &b, &Thresholds::default());
+        assert_eq!(d.dominant_improvement(), Some(("fallback", -1.0)));
+        assert_eq!(d.dominant_regression(), Some(("HTM", 1.0)));
+        // Identical sides have neither.
+        let d = diff_profiles(&a, &a, &Thresholds::default());
+        assert_eq!(d.dominant_improvement(), None);
+        assert_eq!(d.dominant_regression(), None);
+    }
+
+    #[test]
+    fn monotone_deltas_reuse_metrics_minus() {
+        let x = [stmt(1, 1, true)];
+        let a = profile_of(&[(&x, 5, 100)]);
+        let b = profile_of(&[(&x, 8, 0)]);
+        let d = diff_profiles(&a, &b, &Thresholds::default());
+        assert_eq!(d.gained.w, 3);
+        assert_eq!(d.gained.abort_weight, 0);
+        assert_eq!(d.lost.abort_weight, 100);
+        assert_eq!(d.lost.w, 0);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_names_components() {
+        let x = [keyed_frame(1, false), stmt(1, 5, true)];
+        let a = profile_of(&[(&x, 10, 500)]);
+        let b = profile_of(&[(&x, 4, 0)]);
+        let d = diff_profiles(&a, &b, &Thresholds::default());
+        let text = render_diff(&d, &NameSource::Anonymous);
+        assert_eq!(text, render_diff(&d, &NameSource::Anonymous));
+        assert!(text.contains("dominant improvement:"), "{text}");
+        assert!(text.contains("func1:5_[tx]"), "{text}");
+        assert!(text.contains("decision tree:"), "{text}");
+    }
+}

@@ -52,7 +52,8 @@
 //! let profile = merge_profiles(vec![handle.take()]);
 //! assert!(profile.samples > 0);
 //! let diagnosis = txsampler::diagnose(&profile, &Default::default());
-//! println!("{}", txsampler::report::render_diagnosis(&diagnosis, &domain.funcs));
+//! let view = txsampler::ProfileView::from_registry(&profile, &domain.funcs);
+//! println!("{}", txsampler::report::render_diagnosis(&diagnosis, &view));
 //! ```
 
 #![warn(missing_docs)]
@@ -63,11 +64,13 @@ pub mod cct;
 pub mod collect;
 pub mod contention;
 pub mod decision;
+pub mod diff;
 pub mod imbalance;
 pub mod metrics;
 pub mod profile;
 pub mod report;
 pub mod store;
+pub mod view;
 
 pub use analyze::{characterize, characterize_profile, merge_profiles, ProgramType};
 pub use callpath::{reconstruct_tx_path, TxCallPath};
@@ -78,6 +81,8 @@ pub use collect::{
 };
 pub use contention::{ContentionMap, Sharing};
 pub use decision::{diagnose, Diagnosis, Suggestion, Thresholds};
+pub use diff::{diff_profiles, render_diff, render_totals_diff, ProfileDiff};
 pub use imbalance::{detect_imbalance, Imbalance, ImbalanceKind};
 pub use metrics::{Metrics, TimeComponent};
-pub use profile::{Periods, Profile, ThreadProfile, TimeBreakdown};
+pub use profile::{Periods, Profile, RunMeta, ThreadProfile, TimeBreakdown};
+pub use view::{NameSource, ProfileView};

@@ -106,6 +106,28 @@ pub struct ThreadSummary {
     pub sites: HashMap<Ip, (u64, u64)>,
 }
 
+/// Provenance of a profile: which run produced it. Saved profiles carry it
+/// in the store header so a later `diff` can warn when two files come from
+/// unlike runs (different workload, different thread count). Every field is
+/// optional — profiles collected before the header existed, or built
+/// synthetically in tests, simply have none.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Workload name as registered in the benchmark registry.
+    pub workload: Option<String>,
+    /// Worker thread count of the run.
+    pub threads: Option<u32>,
+    /// Cycles sampling period in force (1 sample ≈ this many cycles).
+    pub sample_period: Option<u64>,
+}
+
+impl RunMeta {
+    /// Whether no provenance is recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.workload.is_none() && self.threads.is_none() && self.sample_period.is_none()
+    }
+}
+
 /// The merged, whole-program profile produced by the offline analyzer.
 #[derive(Debug, Clone, Default)]
 pub struct Profile {
@@ -121,6 +143,8 @@ pub struct Profile {
     pub truncated_paths: u64,
     /// Discounted profiler-induced abort samples.
     pub interrupt_abort_samples: u64,
+    /// Provenance of the run that produced this profile, if known.
+    pub meta: RunMeta,
 }
 
 /// The time decomposition of Figure 7 (top): shares of total work.

@@ -2,6 +2,12 @@
 //! a calling-context view with metric columns (Figure 9), time and abort
 //! decomposition bars (Figure 7), per-thread histograms, and the decision
 //! tree's narrative. Plus TSV export for the experiment harness.
+//!
+//! Every renderer here is a *pass* over a [`ProfileView`] — the profile
+//! plus resolved names plus precomputed totals — so text reports, TSV,
+//! the Prometheus exposition and the diff renderer all derive their
+//! numbers the same way. [`render_report`] chains the standard passes
+//! into the full offline report (`repro report` / `repro profile`).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -9,12 +15,13 @@ use std::fmt::Write as _;
 use txsim_pmu::{FuncId, FuncRegistry, Ip};
 
 use crate::cct::{NodeId, NodeKey, ROOT};
-use crate::decision::Diagnosis;
+use crate::decision::{Diagnosis, Thresholds};
 use crate::profile::Profile;
 use crate::store::FuncNames;
+use crate::view::ProfileView;
 
 /// Render a percentage.
-fn pct(x: f64) -> String {
+pub(crate) fn pct(x: f64) -> String {
     format!("{:5.1}%", x * 100.0)
 }
 
@@ -39,7 +46,7 @@ pub fn bar(shares: &[(char, f64)], width: usize) -> String {
 }
 
 /// Canonical ordering key for a [`NodeKey`] (deterministic tie-breaking).
-fn key_rank(key: NodeKey) -> (u8, u32, u32, u32, bool) {
+pub(crate) fn key_rank(key: NodeKey) -> (u8, u32, u32, u32, bool) {
     match key {
         NodeKey::Frame {
             func,
@@ -56,8 +63,8 @@ pub fn ip_name(registry: &FuncRegistry, ip: Ip) -> String {
 }
 
 /// Render the whole-program time decomposition (Figure 7, top band).
-pub fn render_time_breakdown(profile: &Profile) -> String {
-    let b = profile.time_breakdown();
+pub fn render_time_breakdown(view: &ProfileView) -> String {
+    let b = view.breakdown;
     let shares = [
         ('.', b.outside),
         ('H', b.tx),
@@ -82,8 +89,8 @@ pub fn render_time_breakdown(profile: &Profile) -> String {
 
 /// Render the abort decomposition (Figure 7, middle and bottom bands):
 /// counts and weights by class.
-pub fn render_abort_breakdown(profile: &Profile) -> String {
-    let m = profile.totals();
+pub fn render_abort_breakdown(view: &ProfileView) -> String {
+    let m = view.totals;
     let mut out = String::new();
     let total = m.abort_samples.max(1) as f64;
     let count_shares = [
@@ -101,7 +108,7 @@ pub fn render_abort_breakdown(profile: &Profile) -> String {
         pct(count_shares[2].1),
         pct(count_shares[3].1),
         m.abort_samples,
-        profile.estimated_aborts(),
+        m.abort_samples * view.profile.periods.abort,
     )
     .unwrap();
     let tw = m.abort_weight.max(1) as f64;
@@ -144,8 +151,7 @@ impl Default for CctViewOptions {
 /// Render the calling-context view (Figure 9): an indented tree with
 /// metric columns. Speculative (in-transaction) subtrees are introduced by
 /// a `begin_in_tx` pseudo node, matching the paper's GUI.
-pub fn render_cct(profile: &Profile, registry: &FuncRegistry, opts: &CctViewOptions) -> String {
-    let totals = profile.totals();
+pub fn render_cct(view: &ProfileView, opts: &CctViewOptions) -> String {
     let mut out = String::new();
     writeln!(
         out,
@@ -153,17 +159,14 @@ pub fn render_cct(profile: &Profile, registry: &FuncRegistry, opts: &CctViewOpti
         "calling context", "W", "T%", "Ttx%", "abort-wt", "a/c"
     )
     .unwrap();
-    render_node(profile, registry, ROOT, 0, &totals, opts, &mut out, false);
+    render_node(view, ROOT, 0, opts, &mut out, false);
     out
 }
 
-#[allow(clippy::too_many_arguments)]
 fn render_node(
-    profile: &Profile,
-    registry: &FuncRegistry,
+    view: &ProfileView,
     node: NodeId,
     depth: usize,
-    totals: &crate::metrics::Metrics,
     opts: &CctViewOptions,
     out: &mut String,
     parent_speculative: bool,
@@ -171,6 +174,8 @@ fn render_node(
     if depth > opts.max_depth {
         return;
     }
+    let profile = view.profile;
+    let totals = &view.totals;
     let inclusive = profile.cct.inclusive(node);
     let w_share = inclusive.w as f64 / totals.w.max(1) as f64;
     let significant =
@@ -191,13 +196,9 @@ fn render_node(
     let label = match profile.cct.key(node) {
         None => "<thread root>".to_string(),
         Some(NodeKey::Frame { func, callsite, .. }) => {
-            format!(
-                "{} (from {})",
-                registry.name(func),
-                ip_name(registry, callsite)
-            )
+            format!("{} (from {})", view.func_name(func), view.ip_name(callsite))
         }
-        Some(NodeKey::Stmt { ip, .. }) => format!("@ {}", ip_name(registry, ip)),
+        Some(NodeKey::Stmt { ip, .. }) => format!("@ {}", view.ip_name(ip)),
     };
     let t_share = inclusive.t as f64 / totals.t.max(1) as f64;
     let ttx_share = inclusive.t_tx as f64 / totals.t_tx.max(1) as f64;
@@ -225,11 +226,9 @@ fn render_node(
     });
     for child in children {
         render_node(
-            profile,
-            registry,
+            view,
             child,
             depth + 1,
-            totals,
             opts,
             out,
             speculative_now || parent_speculative,
@@ -269,10 +268,11 @@ fn folded_frame(key: NodeKey, name_of: &dyn Fn(FuncId) -> String) -> String {
 /// flamegraph web viewer. Lines are aggregated per distinct stack and
 /// sorted, so the output is canonical: two profiles with equal CCT metrics
 /// fold identically regardless of node insertion order.
-pub fn render_folded(profile: &Profile, name_of: &dyn Fn(FuncId) -> String) -> String {
+pub fn render_folded(view: &ProfileView) -> String {
+    let name_of = |id: FuncId| view.func_name(id);
     let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
     let mut frames: Vec<String> = Vec::new();
-    fold_node(profile, ROOT, name_of, &mut frames, &mut stacks);
+    fold_node(view.profile, ROOT, &name_of, &mut frames, &mut stacks);
     let mut out = String::new();
     for (stack, weight) in stacks {
         writeln!(out, "{stack} {weight}").unwrap();
@@ -310,25 +310,20 @@ fn fold_node(
 
 /// [`render_folded`] resolving names through the run's live registry.
 pub fn render_folded_registry(profile: &Profile, registry: &FuncRegistry) -> String {
-    render_folded(profile, &|id| registry.name(id))
+    render_folded(&ProfileView::from_registry(profile, registry))
 }
 
 /// [`render_folded`] resolving names through `func` records loaded from a
 /// stored profile (see [`crate::store::load_with_funcs`]); unknown ids fall
 /// back to a stable `funcN` label.
 pub fn render_folded_names(profile: &Profile, names: &FuncNames) -> String {
-    render_folded(profile, &|id| {
-        names
-            .get(&id.0)
-            .cloned()
-            .unwrap_or_else(|| format!("func{}", id.0))
-    })
+    render_folded(&ProfileView::from_names(profile, names))
 }
 
 /// Render the per-thread commit/abort histogram for a transaction site
 /// (the GUI's thread view used to spot imbalance and starvation).
-pub fn render_thread_histogram(profile: &Profile, registry: &FuncRegistry, site: Ip) -> String {
-    let rows = profile.thread_histogram(site);
+pub fn render_thread_histogram(view: &ProfileView, site: Ip) -> String {
+    let rows = view.profile.thread_histogram(site);
     let max = rows
         .iter()
         .map(|&(_, c, a)| c.max(a))
@@ -336,7 +331,7 @@ pub fn render_thread_histogram(profile: &Profile, registry: &FuncRegistry, site:
         .unwrap_or(0)
         .max(1);
     let mut out = String::new();
-    writeln!(out, "site {}:", ip_name(registry, site)).unwrap();
+    writeln!(out, "site {}:", view.ip_name(site)).unwrap();
     for (tid, commits, aborts) in rows {
         let cw = (commits * 30 / max) as usize;
         let aw = (aborts * 30 / max) as usize;
@@ -354,7 +349,7 @@ pub fn render_thread_histogram(profile: &Profile, registry: &FuncRegistry, site:
 }
 
 /// Render the decision-tree diagnosis as a numbered narrative.
-pub fn render_diagnosis(diagnosis: &Diagnosis, registry: &FuncRegistry) -> String {
+pub fn render_diagnosis(diagnosis: &Diagnosis, view: &ProfileView) -> String {
     let mut out = String::new();
     writeln!(out, "decision-tree traversal:").unwrap();
     for (i, step) in diagnosis.steps.iter().enumerate() {
@@ -375,7 +370,7 @@ pub fn render_diagnosis(diagnosis: &Diagnosis, registry: &FuncRegistry) -> Strin
         writeln!(
             out,
             "site {} — dominant abort class: {} (avg weight {:.0})",
-            ip_name(registry, site.site),
+            view.ip_name(site.site),
             site.dominant_class,
             site.metrics.avg_abort_weight().unwrap_or(0.0),
         )
@@ -445,14 +440,14 @@ pub fn render_self_cost(snapshot: &obs::Snapshot) -> String {
 }
 
 /// Export the headline metrics as one TSV row (used by the figure harness).
-pub fn tsv_row(name: &str, profile: &Profile) -> String {
-    let b = profile.time_breakdown();
-    let m = profile.totals();
+pub fn tsv_row(name: &str, view: &ProfileView) -> String {
+    let b = view.breakdown;
+    let m = view.totals;
     format!(
         "{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{}\t{}\t{}\t{}\t{}\t{}",
         name,
-        profile.r_cs(),
-        profile.abort_commit_ratio(),
+        m.r_cs(),
+        m.abort_commit_ratio(),
         b.outside,
         b.tx,
         b.fallback,
@@ -470,6 +465,170 @@ pub fn tsv_row(name: &str, profile: &Profile) -> String {
 /// Header matching [`tsv_row`].
 pub fn tsv_header() -> &'static str {
     "name\tr_cs\tr_ac\toutside\ttx\tfallback\tlock_wait\toverhead\tabort_samples\tconflict\tcapacity\tsync\ttrue_sharing\tfalse_sharing"
+}
+
+/// Options for the standard report pipeline.
+#[derive(Debug, Clone)]
+pub struct ReportOptions {
+    /// Calling-context view options.
+    pub cct: CctViewOptions,
+    /// Decision-tree thresholds.
+    pub thresholds: Thresholds,
+    /// Imbalance detection: flag sites whose best/worst thread ratio
+    /// exceeds this factor.
+    pub imbalance_factor: f64,
+    /// Imbalance detection: ignore sites with fewer samples than this.
+    pub imbalance_min_samples: u64,
+    /// At most this many imbalance findings are rendered.
+    pub max_imbalances: usize,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        ReportOptions {
+            cct: CctViewOptions::default(),
+            thresholds: Thresholds::default(),
+            imbalance_factor: 2.0,
+            imbalance_min_samples: 50,
+            max_imbalances: 3,
+        }
+    }
+}
+
+/// One analysis pass: a named renderer over a [`ProfileView`]. Passes that
+/// have nothing to say return an empty string and are skipped by
+/// [`render_report`].
+pub struct ReportPass {
+    /// Section name (stable, machine-friendly).
+    pub name: &'static str,
+    /// Render this section from the shared view.
+    pub run: fn(&ProfileView, &ReportOptions) -> String,
+}
+
+/// Summary pass: sample counts, derived program ratios, provenance.
+fn summary_pass(view: &ProfileView, _opts: &ReportOptions) -> String {
+    let p = view.profile;
+    let mut out = format!(
+        "profile: {} samples, {} threads, r_cs {:.3}, a/c {:.3}\n",
+        p.samples,
+        p.threads.len(),
+        view.totals.r_cs(),
+        view.totals.abort_commit_ratio(),
+    );
+    if !p.meta.is_empty() {
+        out.push_str("run:");
+        if let Some(workload) = &p.meta.workload {
+            let _ = write!(out, " workload={workload}");
+        }
+        if let Some(threads) = p.meta.threads {
+            let _ = write!(out, " threads={threads}");
+        }
+        if let Some(period) = p.meta.sample_period {
+            let _ = write!(out, " period={period}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Diagnosis pass: run the Figure-1 decision tree and narrate it.
+fn diagnosis_pass(view: &ProfileView, opts: &ReportOptions) -> String {
+    let diagnosis = crate::decision::diagnose(view.profile, &opts.thresholds);
+    render_diagnosis(&diagnosis, view)
+}
+
+/// Imbalance pass: per-thread skew findings (§5 contention metrics).
+fn imbalance_pass(view: &ProfileView, opts: &ReportOptions) -> String {
+    let mut out = String::new();
+    for imb in crate::imbalance::detect_imbalance(
+        view.profile,
+        opts.imbalance_factor,
+        opts.imbalance_min_samples,
+    )
+    .into_iter()
+    .take(opts.max_imbalances)
+    {
+        writeln!(
+            out,
+            "imbalance: site {} {:?} skew {:.1}x worst thread t{}",
+            view.ip_name(imb.site),
+            imb.kind,
+            imb.factor,
+            imb.worst_tid
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Contention pass: sharing diagnoses plus the per-thread histogram of the
+/// hottest abort site (when thread-level site data exists).
+fn contention_pass(view: &ProfileView, _opts: &ReportOptions) -> String {
+    let mut out = String::new();
+    let m = &view.totals;
+    if m.true_sharing + m.false_sharing > 0 {
+        writeln!(
+            out,
+            "sharing: {} true-sharing, {} false-sharing samples",
+            m.true_sharing, m.false_sharing
+        )
+        .unwrap();
+    }
+    if let Some((site, _)) = view.profile.hot_abort_sites().first() {
+        let has_site_rows = view
+            .profile
+            .threads
+            .iter()
+            .any(|t| t.sites.contains_key(site));
+        if has_site_rows {
+            out.push_str(&render_thread_histogram(view, *site));
+        }
+    }
+    out
+}
+
+/// The standard offline-report pipeline, in render order.
+pub const REPORT_PASSES: &[ReportPass] = &[
+    ReportPass {
+        name: "summary",
+        run: summary_pass,
+    },
+    ReportPass {
+        name: "time",
+        run: |view, _| render_time_breakdown(view),
+    },
+    ReportPass {
+        name: "aborts",
+        run: |view, _| render_abort_breakdown(view),
+    },
+    ReportPass {
+        name: "cct",
+        run: |view, opts| render_cct(view, &opts.cct),
+    },
+    ReportPass {
+        name: "diagnosis",
+        run: diagnosis_pass,
+    },
+    ReportPass {
+        name: "imbalance",
+        run: imbalance_pass,
+    },
+    ReportPass {
+        name: "contention",
+        run: contention_pass,
+    },
+];
+
+/// Run every standard pass over the view and join the non-empty sections
+/// with blank lines — the full report `repro report`/`repro profile`
+/// print. Deterministic for a given profile and name source.
+pub fn render_report(view: &ProfileView, opts: &ReportOptions) -> String {
+    let sections: Vec<String> = REPORT_PASSES
+        .iter()
+        .map(|pass| (pass.run)(view, opts))
+        .filter(|s| !s.is_empty())
+        .collect();
+    sections.join("\n")
 }
 
 #[cfg(test)]
@@ -538,7 +697,10 @@ mod tests {
     fn cct_view_shows_begin_in_tx_pseudo_node() {
         let registry = FuncRegistry::new();
         let p = sample_profile(&registry);
-        let view = render_cct(&p, &registry, &CctViewOptions::default());
+        let view = render_cct(
+            &ProfileView::from_registry(&p, &registry),
+            &CctViewOptions::default(),
+        );
         assert!(view.contains("[begin_in_tx]"), "view:\n{view}");
         assert!(view.contains("work"));
         assert!(view.contains("@ work:12"));
@@ -551,7 +713,7 @@ mod tests {
     fn time_breakdown_renders_percentages() {
         let registry = FuncRegistry::new();
         let p = sample_profile(&registry);
-        let s = render_time_breakdown(&p);
+        let s = render_time_breakdown(&ProfileView::from_registry(&p, &registry));
         assert!(s.contains("HTM 100.0%"), "got: {s}");
     }
 
@@ -559,7 +721,7 @@ mod tests {
     fn abort_breakdown_shows_capacity_dominance() {
         let registry = FuncRegistry::new();
         let p = sample_profile(&registry);
-        let s = render_abort_breakdown(&p);
+        let s = render_abort_breakdown(&ProfileView::from_registry(&p, &registry));
         assert!(s.contains("capacity 100.0%"), "got: {s}");
     }
 
@@ -568,8 +730,29 @@ mod tests {
         let registry = FuncRegistry::new();
         let p = sample_profile(&registry);
         let header_fields = tsv_header().split('\t').count();
-        let row_fields = tsv_row("x", &p).split('\t').count();
+        let row_fields = tsv_row("x", &ProfileView::from_registry(&p, &registry))
+            .split('\t')
+            .count();
         assert_eq!(header_fields, row_fields);
+    }
+
+    #[test]
+    fn full_report_chains_all_passes() {
+        let registry = FuncRegistry::new();
+        let mut p = sample_profile(&registry);
+        p.meta.workload = Some("sample".to_string());
+        let view = ProfileView::from_registry(&p, &registry);
+        let report = render_report(&view, &ReportOptions::default());
+        assert!(report.contains("profile: "), "summary present:\n{report}");
+        assert!(report.contains("workload=sample"));
+        assert!(report.contains("time  |"));
+        assert!(report.contains("aborts|"));
+        assert!(report.contains("calling context"));
+        assert!(report.contains("decision-tree traversal:"));
+        // Sections are separated by exactly one blank line.
+        assert!(report.contains("\n\ntime  |"));
+        // Deterministic across runs.
+        assert_eq!(report, render_report(&view, &ReportOptions::default()));
     }
 
     #[test]
@@ -632,7 +815,7 @@ mod tests {
                 sites: [(site, (1, 30))].into_iter().collect(),
             },
         ];
-        let s = render_thread_histogram(&p, &registry, site);
+        let s = render_thread_histogram(&ProfileView::from_registry(&p, &registry), site);
         assert!(s.contains("t0"));
         assert!(s.contains("t1"));
         assert!(s.lines().count() >= 3);

@@ -14,10 +14,20 @@ use txsim_pmu::{FuncId, FuncRegistry, Ip};
 
 use crate::cct::{NodeKey, ROOT};
 use crate::metrics::Metrics;
-use crate::profile::{Periods, Profile, ThreadSummary};
+use crate::profile::{Periods, Profile, RunMeta, ThreadSummary};
 
 /// Format version written into the header.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// - v1: header + periods/func/node/thread/site records.
+/// - v2: adds an optional `meta` record (run provenance: workload name,
+///   thread count, cycles sampling period) directly after the header.
+///
+/// The loader accepts both; v1 files simply load with empty
+/// [`RunMeta`].
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest format version the loader still accepts.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Function names carried alongside a profile: serialized func id → name.
 /// Optional in the format (`func` records); when present they make the
@@ -69,6 +79,19 @@ pub fn save_with_names(profile: &Profile, name_of: &dyn Fn(FuncId) -> Option<Str
         profile.samples, profile.truncated_paths, profile.interrupt_abort_samples
     )
     .unwrap();
+    if !profile.meta.is_empty() {
+        out.push_str("meta");
+        if let Some(workload) = &profile.meta.workload {
+            let _ = write!(out, "\tworkload={workload}");
+        }
+        if let Some(threads) = profile.meta.threads {
+            let _ = write!(out, "\tthreads={threads}");
+        }
+        if let Some(period) = profile.meta.sample_period {
+            let _ = write!(out, "\tperiod={period}");
+        }
+        out.push('\n');
+    }
     writeln!(
         out,
         "periods\t{}\t{}\t{}\t{}",
@@ -240,7 +263,12 @@ pub fn load_with_funcs(text: &str) -> Result<(Profile, FuncNames), LoadError> {
     if hfields.first() != Some(&"txsampler-profile") {
         return Err(LoadError::bad("magic"));
     }
-    if hfields.get(1) != Some(&format!("v{FORMAT_VERSION}").as_str()) {
+    let version: u32 = hfields
+        .get(1)
+        .and_then(|v| v.strip_prefix('v'))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| LoadError::bad("version"))?;
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(LoadError::bad("version"));
     }
     let header_num = |prefix: &str| -> Result<u64, LoadError> {
@@ -279,6 +307,35 @@ pub fn load_with_funcs(text: &str) -> Result<(Profile, FuncNames), LoadError> {
                     abort: vals[2],
                     mem: vals[3],
                 };
+            }
+            Some("meta") => {
+                if !profile.meta.is_empty() {
+                    return Err(LoadError::bad("duplicate meta record"));
+                }
+                let mut meta = RunMeta::default();
+                for field in fields {
+                    let (key, value) = field
+                        .split_once('=')
+                        .ok_or_else(|| LoadError::bad("meta field"))?;
+                    match key {
+                        "workload" if !value.is_empty() && meta.workload.is_none() => {
+                            meta.workload = Some(value.to_string());
+                        }
+                        "threads" if meta.threads.is_none() => {
+                            meta.threads =
+                                Some(value.parse().map_err(|_| LoadError::bad("meta threads"))?);
+                        }
+                        "period" if meta.sample_period.is_none() => {
+                            meta.sample_period =
+                                Some(value.parse().map_err(|_| LoadError::bad("meta period"))?);
+                        }
+                        _ => return Err(LoadError::bad("meta field")),
+                    }
+                }
+                if meta.is_empty() {
+                    return Err(LoadError::bad("empty meta record"));
+                }
+                profile.meta = meta;
             }
             Some("func") => {
                 let id: u32 = fields
@@ -501,6 +558,78 @@ mod tests {
         // A gap (skipped id) is equally malformed.
         let gapped = text.replace("node\t1\t", "node\t5\t");
         assert!(load(&gapped).is_err());
+    }
+
+    #[test]
+    fn meta_roundtrips_and_v1_files_still_load() {
+        let mut p = sample_profile();
+        p.meta = RunMeta {
+            workload: Some("histo".to_string()),
+            threads: Some(14),
+            sample_period: Some(1000),
+        };
+        let text = save(&p);
+        assert!(text.contains("meta\tworkload=histo\tthreads=14\tperiod=1000"));
+        let q = load(&text).expect("v2 roundtrip");
+        assert_eq!(q.meta, p.meta);
+        // save∘load stays byte-stable with meta present.
+        assert_eq!(save(&q), text);
+
+        // Partial provenance: absent fields are simply omitted.
+        let mut partial = sample_profile();
+        partial.threads.clear();
+        partial.meta.threads = Some(8);
+        let text = save(&partial);
+        assert!(text.contains("meta\tthreads=8\n"));
+        assert_eq!(load(&text).unwrap().meta, partial.meta);
+
+        // No provenance → no meta record at all (and none comes back).
+        let bare = save(&sample_profile());
+        assert!(!bare.contains("\nmeta"));
+        assert!(load(&bare).unwrap().meta.is_empty());
+
+        // A headerless v1 file (what every pre-v2 run wrote) still loads,
+        // with empty provenance.
+        let v1 = bare.replacen("\tv2\t", "\tv1\t", 1);
+        let q = load(&v1).expect("v1 files still load");
+        assert_eq!(q.totals(), sample_profile().totals());
+        assert!(q.meta.is_empty());
+    }
+
+    #[test]
+    fn rejects_truncated_or_garbage_meta() {
+        let mut p = sample_profile();
+        p.meta.workload = Some("histo".to_string());
+        p.meta.threads = Some(14);
+        let text = save(&p);
+        // Truncated mid-value: `threads=1` still parses as a number, but
+        // chopping into the key must fail.
+        let cut = text.find("\tthreads=14").unwrap();
+        let truncated = format!(
+            "{}\tthr\n{}",
+            &text[..cut],
+            text.split_once('\n').unwrap().1
+        );
+        assert!(load(&truncated).is_err(), "truncated meta key must error");
+        // Garbage values and unknown keys are rejected, not ignored.
+        assert!(load(&text.replace("threads=14", "threads=lots")).is_err());
+        assert!(load(&text.replace("threads=14", "cores=14")).is_err());
+        assert!(load(&text.replace("threads=14", "threads")).is_err());
+        // Duplicate meta records (or duplicate keys) are malformed.
+        let meta_line = "meta\tworkload=histo\tthreads=14";
+        let dup = text.replace(meta_line, &format!("{meta_line}\n{meta_line}"));
+        assert!(load(&dup).is_err());
+        assert!(load(&text.replace("\tthreads=14", "\tthreads=14\tthreads=14")).is_err());
+        // An empty meta record carries nothing and is rejected.
+        assert!(load(&text.replace(meta_line, "meta")).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_versions() {
+        let text = save(&sample_profile());
+        assert!(load(&text.replacen("\tv2\t", "\tv99\t", 1)).is_err());
+        assert!(load(&text.replacen("\tv2\t", "\tv0\t", 1)).is_err());
+        assert!(load(&text.replacen("\tv2\t", "\tsomething\t", 1)).is_err());
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Byte-identical pin for the rendered profile diff: a fixed synthetic
+//! before/after pair (a lock-wait-bound baseline against its fixed
+//! comparison run) must render exactly `tests/golden/diff.golden`.
+//! Regenerate deliberately with `BLESS=1 cargo test -p txsampler --test
+//! diff_golden`.
+
+use txsampler::cct::{NodeKey, ROOT};
+use txsampler::profile::Periods;
+use txsampler::{
+    diff_profiles, render_diff, NameSource, Profile, RunMeta, Thresholds, TimeComponent,
+};
+use txsim_pmu::{FuncRegistry, Ip};
+
+/// Build one side of the pair. The call-path shape is shared; the metric
+/// mix differs: the baseline spends most of its critical-section time
+/// waiting on the fallback lock and aborts on conflicts, the comparison
+/// commits in HTM with no aborts.
+fn side(registry: &FuncRegistry, optimized: bool) -> Profile {
+    let main = registry.intern("main", "kv.rs", 1);
+    let txn = registry.intern("kv_update", "kv.rs", 40);
+    let mut p = Profile {
+        samples: 0,
+        periods: Periods {
+            cycles: 1000,
+            commit: 10,
+            abort: 10,
+            mem: 1,
+        },
+        ..Profile::default()
+    };
+    p.meta = RunMeta {
+        workload: Some("kvstore".to_string()),
+        threads: Some(8),
+        sample_period: Some(1000),
+    };
+    let frame = p.cct.child(
+        ROOT,
+        NodeKey::Frame {
+            func: main,
+            callsite: Ip::UNKNOWN,
+            speculative: false,
+        },
+    );
+    let outside = p.cct.child(
+        frame,
+        NodeKey::Stmt {
+            ip: Ip::new(main, 3),
+            speculative: false,
+        },
+    );
+    let spec = p.cct.child(
+        frame,
+        NodeKey::Frame {
+            func: txn,
+            callsite: Ip::new(main, 5),
+            speculative: true,
+        },
+    );
+    let leaf = p.cct.child(
+        spec,
+        NodeKey::Stmt {
+            ip: Ip::new(txn, 42),
+            speculative: true,
+        },
+    );
+    // Both sides do the same amount of non-critical-section work.
+    for _ in 0..4 {
+        p.cct
+            .metrics_mut(outside)
+            .add_cycles_sample(TimeComponent::Outside);
+    }
+    let mix: &[(TimeComponent, u64)] = if optimized {
+        // After the fix: commits in HTM, no lock waiting, no aborts.
+        &[(TimeComponent::Tx, 10)]
+    } else {
+        // Baseline: the serialization lock dominates T and conflicts
+        // waste cycles at the update site.
+        &[
+            (TimeComponent::Tx, 4),
+            (TimeComponent::Fallback, 4),
+            (TimeComponent::LockWaiting, 10),
+        ]
+    };
+    for &(component, times) in mix {
+        for _ in 0..times {
+            p.cct.metrics_mut(leaf).add_cycles_sample(component);
+        }
+    }
+    let m = p.cct.metrics_mut(leaf);
+    m.commit_samples = if optimized { 12 } else { 4 };
+    if !optimized {
+        m.abort_samples = 4;
+        m.abort_weight = 800;
+        m.aborts_conflict = 4;
+        m.conflict_weight = 800;
+        m.true_sharing = 2;
+    }
+    p.samples = p.totals().w;
+    p
+}
+
+#[test]
+fn rendered_diff_is_pinned() {
+    let registry = FuncRegistry::new();
+    let a = side(&registry, false);
+    let mut b = side(&registry, true);
+    // One deliberate provenance mismatch so the warning line is pinned too.
+    b.meta.threads = Some(4);
+
+    let d = diff_profiles(&a, &b, &Thresholds::default());
+    let text = render_diff(&d, &NameSource::Registry(&registry));
+
+    // The semantic claims the golden encodes: the lock-wait share is the
+    // dominant improvement and the baseline's lock advice is resolved.
+    assert_eq!(d.dominant_improvement().map(|(c, _)| c), Some("lock-wait"));
+    assert!(d
+        .suggestions
+        .resolved
+        .contains(&txsampler::Suggestion::ElideReadLock));
+
+    let path = format!("{}/tests/golden/diff.golden", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, &text).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path}: {e} (run with BLESS=1 to create)"));
+    assert_eq!(text, want, "rendered diff drifted from diff.golden");
+}

@@ -1,0 +1,132 @@
+//! Byte-identical output pins for the headline renderers across the
+//! ProfileView refactor: a fixed synthetic profile must render exactly the
+//! checked-in goldens under `tests/golden/`. Captured *before* the
+//! pass-pipeline unification so any behavioral drift in the refactor fails
+//! loudly. Regenerate deliberately with `BLESS=1 cargo test -p txsampler
+//! --test report_golden`.
+
+use txsampler::cct::{NodeKey, ROOT};
+use txsampler::profile::Periods;
+use txsampler::report;
+use txsampler::Profile;
+use txsim_pmu::{FuncRegistry, Ip};
+
+/// A fixed profile exercising every time component, three abort classes
+/// and the sharing counters — rich enough that every rendered column is
+/// nonzero somewhere.
+fn fixture(registry: &FuncRegistry) -> Profile {
+    let main = registry.intern("main", "m.rs", 1);
+    let work = registry.intern("tx_work", "m.rs", 10);
+    let mut p = Profile {
+        samples: 21,
+        periods: Periods {
+            cycles: 1000,
+            commit: 10,
+            abort: 10,
+            mem: 1,
+        },
+        ..Profile::default()
+    };
+    let frame = p.cct.child(
+        ROOT,
+        NodeKey::Frame {
+            func: main,
+            callsite: Ip::UNKNOWN,
+            speculative: false,
+        },
+    );
+    let outside = p.cct.child(
+        frame,
+        NodeKey::Stmt {
+            ip: Ip::new(main, 3),
+            speculative: false,
+        },
+    );
+    for _ in 0..10 {
+        p.cct
+            .metrics_mut(outside)
+            .add_cycles_sample(txsampler::TimeComponent::Outside);
+    }
+    let spec = p.cct.child(
+        frame,
+        NodeKey::Frame {
+            func: work,
+            callsite: Ip::new(main, 5),
+            speculative: true,
+        },
+    );
+    let leaf = p.cct.child(
+        spec,
+        NodeKey::Stmt {
+            ip: Ip::new(work, 12),
+            speculative: true,
+        },
+    );
+    for (component, times) in [
+        (txsampler::TimeComponent::Tx, 5),
+        (txsampler::TimeComponent::Fallback, 3),
+        (txsampler::TimeComponent::LockWaiting, 2),
+        (txsampler::TimeComponent::Overhead, 1),
+    ] {
+        for _ in 0..times {
+            p.cct.metrics_mut(leaf).add_cycles_sample(component);
+        }
+    }
+    let m = p.cct.metrics_mut(leaf);
+    m.commit_samples = 4;
+    m.abort_samples = 3;
+    m.abort_weight = 600;
+    m.aborts_conflict = 2;
+    m.conflict_weight = 400;
+    m.aborts_capacity = 1;
+    m.capacity_weight = 200;
+    m.true_sharing = 1;
+    m.false_sharing = 2;
+    p
+}
+
+/// Compare `got` against the golden file, or rewrite it under `BLESS=1`.
+fn check(name: &str, got: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path}: {e} (run with BLESS=1 to create)"));
+    assert_eq!(got, want, "{name} drifted from its pre-refactor golden");
+}
+
+#[test]
+fn time_breakdown_is_pinned() {
+    let registry = FuncRegistry::new();
+    let p = fixture(&registry);
+    let view = txsampler::ProfileView::from_registry(&p, &registry);
+    check("time_breakdown.txt", &report::render_time_breakdown(&view));
+}
+
+#[test]
+fn abort_breakdown_is_pinned() {
+    let registry = FuncRegistry::new();
+    let p = fixture(&registry);
+    let view = txsampler::ProfileView::from_registry(&p, &registry);
+    check(
+        "abort_breakdown.txt",
+        &report::render_abort_breakdown(&view),
+    );
+}
+
+#[test]
+fn tsv_row_is_pinned() {
+    let registry = FuncRegistry::new();
+    let p = fixture(&registry);
+    let text = format!(
+        "{}\n{}\n",
+        report::tsv_header(),
+        report::tsv_row(
+            "fixture",
+            &txsampler::ProfileView::from_registry(&p, &registry)
+        )
+    );
+    check("tsv.txt", &text);
+}

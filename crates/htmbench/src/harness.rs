@@ -285,7 +285,7 @@ pub fn run_workload<S: Sync>(
             thread_profiles.push(p);
         }
     }
-    let profile = match &cfg.hub {
+    let mut profile = match &cfg.hub {
         // Live mode: the collectors already streamed most of their data to
         // the hub; hand it the residual tail deltas, then read the
         // cumulative snapshot back. Note the cumulative profile spans the
@@ -300,6 +300,15 @@ pub fn run_workload<S: Sync>(
         _ if thread_profiles.is_empty() => None,
         _ => Some(merge_profiles(thread_profiles)),
     };
+    if let Some(p) = &mut profile {
+        // Stamp provenance so saved profiles can be diffed with a warning
+        // when the runs don't match (different workload or thread count).
+        p.meta = txsampler::RunMeta {
+            workload: Some(name.to_string()),
+            threads: Some(cfg.threads as u32),
+            sample_period: Some(p.periods.cycles),
+        };
+    }
 
     let verify_span = obs::span(Subsystem::Harness, "verify");
     let checksum = verify(&domain, &shared);

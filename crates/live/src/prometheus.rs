@@ -27,7 +27,7 @@
 use std::fmt::Write as _;
 
 use obs::{Counter, Snapshot};
-use txsampler::{Metrics, SnapshotView, TimeBreakdown};
+use txsampler::{Metrics, ProfileView, SnapshotView, TimeBreakdown};
 
 /// Render one metric family header.
 fn family(out: &mut String, name: &str, kind: &str, help: &str) {
@@ -60,7 +60,10 @@ fn shares(out: &mut String, name: &str, b: &TimeBreakdown) {
 /// copy of the self-observability registry.
 pub fn render(view: &SnapshotView, window: Option<&Metrics>, obs: &Snapshot) -> String {
     let mut out = String::new();
-    let totals = view.profile.totals();
+    // Same derivation path as every other renderer: one ProfileView, its
+    // precomputed totals and breakdown (names are irrelevant here).
+    let pv = ProfileView::anonymous(&view.profile);
+    let totals = pv.totals;
 
     family(
         &mut out,
@@ -84,11 +87,7 @@ pub fn render(view: &SnapshotView, window: Option<&Metrics>, obs: &Snapshot) -> 
         "gauge",
         "Share of sampled cycles per time component (cumulative; sums to 1 when any work was sampled).",
     );
-    shares(
-        &mut out,
-        "txsampler_cycle_share",
-        &view.profile.time_breakdown(),
-    );
+    shares(&mut out, "txsampler_cycle_share", &pv.breakdown);
 
     family(
         &mut out,

@@ -126,8 +126,12 @@ fn handle_connection(stream: TcpStream, hub: &SnapshotHub, funcs: &FuncRegistry)
             "only GET is supported\n",
         );
     }
-    // Ignore any query string: `/metrics?x=1` scrapes /metrics.
-    let path = path.split('?').next().unwrap_or(path);
+    // Split off the query string; only /diff interprets it, the rest
+    // ignore it (`/metrics?x=1` scrapes /metrics).
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
+    };
 
     match path {
         "/healthz" => {
@@ -175,16 +179,74 @@ fn handle_connection(stream: TcpStream, hub: &SnapshotHub, funcs: &FuncRegistry)
             let body = report::render_folded_registry(&view.profile, funcs);
             respond(&mut stream, "200 OK", "text/plain; charset=utf-8", &body)
         }
+        "/diff" => match epoch_diff_body(hub, query) {
+            Ok(body) => respond(&mut stream, "200 OK", "text/plain; charset=utf-8", &body),
+            Err((status, body)) => respond(&mut stream, status, "text/plain; charset=utf-8", &body),
+        },
         _ => {
             obs::count(Counter::HttpOtherRequests);
             respond(
                 &mut stream,
                 "404 Not Found",
                 "text/plain; charset=utf-8",
-                "not found; try /healthz, /metrics, /profile.json, /flamegraph\n",
+                "not found; try /healthz, /metrics, /profile.json, /flamegraph, /diff?from=N&to=M\n",
             )
         }
     }
+}
+
+/// Build the `/diff?from=N&to=M` body from the hub's retained epoch
+/// history. Only totals are retained per epoch (no CCTs), so this is a
+/// totals-level diff rendered by the same [`txsampler::diff`] code path as
+/// `repro diff`. Omitted bounds default to the oldest/newest retained
+/// epoch. Returns `(status, body)` on client errors.
+fn epoch_diff_body(hub: &SnapshotHub, query: &str) -> Result<String, (&'static str, String)> {
+    let bad = |msg: String| ("400 Bad Request", msg);
+    let mut from = None;
+    let mut to = None;
+    for pair in query.split('&').filter(|s| !s.is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| bad(format!("malformed query parameter {pair:?}\n")))?;
+        let epoch: u64 = value
+            .parse()
+            .map_err(|_| bad(format!("{key} must be an epoch number, got {value:?}\n")))?;
+        match key {
+            "from" => from = Some(epoch),
+            "to" => to = Some(epoch),
+            _ => return Err(bad(format!("unknown query parameter {key:?}\n"))),
+        }
+    }
+    let history = hub.history();
+    let (oldest, newest) = match (history.first(), history.last()) {
+        (Some(first), Some(last)) => (first.epoch, last.epoch),
+        _ => {
+            return Err((
+                "404 Not Found",
+                "no epochs retained yet; publish a snapshot first\n".into(),
+            ))
+        }
+    };
+    let from = from.unwrap_or(oldest);
+    let to = to.unwrap_or(newest);
+    let lookup = |epoch: u64| history.iter().find(|s| s.epoch == epoch);
+    let (a, b) = match (lookup(from), lookup(to)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err((
+                "404 Not Found",
+                format!("epoch not retained; retained range is {oldest}..={newest}\n"),
+            ))
+        }
+    };
+    let mut body = format!(
+        "== live diff: epoch {} (A, {} samples) -> epoch {} (B, {} samples)\n",
+        a.epoch, a.samples, b.epoch, b.samples
+    );
+    body.push_str(&txsampler::diff::render_totals_diff(
+        "A", "B", &a.totals, &b.totals,
+    ));
+    Ok(body)
 }
 
 fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
@@ -311,6 +373,55 @@ mod tests {
         server.shutdown();
         // The port is released: connections are refused (or reset at read).
         assert!(http_get(addr, "/healthz").is_err());
+    }
+
+    #[test]
+    fn diff_endpoint_compares_retained_epochs() {
+        let funcs = FuncRegistry::new();
+        let hub = hub_with_one_delta(&funcs);
+        // Second epoch: one lock-waiting sample shifts the time mix.
+        let mut delta = ThreadProfile {
+            tid: 1,
+            periods: Periods::default(),
+            ..ThreadProfile::default()
+        };
+        let leaf = delta.cct.child(
+            ROOT,
+            NodeKey::Stmt {
+                ip: Ip::UNKNOWN,
+                speculative: false,
+            },
+        );
+        delta
+            .cct
+            .metrics_mut(leaf)
+            .add_cycles_sample(TimeComponent::LockWaiting);
+        delta.samples = 1;
+        hub.publish(&delta);
+
+        let mut server =
+            LiveServer::start(Arc::clone(&hub), funcs.clone(), 0).expect("bind ephemeral port");
+        let addr = server.addr();
+
+        let (status, body) = http_get(addr, "/diff?from=1&to=2").unwrap();
+        assert!(status.contains("200"), "diff status: {status}");
+        assert!(body.starts_with("== live diff: epoch 1 (A, 1 samples) -> epoch 2 (B, 2 samples)"));
+        assert!(body.contains("lock-wait"), "share deltas name components");
+
+        // Omitted bounds default to the full retained range.
+        let (status, default_body) = http_get(addr, "/diff").unwrap();
+        assert!(status.contains("200"));
+        assert_eq!(body, default_body);
+
+        let (status, body) = http_get(addr, "/diff?from=99&to=2").unwrap();
+        assert!(status.contains("404"), "unretained epoch: {status}");
+        assert!(body.contains("retained range is 1..=2"));
+
+        let (status, body) = http_get(addr, "/diff?from=bogus").unwrap();
+        assert!(status.contains("400"), "bad epoch: {status}");
+        assert!(body.contains("epoch number"));
+
+        server.shutdown();
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Byte-identical pin for the Prometheus exposition across the ProfileView
+//! refactor: a fixed snapshot must render exactly the checked-in golden.
+//! Regenerate deliberately with `BLESS=1 cargo test -p live
+//! --test prometheus_golden`.
+
+use obs::Registry;
+use txsampler::cct::{NodeKey, ROOT};
+use txsampler::{Metrics, Profile, SnapshotView, TimeComponent};
+use txsim_pmu::{FuncId, Ip};
+
+fn fixture_view() -> SnapshotView {
+    let mut p = Profile::default();
+    let n = p.cct.child(
+        ROOT,
+        NodeKey::Stmt {
+            ip: Ip::new(FuncId(1), 4),
+            speculative: false,
+        },
+    );
+    for (component, times) in [
+        (TimeComponent::Outside, 6),
+        (TimeComponent::Tx, 2),
+        (TimeComponent::Fallback, 1),
+        (TimeComponent::LockWaiting, 2),
+        (TimeComponent::Overhead, 1),
+    ] {
+        for _ in 0..times {
+            p.cct.metrics_mut(n).add_cycles_sample(component);
+        }
+    }
+    let m = p.cct.metrics_mut(n);
+    m.commit_samples = 3;
+    m.abort_samples = 3;
+    m.abort_weight = 70;
+    m.aborts_conflict = 2;
+    m.conflict_weight = 40;
+    m.aborts_capacity = 1;
+    m.capacity_weight = 30;
+    m.true_sharing = 1;
+    m.false_sharing = 2;
+    p.samples = 15;
+    p.truncated_paths = 1;
+    p.interrupt_abort_samples = 2;
+    SnapshotView {
+        epoch: 7,
+        profile: p,
+    }
+}
+
+#[test]
+fn prometheus_exposition_is_pinned() {
+    let view = fixture_view();
+    let mut window = Metrics::default();
+    window.add_cycles_sample(TimeComponent::Tx);
+    window.add_cycles_sample(TimeComponent::Outside);
+    let got = live::prometheus::render(&view, Some(&window), &Registry::new().snapshot());
+
+    let path = format!("{}/tests/golden/prometheus.txt", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path}: {e} (run with BLESS=1 to create)"));
+    assert_eq!(got, want, "prometheus exposition drifted from its golden");
+}

@@ -38,10 +38,8 @@ fn main() {
     if let Some((site, _)) = p.hot_abort_sites().into_iter().next() {
         println!("== per-thread commit/abort histogram at the hottest site:");
         let reg = orig.funcs.clone();
-        for line in report::render_thread_histogram(p, &reg, site)
-            .lines()
-            .take(10)
-        {
+        let pv = txsampler::ProfileView::from_registry(p, &reg);
+        for line in report::render_thread_histogram(&pv, site).lines().take(10) {
             println!("  {line}");
         }
     }

@@ -90,16 +90,18 @@ fn main() {
         THREADS as u64 * 50_000 / 4 // every 4th iteration hits the shared word
     );
 
+    let pv = txsampler::ProfileView::from_registry(&profile, &domain.funcs);
+
     println!("== time decomposition (paper §4)");
-    print!("{}", report::render_time_breakdown(&profile));
+    print!("{}", report::render_time_breakdown(&pv));
     println!();
 
     println!("== abort analysis (paper §5)");
-    print!("{}", report::render_abort_breakdown(&profile));
+    print!("{}", report::render_abort_breakdown(&pv));
     println!();
 
     println!("== calling-context view (paper Figure 9)");
-    let view = report::render_cct(&profile, &domain.funcs, &Default::default());
+    let view = report::render_cct(&pv, &Default::default());
     for line in view.lines().take(25) {
         println!("{line}");
     }
@@ -107,5 +109,5 @@ fn main() {
 
     println!("== decision tree (paper Figure 1)");
     let diagnosis = diagnose(&profile, &Thresholds::default());
-    print!("{}", report::render_diagnosis(&diagnosis, &domain.funcs));
+    print!("{}", report::render_diagnosis(&diagnosis, &pv));
 }

@@ -162,7 +162,8 @@ fn report_renders_full_narrative() {
     let p = out.profile.as_ref().unwrap();
     let d = diagnose(p, &Thresholds::default());
     let reg = txsim_pmu::FuncRegistry::new();
-    let text = txsampler::report::render_diagnosis(&d, &reg);
+    let view = txsampler::ProfileView::from_registry(p, &reg);
+    let text = txsampler::report::render_diagnosis(&d, &view);
     assert!(text.contains("decision-tree traversal"));
     assert!(text.contains("unfriendly"));
 }

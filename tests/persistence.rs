@@ -30,8 +30,10 @@ fn live_profile_roundtrips_through_the_store() {
 
     // And the rendered report is byte-identical.
     let reg = out.funcs.clone();
-    let r1 = txsampler::report::render_cct(p, &reg, &Default::default());
-    let r2 = txsampler::report::render_cct(&q, &reg, &Default::default());
+    let v1 = txsampler::ProfileView::from_registry(p, &reg);
+    let v2 = txsampler::ProfileView::from_registry(&q, &reg);
+    let r1 = txsampler::report::render_cct(&v1, &Default::default());
+    let r2 = txsampler::report::render_cct(&v2, &Default::default());
     assert_eq!(r1, r2);
 }
 
@@ -41,12 +43,15 @@ fn store_format_is_stable_text() {
     let out = htmbench::micro::low_conflict(&cfg);
     let p = out.profile.as_ref().unwrap();
     let text = store::save(p);
-    assert!(text.starts_with("txsampler-profile\tv1\t"));
+    assert!(text.starts_with("txsampler-profile\tv2\t"));
     // Line-oriented: every line has a known record tag.
     for line in text.lines().skip(1).filter(|l| !l.is_empty()) {
         let tag = line.split('\t').next().unwrap();
         assert!(
-            matches!(tag, "periods" | "node" | "thread" | "site"),
+            matches!(
+                tag,
+                "meta" | "periods" | "func" | "node" | "thread" | "site"
+            ),
             "unknown record tag {tag}"
         );
     }
