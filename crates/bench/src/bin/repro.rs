@@ -10,7 +10,8 @@ const USAGE: &str = "\
 repro — regenerate every table and figure of the TxSampler paper
 
 usage:
-  repro [--threads N] [--scale S] [--trials T] [--out DIR] <experiment>...
+  repro [--threads N] [--scale S] [--trials T] [--fallback KIND] [--out DIR]
+        <experiment>...
   repro --self-profile <experiment>
   repro serve <experiment> [--port N] [--snapshot-interval K] [--rounds R]
   repro flamegraph <file.txsp>
@@ -34,6 +35,13 @@ experiments:
   profile NAME  run one HTMBench program under TxSampler and print its
                 full report (CCT view, decomposition, decision tree);
                 with --out, also saves the raw profile
+
+--fallback selects the runtime's fallback backend for every workload run
+(run, serve, table2, profile, ...). KIND must be one of:
+  lock  serialize on the global fallback lock (default; the paper's setup)
+  stm   run give-ups as TL2-style software transactions behind the lock gate
+  hle   retry the fallback once as lock elision before serializing
+Unknown values are an error, never silently defaulted.
 
 serve drives the experiment's workload mix in a loop while exposing the
 live profile over HTTP on 127.0.0.1 (--port 0 picks an ephemeral port):
@@ -95,7 +103,8 @@ fn profile_one(cfg: &ExpConfig, name: &str, save: &dyn Fn(&str, &str)) {
     };
     let run_cfg = htmbench::harness::RunConfig::paper_default()
         .with_threads(cfg.threads)
-        .with_scale(cfg.scale);
+        .with_scale(cfg.scale)
+        .with_fallback(cfg.fallback);
     // Counters on so the report can end with the self-cost footer.
     obs::registry().reset();
     obs::set_enabled(true);
@@ -367,6 +376,21 @@ fn main() {
             "--threads" => cfg.threads = parse_flag(&args, &mut i, "--threads"),
             "--scale" => cfg.scale = parse_flag(&args, &mut i, "--scale"),
             "--trials" => cfg.trials = parse_flag(&args, &mut i, "--trials"),
+            "--fallback" => {
+                let v = flag_value(&args, &mut i, "--fallback");
+                // Enum-like flags reject unknown values loudly (exit 2,
+                // valid values enumerated) — never silently default.
+                cfg.fallback = rtm_runtime::FallbackKind::parse(v).unwrap_or_else(|| {
+                    let valid: Vec<&str> = rtm_runtime::FallbackKind::ALL
+                        .iter()
+                        .map(|k| k.label())
+                        .collect();
+                    usage_error(&format!(
+                        "--fallback expects one of {}, got '{v}'",
+                        valid.join("|")
+                    ))
+                });
+            }
             "--out" => out_dir = Some(PathBuf::from(flag_value(&args, &mut i, "--out"))),
             "--self-profile" => {
                 self_profile_exp = Some(flag_value(&args, &mut i, "--self-profile").to_string())

@@ -8,6 +8,7 @@ use std::time::Duration;
 
 use htmbench::harness::{RunConfig, RunOutcome};
 use htmbench::{optimization_pairs, registry, stamp_subset};
+use rtm_runtime::FallbackKind;
 use txsampler::report;
 
 /// Configuration for the experiment suite.
@@ -20,6 +21,8 @@ pub struct ExpConfig {
     /// Timing trials per measurement; the median is reported (the paper
     /// trims min/max of 7 runs).
     pub trials: usize,
+    /// Fallback backend the runtime serializes on when HTM gives up.
+    pub fallback: FallbackKind,
 }
 
 impl Default for ExpConfig {
@@ -28,6 +31,7 @@ impl Default for ExpConfig {
             threads: 14,
             scale: 100,
             trials: 3,
+            fallback: FallbackKind::Lock,
         }
     }
 }
@@ -39,6 +43,7 @@ impl ExpConfig {
             threads: 4,
             scale: 5,
             trials: 1,
+            fallback: FallbackKind::Lock,
         }
     }
 
@@ -46,6 +51,7 @@ impl ExpConfig {
         RunConfig::paper_default()
             .with_threads(self.threads)
             .with_scale(self.scale)
+            .with_fallback(self.fallback)
             .native()
     }
 
@@ -53,6 +59,7 @@ impl ExpConfig {
         RunConfig::paper_default()
             .with_threads(self.threads)
             .with_scale(self.scale)
+            .with_fallback(self.fallback)
     }
 }
 

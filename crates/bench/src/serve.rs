@@ -157,6 +157,7 @@ pub fn serve_start(cfg: ServeConfig) -> io::Result<ServeHandle> {
     let run_cfg = RunConfig::paper_default()
         .with_threads(cfg.exp.threads)
         .with_scale(cfg.exp.scale)
+        .with_fallback(cfg.exp.fallback)
         .with_funcs(driver_funcs.clone())
         .with_hub(Arc::clone(&driver_hub));
     let rounds = cfg.rounds;

@@ -370,7 +370,12 @@ impl Collector {
         if latest_abort {
             TimeComponent::Tx
         } else if state.in_fallback() {
-            TimeComponent::Fallback
+            if state.in_stm() {
+                // Fallback flavor: speculating in software (TL2 backend).
+                TimeComponent::FallbackStm
+            } else {
+                TimeComponent::Fallback
+            }
         } else if state.in_lock_waiting() {
             TimeComponent::LockWaiting
         } else {
@@ -428,6 +433,10 @@ impl SampleSink for Collector {
                         }
                         AbortClass::Explicit => {
                             m.aborts_explicit += 1;
+                        }
+                        AbortClass::Validation => {
+                            m.aborts_validation += 1;
+                            m.validation_weight += sample.weight;
                         }
                         AbortClass::Interrupt => unreachable!(),
                     }

@@ -199,6 +199,14 @@ fn provenance_warnings(a: &Profile, b: &Profile) -> Vec<String> {
             ));
         }
     }
+    if let (Some(fa), Some(fb)) = (&a.meta.fallback, &b.meta.fallback) {
+        if fa != fb {
+            warnings.push(format!(
+                "fallback backend differs: '{fa}' vs '{fb}' \
+                 (fallback-time movement may reflect the backend, not the workload)"
+            ));
+        }
+    }
     warnings
 }
 
@@ -394,8 +402,7 @@ pub fn render_totals_diff(label_a: &str, label_b: &str, a: &Metrics, b: &Metrics
         b.abort_weight as i64 - a.abort_weight as i64,
     )
     .unwrap();
-    writeln!(
-        out,
+    let mut by_class = format!(
         "  by class: conflict {} → {}, capacity {} → {}, sync {} → {}, explicit {} → {}",
         a.aborts_conflict,
         b.aborts_conflict,
@@ -405,8 +412,30 @@ pub fn render_totals_diff(label_a: &str, label_b: &str, a: &Metrics, b: &Metrics
         b.aborts_sync,
         a.aborts_explicit,
         b.aborts_explicit,
-    )
-    .unwrap();
+    );
+    if a.aborts_validation + b.aborts_validation > 0 {
+        write!(
+            by_class,
+            ", validation {} → {}",
+            a.aborts_validation, b.aborts_validation
+        )
+        .unwrap();
+    }
+    out.push_str(&by_class);
+    out.push('\n');
+    if a.t_fb_stm + b.t_fb_stm > 0 {
+        writeln!(
+            out,
+            "fallback-stm: {} → {} of {} → {} fallback samples (share {} → {})",
+            a.t_fb_stm,
+            b.t_fb_stm,
+            a.t_fb,
+            b.t_fb,
+            pct(a.stm_fallback_share()),
+            pct(b.stm_fallback_share()),
+        )
+        .unwrap();
+    }
     writeln!(
         out,
         "r_cs {:.3} → {:.3} ({:+.3}); a/c {:.3} → {:.3} ({:+.3})",
@@ -614,10 +643,13 @@ mod tests {
         b.meta.workload = Some("histo/padded".to_string());
         a.meta.threads = Some(14);
         b.meta.threads = Some(4);
+        a.meta.fallback = Some("lock".to_string());
+        b.meta.fallback = Some("stm".to_string());
         let d = diff_profiles(&a, &b, &Thresholds::default());
-        assert_eq!(d.warnings.len(), 2);
+        assert_eq!(d.warnings.len(), 3);
         assert!(d.warnings[0].contains("workload differs"));
         assert!(d.warnings[1].contains("thread count differs"));
+        assert!(d.warnings[2].contains("fallback backend differs"));
         // Absent provenance on either side warns about nothing.
         b.meta = Default::default();
         assert!(diff_profiles(&a, &b, &Thresholds::default())

@@ -42,6 +42,14 @@ pub struct Metrics {
     pub true_sharing: u64,
     /// Sampled memory accesses diagnosed as false sharing (§3.3).
     pub false_sharing: u64,
+    /// … of `t_fb`: cycles on the fallback path spent speculating in
+    /// *software* (TL2 STM backend). The remainder of `t_fb` ran serially
+    /// under the lock.
+    pub t_fb_stm: u64,
+    /// Validation-class abort samples (STM commit-time read-set failures).
+    pub aborts_validation: u64,
+    /// Weight of validation-class aborts.
+    pub validation_weight: u64,
 }
 
 impl Metrics {
@@ -65,6 +73,9 @@ impl Metrics {
         self.sync_weight += o.sync_weight;
         self.true_sharing += o.true_sharing;
         self.false_sharing += o.false_sharing;
+        self.t_fb_stm += o.t_fb_stm;
+        self.aborts_validation += o.aborts_validation;
+        self.validation_weight += o.validation_weight;
     }
 
     /// Whether every counter is zero.
@@ -96,6 +107,13 @@ impl Metrics {
             sync_weight: self.sync_weight.saturating_sub(earlier.sync_weight),
             true_sharing: self.true_sharing.saturating_sub(earlier.true_sharing),
             false_sharing: self.false_sharing.saturating_sub(earlier.false_sharing),
+            t_fb_stm: self.t_fb_stm.saturating_sub(earlier.t_fb_stm),
+            aborts_validation: self
+                .aborts_validation
+                .saturating_sub(earlier.aborts_validation),
+            validation_weight: self
+                .validation_weight
+                .saturating_sub(earlier.validation_weight),
         }
     }
 
@@ -122,6 +140,19 @@ impl Metrics {
     /// Share of abort weight due to synchronous aborts (r_synchronous).
     pub fn r_sync(&self) -> f64 {
         ratio(self.sync_weight, self.abort_weight)
+    }
+
+    /// Share of abort weight due to STM validation failures (r_validation;
+    /// zero except under the `stm` fallback backend).
+    pub fn r_validation(&self) -> f64 {
+        ratio(self.validation_weight, self.abort_weight)
+    }
+
+    /// Share of fallback time spent as software transactions — `0` under
+    /// the lock backend, approaching `1` when the STM absorbs the whole
+    /// slow path.
+    pub fn stm_fallback_share(&self) -> f64 {
+        ratio(self.t_fb_stm, self.t_fb)
     }
 
     /// Sampled abort/commit ratio (r_a/c, Figure 8). Events are sampled with
@@ -161,8 +192,12 @@ pub enum TimeComponent {
     Outside,
     /// Transactional path.
     Tx,
-    /// Fallback path.
+    /// Fallback path (serial, under the lock).
     Fallback,
+    /// Fallback path, speculating as a *software* transaction (TL2 STM
+    /// backend). A sub-flavor of `Fallback`: contributes to `t_fb` too, so
+    /// the five-way time breakdown of Equation 2 is unchanged.
+    FallbackStm,
     /// Lock waiting.
     LockWaiting,
     /// Transaction overhead.
@@ -182,6 +217,11 @@ impl Metrics {
             TimeComponent::Fallback => {
                 self.t += 1;
                 self.t_fb += 1;
+            }
+            TimeComponent::FallbackStm => {
+                self.t += 1;
+                self.t_fb += 1;
+                self.t_fb_stm += 1;
             }
             TimeComponent::LockWaiting => {
                 self.t += 1;
@@ -214,6 +254,18 @@ mod tests {
         assert_eq!(m.w, m.t + 1);
         assert_eq!(m.t, m.t_tx + m.t_fb + m.t_wait + m.t_oh);
         assert!((m.r_cs() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stm_fallback_is_a_sub_flavor_of_fallback() {
+        let mut m = Metrics::default();
+        m.add_cycles_sample(TimeComponent::Fallback);
+        m.add_cycles_sample(TimeComponent::FallbackStm);
+        assert_eq!(m.t_fb, 2, "STM cycles still count as fallback");
+        assert_eq!(m.t_fb_stm, 1);
+        // Equation 2's five-way decomposition is unaffected.
+        assert_eq!(m.t, m.t_tx + m.t_fb + m.t_wait + m.t_oh);
+        assert!((m.stm_fallback_share() - 0.5).abs() < 1e-9);
     }
 
     #[test]

@@ -119,12 +119,19 @@ pub struct RunMeta {
     pub threads: Option<u32>,
     /// Cycles sampling period in force (1 sample ≈ this many cycles).
     pub sample_period: Option<u64>,
+    /// Fallback backend the run used (`lock`, `stm`, or `hle`). Kept as a
+    /// string so old analyzers can still load files written by newer tools
+    /// with backends they do not know.
+    pub fallback: Option<String>,
 }
 
 impl RunMeta {
     /// Whether no provenance is recorded at all.
     pub fn is_empty(&self) -> bool {
-        self.workload.is_none() && self.threads.is_none() && self.sample_period.is_none()
+        self.workload.is_none()
+            && self.threads.is_none()
+            && self.sample_period.is_none()
+            && self.fallback.is_none()
     }
 }
 

@@ -62,7 +62,9 @@ pub fn ip_name(registry: &FuncRegistry, ip: Ip) -> String {
     format!("{}:{}", registry.name(ip.func), ip.line)
 }
 
-/// Render the whole-program time decomposition (Figure 7, top band).
+/// Render the whole-program time decomposition (Figure 7, top band). When
+/// the run used the STM fallback backend, a second band splits fallback
+/// time into its software-transaction and serial (under-the-lock) shares.
 pub fn render_time_breakdown(view: &ProfileView) -> String {
     let b = view.breakdown;
     let shares = [
@@ -84,6 +86,19 @@ pub fn render_time_breakdown(view: &ProfileView) -> String {
         pct(b.overhead),
     )
     .unwrap();
+    let m = &view.totals;
+    if m.t_fb_stm > 0 {
+        let stm = m.stm_fallback_share();
+        let fb_shares = [('s', stm), ('L', 1.0 - stm)];
+        writeln!(
+            out,
+            "fb    |{}| fb-stm {} fb-lock {}  (of fallback time)",
+            bar(&fb_shares, 50),
+            pct(stm),
+            pct(1.0 - stm),
+        )
+        .unwrap();
+    }
     out
 }
 
@@ -93,37 +108,55 @@ pub fn render_abort_breakdown(view: &ProfileView) -> String {
     let m = view.totals;
     let mut out = String::new();
     let total = m.abort_samples.max(1) as f64;
-    let count_shares = [
+    let mut count_shares = vec![
         ('C', m.aborts_conflict as f64 / total),
         ('P', m.aborts_capacity as f64 / total),
         ('S', m.aborts_sync as f64 / total),
         ('E', m.aborts_explicit as f64 / total),
     ];
+    // Validation aborts only exist under the STM fallback backend; render
+    // the class only when present so lock-backend reports are unchanged.
+    let validation = if m.aborts_validation > 0 {
+        let share = m.aborts_validation as f64 / total;
+        count_shares.push(('V', share));
+        format!(" validation {}", pct(share))
+    } else {
+        String::new()
+    };
     writeln!(
         out,
-        "aborts|{}| conflict {} capacity {} sync {} explicit {}  (samples: {}, est. events: {})",
+        "aborts|{}| conflict {} capacity {} sync {} explicit {}{}  (samples: {}, est. events: {})",
         bar(&count_shares, 50),
         pct(count_shares[0].1),
         pct(count_shares[1].1),
         pct(count_shares[2].1),
         pct(count_shares[3].1),
+        validation,
         m.abort_samples,
         m.abort_samples * view.profile.periods.abort,
     )
     .unwrap();
     let tw = m.abort_weight.max(1) as f64;
-    let weight_shares = [
+    let mut weight_shares = vec![
         ('C', m.conflict_weight as f64 / tw),
         ('P', m.capacity_weight as f64 / tw),
         ('S', m.sync_weight as f64 / tw),
     ];
+    let validation_w = if m.validation_weight > 0 {
+        let share = m.r_validation();
+        weight_shares.push(('V', share));
+        format!(" validation {}", pct(share))
+    } else {
+        String::new()
+    };
     writeln!(
         out,
-        "weight|{}| conflict {} capacity {} sync {}  (total weight: {})",
+        "weight|{}| conflict {} capacity {} sync {}{}  (total weight: {})",
         bar(&weight_shares, 50),
         pct(weight_shares[0].1),
         pct(weight_shares[1].1),
         pct(weight_shares[2].1),
+        validation_w,
         m.abort_weight,
     )
     .unwrap();
@@ -444,7 +477,7 @@ pub fn tsv_row(name: &str, view: &ProfileView) -> String {
     let b = view.breakdown;
     let m = view.totals;
     format!(
-        "{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{}\t{}\t{}\t{}\t{}\t{}",
+        "{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.4}\t{}",
         name,
         m.r_cs(),
         m.abort_commit_ratio(),
@@ -459,12 +492,14 @@ pub fn tsv_row(name: &str, view: &ProfileView) -> String {
         m.aborts_sync,
         m.true_sharing,
         m.false_sharing,
+        m.stm_fallback_share(),
+        m.aborts_validation,
     )
 }
 
 /// Header matching [`tsv_row`].
 pub fn tsv_header() -> &'static str {
-    "name\tr_cs\tr_ac\toutside\ttx\tfallback\tlock_wait\toverhead\tabort_samples\tconflict\tcapacity\tsync\ttrue_sharing\tfalse_sharing"
+    "name\tr_cs\tr_ac\toutside\ttx\tfallback\tlock_wait\toverhead\tabort_samples\tconflict\tcapacity\tsync\ttrue_sharing\tfalse_sharing\tfb_stm_share\tvalidation"
 }
 
 /// Options for the standard report pipeline.
@@ -525,6 +560,9 @@ fn summary_pass(view: &ProfileView, _opts: &ReportOptions) -> String {
         }
         if let Some(period) = p.meta.sample_period {
             let _ = write!(out, " period={period}");
+        }
+        if let Some(fallback) = &p.meta.fallback {
+            let _ = write!(out, " fallback={fallback}");
         }
         out.push('\n');
     }

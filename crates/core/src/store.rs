@@ -21,10 +21,13 @@ use crate::profile::{Periods, Profile, RunMeta, ThreadSummary};
 /// - v1: header + periods/func/node/thread/site records.
 /// - v2: adds an optional `meta` record (run provenance: workload name,
 ///   thread count, cycles sampling period) directly after the header.
+/// - v3: metric records grow from 18 to 21 fields (`t_fb_stm`,
+///   `aborts_validation`, `validation_weight` — the STM fallback
+///   sub-breakdown), and `meta` learns the `fallback=` backend key.
 ///
-/// The loader accepts both; v1 files simply load with empty
-/// [`RunMeta`].
-pub const FORMAT_VERSION: u32 = 2;
+/// The loader accepts all of them; pre-v3 files load with the new fields
+/// zero and no recorded backend.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Oldest format version the loader still accepts.
 pub const MIN_FORMAT_VERSION: u32 = 1;
@@ -90,6 +93,9 @@ pub fn save_with_names(profile: &Profile, name_of: &dyn Fn(FuncId) -> Option<Str
         if let Some(period) = profile.meta.sample_period {
             let _ = write!(out, "\tperiod={period}");
         }
+        if let Some(fallback) = &profile.meta.fallback {
+            let _ = write!(out, "\tfallback={fallback}");
+        }
         out.push('\n');
     }
     writeln!(
@@ -150,7 +156,7 @@ pub fn save_with_names(profile: &Profile, name_of: &dyn Fn(FuncId) -> Option<Str
 
 fn metrics_fields(m: &Metrics) -> String {
     format!(
-        "{} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        "{} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
         m.w,
         m.t,
         m.t_tx,
@@ -169,15 +175,22 @@ fn metrics_fields(m: &Metrics) -> String {
         m.sync_weight,
         m.true_sharing,
         m.false_sharing,
+        m.t_fb_stm,
+        m.aborts_validation,
+        m.validation_weight,
     )
 }
 
-fn parse_metrics(s: &str) -> Result<Metrics, LoadError> {
+fn parse_metrics(s: &str, version: u32) -> Result<Metrics, LoadError> {
     let v: Vec<u64> = s
         .split(' ')
         .map(|f| f.parse().map_err(|_| LoadError::bad("metric field")))
         .collect::<Result<_, _>>()?;
-    if v.len() != 18 {
+    // Pre-v3 files carry 18 fields (the STM sub-breakdown loads as zero);
+    // v3 carries 21. The arity is pinned to the declared version so a
+    // truncated v3 line can never masquerade as a valid v2 record.
+    let expected = if version < 3 { 18 } else { 21 };
+    if v.len() != expected {
         return Err(LoadError::bad("metric arity"));
     }
     Ok(Metrics {
@@ -199,6 +212,9 @@ fn parse_metrics(s: &str) -> Result<Metrics, LoadError> {
         sync_weight: v[15],
         true_sharing: v[16],
         false_sharing: v[17],
+        t_fb_stm: v.get(18).copied().unwrap_or(0),
+        aborts_validation: v.get(19).copied().unwrap_or(0),
+        validation_weight: v.get(20).copied().unwrap_or(0),
     })
 }
 
@@ -329,6 +345,9 @@ pub fn load_with_funcs(text: &str) -> Result<(Profile, FuncNames), LoadError> {
                             meta.sample_period =
                                 Some(value.parse().map_err(|_| LoadError::bad("meta period"))?);
                         }
+                        "fallback" if !value.is_empty() && meta.fallback.is_none() => {
+                            meta.fallback = Some(value.to_string());
+                        }
                         _ => return Err(LoadError::bad("meta field")),
                     }
                 }
@@ -367,6 +386,7 @@ pub fn load_with_funcs(text: &str) -> Result<(Profile, FuncNames), LoadError> {
                     fields
                         .next()
                         .ok_or_else(|| LoadError::bad("node metrics"))?,
+                    version,
                 )?;
                 let live = match key {
                     None => ROOT,
@@ -389,6 +409,7 @@ pub fn load_with_funcs(text: &str) -> Result<(Profile, FuncNames), LoadError> {
                     fields
                         .next()
                         .ok_or_else(|| LoadError::bad("thread totals"))?,
+                    version,
                 )?;
                 profile.threads.push(ThreadSummary {
                     tid,
@@ -560,6 +581,22 @@ mod tests {
         assert!(load(&gapped).is_err());
     }
 
+    /// Rewrite every metric record down to the pre-v3 18-field arity,
+    /// emulating what a v1/v2 writer produced.
+    fn strip_stm_fields(text: &str) -> String {
+        text.lines()
+            .map(|l| {
+                if l.starts_with("node\t") || l.starts_with("thread\t") {
+                    let fields: Vec<&str> = l.rsplitn(2, '\t').collect();
+                    let vals: Vec<&str> = fields[0].split(' ').collect();
+                    format!("{}\t{}\n", fields[1], vals[..18].join(" "))
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect()
+    }
+
     #[test]
     fn meta_roundtrips_and_v1_files_still_load() {
         let mut p = sample_profile();
@@ -567,10 +604,11 @@ mod tests {
             workload: Some("histo".to_string()),
             threads: Some(14),
             sample_period: Some(1000),
+            fallback: Some("stm".to_string()),
         };
         let text = save(&p);
-        assert!(text.contains("meta\tworkload=histo\tthreads=14\tperiod=1000"));
-        let q = load(&text).expect("v2 roundtrip");
+        assert!(text.contains("meta\tworkload=histo\tthreads=14\tperiod=1000\tfallback=stm"));
+        let q = load(&text).expect("v3 roundtrip");
         assert_eq!(q.meta, p.meta);
         // save∘load stays byte-stable with meta present.
         assert_eq!(save(&q), text);
@@ -590,10 +628,50 @@ mod tests {
 
         // A headerless v1 file (what every pre-v2 run wrote) still loads,
         // with empty provenance.
-        let v1 = bare.replacen("\tv2\t", "\tv1\t", 1);
+        let v1 = strip_stm_fields(&bare.replacen("\tv3\t", "\tv1\t", 1));
         let q = load(&v1).expect("v1 files still load");
         assert_eq!(q.totals(), sample_profile().totals());
         assert!(q.meta.is_empty());
+    }
+
+    #[test]
+    fn v2_files_with_18_metric_fields_still_load() {
+        // A pre-v3 writer emitted 18-field metric records; the loader must
+        // accept them with the STM sub-breakdown zero.
+        let p = sample_profile();
+        let text = strip_stm_fields(&save(&p).replacen("\tv3\t", "\tv2\t", 1));
+        let q = load(&text).expect("v2 18-field files still load");
+        let t = q.totals();
+        assert_eq!(t.w, p.totals().w);
+        assert_eq!(t.t_fb_stm, 0);
+        assert_eq!(t.aborts_validation, 0);
+        assert_eq!(t.validation_weight, 0);
+        // But a record with a nonsense arity is still rejected.
+        let chopped = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("thread\t0\t") {
+                    l.rsplit_once(' ').unwrap().0.to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(load(&chopped).is_err(), "17 fields must be rejected");
+    }
+
+    #[test]
+    fn fallback_meta_alone_roundtrips() {
+        let mut p = sample_profile();
+        p.meta.fallback = Some("lock".to_string());
+        let text = save(&p);
+        assert!(text.contains("meta\tfallback=lock\n"));
+        let q = load(&text).expect("fallback-only meta");
+        assert_eq!(q.meta.fallback.as_deref(), Some("lock"));
+        // Duplicate or empty values are malformed.
+        assert!(load(&text.replace("fallback=lock", "fallback=")).is_err());
+        assert!(load(&text.replace("fallback=lock", "fallback=lock\tfallback=stm")).is_err());
     }
 
     #[test]
@@ -627,9 +705,9 @@ mod tests {
     #[test]
     fn rejects_unknown_versions() {
         let text = save(&sample_profile());
-        assert!(load(&text.replacen("\tv2\t", "\tv99\t", 1)).is_err());
-        assert!(load(&text.replacen("\tv2\t", "\tv0\t", 1)).is_err());
-        assert!(load(&text.replacen("\tv2\t", "\tsomething\t", 1)).is_err());
+        assert!(load(&text.replacen("\tv3\t", "\tv99\t", 1)).is_err());
+        assert!(load(&text.replacen("\tv3\t", "\tv0\t", 1)).is_err());
+        assert!(load(&text.replacen("\tv3\t", "\tsomething\t", 1)).is_err());
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn side(registry: &FuncRegistry, optimized: bool) -> Profile {
         workload: Some("kvstore".to_string()),
         threads: Some(8),
         sample_period: Some(1000),
+        fallback: None,
     };
     let frame = p.cct.child(
         ROOT,

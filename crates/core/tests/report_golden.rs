@@ -85,6 +85,38 @@ fn fixture(registry: &FuncRegistry) -> Profile {
     p
 }
 
+/// The fixture re-profiled under the software-TM fallback backend: part of
+/// the fallback time is attributed to [`TimeComponent::FallbackStm`] and a
+/// validation abort appears, so the renderers show the fallback
+/// sub-breakdown (`fb-stm`/`fb-lock`) and the `validation` abort cause.
+fn stm_fixture(registry: &FuncRegistry) -> Profile {
+    let mut p = fixture(registry);
+    let leaf = p
+        .cct
+        .find(|k| {
+            matches!(
+                k,
+                NodeKey::Stmt {
+                    speculative: true,
+                    ..
+                }
+            )
+        })
+        .expect("fixture has a speculative statement leaf");
+    for _ in 0..2 {
+        p.cct
+            .metrics_mut(leaf)
+            .add_cycles_sample(txsampler::TimeComponent::FallbackStm);
+    }
+    let m = p.cct.metrics_mut(leaf);
+    m.abort_samples += 1;
+    m.abort_weight += 150;
+    m.aborts_validation = 1;
+    m.validation_weight = 150;
+    p.samples += 2;
+    p
+}
+
 /// Compare `got` against the golden file, or rewrite it under `BLESS=1`.
 fn check(name: &str, got: &str) {
     let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -112,6 +144,21 @@ fn abort_breakdown_is_pinned() {
     let view = txsampler::ProfileView::from_registry(&p, &registry);
     check(
         "abort_breakdown.txt",
+        &report::render_abort_breakdown(&view),
+    );
+}
+
+#[test]
+fn stm_fallback_sub_breakdown_is_pinned() {
+    let registry = FuncRegistry::new();
+    let p = stm_fixture(&registry);
+    let view = txsampler::ProfileView::from_registry(&p, &registry);
+    check(
+        "time_breakdown_stm.txt",
+        &report::render_time_breakdown(&view),
+    );
+    check(
+        "abort_breakdown_stm.txt",
         &report::render_abort_breakdown(&view),
     );
 }

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use obs::{Counter, Subsystem};
-use rtm_runtime::{TmLib, TmThread, Truth};
+use rtm_runtime::{FallbackKind, TmLib, TmThread, Truth};
 use txsampler::{merge_profiles, ContentionMap, Profile, SnapshotHub};
 use txsim_htm::{CpuStats, DomainConfig, FuncRegistry, HtmDomain, SamplingConfig, SimCpu};
 
@@ -37,6 +37,10 @@ pub struct RunConfig {
     /// hub's cumulative snapshot. `None` (the default) keeps the exact
     /// post-mortem path with zero additional work per sample.
     pub hub: Option<Arc<SnapshotHub>>,
+    /// Fallback backend the RTM runtime uses when HTM gives up (the
+    /// paper's evaluation serializes on a global lock; `stm` and `hle`
+    /// exercise the pluggable alternatives).
+    pub fallback: FallbackKind,
 }
 
 impl RunConfig {
@@ -50,6 +54,7 @@ impl RunConfig {
             seed: 0x7c5,
             domain: DomainConfig::default(),
             hub: None,
+            fallback: FallbackKind::Lock,
         }
     }
 
@@ -64,6 +69,7 @@ impl RunConfig {
             seed: 0x7c5,
             domain: DomainConfig::default(),
             hub: None,
+            fallback: FallbackKind::Lock,
         }
     }
 
@@ -102,6 +108,12 @@ impl RunConfig {
     /// [`DomainConfig::with_funcs`]).
     pub fn with_funcs(mut self, funcs: FuncRegistry) -> Self {
         self.domain.funcs = Some(funcs);
+        self
+    }
+
+    /// Builder: fallback backend.
+    pub fn with_fallback(mut self, fallback: FallbackKind) -> Self {
+        self.fallback = fallback;
         self
     }
 }
@@ -183,6 +195,8 @@ fn sum_stats(a: CpuStats, b: &CpuStats) -> CpuStats {
         aborts_sync: a.aborts_sync + b.aborts_sync,
         aborts_explicit: a.aborts_explicit + b.aborts_explicit,
         aborts_interrupt: a.aborts_interrupt + b.aborts_interrupt,
+        stm_commits: a.stm_commits + b.stm_commits,
+        aborts_validation: a.aborts_validation + b.aborts_validation,
         wasted_cycles: a.wasted_cycles + b.wasted_cycles,
         parks_in_tx: a.parks_in_tx + b.parks_in_tx,
         parks: a.parks + b.parks,
@@ -203,7 +217,7 @@ pub fn run_workload<S: Sync>(
     let mut domain_cfg = cfg.domain.clone();
     domain_cfg.cooperative = cfg.threads > 1;
     let domain = HtmDomain::new(domain_cfg);
-    let lib = TmLib::new(&domain);
+    let lib = TmLib::with_backend(&domain, cfg.fallback);
     let contention = Arc::new(ContentionMap::with_defaults(domain.geometry));
     let shared = setup(&domain, cfg);
     drop(setup_span);
@@ -307,6 +321,7 @@ pub fn run_workload<S: Sync>(
             workload: Some(name.to_string()),
             threads: Some(cfg.threads as u32),
             sample_period: Some(p.periods.cycles),
+            fallback: Some(cfg.fallback.label().to_string()),
         };
     }
 

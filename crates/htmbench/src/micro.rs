@@ -140,6 +140,35 @@ pub fn sync_abort(cfg: &RunConfig) -> RunOutcome {
     )
 }
 
+/// Irrevocable actions: each transaction buffers an update and then
+/// performs simulated I/O (a syscall) before finishing. HTM aborts
+/// synchronously; the lock backend simply runs the body serialized; the
+/// STM backend cannot buffer a syscall either, so it must *escalate
+/// mid-transaction* — discard its non-empty write buffer, grab the gate
+/// exclusively and re-run the body irrevocably. This is the workload the
+/// decision tree's irrevocability branch exists for.
+pub fn irrevocable(cfg: &RunConfig) -> RunOutcome {
+    run_workload(
+        "micro/irrevocable",
+        cfg,
+        |d, _| counter_setup(d, true, 1),
+        |w, c| {
+            for _ in 0..w.scaled(2_000) {
+                let addr = c.base;
+                let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                tm.critical_section(cpu, 70, |cpu| {
+                    // The update lands *before* the I/O so a buffering
+                    // backend has speculative state it must throw away.
+                    cpu.rmw(71, addr, |v| v + 1)?;
+                    cpu.syscall(72)?; // simulated I/O: irrevocable
+                    cpu.compute(73, 10)
+                });
+            }
+        },
+        |d, c| d.mem.load(c.base),
+    )
+}
+
 /// Deep call chains inside transactions (the Listing-1 / Figure-3 shape):
 /// `A()` and `B()` both call `C()` which updates shared data; validates
 /// in-transaction call-path reconstruction.
@@ -227,6 +256,7 @@ pub fn run_all(cfg: &RunConfig) -> Vec<RunOutcome> {
         false_sharing(cfg),
         capacity(cfg),
         sync_abort(cfg),
+        irrevocable(cfg),
         nested_calls(cfg),
         moderate(cfg),
     ]
@@ -298,6 +328,40 @@ mod tests {
         assert_eq!(t.htm_commits, 0, "syscall aborts every HTM attempt");
         assert_eq!(t.fallbacks, out.checksum);
         assert_eq!(t.aborts_sync, t.fallbacks);
+    }
+
+    #[test]
+    fn irrevocable_serializes_every_section() {
+        let out = irrevocable(&quick());
+        let t = out.truth.totals();
+        assert_eq!(t.htm_commits, 0, "the syscall aborts every HTM attempt");
+        assert_eq!(t.fallbacks, out.checksum, "each section runs exactly once");
+        assert_eq!(t.aborts_sync, t.fallbacks);
+        // The decision tree must walk its irrevocability branch: sync
+        // aborts dominate, so the advice is to move the unfriendly
+        // instruction out of the transaction.
+        let profile = out.profile.expect("profiling enabled");
+        let diagnosis = txsampler::diagnose(&profile, &Default::default());
+        assert!(
+            diagnosis
+                .all_suggestions()
+                .contains(&txsampler::Suggestion::MoveUnfriendlyInstructionsOut),
+            "sync-dominant workload must fire the irrevocability branch"
+        );
+    }
+
+    #[test]
+    fn irrevocable_escalates_out_of_the_stm() {
+        let out = irrevocable(&quick().with_fallback(rtm_runtime::FallbackKind::Stm));
+        let t = out.truth.totals();
+        assert_eq!(t.htm_commits, 0, "the syscall aborts every HTM attempt");
+        assert_eq!(t.fallbacks, out.checksum, "each section runs exactly once");
+        assert_eq!(
+            t.stm_commits, 0,
+            "I/O can never commit as a software transaction"
+        );
+        assert_eq!(out.stats.stm_commits, 0);
+        assert_eq!(out.stats.aborts_validation, 0);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub fn all() -> Vec<Spec> {
         Spec::new("micro/false_sharing", "micro", micro::false_sharing),
         Spec::new("micro/capacity", "micro", micro::capacity),
         Spec::new("micro/sync_abort", "micro", micro::sync_abort),
+        Spec::new("micro/irrevocable", "micro", micro::irrevocable),
         Spec::new("micro/nested_calls", "micro", micro::nested_calls),
         Spec::new("micro/moderate", "micro", micro::moderate),
         // CLOMP-TM (Table 1 / Figure 7).

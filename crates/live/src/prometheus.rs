@@ -16,6 +16,9 @@
 //! - `txsampler_commits_total`, `txsampler_aborts_total{cause=...}`,
 //!   `txsampler_abort_weight_total{cause=...}` (counters): sampled RTM
 //!   outcome counts and abort-weight cycles by abort class.
+//! - `txsampler_fallback_cycle_share{flavor="stm"|"lock"}` (gauge): how
+//!   the fallback slice splits between software transactions and
+//!   lock-serialized execution (all-lock unless the `stm` backend runs).
 //! - `txsampler_sharing_total{kind="true"|"false"}` (counter): sampled
 //!   memory accesses diagnosed as true/false sharing.
 //! - `txsampler_truncated_paths_total`, `txsampler_interrupt_abort_samples_total`
@@ -125,6 +128,7 @@ pub fn render(view: &SnapshotView, window: Option<&Metrics>, obs: &Snapshot) -> 
         ("capacity", totals.aborts_capacity),
         ("sync", totals.aborts_sync),
         ("explicit", totals.aborts_explicit),
+        ("validation", totals.aborts_validation),
     ] {
         let _ = writeln!(out, "txsampler_aborts_total{{cause=\"{cause}\"}} {n}");
     }
@@ -139,9 +143,32 @@ pub fn render(view: &SnapshotView, window: Option<&Metrics>, obs: &Snapshot) -> 
         ("conflict", totals.conflict_weight),
         ("capacity", totals.capacity_weight),
         ("sync", totals.sync_weight),
+        ("validation", totals.validation_weight),
     ] {
         let _ = writeln!(out, "txsampler_abort_weight_total{{cause=\"{cause}\"}} {n}");
     }
+
+    family(
+        &mut out,
+        "txsampler_fallback_cycle_share",
+        "gauge",
+        "Share of fallback time per fallback flavor (software TM vs lock-serialized); zero when no fallback time was sampled.",
+    );
+    let stm_share = totals.stm_fallback_share();
+    gauge_f64(
+        &mut out,
+        "txsampler_fallback_cycle_share{flavor=\"stm\"}",
+        stm_share,
+    );
+    gauge_f64(
+        &mut out,
+        "txsampler_fallback_cycle_share{flavor=\"lock\"}",
+        if totals.t_fb > 0 {
+            1.0 - stm_share
+        } else {
+            0.0
+        },
+    );
 
     family(
         &mut out,
@@ -276,6 +303,12 @@ mod tests {
         assert!(text.contains("txsampler_samples_total 15"));
         assert!(text.contains("txsampler_aborts_total{cause=\"conflict\"} 2"));
         assert!(text.contains("txsampler_abort_weight_total{cause=\"conflict\"} 40"));
+        assert!(text.contains("txsampler_aborts_total{cause=\"validation\"} 0"));
+        assert!(text.contains("txsampler_abort_weight_total{cause=\"validation\"} 0"));
+        // No fallback time in the fixture: both flavors read zero rather
+        // than emitting NaN.
+        assert!(text.contains("txsampler_fallback_cycle_share{flavor=\"stm\"} 0"));
+        assert!(text.contains("txsampler_fallback_cycle_share{flavor=\"lock\"} 0"));
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub enum Subsystem {
     Directory,
     /// The RTM runtime (acquire/retry/fallback paths).
     Runtime,
+    /// The TL2-style software TM used as a fallback backend.
+    Stm,
     /// The online sample collector.
     Collector,
     /// The calling-context tree.
@@ -45,6 +47,7 @@ impl Subsystem {
         Subsystem::Sched,
         Subsystem::Directory,
         Subsystem::Runtime,
+        Subsystem::Stm,
         Subsystem::Collector,
         Subsystem::Cct,
         Subsystem::Shadow,
@@ -61,6 +64,7 @@ impl Subsystem {
             Subsystem::Sched => "sched",
             Subsystem::Directory => "directory",
             Subsystem::Runtime => "runtime",
+            Subsystem::Stm => "stm",
             Subsystem::Collector => "collector",
             Subsystem::Cct => "cct",
             Subsystem::Shadow => "shadow",
@@ -114,6 +118,11 @@ counters! {
     RtmRetries => (Runtime, "rtm_retries", "Transient aborts retried on the hardware path."),
     RtmFallbacks => (Runtime, "rtm_fallbacks", "Critical sections that took the global-lock fallback."),
     RtmLockWaits => (Runtime, "rtm_lock_waits", "Waits for the elided lock to become free."),
+    StmBegins => (Stm, "stm_begins", "Software-transaction attempts started."),
+    StmCommits => (Stm, "stm_commits", "Software transactions committed."),
+    StmValidationAborts => (Stm, "stm_validation_aborts", "Software transactions killed by commit-time validation."),
+    StmLockBusy => (Stm, "stm_lock_busy", "Commit attempts that found a write stripe locked."),
+    StmIrrevocable => (Stm, "stm_irrevocable", "Escalations to serial irrevocable execution."),
     CollectorLockAcquisitions => (Collector, "collector_lock_acquisitions", "Profile-lock acquisitions by the collector."),
     CollectorLockContended => (Collector, "collector_lock_contended", "Profile-lock acquisitions that found the lock held."),
     CctNodesCreated => (Cct, "cct_nodes_created", "Calling-context-tree nodes created."),

@@ -1,0 +1,336 @@
+//! Pluggable fallback backends.
+//!
+//! When a critical section exhausts its hardware retry budget the runtime
+//! takes a *fallback path*. Historically that path was hard-wired: acquire
+//! the global lock, run serially. This module turns the policy into a
+//! [`FallbackBackend`] trait with three implementations:
+//!
+//! * [`GlobalLock`] — the classic single-global-lock fallback (default).
+//!   Serializes all fallback executions and, via elision subscription,
+//!   aborts every concurrent hardware transaction.
+//! * [`Tl2Stm`] — run the fallback as a TL2-style *software* transaction
+//!   ([`txstm`]). Independent fallback sections commit concurrently;
+//!   commit-time read-set validation failures surface as a new
+//!   [`AbortClass::Validation`] abort cause. Repeated validation failures
+//!   or irrevocable actions (a syscall in the body) escalate to serial
+//!   execution under the exclusive gate.
+//! * [`SingleGlobalLockElided`] — HLE-style: one more *elided* acquisition
+//!   of the global lock (transactional attempt subscribed to the lock
+//!   word), then a real acquisition. Mirrors [`crate::hle`], but on the
+//!   runtime's global lock.
+//!
+//! ## The shared lock word
+//!
+//! All backends arbitrate through the `TmLib`'s single global lock word so
+//! that hardware elision ("lock free?" means "word == 0") keeps working
+//! unmodified: `0` is free, [`GATE_EXCLUSIVE`] marks an exclusive holder
+//! (serial fallback, [`crate::TmThread::locked_section`], irrevocable STM),
+//! and the low bits count active software transactions. Any non-zero value
+//! makes hardware attempts wait and dooms subscribed speculators, so
+//! hardware and software transactions never overlap — the STM only has to
+//! arbitrate software peers, which is exactly what TL2 does.
+
+use obs::Counter;
+use txsim_htm::{AbortInfo, Addr, Ip, SimCpu, TxResult, XABORT_LOCK_HELD};
+use txsim_pmu::AbortClass;
+use txstm::Tl2;
+
+pub use txstm::GATE_EXCLUSIVE;
+
+use crate::state::{IN_CS, IN_FALLBACK, IN_HTM, IN_LOCK_WAITING, IN_OVERHEAD, IN_STM};
+use crate::TmThread;
+
+/// Which fallback backend a [`crate::TmLib`] uses — the name that appears
+/// on the CLI (`--fallback=`), in store metadata, and in diff provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FallbackKind {
+    /// Serialize under the global lock (the paper's runtime; default).
+    #[default]
+    Lock,
+    /// Run fallbacks as TL2 software transactions.
+    Stm,
+    /// One elided (HLE-style) global-lock acquisition, then a real one.
+    Hle,
+}
+
+impl FallbackKind {
+    /// Every valid kind, in CLI presentation order.
+    pub const ALL: [FallbackKind; 3] = [FallbackKind::Lock, FallbackKind::Stm, FallbackKind::Hle];
+
+    /// The canonical lowercase name (CLI value, store meta value).
+    pub fn label(self) -> &'static str {
+        match self {
+            FallbackKind::Lock => "lock",
+            FallbackKind::Stm => "stm",
+            FallbackKind::Hle => "hle",
+        }
+    }
+
+    /// Parse a CLI/meta name. Returns `None` for unknown values — callers
+    /// must reject, not default (silent defaulting hides typos).
+    pub fn parse(s: &str) -> Option<FallbackKind> {
+        FallbackKind::ALL.iter().copied().find(|k| k.label() == s)
+    }
+}
+
+impl std::fmt::Display for FallbackKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A fallback execution policy: how to complete a critical section once the
+/// hardware path has given up. Implementations must leave the global lock
+/// word at 0, record exactly one [`crate::Truth::fallback`] for the
+/// completion, and run `body` to completion (fallbacks cannot fail).
+pub trait FallbackBackend {
+    /// This backend's CLI-facing kind.
+    fn kind(&self) -> FallbackKind;
+
+    /// Complete one critical-section execution on the fallback path.
+    fn execute<T>(
+        &self,
+        tm: &mut TmThread,
+        cpu: &mut SimCpu,
+        line: u32,
+        lock: Addr,
+        site: Ip,
+        body: &mut dyn FnMut(&mut SimCpu) -> TxResult<T>,
+    ) -> T;
+}
+
+/// The dispatchable set of backends. `FallbackBackend::execute` is generic
+/// (not object-safe), so [`crate::TmLib`] holds this enum and matches.
+pub enum Backend {
+    /// See [`GlobalLock`].
+    Lock(GlobalLock),
+    /// See [`Tl2Stm`].
+    Stm(Tl2Stm),
+    /// See [`SingleGlobalLockElided`].
+    Hle(SingleGlobalLockElided),
+}
+
+impl Backend {
+    /// The backend's kind.
+    pub fn kind(&self) -> FallbackKind {
+        match self {
+            Backend::Lock(b) => b.kind(),
+            Backend::Stm(b) => b.kind(),
+            Backend::Hle(b) => b.kind(),
+        }
+    }
+
+    pub(crate) fn execute<T>(
+        &self,
+        tm: &mut TmThread,
+        cpu: &mut SimCpu,
+        line: u32,
+        lock: Addr,
+        site: Ip,
+        body: &mut dyn FnMut(&mut SimCpu) -> TxResult<T>,
+    ) -> T {
+        match self {
+            Backend::Lock(b) => b.execute(tm, cpu, line, lock, site, body),
+            Backend::Stm(b) => b.execute(tm, cpu, line, lock, site, body),
+            Backend::Hle(b) => b.execute(tm, cpu, line, lock, site, body),
+        }
+    }
+}
+
+/// Acquire the global lock exclusively, run `body` plainly, release. The
+/// common serial tail every backend eventually reaches; also the whole of
+/// [`GlobalLock`] and the body of [`crate::TmThread::locked_section`].
+pub(crate) fn exclusive_section<T>(
+    tm: &mut TmThread,
+    cpu: &mut SimCpu,
+    line: u32,
+    lock: Addr,
+    site: Ip,
+    body: &mut dyn FnMut(&mut SimCpu) -> TxResult<T>,
+) -> T {
+    tm.state.set(IN_CS | IN_LOCK_WAITING);
+    loop {
+        // The snooping CAS dooms every speculator subscribed to the word.
+        match cpu
+            .cas(line, lock, 0, GATE_EXCLUSIVE)
+            .expect("plain CAS cannot abort")
+        {
+            Ok(_) => break,
+            Err(_) => cpu.spin(line).expect("spin outside tx cannot abort"),
+        }
+    }
+    tm.state.set(IN_CS | IN_FALLBACK);
+    let v = body(cpu).expect("fallback instructions cannot abort");
+    tm.state.set(IN_CS | IN_OVERHEAD);
+    cpu.store_forced(line, lock, 0)
+        .expect("plain store cannot abort");
+    tm.truth.fallback(site);
+    v
+}
+
+/// The classic fallback: serialize under the global lock.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GlobalLock;
+
+impl FallbackBackend for GlobalLock {
+    fn kind(&self) -> FallbackKind {
+        FallbackKind::Lock
+    }
+
+    fn execute<T>(
+        &self,
+        tm: &mut TmThread,
+        cpu: &mut SimCpu,
+        line: u32,
+        lock: Addr,
+        site: Ip,
+        body: &mut dyn FnMut(&mut SimCpu) -> TxResult<T>,
+    ) -> T {
+        exclusive_section(tm, cpu, line, lock, site, body)
+    }
+}
+
+/// HLE-style fallback: one elided acquisition of the global lock (a
+/// hardware transaction subscribed to the word), then a real acquisition.
+/// Useful when the retry budget was exhausted by transient conflicts — the
+/// extra attempt often commits without serializing anyone.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SingleGlobalLockElided;
+
+impl FallbackBackend for SingleGlobalLockElided {
+    fn kind(&self) -> FallbackKind {
+        FallbackKind::Hle
+    }
+
+    fn execute<T>(
+        &self,
+        tm: &mut TmThread,
+        cpu: &mut SimCpu,
+        line: u32,
+        lock: Addr,
+        site: Ip,
+        body: &mut dyn FnMut(&mut SimCpu) -> TxResult<T>,
+    ) -> T {
+        // Elided attempt, exactly like `hle_section` but on the global
+        // lock word.
+        let attempt: TxResult<T> = (|| {
+            cpu.xbegin(line)?;
+            tm.state.set(IN_CS | IN_HTM);
+            if cpu.load(line, lock)? != 0 {
+                cpu.xabort(line, XABORT_LOCK_HELD)?;
+            }
+            let v = body(cpu)?;
+            cpu.xend(line)?;
+            Ok(v)
+        })();
+        match attempt {
+            Ok(v) => {
+                tm.state.set(IN_CS | IN_OVERHEAD);
+                // Still a fallback-path completion for the checksum
+                // invariant, even though it committed speculatively.
+                tm.truth.fallback(site);
+                v
+            }
+            Err(_) => {
+                tm.state.set(IN_CS | IN_OVERHEAD);
+                let info = cpu.last_abort().expect("abort must record status");
+                tm.truth.abort(site, info);
+                exclusive_section(tm, cpu, line, lock, site, body)
+            }
+        }
+    }
+}
+
+/// TL2 software-transaction fallback: fallbacks speculate in software and
+/// commit via versioned write-locks, so independent sections proceed
+/// concurrently instead of convoying on the global lock.
+pub struct Tl2Stm {
+    tl2: Tl2,
+}
+
+impl Tl2Stm {
+    /// Wrap a TL2 engine (gated on the runtime's global lock word).
+    pub fn new(tl2: Tl2) -> Tl2Stm {
+        Tl2Stm { tl2 }
+    }
+
+    /// The underlying engine (tests and diagnostics).
+    pub fn engine(&self) -> &Tl2 {
+        &self.tl2
+    }
+}
+
+impl FallbackBackend for Tl2Stm {
+    fn kind(&self) -> FallbackKind {
+        FallbackKind::Stm
+    }
+
+    fn execute<T>(
+        &self,
+        tm: &mut TmThread,
+        cpu: &mut SimCpu,
+        line: u32,
+        _lock: Addr,
+        site: Ip,
+        body: &mut dyn FnMut(&mut SimCpu) -> TxResult<T>,
+    ) -> T {
+        // The gate *is* the global lock word (`Tl2` holds its address).
+        let tl2 = &self.tl2;
+        tm.state.set(IN_CS | IN_LOCK_WAITING);
+        tl2.gate_enter(cpu, line);
+
+        let mut attempt = 0u32;
+        loop {
+            let rv = tl2.begin(cpu, line);
+            tm.state.set(IN_CS | IN_FALLBACK | IN_STM);
+            match body(cpu) {
+                Ok(v) => match tl2.commit(cpu, line, rv) {
+                    Ok(()) => {
+                        tm.state.set(IN_CS | IN_OVERHEAD | IN_STM);
+                        cpu.stm_report_commit(line);
+                        tm.truth.fallback(site);
+                        tm.truth.stm_commit(site);
+                        tl2.gate_exit(cpu, line);
+                        return v;
+                    }
+                    Err(abort) => {
+                        tm.state.set(IN_CS | IN_OVERHEAD | IN_STM);
+                        cpu.stm_report_abort(abort.ip, abort.weight);
+                        tm.truth.abort(
+                            site,
+                            AbortInfo::new(AbortClass::Validation, 0, abort.weight),
+                        );
+                        attempt += 1;
+                        if attempt >= tl2.config().max_attempts {
+                            // Livelock guard: give up on optimism.
+                            break;
+                        }
+                        tl2.backoff(cpu, line, attempt);
+                    }
+                },
+                Err(_) => {
+                    // Only irrevocable actions (syscall/page fault) abort a
+                    // software transaction; roll back and run serially. The
+                    // hardware attempts already recorded the sync abort, so
+                    // truth is not double-charged here.
+                    cpu.stm_cancel();
+                    break;
+                }
+            }
+        }
+
+        // Irrevocable escalation. Drop our own gate share *first*: two
+        // escalating threads that both kept their shares would each wait
+        // forever for the other's to drain.
+        tl2.gate_exit(cpu, line);
+        tm.state.set(IN_CS | IN_LOCK_WAITING);
+        obs::count(Counter::RtmLockWaits);
+        tl2.gate_lock_exclusive(cpu, line);
+        tm.state.set(IN_CS | IN_FALLBACK);
+        let v = body(cpu).expect("fallback instructions cannot abort");
+        tm.state.set(IN_CS | IN_OVERHEAD);
+        tl2.gate_unlock_exclusive(cpu, line);
+        tm.truth.fallback(site);
+        v
+    }
+}

@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod hle;
 pub mod state;
 pub mod truth;
@@ -41,10 +42,15 @@ use std::sync::Arc;
 use obs::{Counter, Subsystem};
 use txsim_htm::{Addr, FuncId, HtmDomain, Ip, SimCpu, TxResult, XABORT_LOCK_HELD};
 use txsim_pmu::AbortClass;
+use txstm::Tl2;
 
+pub use backend::{
+    Backend, FallbackBackend, FallbackKind, GlobalLock, SingleGlobalLockElided, Tl2Stm,
+    GATE_EXCLUSIVE,
+};
 pub use hle::HleLock;
 pub use state::{
-    StateFlags, ThreadState, IN_CS, IN_FALLBACK, IN_HTM, IN_LOCK_WAITING, IN_OVERHEAD,
+    StateFlags, ThreadState, IN_CS, IN_FALLBACK, IN_HTM, IN_LOCK_WAITING, IN_OVERHEAD, IN_STM,
 };
 pub use truth::{SiteTruth, Truth};
 
@@ -61,29 +67,57 @@ pub struct TmLib {
     /// Transient aborts tolerated before taking the fallback path.
     /// The paper's evaluation uses 5.
     pub max_retries: u32,
+    /// The fallback execution policy (see [`backend`]).
+    backend: Backend,
 }
 
 impl TmLib {
     /// Create the library for a domain, allocating the global lock word on
     /// its own cache line (the lock must not false-share with user data —
-    /// every transaction reads it).
+    /// every transaction reads it). Uses the default [`GlobalLock`]
+    /// fallback backend.
     pub fn new(domain: &Arc<HtmDomain>) -> Arc<TmLib> {
         TmLib::with_retries(domain, 5)
     }
 
     /// Same, with a custom retry budget.
     pub fn with_retries(domain: &Arc<HtmDomain>, max_retries: u32) -> Arc<TmLib> {
+        TmLib::with_config(domain, max_retries, FallbackKind::Lock)
+    }
+
+    /// Same, selecting the fallback backend (default retry budget).
+    pub fn with_backend(domain: &Arc<HtmDomain>, kind: FallbackKind) -> Arc<TmLib> {
+        TmLib::with_config(domain, 5, kind)
+    }
+
+    /// Fully explicit construction: retry budget and fallback backend.
+    pub fn with_config(
+        domain: &Arc<HtmDomain>,
+        max_retries: u32,
+        kind: FallbackKind,
+    ) -> Arc<TmLib> {
         let lock_addr = domain.heap.alloc_padded(8, domain.geometry.line_bytes);
+        let backend = match kind {
+            FallbackKind::Lock => Backend::Lock(GlobalLock),
+            FallbackKind::Stm => Backend::Stm(Tl2Stm::new(Tl2::new(domain, lock_addr))),
+            FallbackKind::Hle => Backend::Hle(SingleGlobalLockElided),
+        };
         Arc::new(TmLib {
             lock_addr,
             f_tm_end: domain.funcs.intern("TM_END", "rtm_runtime.rs", 1),
             max_retries,
+            backend,
         })
     }
 
     /// Address of the global lock word (tests and diagnostics).
     pub fn lock_addr(&self) -> Addr {
         self.lock_addr
+    }
+
+    /// The configured fallback backend's kind.
+    pub fn fallback_kind(&self) -> FallbackKind {
+        self.backend.kind()
     }
 
     /// Create the per-thread runtime handle.
@@ -181,6 +215,10 @@ impl TmThread {
     /// tree's pthread read lock in §7.3/Table 2. Holding the lock aborts
     /// every concurrently speculating peer (the elision read subscribes
     /// them to the lock word), so this serializes the world.
+    ///
+    /// Always takes the exclusive (lock-style) path regardless of the
+    /// configured fallback backend: this models a conventional pthread
+    /// lock acquisition, not a fallback policy decision.
     pub fn locked_section<T>(
         &mut self,
         cpu: &mut SimCpu,
@@ -190,7 +228,9 @@ impl TmThread {
         let lock = self.lib.lock_addr;
         let site = Ip::new(cpu.cur_ip().func, line);
         self.state.set(IN_CS | IN_OVERHEAD);
-        let v = self.run_fallback(cpu, line, lock, site, &mut body);
+        obs::count(Counter::RtmFallbacks);
+        let _span = obs::span(Subsystem::Runtime, "fallback");
+        let v = backend::exclusive_section(self, cpu, line, lock, site, &mut body);
         self.state.set(0);
         v
     }
@@ -230,8 +270,8 @@ impl TmThread {
         Ok(v)
     }
 
-    /// The slow path: acquire the global lock, run the body plainly,
-    /// release.
+    /// The slow path: complete the execution via the configured fallback
+    /// backend (serial lock, TL2 software transaction, or elided lock).
     fn run_fallback<T>(
         &mut self,
         cpu: &mut SimCpu,
@@ -242,20 +282,8 @@ impl TmThread {
     ) -> T {
         obs::count(Counter::RtmFallbacks);
         let _span = obs::span(Subsystem::Runtime, "fallback");
-        self.state.set(IN_CS | IN_LOCK_WAITING);
-        loop {
-            match cpu.cas(line, lock, 0, 1).expect("plain CAS cannot abort") {
-                Ok(_) => break,
-                Err(_) => cpu.spin(line).expect("spin outside tx cannot abort"),
-            }
-        }
-        self.state.set(IN_CS | IN_FALLBACK);
-        let v = body(cpu).expect("fallback instructions cannot abort");
-        self.state.set(IN_CS | IN_OVERHEAD);
-        cpu.store_forced(line, lock, 0)
-            .expect("plain store cannot abort");
-        self.truth.fallback(site);
-        v
+        let lib = Arc::clone(&self.lib);
+        lib.backend.execute(self, cpu, line, lock, site, body)
     }
 }
 

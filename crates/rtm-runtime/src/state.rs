@@ -21,6 +21,10 @@ pub const IN_FALLBACK: u32 = 1 << 2;
 pub const IN_LOCK_WAITING: u32 = 1 << 3;
 /// Transaction bookkeeping: begin/retry/cleanup code.
 pub const IN_OVERHEAD: u32 = 1 << 4;
+/// On the fallback path *as a software transaction* (TL2 STM backend).
+/// Always set together with [`IN_FALLBACK`]; profilers that do not care
+/// about the fallback flavor can keep ignoring it.
+pub const IN_STM: u32 = 1 << 5;
 
 /// A decoded snapshot of the state word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +55,11 @@ impl StateFlags {
     #[inline]
     pub fn in_overhead(self) -> bool {
         self.0 & IN_OVERHEAD != 0
+    }
+    /// Speculating in software (STM fallback)?
+    #[inline]
+    pub fn in_stm(self) -> bool {
+        self.0 & IN_STM != 0
     }
 }
 
@@ -106,7 +115,14 @@ mod tests {
 
     #[test]
     fn bits_are_distinct() {
-        let all = [IN_CS, IN_HTM, IN_FALLBACK, IN_LOCK_WAITING, IN_OVERHEAD];
+        let all = [
+            IN_CS,
+            IN_HTM,
+            IN_FALLBACK,
+            IN_LOCK_WAITING,
+            IN_OVERHEAD,
+            IN_STM,
+        ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {
                 assert_eq!(a & b, 0);

@@ -17,6 +17,9 @@ pub struct SiteTruth {
     pub htm_commits: u64,
     /// Executions that ended up on the fallback path.
     pub fallbacks: u64,
+    /// Fallback executions that committed as *software* transactions
+    /// (subset of `fallbacks`; the rest ran serially under the lock).
+    pub stm_commits: u64,
     /// Conflict aborts.
     pub aborts_conflict: u64,
     /// Capacity aborts.
@@ -27,6 +30,8 @@ pub struct SiteTruth {
     pub aborts_explicit: u64,
     /// Profiler-interrupt-induced aborts.
     pub aborts_interrupt: u64,
+    /// Software-transaction commit-time validation failures (STM backend).
+    pub aborts_validation: u64,
     /// Total cycles wasted in aborted attempts.
     pub abort_weight: u64,
 }
@@ -39,6 +44,7 @@ impl SiteTruth {
             + self.aborts_sync
             + self.aborts_explicit
             + self.aborts_interrupt
+            + self.aborts_validation
     }
 
     /// Aborts attributable to the application (excludes profiler-induced
@@ -67,6 +73,7 @@ impl SiteTruth {
             AbortClass::Capacity => self.aborts_capacity += 1,
             AbortClass::Sync => self.aborts_sync += 1,
             AbortClass::Explicit => self.aborts_explicit += 1,
+            AbortClass::Validation => self.aborts_validation += 1,
             AbortClass::Interrupt => self.aborts_interrupt += 1,
         }
         self.abort_weight += info.weight;
@@ -76,11 +83,13 @@ impl SiteTruth {
     pub fn merge(&mut self, other: &SiteTruth) {
         self.htm_commits += other.htm_commits;
         self.fallbacks += other.fallbacks;
+        self.stm_commits += other.stm_commits;
         self.aborts_conflict += other.aborts_conflict;
         self.aborts_capacity += other.aborts_capacity;
         self.aborts_sync += other.aborts_sync;
         self.aborts_explicit += other.aborts_explicit;
         self.aborts_interrupt += other.aborts_interrupt;
+        self.aborts_validation += other.aborts_validation;
         self.abort_weight += other.abort_weight;
     }
 }
@@ -100,6 +109,15 @@ impl Truth {
     /// Record a fallback execution of `site`.
     pub fn fallback(&mut self, site: Ip) {
         self.sites.entry(site).or_default().fallbacks += 1;
+    }
+
+    /// Record that a fallback execution of `site` committed as a software
+    /// transaction. Call *in addition to* [`Truth::fallback`]: `fallbacks`
+    /// keeps counting every slow-path completion (so `htm_commits +
+    /// fallbacks` remains the execution count) and this marks the
+    /// speculative subset.
+    pub fn stm_commit(&mut self, site: Ip) {
+        self.sites.entry(site).or_default().stm_commits += 1;
     }
 
     /// Record an aborted attempt of `site`.

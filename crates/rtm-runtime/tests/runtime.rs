@@ -255,6 +255,159 @@ fn lock_held_elision_aborts_do_not_burn_retries() {
 }
 
 #[test]
+fn backend_parity_single_thread() {
+    use rtm_runtime::FallbackKind;
+
+    // The identical single-threaded workload under each backend: 200 clean
+    // sections (which commit in HTM) followed by 50 capacity-overflow
+    // sections (which are forced onto the fallback path).
+    let run = |kind: FallbackKind| {
+        let d = HtmDomain::new(DomainConfig::default().with_geometry(CacheGeometry::tiny()));
+        let lib = TmLib::with_config(&d, 5, kind);
+        let g = d.geometry;
+        let counter = d.heap.alloc_words(1);
+        let region = d.heap.alloc_aligned(g.line_bytes * 64, g.line_bytes);
+        let mut cpu = d.spawn_cpu(SamplingConfig::disabled());
+        let mut tm = lib.thread();
+        for _ in 0..200 {
+            tm.critical_section(&mut cpu, 10, |cpu| {
+                cpu.compute(11, 20)?;
+                cpu.rmw(12, counter, |v| v + 1).map(|_| ())
+            });
+        }
+        let htm_phase_cycles = cpu.cycles();
+        for _ in 0..50 {
+            tm.critical_section(&mut cpu, 20, |cpu| {
+                for i in 0..40u64 {
+                    cpu.rmw(21, region + i * g.line_bytes, |v| v + 1)?;
+                }
+                Ok(())
+            });
+        }
+        let memory = d.mem.load(counter) + d.mem.load(region);
+        (htm_phase_cycles, memory, tm.truth.totals(), *cpu.stats())
+    };
+
+    let lock = run(FallbackKind::Lock);
+    let stm = run(FallbackKind::Stm);
+
+    // While no section falls back the backend must be pay-for-use: the HTM
+    // fast path is cycle-identical whichever backend is configured.
+    assert_eq!(lock.0, stm.0, "HTM-phase cycles must match exactly");
+    assert_eq!(lock.2.htm_commits, stm.2.htm_commits);
+    // Commit counts: every section executes exactly once on both sides,
+    // and the memory effects agree.
+    assert_eq!(lock.2.htm_commits + lock.2.fallbacks, 250);
+    assert_eq!(stm.2.htm_commits + stm.2.fallbacks, 250);
+    assert_eq!(lock.1, stm.1, "memory effects must be identical");
+    // A single-threaded software transaction can never fail validation
+    // (the TL2 rv+1 == wv short-circuit), and the lock backend never runs
+    // any software transaction at all.
+    assert_eq!(stm.3.aborts_validation, 0);
+    assert_eq!(lock.2.stm_commits, 0);
+    assert_eq!(
+        stm.2.stm_commits, stm.2.fallbacks,
+        "every forced fallback must commit as a software transaction"
+    );
+    assert!(stm.2.stm_commits > 0);
+}
+
+#[test]
+fn stm_backend_keeps_contended_counter_exact() {
+    // Zero retries push every conflicting section straight into the STM,
+    // so concurrent software transactions race on one line: stripe locks,
+    // validation, publish — the whole TL2 pipeline under fire. The counter
+    // staying exact is the proof the gate and publish protocol hold up.
+    let d = HtmDomain::new(DomainConfig::default().cooperative());
+    let lib = TmLib::with_config(&d, 0, rtm_runtime::FallbackKind::Stm);
+    let counter = d.heap.alloc_words(1);
+    const THREADS: usize = 6;
+    const ITERS: u64 = 1_000;
+
+    let barrier = std::sync::Barrier::new(THREADS);
+    let results: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                let lib = Arc::clone(&lib);
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let mut cpu = d.spawn_cpu(SamplingConfig::disabled());
+                    let mut tm = lib.thread();
+                    barrier.wait();
+                    for _ in 0..ITERS {
+                        tm.critical_section(&mut cpu, 10, |cpu| {
+                            cpu.rmw(11, counter, |v| v + 1).map(|_| ())
+                        });
+                    }
+                    (tm.truth, *cpu.stats())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(d.mem.load(counter), THREADS as u64 * ITERS, "lost updates");
+    assert_eq!(d.mem.load(lib.lock_addr()), 0, "gate must drain");
+    let mut total = rtm_runtime::Truth::default();
+    let mut stm_commits_stat = 0;
+    for (truth, stats) in &results {
+        total.merge(truth);
+        stm_commits_stat += stats.stm_commits;
+    }
+    let t = total.totals();
+    assert_eq!(t.htm_commits + t.fallbacks, THREADS as u64 * ITERS);
+    assert!(t.stm_commits > 0, "contention must drive sections into STM");
+    assert!(
+        t.stm_commits <= t.fallbacks,
+        "STM commits are a fallback subset"
+    );
+    assert_eq!(t.stm_commits, stm_commits_stat, "truth and CPU stats agree");
+}
+
+#[test]
+fn hle_backend_keeps_contended_counter_exact() {
+    let d = HtmDomain::new(DomainConfig::default().cooperative());
+    let lib = TmLib::with_config(&d, 0, rtm_runtime::FallbackKind::Hle);
+    let counter = d.heap.alloc_words(1);
+    const THREADS: usize = 4;
+    const ITERS: u64 = 1_000;
+
+    let barrier = std::sync::Barrier::new(THREADS);
+    let truths: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                let lib = Arc::clone(&lib);
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let mut cpu = d.spawn_cpu(SamplingConfig::disabled());
+                    let mut tm = lib.thread();
+                    barrier.wait();
+                    for _ in 0..ITERS {
+                        tm.critical_section(&mut cpu, 10, |cpu| {
+                            cpu.rmw(11, counter, |v| v + 1).map(|_| ())
+                        });
+                    }
+                    tm.truth
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(d.mem.load(counter), THREADS as u64 * ITERS, "lost updates");
+    assert_eq!(d.mem.load(lib.lock_addr()), 0, "lock must be released");
+    let mut total = rtm_runtime::Truth::default();
+    for t in &truths {
+        total.merge(t);
+    }
+    let t = total.totals();
+    assert_eq!(t.htm_commits + t.fallbacks, THREADS as u64 * ITERS);
+    assert_eq!(t.stm_commits, 0, "HLE never runs software transactions");
+}
+
+#[test]
 fn named_critical_section_attributes_to_function() {
     let d = HtmDomain::with_defaults();
     let lib = TmLib::new(&d);

@@ -35,6 +35,10 @@ pub struct CpuStats {
     pub aborts_explicit: u64,
     /// Aborts caused by PMU sampling interrupts (profiler perturbation).
     pub aborts_interrupt: u64,
+    /// Software-transaction commits (TL2-style STM fallback).
+    pub stm_commits: u64,
+    /// Software-transaction aborts from failed commit-time validation.
+    pub aborts_validation: u64,
     /// Total cycles wasted in aborted transaction attempts.
     pub wasted_cycles: u64,
     /// Scheduler parks while a transaction was open (diagnostics).
@@ -50,6 +54,7 @@ impl CpuStats {
             + self.aborts_capacity
             + self.aborts_sync
             + self.aborts_explicit
+            + self.aborts_validation
             + self.aborts_interrupt
     }
 
@@ -64,6 +69,7 @@ impl CpuStats {
             AbortClass::Capacity => self.aborts_capacity += 1,
             AbortClass::Sync => self.aborts_sync += 1,
             AbortClass::Explicit => self.aborts_explicit += 1,
+            AbortClass::Validation => self.aborts_validation += 1,
             AbortClass::Interrupt => self.aborts_interrupt += 1,
         }
         self.wasted_cycles += weight;
@@ -88,6 +94,44 @@ struct TxState {
     begin_ip: Ip,
 }
 
+/// Software-speculation state (the STM fallback's read/write tracking).
+///
+/// Unlike [`TxState`] this claims nothing in the conflict directory and has
+/// no capacity limits: reads go through as plain loads (recording the line),
+/// writes are buffered and invisible until the STM's commit protocol
+/// publishes them. Interrupts do not abort software speculation.
+struct SwTx {
+    /// Lines read (raw [`LineId`] values), for commit-time validation.
+    read_lines: HashSet<u64>,
+    /// Lines written, for commit-time lock acquisition.
+    write_lines: HashSet<u64>,
+    /// Buffered speculative stores (addr → value).
+    wbuf: HashMap<Addr, u64>,
+    /// Clock at `stm_begin` (abort weight = now − this).
+    begin_clock: u64,
+    /// Shadow-stack depth at `stm_begin`; an STM restart truncates to it.
+    begin_depth: usize,
+    /// The `stm_begin` IP — abort samples are attributed here, like HTM's
+    /// `xbegin` IP.
+    begin_ip: Ip,
+}
+
+/// The speculative footprint handed to the STM's commit protocol by
+/// [`SimCpu::stm_take`]: everything TL2 needs to lock, validate and publish,
+/// plus the attribution info for a failure.
+pub struct StmTaken {
+    /// Lines read (raw `LineId` values), sorted.
+    pub read_lines: Vec<u64>,
+    /// Lines written (raw `LineId` values), sorted.
+    pub write_lines: Vec<u64>,
+    /// Buffered stores to publish on success, sorted by address.
+    pub writes: Vec<(Addr, u64)>,
+    /// Where the software transaction began (abort attribution).
+    pub begin_ip: Ip,
+    /// Clock at `stm_begin` (abort weight = now − this).
+    pub begin_clock: u64,
+}
+
 /// A simulated hardware thread: virtual clock, shadow call stack, PMU, and
 /// the RTM engine. See the crate docs for the execution model.
 pub struct SimCpu {
@@ -104,6 +148,7 @@ pub struct SimCpu {
     pmu: PmuThread,
     sink: Option<Box<dyn SampleSink>>,
     tx: Option<TxState>,
+    sw: Option<SwTx>,
     last_abort: Option<AbortInfo>,
     stats: CpuStats,
 }
@@ -122,6 +167,7 @@ impl SimCpu {
             pmu: PmuThread::new(sampling, tid),
             sink: None,
             tx: None,
+            sw: None,
             last_abort: None,
             stats: CpuStats::default(),
         }
@@ -147,6 +193,12 @@ impl SimCpu {
     #[inline]
     pub fn in_tx(&self) -> bool {
         self.tx.is_some()
+    }
+
+    /// Whether a *software* transaction (STM fallback speculation) is open.
+    #[inline]
+    pub fn stm_active(&self) -> bool {
+        self.sw.is_some()
     }
 
     /// The machine this CPU belongs to.
@@ -401,6 +453,10 @@ impl SimCpu {
     /// (TSX flattens nests; the runtime above never creates them).
     pub fn xbegin(&mut self, line: u32) -> TxResult<()> {
         assert!(self.tx.is_none(), "nested transactions are not supported");
+        assert!(
+            self.sw.is_none(),
+            "hardware transaction inside software speculation"
+        );
         self.cur_line = line;
         self.tick(self.domain.costs.xbegin)?; // charged before speculation begins
         self.domain.directory.tx_started();
@@ -501,6 +557,8 @@ impl SimCpu {
         self.tick(cost)?;
         let value = if self.tx.is_some() {
             self.tx_load(addr)?
+        } else if self.sw.is_some() {
+            self.sw_load(addr)
         } else {
             let lid = self.domain.geometry.line_of(addr);
             self.domain.directory.plain_load(lid);
@@ -521,6 +579,8 @@ impl SimCpu {
         self.tick(cost)?;
         if self.tx.is_some() {
             self.tx_store(addr, value)?;
+        } else if self.sw.is_some() {
+            self.sw_store(addr, value);
         } else {
             let lid = self.domain.geometry.line_of(addr);
             let d = &self.domain;
@@ -566,6 +626,14 @@ impl SimCpu {
             } else {
                 Err(v)
             }
+        } else if self.sw.is_some() {
+            let v = self.sw_load(addr);
+            if v == current {
+                self.sw_store(addr, new);
+                Ok(v)
+            } else {
+                Err(v)
+            }
         } else {
             let lid = self.domain.geometry.line_of(addr);
             let d = &self.domain;
@@ -590,7 +658,7 @@ impl SimCpu {
     pub fn store_forced(&mut self, line: u32, addr: Addr, value: u64) -> TxResult<()> {
         self.cur_line = line;
         assert!(
-            self.tx.is_none(),
+            self.tx.is_none() && self.sw.is_none(),
             "store_forced is a non-transactional primitive"
         );
         self.tick(self.domain.costs.store)?;
@@ -611,6 +679,9 @@ impl SimCpu {
         if self.tx.is_some() {
             return self.abort_err(AbortClass::Sync, 0);
         }
+        if self.sw.is_some() {
+            return self.sw_irrevocable();
+        }
         self.tick(self.domain.costs.syscall)
     }
 
@@ -620,6 +691,9 @@ impl SimCpu {
         self.cur_line = line;
         if self.tx.is_some() {
             return self.abort_err(AbortClass::Sync, 0);
+        }
+        if self.sw.is_some() {
+            return self.sw_irrevocable();
         }
         self.tick(self.domain.costs.syscall)
     }
@@ -743,6 +817,130 @@ impl SimCpu {
         }
         self.tx.as_mut().unwrap().wbuf.insert(addr, value);
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Software speculation (STM fallback)
+    // ------------------------------------------------------------------
+
+    /// Begin software speculation. The body then runs with buffered writes
+    /// and read-line tracking; the STM runtime drives the commit protocol
+    /// from outside via [`SimCpu::stm_take`]. Unlike `xbegin`, software
+    /// speculation survives sampling interrupts.
+    pub fn stm_begin(&mut self, line: u32) -> TxResult<()> {
+        assert!(
+            self.tx.is_none(),
+            "software speculation inside a hardware transaction"
+        );
+        assert!(
+            self.sw.is_none(),
+            "nested software transactions are not supported"
+        );
+        self.cur_line = line;
+        self.tick(self.domain.costs.xbegin)?;
+        self.sw = Some(SwTx {
+            read_lines: HashSet::new(),
+            write_lines: HashSet::new(),
+            wbuf: HashMap::new(),
+            begin_clock: self.clock,
+            begin_depth: self.stack.len(),
+            begin_ip: Ip::new(self.stack.last().map_or(FuncId::UNKNOWN, |f| f.func), line),
+        });
+        Ok(())
+    }
+
+    /// Discard the open software transaction and restore the architectural
+    /// state (shadow stack, IP) to `stm_begin` — the STM's setjmp-style
+    /// restart. Returns the begin IP and the wasted cycles; accounting is
+    /// the caller's job (see [`SimCpu::stm_report_abort`]).
+    pub fn stm_cancel(&mut self) -> (Ip, u64) {
+        let sw = self.sw.take().expect("stm_cancel without stm_begin");
+        self.stack.truncate(sw.begin_depth);
+        self.cur_line = sw.begin_ip.line;
+        (sw.begin_ip, self.clock - sw.begin_clock)
+    }
+
+    /// Close out a completed software speculation: hand its footprint to
+    /// the STM commit protocol. After this call the CPU is back in plain
+    /// (non-speculative) mode, so the protocol's lock/validate/publish
+    /// accesses hit memory directly.
+    pub fn stm_take(&mut self, line: u32) -> StmTaken {
+        let sw = self.sw.take().expect("stm_take without stm_begin");
+        self.cur_line = line;
+        let mut read_lines: Vec<u64> = sw.read_lines.into_iter().collect();
+        let mut write_lines: Vec<u64> = sw.write_lines.into_iter().collect();
+        let mut writes: Vec<(Addr, u64)> = sw.wbuf.into_iter().collect();
+        read_lines.sort_unstable();
+        write_lines.sort_unstable();
+        writes.sort_unstable_by_key(|&(a, _)| a);
+        StmTaken {
+            read_lines,
+            write_lines,
+            writes,
+            begin_ip: sw.begin_ip,
+            begin_clock: sw.begin_clock,
+        }
+    }
+
+    /// Record a committed software transaction: ground-truth counter plus a
+    /// sampled `TxCommit` event, so STM commits share the HTM commit
+    /// accounting in profiles.
+    pub fn stm_report_commit(&mut self, line: u32) {
+        self.cur_line = line;
+        self.stats.stm_commits += 1;
+        if self.pmu.advance(EventKind::TxCommit, 1) {
+            let ip = self.cur_ip();
+            self.deliver_sample(EventKind::TxCommit, ip, false, false, None, 0, None);
+        }
+    }
+
+    /// Record a software transaction killed by failed commit-time
+    /// validation, attributed to the transaction's begin IP with the cycles
+    /// wasted since `stm_begin` as the abort weight — mirroring how
+    /// hardware attributes `RTM_RETIRED:ABORTED`.
+    pub fn stm_report_abort(&mut self, ip: Ip, weight: u64) {
+        self.stats.record_abort(AbortClass::Validation, weight);
+        self.last_abort = Some(AbortInfo::new(AbortClass::Validation, 0, weight));
+        if self.pmu.advance(EventKind::TxAbort, 1) {
+            self.deliver_sample(
+                EventKind::TxAbort,
+                ip,
+                false,
+                false,
+                None,
+                weight,
+                Some(AbortClass::Validation),
+            );
+        }
+    }
+
+    /// An HTM-unfriendly instruction inside software speculation: signal
+    /// the STM runtime to escalate to irrevocable (serial) execution. The
+    /// speculative state stays open for [`SimCpu::stm_cancel`].
+    fn sw_irrevocable(&mut self) -> TxResult<()> {
+        let sw = self.sw.as_ref().expect("sw_irrevocable outside sw mode");
+        let weight = self.clock - sw.begin_clock;
+        self.last_abort = Some(AbortInfo::new(AbortClass::Sync, 0, weight));
+        Err(TxAbort)
+    }
+
+    fn sw_load(&mut self, addr: Addr) -> u64 {
+        if let Some(&v) = self.sw.as_ref().unwrap().wbuf.get(&addr) {
+            return v;
+        }
+        let lid = self.domain.geometry.line_of(addr);
+        // The plain-load snoop dooms a speculating HTM writer of the line,
+        // exactly like the lock-based fallback's plain reads.
+        self.domain.directory.plain_load(lid);
+        self.sw.as_mut().unwrap().read_lines.insert(lid.0);
+        self.domain.mem.load(addr)
+    }
+
+    fn sw_store(&mut self, addr: Addr, value: u64) {
+        let lid = self.domain.geometry.line_of(addr);
+        let sw = self.sw.as_mut().unwrap();
+        sw.write_lines.insert(lid.0);
+        sw.wbuf.insert(addr, value);
     }
 }
 

@@ -49,7 +49,7 @@ pub mod sched;
 pub mod status;
 
 pub use cost::CostModel;
-pub use cpu::{CpuStats, SimCpu};
+pub use cpu::{CpuStats, SimCpu, StmTaken};
 pub use domain::{DomainConfig, HtmDomain};
 pub use status::{AbortInfo, TxAbort, TxResult, XABORT_LOCK_HELD};
 

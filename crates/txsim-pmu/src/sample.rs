@@ -18,6 +18,10 @@ pub enum AbortClass {
     Sync,
     /// An explicit `xabort` from software (e.g. lock observed held).
     Explicit,
+    /// Commit-time read-set validation failed in a *software* transaction
+    /// (TL2-style fallback). Hardware never reports this class; it exists
+    /// so STM fallback activity shares the HTM abort accounting.
+    Validation,
     /// The abort was caused by the PMU sampling interrupt itself. The
     /// profiler must recognise and discount these to avoid observing its
     /// own perturbation.
@@ -32,6 +36,7 @@ impl AbortClass {
             AbortClass::Capacity => "capacity",
             AbortClass::Sync => "sync",
             AbortClass::Explicit => "explicit",
+            AbortClass::Validation => "validation",
             AbortClass::Interrupt => "interrupt",
         }
     }
@@ -109,6 +114,7 @@ mod tests {
         assert_eq!(AbortClass::Capacity.label(), "capacity");
         assert_eq!(AbortClass::Sync.label(), "sync");
         assert_eq!(AbortClass::Explicit.label(), "explicit");
+        assert_eq!(AbortClass::Validation.label(), "validation");
         assert_eq!(AbortClass::Interrupt.label(), "interrupt");
     }
 

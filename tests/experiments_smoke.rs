@@ -9,6 +9,7 @@ fn cfg() -> ExpConfig {
         threads: 4,
         scale: 8,
         trials: 1,
+        fallback: rtm_runtime::FallbackKind::Lock,
     }
 }
 
