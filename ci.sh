@@ -18,6 +18,9 @@ cargo test --workspace -q
 echo "== serve-mode smoke test (ephemeral port, /healthz + /metrics scrape)"
 cargo test -q -p txbench --test serve_smoke
 
+echo "== fleet-aggregation smoke test (two serve instances, one aggregator)"
+cargo test -q -p txbench --test agg_smoke
+
 echo "== STM fallback smoke run (repro --fallback stm on a contended workload)"
 cargo run --release -q -p txbench --bin repro -- --fallback stm --trials 1 profile micro/true_sharing
 

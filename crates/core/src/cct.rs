@@ -204,6 +204,47 @@ impl Cct {
         }
     }
 
+    /// A copy of this tree with every function id rewritten through `f`
+    /// (call sites and statement IPs included). Structure and metrics are
+    /// preserved; nodes whose keys collide after remapping are merged.
+    ///
+    /// This is how the fleet aggregator reconciles divergent func-id
+    /// spaces: each instance's ids are rewritten into the fleet's
+    /// name-keyed id space before the path-keyed [`Cct::merge`].
+    pub fn remap_funcs(&self, f: &mut dyn FnMut(FuncId) -> FuncId) -> Cct {
+        let mut out = Cct::new();
+        // Walk in id order: parents precede children by construction, so
+        // the old→new map is always populated before it is read.
+        let mut map = vec![ROOT; self.nodes.len()];
+        for (oid, node) in self.nodes.iter().enumerate() {
+            let new_id = match node.key {
+                None => ROOT,
+                Some(key) => {
+                    let key = match key {
+                        NodeKey::Frame {
+                            func,
+                            callsite,
+                            speculative,
+                        } => NodeKey::Frame {
+                            func: f(func),
+                            callsite: Ip::new(f(callsite.func), callsite.line),
+                            speculative,
+                        },
+                        NodeKey::Stmt { ip, speculative } => NodeKey::Stmt {
+                            ip: Ip::new(f(ip.func), ip.line),
+                            speculative,
+                        },
+                    };
+                    let parent = map[node.parent as usize];
+                    out.child(parent, key)
+                }
+            };
+            map[oid] = new_id;
+            out.nodes[new_id as usize].metrics.merge(&node.metrics);
+        }
+        out
+    }
+
     /// All node ids in depth-first preorder.
     pub fn preorder(&self) -> Vec<NodeId> {
         let mut out = Vec::with_capacity(self.nodes.len());
@@ -338,6 +379,35 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.len(), b.len());
         assert_eq!(a.totals().abort_weight, 42);
+    }
+
+    #[test]
+    fn remap_funcs_rewrites_ids_and_merges_collisions() {
+        let mut cct = Cct::new();
+        let a = cct.path([frame(1, 1), stmt(1, 2)]);
+        cct.metrics_mut(a).w = 3;
+        let b = cct.path([frame(2, 1), stmt(2, 2)]);
+        cct.metrics_mut(b).w = 5;
+
+        // Shift every id by 10: structure preserved, ids rewritten.
+        let shifted = cct.remap_funcs(&mut |f| FuncId(f.0 + 10));
+        assert_eq!(shifted.len(), cct.len());
+        assert_eq!(shifted.totals(), cct.totals());
+        assert!(shifted
+            .find(|k| matches!(k, NodeKey::Stmt { ip, .. } if ip.func == FuncId(11)))
+            .is_some());
+        assert!(shifted
+            .find(|k| matches!(k, NodeKey::Stmt { ip, .. } if ip.func == FuncId(1)))
+            .is_none());
+
+        // Collapse both functions onto one id: paths collide and merge.
+        let collapsed = cct.remap_funcs(&mut |_| FuncId(7));
+        assert_eq!(collapsed.len(), 3, "root + frame + stmt after merge");
+        assert_eq!(collapsed.totals().w, 8);
+        let leaf = collapsed
+            .find(|k| matches!(k, NodeKey::Stmt { .. }))
+            .unwrap();
+        assert_eq!(collapsed.metrics(leaf).w, 8);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!     else:                  ctxt.T_oh++
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -66,9 +66,24 @@ pub struct EpochSummary {
     pub totals: Metrics,
 }
 
+/// One retained per-epoch delta: the thread-profile published at `epoch`.
+/// The ring of these makes epochs *addressable*: any client that knows
+/// epoch N can ask for exactly the activity after N ([`SnapshotHub::delta_since`]).
+struct EpochDelta {
+    epoch: u64,
+    delta: ThreadProfile,
+}
+
 struct HubState {
     cumulative: Profile,
-    history: Vec<EpochSummary>,
+    history: VecDeque<EpochSummary>,
+    /// Trend rows dropped off the front of `history` (satellite fix: the
+    /// drop used to be silent, hiding how much trend was lost).
+    history_truncated: u64,
+    deltas: VecDeque<EpochDelta>,
+    /// Epoch deltas dropped off the front of `deltas`; a follower asking
+    /// for an epoch older than the retained window gets a full resync.
+    deltas_truncated: u64,
 }
 
 /// Shared, versioned aggregation point for live profiling.
@@ -101,6 +116,10 @@ impl std::fmt::Debug for SnapshotHub {
 /// How many epoch trend rows the hub retains (oldest dropped first).
 const HISTORY_CAP: usize = 256;
 
+/// How many per-epoch deltas the hub retains for [`SnapshotHub::delta_since`].
+/// A follower further behind than this gets a full resync.
+const DELTA_CAP: usize = 256;
+
 /// A point-in-time copy of the hub's cumulative profile.
 #[derive(Debug, Clone)]
 pub struct SnapshotView {
@@ -108,6 +127,39 @@ pub struct SnapshotView {
     pub epoch: u64,
     /// The cumulative merged profile.
     pub profile: Profile,
+}
+
+/// Whether a [`DeltaView`] carries an incremental delta or a full resync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// `profile` holds only activity after `since`.
+    Delta,
+    /// `profile` is the whole cumulative snapshot; the requested epoch was
+    /// unusable (ahead of the hub — instance restart — or older than the
+    /// retained delta window) and the client must replace its copy.
+    Full,
+}
+
+/// Activity between two epochs, as served to delta followers.
+#[derive(Debug, Clone)]
+pub struct DeltaView {
+    /// Epoch the delta starts after (0 for a full resync).
+    pub since: u64,
+    /// Epoch the delta runs up to (the hub's current epoch).
+    pub to: u64,
+    /// Incremental delta or full resync.
+    pub kind: DeltaKind,
+    /// The profile fragment covering `(since, to]`.
+    pub profile: Profile,
+}
+
+/// The hub's retained epoch trend plus how much of it was truncated.
+#[derive(Debug, Clone, Default)]
+pub struct TrendView {
+    /// Retained trend rows, oldest first.
+    pub rows: Vec<EpochSummary>,
+    /// Rows dropped off the front since the hub was created.
+    pub truncated: u64,
 }
 
 impl SnapshotHub {
@@ -118,7 +170,10 @@ impl SnapshotHub {
             epoch: AtomicU64::new(0),
             state: Mutex::new(HubState {
                 cumulative: Profile::default(),
-                history: Vec::new(),
+                history: VecDeque::new(),
+                history_truncated: 0,
+                deltas: VecDeque::new(),
+                deltas_truncated: 0,
             }),
         })
     }
@@ -150,9 +205,18 @@ impl SnapshotHub {
             totals: state.cumulative.totals(),
         };
         if state.history.len() == HISTORY_CAP {
-            state.history.remove(0);
+            state.history.pop_front();
+            state.history_truncated += 1;
         }
-        state.history.push(summary);
+        state.history.push_back(summary);
+        if state.deltas.len() == DELTA_CAP {
+            state.deltas.pop_front();
+            state.deltas_truncated += 1;
+        }
+        state.deltas.push_back(EpochDelta {
+            epoch,
+            delta: delta.clone(),
+        });
         drop(state);
         obs::count(Counter::SnapshotsMerged);
         obs::count_n(
@@ -176,18 +240,87 @@ impl SnapshotHub {
             .lock()
             .expect("snapshot hub lock poisoned")
             .history
-            .clone()
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// The retained epoch trend plus the count of rows already dropped off
+    /// the front — so consumers can tell "short trend" from "long run whose
+    /// early trend was truncated".
+    pub fn trend(&self) -> TrendView {
+        let state = self.state.lock().expect("snapshot hub lock poisoned");
+        TrendView {
+            rows: state.history.iter().copied().collect(),
+            truncated: state.history_truncated,
+        }
     }
 
     /// Activity of the most recent merge window: metric totals of the last
     /// epoch minus the one before it. `None` until a first merge happened.
     pub fn window(&self) -> Option<Metrics> {
         let state = self.state.lock().expect("snapshot hub lock poisoned");
-        let last = state.history.last()?;
+        let last = state.history.back()?;
         match state.history.len() {
             0 => None,
             1 => Some(last.totals),
             n => Some(last.totals.minus(&state.history[n - 2].totals)),
+        }
+    }
+
+    /// Everything published after epoch `since`, as a profile fragment.
+    ///
+    /// Normally returns an incremental [`DeltaKind::Delta`] covering
+    /// `(since, current]` built from the retained per-epoch deltas —
+    /// strictly less data than the cumulative snapshot. Falls back to
+    /// [`DeltaKind::Full`] (the whole cumulative profile, `since = 0`) when
+    /// the request cannot be served incrementally:
+    ///
+    /// * `since` is *ahead* of the current epoch — the client followed a
+    ///   previous incarnation of this process (instance restart);
+    /// * `since` predates the retained delta window — the follower lagged
+    ///   further than [`DELTA_CAP`] epochs behind.
+    ///
+    /// `since == current` yields an empty delta (the no-news fast path a
+    /// steady-state poller hits most of the time).
+    pub fn delta_since(&self, since: u64) -> DeltaView {
+        let state = self.state.lock().expect("snapshot hub lock poisoned");
+        let current = self.epoch.load(Ordering::Acquire);
+        if since > current {
+            return DeltaView {
+                since: 0,
+                to: current,
+                kind: DeltaKind::Full,
+                profile: state.cumulative.clone(),
+            };
+        }
+        if since == current {
+            return DeltaView {
+                since,
+                to: current,
+                kind: DeltaKind::Delta,
+                profile: Profile::default(),
+            };
+        }
+        // Incremental needs every epoch in (since, current] retained.
+        let oldest_retained = state.deltas.front().map(|d| d.epoch);
+        if oldest_retained.is_none_or(|oldest| oldest > since + 1) {
+            return DeltaView {
+                since: 0,
+                to: current,
+                kind: DeltaKind::Full,
+                profile: state.cumulative.clone(),
+            };
+        }
+        let mut profile = Profile::default();
+        for entry in state.deltas.iter().filter(|d| d.epoch > since) {
+            profile.absorb_thread_delta(&entry.delta);
+        }
+        DeltaView {
+            since,
+            to: current,
+            kind: DeltaKind::Delta,
+            profile,
         }
     }
 }
@@ -637,6 +770,81 @@ mod tests {
         assert!(p.is_empty());
         assert_eq!(p.tid, 7);
         assert_eq!(p.periods.cycles, 9, "periods survive the take");
+    }
+
+    #[test]
+    fn delta_since_covers_exactly_the_missing_epochs() {
+        let hub = SnapshotHub::new(SnapshotPolicy::EverySamples(1));
+        hub.publish(&delta(0, 10, 5, 1));
+        hub.publish(&delta(1, 11, 7, 2));
+        hub.publish(&delta(0, 12, 3, 0));
+
+        // since=0 is a full sync by content (every epoch retained), served
+        // incrementally: it must equal the cumulative snapshot.
+        let d0 = hub.delta_since(0);
+        assert_eq!(d0.kind, DeltaKind::Delta);
+        assert_eq!((d0.since, d0.to), (0, 3));
+        assert_eq!(d0.profile.samples, hub.latest().profile.samples);
+        assert_eq!(d0.profile.totals(), hub.latest().profile.totals());
+
+        // since=2 carries only epoch 3's activity.
+        let d2 = hub.delta_since(2);
+        assert_eq!(d2.kind, DeltaKind::Delta);
+        assert_eq!((d2.since, d2.to), (2, 3));
+        assert_eq!(d2.profile.samples, 3);
+        assert_eq!(d2.profile.threads.len(), 1);
+
+        // since == current: empty no-news delta, no allocation of the world.
+        let d3 = hub.delta_since(3);
+        assert_eq!(d3.kind, DeltaKind::Delta);
+        assert_eq!((d3.since, d3.to), (3, 3));
+        assert_eq!(d3.profile.samples, 0);
+
+        // since ahead of current (follower outlived a restart): full resync.
+        let ahead = hub.delta_since(99);
+        assert_eq!(ahead.kind, DeltaKind::Full);
+        assert_eq!((ahead.since, ahead.to), (0, 3));
+        assert_eq!(ahead.profile.samples, hub.latest().profile.samples);
+    }
+
+    #[test]
+    fn delta_since_resyncs_when_the_window_was_truncated() {
+        let hub = SnapshotHub::new(SnapshotPolicy::EverySamples(1));
+        for i in 0..(DELTA_CAP + 10) {
+            hub.publish(&delta(0, 10 + (i % 5) as u32, 1, 0));
+        }
+        let current = hub.epoch();
+        // Epoch 1 fell off the delta ring long ago: full resync.
+        let stale = hub.delta_since(1);
+        assert_eq!(stale.kind, DeltaKind::Full);
+        assert_eq!(stale.profile.samples, hub.latest().profile.samples);
+        // A recent epoch is still served incrementally.
+        let fresh = hub.delta_since(current - 3);
+        assert_eq!(fresh.kind, DeltaKind::Delta);
+        assert_eq!(fresh.profile.samples, 3);
+        // Incremental-vs-cumulative equivalence at the resync boundary:
+        // full + increments == cumulative.
+        let boundary = hub.delta_since(current - (DELTA_CAP as u64 - 1));
+        assert_eq!(boundary.kind, DeltaKind::Delta);
+    }
+
+    #[test]
+    fn trend_reports_truncation_instead_of_dropping_silently() {
+        let hub = SnapshotHub::new(SnapshotPolicy::EverySamples(1));
+        for _ in 0..10 {
+            hub.publish(&delta(0, 10, 1, 0));
+        }
+        let t = hub.trend();
+        assert_eq!(t.rows.len(), 10);
+        assert_eq!(t.truncated, 0);
+        for _ in 0..(HISTORY_CAP) {
+            hub.publish(&delta(0, 10, 1, 0));
+        }
+        let t = hub.trend();
+        assert_eq!(t.rows.len(), HISTORY_CAP);
+        assert_eq!(t.truncated, 10, "dropped rows are counted, not silent");
+        assert_eq!(t.rows.first().unwrap().epoch, 11, "oldest retained row");
+        assert_eq!(t.rows.last().unwrap().epoch, 10 + HISTORY_CAP as u64);
     }
 
     #[test]

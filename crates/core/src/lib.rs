@@ -76,8 +76,8 @@ pub use analyze::{characterize, characterize_profile, merge_profiles, ProgramTyp
 pub use callpath::{reconstruct_tx_path, TxCallPath};
 pub use cct::{Cct, NodeKey};
 pub use collect::{
-    attach, attach_with_hub, Collector, CollectorHandle, EpochSummary, SnapshotHub, SnapshotPolicy,
-    SnapshotView,
+    attach, attach_with_hub, Collector, CollectorHandle, DeltaKind, DeltaView, EpochSummary,
+    SnapshotHub, SnapshotPolicy, SnapshotView, TrendView,
 };
 pub use contention::{ContentionMap, Sharing};
 pub use decision::{diagnose, Diagnosis, Suggestion, Thresholds};

@@ -236,6 +236,81 @@ impl Profile {
         }
     }
 
+    /// A copy of this profile with every function id rewritten through `f`
+    /// — CCT keys and per-thread site tables included. Used by the fleet
+    /// aggregator to move an instance's profile into the fleet's
+    /// name-keyed id space before merging.
+    pub fn remap_funcs(
+        &self,
+        f: &mut dyn FnMut(txsim_pmu::FuncId) -> txsim_pmu::FuncId,
+    ) -> Profile {
+        Profile {
+            cct: self.cct.remap_funcs(f),
+            threads: self
+                .threads
+                .iter()
+                .map(|t| ThreadSummary {
+                    tid: t.tid,
+                    totals: t.totals,
+                    sites: t
+                        .sites
+                        .iter()
+                        .fold(HashMap::new(), |mut acc, (site, &(c, a))| {
+                            let e = acc
+                                .entry(Ip::new(f(site.func), site.line))
+                                .or_insert((0, 0));
+                            e.0 += c;
+                            e.1 += a;
+                            acc
+                        }),
+                })
+                .collect(),
+            periods: self.periods,
+            samples: self.samples,
+            truncated_paths: self.truncated_paths,
+            interrupt_abort_samples: self.interrupt_abort_samples,
+            meta: self.meta.clone(),
+        }
+    }
+
+    /// Fold a whole profile into this one: CCTs merge path-wise (the same
+    /// root-to-node key alignment `diff` uses), thread summaries merge by
+    /// `tid_base + tid` so instances with overlapping thread ids stay
+    /// distinguishable in the merged fleet profile.
+    pub fn absorb_profile(&mut self, other: &Profile, tid_base: usize) {
+        if self.samples == 0 && self.threads.is_empty() && self.cct.is_empty() {
+            self.periods = other.periods;
+        }
+        self.samples += other.samples;
+        self.truncated_paths += other.truncated_paths;
+        self.interrupt_abort_samples += other.interrupt_abort_samples;
+        self.cct.merge(&other.cct);
+        for t in &other.threads {
+            let tid = tid_base + t.tid;
+            let pos = match self.threads.binary_search_by_key(&tid, |s| s.tid) {
+                Ok(pos) => pos,
+                Err(pos) => {
+                    self.threads.insert(
+                        pos,
+                        ThreadSummary {
+                            tid,
+                            totals: Metrics::default(),
+                            sites: HashMap::new(),
+                        },
+                    );
+                    pos
+                }
+            };
+            let summary = &mut self.threads[pos];
+            summary.totals.merge(&t.totals);
+            for (site, (c, a)) in &t.sites {
+                let e = summary.sites.entry(*site).or_insert((0, 0));
+                e.0 += c;
+                e.1 += a;
+            }
+        }
+    }
+
     /// The critical-section duration ratio r_cs = T/W.
     pub fn r_cs(&self) -> f64 {
         self.totals().r_cs()
@@ -382,6 +457,78 @@ mod tests {
         assert_eq!(p.estimated_commits(), 30);
         assert_eq!(p.estimated_aborts(), 60);
         assert_eq!(p.abort_commit_ratio(), 2.0);
+    }
+
+    #[test]
+    fn absorb_profile_sums_totals_and_offsets_thread_ids() {
+        let mk = |func: u32, w: u64, tid: usize| {
+            let mut p = Profile::default();
+            let n = p.cct.child(
+                ROOT,
+                NodeKey::Stmt {
+                    ip: Ip::new(FuncId(func), 1),
+                    speculative: false,
+                },
+            );
+            p.cct.metrics_mut(n).w = w;
+            p.samples = w;
+            p.threads.push(ThreadSummary {
+                tid,
+                totals: Metrics {
+                    w,
+                    ..Metrics::default()
+                },
+                sites: HashMap::from([(Ip::new(FuncId(func), 1), (w, 0))]),
+            });
+            p
+        };
+        let mut fleet = Profile::default();
+        fleet.absorb_profile(&mk(1, 10, 0), 0);
+        fleet.absorb_profile(&mk(1, 5, 0), 1000);
+        fleet.absorb_profile(&mk(2, 3, 1), 1000);
+        assert_eq!(fleet.samples, 18);
+        assert_eq!(fleet.totals().w, 18);
+        // Same path merged; distinct path kept.
+        assert_eq!(fleet.cct.len(), 3);
+        // Threads: tid 0 from instance A, tids 1000/1001 from instance B.
+        let tids: Vec<usize> = fleet.threads.iter().map(|t| t.tid).collect();
+        assert_eq!(tids, vec![0, 1000, 1001]);
+        assert_eq!(fleet.threads[1].totals.w, 5);
+    }
+
+    #[test]
+    fn remap_funcs_rewrites_cct_and_sites() {
+        let mut p = Profile::default();
+        let n = p.cct.child(
+            ROOT,
+            NodeKey::Stmt {
+                ip: Ip::new(FuncId(3), 7),
+                speculative: false,
+            },
+        );
+        p.cct.metrics_mut(n).w = 4;
+        p.threads.push(ThreadSummary {
+            tid: 0,
+            totals: Metrics::default(),
+            sites: HashMap::from([(Ip::new(FuncId(3), 7), (2, 1))]),
+        });
+        let q = p.remap_funcs(&mut |f| FuncId(f.0 + 100));
+        assert_eq!(q.cct.len(), 2);
+        let keys: Vec<NodeKey> = q
+            .cct
+            .children(ROOT)
+            .map(|id| q.cct.key(id).expect("non-root has key"))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![NodeKey::Stmt {
+                ip: Ip::new(FuncId(103), 7),
+                speculative: false,
+            }]
+        );
+        assert_eq!(q.threads[0].sites[&Ip::new(FuncId(103), 7)], (2, 1));
+        // Original untouched.
+        assert_eq!(p.threads[0].sites[&Ip::new(FuncId(3), 7)], (2, 1));
     }
 
     #[test]

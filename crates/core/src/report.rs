@@ -454,6 +454,8 @@ pub fn render_self_cost(snapshot: &obs::Snapshot) -> String {
         ("metrics", Counter::HttpMetricsRequests),
         ("profile", Counter::HttpProfileRequests),
         ("flamegraph", Counter::HttpFlamegraphRequests),
+        ("delta", Counter::HttpDeltaRequests),
+        ("trend", Counter::HttpTrendRequests),
         ("other", Counter::HttpOtherRequests),
     ];
     if http.iter().any(|&(_, c)| snapshot.get(c) > 0) {

@@ -82,6 +82,13 @@ pub fn save_with_names(profile: &Profile, name_of: &dyn Fn(FuncId) -> Option<Str
         profile.samples, profile.truncated_paths, profile.interrupt_abort_samples
     )
     .unwrap();
+    write_records(&mut out, profile, name_of);
+    out
+}
+
+/// Write every record after the header line — the body grammar shared by
+/// whole-profile files and delta chunks (the streamable extension).
+fn write_records(out: &mut String, profile: &Profile, name_of: &dyn Fn(FuncId) -> Option<String>) {
     if !profile.meta.is_empty() {
         out.push_str("meta");
         if let Some(workload) = &profile.meta.workload {
@@ -151,7 +158,6 @@ pub fn save_with_names(profile: &Profile, name_of: &dyn Fn(FuncId) -> Option<Str
             .unwrap();
         }
     }
-    out
 }
 
 fn metrics_fields(m: &Metrics) -> String {
@@ -304,7 +310,19 @@ pub fn load_with_funcs(text: &str) -> Result<(Profile, FuncNames), LoadError> {
         interrupt_abort_samples,
         ..Profile::default()
     };
+    parse_records(lines, version, &mut profile, &mut funcs)?;
+    Ok((profile, funcs))
+}
 
+/// Parse every record after the header line into `profile`/`funcs` — the
+/// body grammar shared by whole-profile files and delta chunks. `version`
+/// selects the metric arity (pre-v3 files carry 18 fields).
+fn parse_records<'a>(
+    lines: impl Iterator<Item = &'a str>,
+    version: u32,
+    profile: &mut Profile,
+    funcs: &mut FuncNames,
+) -> Result<(), LoadError> {
     // Map from serialized node id to live node id.
     let mut ids: Vec<u32> = Vec::new();
     for line in lines {
@@ -438,7 +456,121 @@ pub fn load_with_funcs(text: &str) -> Result<(Profile, FuncNames), LoadError> {
             Some(other) => return Err(LoadError::bad(other)),
         }
     }
-    Ok((profile, funcs))
+    Ok(())
+}
+
+/// Version of the `txsampler-delta` chunk header — the *streamable*
+/// extension of the store format. A delta stream is a sequence of
+/// self-contained chunks, each carrying only the profile records (and
+/// func-name records) for activity inside one epoch range; applying the
+/// chunks in order reproduces the cumulative profile. Chunk bodies use the
+/// exact v[`FORMAT_VERSION`] record grammar, so every body parser is
+/// shared with whole-profile files.
+pub const DELTA_FORMAT_VERSION: u32 = 1;
+
+/// One parsed delta chunk (see [`DELTA_FORMAT_VERSION`]).
+#[derive(Debug, Clone)]
+pub struct DeltaChunk {
+    /// Epoch this chunk's activity starts after (0 for a full resync).
+    pub since: u64,
+    /// Epoch this chunk's activity runs up to.
+    pub to: u64,
+    /// Whether the chunk is a full resync (replace, don't accumulate).
+    pub full: bool,
+    /// The profile fragment covering `(since, to]` — or the whole
+    /// cumulative profile when `full`.
+    pub profile: Profile,
+    /// Func-name records referenced by this chunk's fragment.
+    pub funcs: FuncNames,
+}
+
+/// Serialize one delta chunk. `full` marks a resync chunk whose `profile`
+/// is the entire cumulative snapshot. Only functions referenced by the
+/// fragment (and resolvable through `name_of`) get `func` records — a
+/// steady-state delta therefore re-ships only the names its own new
+/// activity touches, not the whole symbol table.
+pub fn save_delta_with_names(
+    profile: &Profile,
+    since: u64,
+    to: u64,
+    full: bool,
+    name_of: &dyn Fn(FuncId) -> Option<String>,
+) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "txsampler-delta\tv{DELTA_FORMAT_VERSION}\tsince={since}\tto={to}\tkind={}\tsamples={}\ttruncated={}\tinterrupt_aborts={}",
+        if full { "full" } else { "delta" },
+        profile.samples,
+        profile.truncated_paths,
+        profile.interrupt_abort_samples
+    )
+    .unwrap();
+    write_records(&mut out, profile, name_of);
+    out
+}
+
+/// [`save_delta_with_names`] resolving names from a live [`FuncRegistry`].
+pub fn save_delta_with_funcs(
+    profile: &Profile,
+    since: u64,
+    to: u64,
+    full: bool,
+    registry: &FuncRegistry,
+) -> String {
+    save_delta_with_names(profile, since, to, full, &|id| {
+        registry.resolve(id).map(|f| f.name)
+    })
+}
+
+/// Parse one delta chunk produced by [`save_delta_with_names`].
+pub fn load_delta(text: &str) -> Result<DeltaChunk, LoadError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| LoadError::bad("empty chunk"))?;
+    let hfields: Vec<&str> = header.split('\t').collect();
+    if hfields.first() != Some(&"txsampler-delta") {
+        return Err(LoadError::bad("delta magic"));
+    }
+    let version: u32 = hfields
+        .get(1)
+        .and_then(|v| v.strip_prefix('v'))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| LoadError::bad("delta version"))?;
+    if version != DELTA_FORMAT_VERSION {
+        return Err(LoadError::bad("delta version"));
+    }
+    let header_num = |prefix: &str| -> Result<u64, LoadError> {
+        hfields
+            .iter()
+            .find_map(|f| f.strip_prefix(prefix))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| LoadError::bad(prefix))
+    };
+    let since = header_num("since=")?;
+    let to = header_num("to=")?;
+    let full = match hfields.iter().find_map(|f| f.strip_prefix("kind=")) {
+        Some("full") => true,
+        Some("delta") => false,
+        _ => return Err(LoadError::bad("delta kind")),
+    };
+    if since > to {
+        return Err(LoadError::bad("delta range"));
+    }
+    let mut profile = Profile {
+        samples: header_num("samples=")?,
+        truncated_paths: header_num("truncated=")?,
+        interrupt_abort_samples: header_num("interrupt_aborts=")?,
+        ..Profile::default()
+    };
+    let mut funcs = FuncNames::new();
+    parse_records(lines, FORMAT_VERSION, &mut profile, &mut funcs)?;
+    Ok(DeltaChunk {
+        since,
+        to,
+        full,
+        profile,
+        funcs,
+    })
 }
 
 #[cfg(test)]
@@ -708,6 +840,33 @@ mod tests {
         assert!(load(&text.replacen("\tv3\t", "\tv99\t", 1)).is_err());
         assert!(load(&text.replacen("\tv3\t", "\tv0\t", 1)).is_err());
         assert!(load(&text.replacen("\tv3\t", "\tsomething\t", 1)).is_err());
+    }
+
+    #[test]
+    fn delta_chunks_roundtrip_and_validate() {
+        let p = sample_profile();
+        let names: FuncNames = [(1, "main".to_string()), (3, "work".to_string())]
+            .into_iter()
+            .collect();
+        let text = save_delta_with_names(&p, 4, 9, false, &|id| names.get(&id.0).cloned());
+        assert!(text.starts_with("txsampler-delta\tv1\tsince=4\tto=9\tkind=delta\t"));
+        let chunk = load_delta(&text).expect("delta roundtrip");
+        assert_eq!((chunk.since, chunk.to, chunk.full), (4, 9, false));
+        assert_eq!(chunk.profile.totals(), p.totals());
+        assert_eq!(chunk.profile.samples, p.samples);
+        assert_eq!(chunk.funcs, names);
+        // Full-resync chunks carry the flag through.
+        let full = load_delta(&save_delta_with_names(&p, 0, 9, true, &|_| None)).unwrap();
+        assert!(full.full && full.funcs.is_empty());
+        // A delta chunk is not a profile file and vice versa.
+        assert!(load(&text).is_err());
+        assert!(load_delta(&save(&p)).is_err());
+        // Malformed headers are rejected: bad kind, inverted range,
+        // unknown version, truncated body.
+        assert!(load_delta(&text.replace("kind=delta", "kind=banana")).is_err());
+        assert!(load_delta(&text.replace("since=4", "since=99")).is_err());
+        assert!(load_delta(&text.replace("\tv1\t", "\tv9\t")).is_err());
+        assert!(load_delta(&text[..text.len() - 5]).is_err());
     }
 
     #[test]

@@ -1,0 +1,832 @@
+//! Fleet-scale profile aggregation: one pane of glass over N instances.
+//!
+//! Each profiled serving process runs its own [`crate::LiveServer`]; the
+//! aggregator follows them all. A follower per instance polls
+//! `/delta?since=N` (the epoch-delta export — only activity after the last
+//! absorbed epoch travels), absorbs the chunks into a per-instance
+//! [`Profile`], and the pane merges those into one fleet CCT on demand.
+//!
+//! Two realities of a fleet shape the design:
+//!
+//! * **Instances restart.** A restarted process starts back at epoch 0, so
+//!   a follower that knew epoch N suddenly sees a hub behind it. The hub
+//!   answers such polls with a `kind=full` chunk and the follower replaces
+//!   (not accumulates) its copy — counted in [`InstanceStatus::resyncs`].
+//! * **Func-id spaces diverge.** Every process interns functions in
+//!   first-touch order, so id 7 here is not id 7 there. The fleet merge
+//!   rewrites every instance profile into a fleet id space keyed by
+//!   *function name* ([`Profile::remap_funcs`]), then merges CCTs with the
+//!   same root-to-node path alignment `repro diff` uses ([`Cct::merge`]
+//!   matches by path key). Ids that never got a name record fall back to a
+//!   synthetic `inst{i}:func{id}` name: never mis-merged across instances,
+//!   still distinguishable in the flamegraph.
+//!
+//! Everything is std-only (`TcpStream` polling, the same minimal HTTP
+//! server as [`crate::LiveServer`]).
+
+use std::io::{self, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use obs::Counter;
+use txsampler::store::{self, DeltaChunk, FuncNames};
+use txsampler::{report, Profile};
+use txsim_pmu::FuncId;
+
+use crate::prometheus::{family, gauge_f64, shares};
+use crate::server::http_get;
+
+/// Thread-id stride separating instances in the fleet-merged profile's
+/// per-thread summaries: instance `i`'s thread `t` appears as
+/// `i * TID_STRIDE + t`.
+const TID_STRIDE: usize = 1 << 20;
+
+/// One followed instance: its identity, its absorbed state, and the
+/// follower's health bookkeeping.
+#[derive(Debug)]
+struct Instance {
+    /// The `host:port` string as given on the command line (label value).
+    target: String,
+    /// Resolved address polls connect to.
+    addr: SocketAddr,
+    /// Absorbed profile, still in the instance's own func-id space.
+    profile: Profile,
+    /// Func-name records received so far (instance id → name).
+    funcs: FuncNames,
+    /// Last epoch absorbed; the next poll asks for `since=epoch`.
+    epoch: u64,
+    /// Polls attempted.
+    polls: u64,
+    /// Polls that failed (connect/parse error); the previous state is kept.
+    errors: u64,
+    /// Full resyncs after the initial sync (instance restart or lag).
+    resyncs: u64,
+    /// Delta-chunk bytes transferred so far.
+    delta_bytes: u64,
+    /// Whether the most recent poll succeeded.
+    healthy: bool,
+    /// The most recent poll error, if any.
+    last_error: Option<String>,
+}
+
+impl Instance {
+    fn new(target: String, addr: SocketAddr) -> Instance {
+        Instance {
+            target,
+            addr,
+            profile: Profile::default(),
+            funcs: FuncNames::new(),
+            epoch: 0,
+            polls: 0,
+            errors: 0,
+            resyncs: 0,
+            delta_bytes: 0,
+            healthy: false,
+            last_error: None,
+        }
+    }
+
+    /// Fold one delta chunk into this instance's absorbed state. A `full`
+    /// chunk replaces the copy (the hub could not serve incrementally:
+    /// instance restart, or the follower lagged past the retained window).
+    fn absorb(&mut self, chunk: &DeltaChunk) {
+        if chunk.full {
+            if self.polls > 1 || self.epoch > 0 {
+                self.resyncs += 1;
+                obs::count(Counter::AggResyncs);
+            }
+            self.profile = chunk.profile.clone();
+            self.funcs = chunk.funcs.clone();
+        } else {
+            self.profile.absorb_profile(&chunk.profile, 0);
+            self.funcs
+                .extend(chunk.funcs.iter().map(|(id, name)| (*id, name.clone())));
+        }
+        self.epoch = chunk.to;
+    }
+}
+
+/// A point-in-time health row for one followed instance, as served on
+/// `/instances`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceStatus {
+    /// Index of the instance in the `--follow` list.
+    pub index: usize,
+    /// The `host:port` the follower polls.
+    pub target: String,
+    /// Whether the most recent poll succeeded.
+    pub healthy: bool,
+    /// Last epoch absorbed from this instance.
+    pub epoch: u64,
+    /// Samples absorbed so far.
+    pub samples: u64,
+    /// Polls attempted.
+    pub polls: u64,
+    /// Polls that failed.
+    pub errors: u64,
+    /// Full resyncs after the initial sync.
+    pub resyncs: u64,
+    /// Delta-chunk bytes transferred.
+    pub delta_bytes: u64,
+    /// Most recent poll error, if the instance is unhealthy.
+    pub last_error: Option<String>,
+}
+
+/// The fleet aggregator: follower state for N instances plus the merge.
+///
+/// [`Aggregator::poll_all`] advances every follower by one poll;
+/// [`Aggregator::fleet`] produces the merged profile on demand. The two
+/// are decoupled so the HTTP pane always answers from absorbed state and
+/// never blocks on a slow instance.
+pub struct Aggregator {
+    instances: Mutex<Vec<Instance>>,
+}
+
+impl Aggregator {
+    /// Create an aggregator following `targets` (each `host:port`).
+    /// Resolution failures are reported immediately — a typo in the fleet
+    /// list should not surface as an eternally-unhealthy follower.
+    pub fn new(targets: &[String]) -> io::Result<Aggregator> {
+        let mut instances = Vec::with_capacity(targets.len());
+        for target in targets {
+            let addr = target.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotFound, format!("{target}: no address"))
+            })?;
+            instances.push(Instance::new(target.clone(), addr));
+        }
+        if instances.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no instances to follow",
+            ));
+        }
+        Ok(Aggregator {
+            instances: Mutex::new(instances),
+        })
+    }
+
+    /// Poll every followed instance once, absorbing whatever each returns.
+    /// A failed poll marks the instance unhealthy and keeps its previous
+    /// state; the next poll retries from the same epoch.
+    pub fn poll_all(&self) {
+        let mut instances = self.instances.lock().expect("aggregator lock poisoned");
+        for inst in instances.iter_mut() {
+            inst.polls += 1;
+            obs::count(Counter::AggPolls);
+            match poll_delta(inst.addr, inst.epoch) {
+                Ok((bytes, chunk)) => {
+                    inst.delta_bytes += bytes as u64;
+                    inst.absorb(&chunk);
+                    inst.healthy = true;
+                    inst.last_error = None;
+                }
+                Err(e) => {
+                    inst.errors += 1;
+                    inst.healthy = false;
+                    inst.last_error = Some(e.to_string());
+                }
+            }
+        }
+    }
+
+    /// Health rows for every followed instance, in `--follow` order.
+    pub fn statuses(&self) -> Vec<InstanceStatus> {
+        let instances = self.instances.lock().expect("aggregator lock poisoned");
+        instances
+            .iter()
+            .enumerate()
+            .map(|(index, inst)| InstanceStatus {
+                index,
+                target: inst.target.clone(),
+                healthy: inst.healthy,
+                epoch: inst.epoch,
+                samples: inst.profile.samples,
+                polls: inst.polls,
+                errors: inst.errors,
+                resyncs: inst.resyncs,
+                delta_bytes: inst.delta_bytes,
+                last_error: inst.last_error.clone(),
+            })
+            .collect()
+    }
+
+    /// One instance's absorbed profile and names (for `/flamegraph?instance=i`).
+    pub fn instance_profile(&self, index: usize) -> Option<(Profile, FuncNames)> {
+        let instances = self.instances.lock().expect("aggregator lock poisoned");
+        instances
+            .get(index)
+            .map(|inst| (inst.profile.clone(), inst.funcs.clone()))
+    }
+
+    /// The fleet-merged profile: every instance rewritten into a shared
+    /// name-keyed func-id space, then CCT-merged by path (the same
+    /// alignment `repro diff` uses). Thread summaries are offset by
+    /// [`TID_STRIDE`] per instance so per-thread rows stay attributable.
+    pub fn fleet(&self) -> (Profile, FuncNames) {
+        let instances = self.instances.lock().expect("aggregator lock poisoned");
+        let mut fleet_names = FuncNames::new();
+        let mut by_name: std::collections::HashMap<String, FuncId> =
+            std::collections::HashMap::new();
+        let mut next_id = 1u32;
+        let mut fleet = Profile::default();
+        for (i, inst) in instances.iter().enumerate() {
+            let mut map = |id: FuncId| -> FuncId {
+                if id == FuncId::UNKNOWN {
+                    return FuncId::UNKNOWN;
+                }
+                // Name-keyed: same name anywhere in the fleet → same fleet
+                // id. Unnamed ids get a synthetic per-instance name so two
+                // instances' unnamed id 7 never falsely merge.
+                let name = inst
+                    .funcs
+                    .get(&id.0)
+                    .cloned()
+                    .unwrap_or_else(|| format!("inst{i}:func{}", id.0));
+                *by_name.entry(name.clone()).or_insert_with(|| {
+                    let fid = FuncId(next_id);
+                    next_id += 1;
+                    fleet_names.insert(fid.0, name);
+                    fid
+                })
+            };
+            let remapped = inst.profile.remap_funcs(&mut map);
+            fleet.absorb_profile(&remapped, i * TID_STRIDE);
+        }
+        (fleet, fleet_names)
+    }
+}
+
+/// Issue one `/delta?since=N` poll and parse the chunk. Returns the body
+/// size too, so the follower can account transfer volume.
+fn poll_delta(addr: SocketAddr, since: u64) -> io::Result<(usize, DeltaChunk)> {
+    let (status, body) = http_get(addr, &format!("/delta?since={since}"))?;
+    if !status.contains("200") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("/delta returned {status}"),
+        ));
+    }
+    let chunk = store::load_delta(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok((body.len(), chunk))
+}
+
+/// Render the fleet Prometheus exposition: fleet totals plus one labeled
+/// series per instance, so a dashboard can show both the aggregate and the
+/// outlier.
+pub fn render_fleet_metrics(agg: &Aggregator) -> String {
+    let (fleet, _) = agg.fleet();
+    let statuses = agg.statuses();
+    let totals = fleet.totals();
+    let mut out = String::new();
+
+    family(
+        &mut out,
+        "txsampler_fleet_instances",
+        "gauge",
+        "Instances the aggregator follows (healthy = most recent poll succeeded).",
+    );
+    let _ = std::fmt::Write::write_fmt(
+        &mut out,
+        format_args!("txsampler_fleet_instances {}\n", statuses.len()),
+    );
+    family(
+        &mut out,
+        "txsampler_fleet_instances_healthy",
+        "gauge",
+        "Followed instances whose most recent poll succeeded.",
+    );
+    let healthy = statuses.iter().filter(|s| s.healthy).count();
+    let _ = std::fmt::Write::write_fmt(
+        &mut out,
+        format_args!("txsampler_fleet_instances_healthy {healthy}\n"),
+    );
+
+    family(
+        &mut out,
+        "txsampler_fleet_samples_total",
+        "counter",
+        "PMU samples absorbed across the whole fleet.",
+    );
+    let _ = std::fmt::Write::write_fmt(
+        &mut out,
+        format_args!("txsampler_fleet_samples_total {}\n", fleet.samples),
+    );
+
+    family(
+        &mut out,
+        "txsampler_fleet_cycles_total",
+        "counter",
+        "Sampled work cycles (W) across the whole fleet.",
+    );
+    let _ = std::fmt::Write::write_fmt(
+        &mut out,
+        format_args!("txsampler_fleet_cycles_total {}\n", totals.w),
+    );
+
+    family(
+        &mut out,
+        "txsampler_fleet_commits_total",
+        "counter",
+        "Sampled RTM commit events across the whole fleet.",
+    );
+    let _ = std::fmt::Write::write_fmt(
+        &mut out,
+        format_args!("txsampler_fleet_commits_total {}\n", totals.commit_samples),
+    );
+
+    family(
+        &mut out,
+        "txsampler_fleet_aborts_total",
+        "counter",
+        "Sampled application-caused RTM abort events across the whole fleet.",
+    );
+    let _ = std::fmt::Write::write_fmt(
+        &mut out,
+        format_args!("txsampler_fleet_aborts_total {}\n", totals.abort_samples),
+    );
+
+    family(
+        &mut out,
+        "txsampler_fleet_cycle_share",
+        "gauge",
+        "Share of sampled cycles per time component, fleet-wide.",
+    );
+    shares(
+        &mut out,
+        "txsampler_fleet_cycle_share",
+        &fleet.time_breakdown(),
+    );
+
+    family(
+        &mut out,
+        "txsampler_instance_up",
+        "gauge",
+        "Whether the most recent poll of this instance succeeded.",
+    );
+    for s in &statuses {
+        gauge_f64(
+            &mut out,
+            &format!(
+                "txsampler_instance_up{{instance=\"{}\",target=\"{}\"}}",
+                s.index, s.target
+            ),
+            if s.healthy { 1.0 } else { 0.0 },
+        );
+    }
+    for (name, help, get) in [
+        (
+            "txsampler_instance_samples_total",
+            "PMU samples absorbed from this instance.",
+            &(|s: &InstanceStatus| s.samples) as &dyn Fn(&InstanceStatus) -> u64,
+        ),
+        (
+            "txsampler_instance_epoch",
+            "Last snapshot epoch absorbed from this instance.",
+            &|s: &InstanceStatus| s.epoch,
+        ),
+        (
+            "txsampler_instance_polls_total",
+            "Delta polls attempted against this instance.",
+            &|s: &InstanceStatus| s.polls,
+        ),
+        (
+            "txsampler_instance_poll_errors_total",
+            "Delta polls that failed against this instance.",
+            &|s: &InstanceStatus| s.errors,
+        ),
+        (
+            "txsampler_instance_resyncs_total",
+            "Full resyncs performed for this instance (restart or lag).",
+            &|s: &InstanceStatus| s.resyncs,
+        ),
+        (
+            "txsampler_instance_delta_bytes_total",
+            "Delta-chunk bytes transferred from this instance.",
+            &|s: &InstanceStatus| s.delta_bytes,
+        ),
+    ] {
+        family(&mut out, name, "counter", help);
+        for s in &statuses {
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    "{name}{{instance=\"{}\",target=\"{}\"}} {}\n",
+                    s.index,
+                    s.target,
+                    get(s)
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Render the `/instances` JSON health document.
+pub fn render_instances_json(agg: &Aggregator) -> String {
+    let statuses = agg.statuses();
+    let mut out = String::from("[");
+    for (i, s) in statuses.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                concat!(
+                    "{{\"instance\":{},\"target\":\"{}\",\"healthy\":{},",
+                    "\"epoch\":{},\"samples\":{},\"polls\":{},\"errors\":{},",
+                    "\"resyncs\":{},\"delta_bytes\":{},\"last_error\":{}}}"
+                ),
+                s.index,
+                s.target,
+                s.healthy,
+                s.epoch,
+                s.samples,
+                s.polls,
+                s.errors,
+                s.resyncs,
+                s.delta_bytes,
+                match &s.last_error {
+                    Some(e) => format!("\"{}\"", crate::server::json_escape(e)),
+                    None => "null".to_string(),
+                },
+            ),
+        );
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Handle to a running fleet-aggregation server: a poll loop following the
+/// instances plus an HTTP pane serving the merged view. Dropping it (or
+/// calling [`AggServer::shutdown`]) stops both threads.
+#[derive(Debug)]
+pub struct AggServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl AggServer {
+    /// Bind `127.0.0.1:port` (0 picks an ephemeral port), start polling
+    /// `targets` every `poll_interval`, and serve the fleet pane.
+    pub fn start(targets: &[String], port: u16, poll_interval: Duration) -> io::Result<AggServer> {
+        let agg = Arc::new(Aggregator::new(targets)?);
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let started = Instant::now();
+
+        let poll_agg = Arc::clone(&agg);
+        let poll_stop = Arc::clone(&stop);
+        let poller = std::thread::Builder::new()
+            .name("txsampler-agg-poll".into())
+            .spawn(move || {
+                while !poll_stop.load(Ordering::SeqCst) {
+                    poll_agg.poll_all();
+                    // Sleep in small slices so shutdown stays prompt even
+                    // with long poll intervals.
+                    let deadline = Instant::now() + poll_interval;
+                    while Instant::now() < deadline {
+                        if poll_stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(10).min(poll_interval));
+                    }
+                }
+            })?;
+
+        let serve_stop = Arc::clone(&stop);
+        let server = std::thread::Builder::new()
+            .name("txsampler-agg-http".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if serve_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match conn {
+                        Ok(stream) => {
+                            let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                            let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+                            let _ = handle_connection(stream, &agg, started);
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            })?;
+
+        Ok(AggServer {
+            addr,
+            stop,
+            threads: vec![poller, server],
+        })
+    }
+
+    /// The bound address of the fleet pane (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop polling and serving; joins both threads.
+    pub fn shutdown(&mut self) {
+        if self.threads.is_empty() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for AggServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(stream: TcpStream, agg: &Aggregator, started: Instant) -> io::Result<()> {
+    use std::io::{BufRead, BufReader};
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let mut header = String::new();
+    while reader.read_line(&mut header)? > 0 && header.trim() != "" {
+        header.clear();
+    }
+    let mut stream = reader.into_inner();
+
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n",
+        );
+    }
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
+    };
+
+    match path {
+        "/healthz" => {
+            let statuses = agg.statuses();
+            let healthy = statuses.iter().filter(|s| s.healthy).count();
+            let body = format!(
+                "{{\"status\":\"ok\",\"instances\":{},\"healthy\":{},\"uptime_ms\":{}}}\n",
+                statuses.len(),
+                healthy,
+                started.elapsed().as_millis(),
+            );
+            respond(
+                &mut stream,
+                "200 OK",
+                "application/json; charset=utf-8",
+                &body,
+            )
+        }
+        "/metrics" => {
+            let body = render_fleet_metrics(agg);
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/instances" => {
+            let body = render_instances_json(agg);
+            respond(
+                &mut stream,
+                "200 OK",
+                "application/json; charset=utf-8",
+                &body,
+            )
+        }
+        "/flamegraph" => {
+            // `?instance=i` drills into one instance's own profile (its
+            // own func-id space); bare `/flamegraph` is the fleet merge.
+            let mut instance: Option<usize> = None;
+            for pair in query.split('&').filter(|s| !s.is_empty()) {
+                if let Some(("instance", value)) = pair.split_once('=') {
+                    match value.parse() {
+                        Ok(i) => instance = Some(i),
+                        Err(_) => {
+                            return respond(
+                                &mut stream,
+                                "400 Bad Request",
+                                "text/plain; charset=utf-8",
+                                &format!("instance must be an index, got {value:?}\n"),
+                            )
+                        }
+                    }
+                }
+            }
+            let body = match instance {
+                Some(i) => match agg.instance_profile(i) {
+                    Some((profile, funcs)) => report::render_folded_names(&profile, &funcs),
+                    None => {
+                        return respond(
+                            &mut stream,
+                            "404 Not Found",
+                            "text/plain; charset=utf-8",
+                            &format!("no instance {i}; see /instances\n"),
+                        )
+                    }
+                },
+                None => {
+                    let (fleet, names) = agg.fleet();
+                    report::render_folded_names(&fleet, &names)
+                }
+            };
+            respond(&mut stream, "200 OK", "text/plain; charset=utf-8", &body)
+        }
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /healthz, /metrics, /instances, /flamegraph[?instance=i]\n",
+        ),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txsampler::cct::{NodeKey, ROOT};
+    use txsampler::profile::ThreadSummary;
+    use txsampler::{Metrics, TimeComponent};
+    use txsim_pmu::Ip;
+
+    /// A one-function profile fragment: `name` at line 1, `w` cycles.
+    fn fragment(func: u32, w: u64) -> Profile {
+        let mut p = Profile::default();
+        let n = p.cct.child(
+            ROOT,
+            NodeKey::Stmt {
+                ip: Ip::new(FuncId(func), 1),
+                speculative: false,
+            },
+        );
+        for _ in 0..w {
+            p.cct.metrics_mut(n).add_cycles_sample(TimeComponent::Tx);
+        }
+        p.samples = w;
+        p.threads.push(ThreadSummary {
+            tid: 0,
+            totals: Metrics {
+                w,
+                ..Metrics::default()
+            },
+            sites: Default::default(),
+        });
+        p
+    }
+
+    fn chunk(
+        since: u64,
+        to: u64,
+        full: bool,
+        profile: Profile,
+        funcs: &[(u32, &str)],
+    ) -> DeltaChunk {
+        DeltaChunk {
+            since,
+            to,
+            full,
+            profile,
+            funcs: funcs
+                .iter()
+                .map(|(id, name)| (*id, name.to_string()))
+                .collect(),
+        }
+    }
+
+    fn test_agg(n: usize) -> Aggregator {
+        let targets: Vec<String> = (0..n).map(|i| format!("127.0.0.1:{}", 4000 + i)).collect();
+        Aggregator::new(&targets).expect("loopback targets resolve")
+    }
+
+    #[test]
+    fn follower_absorbs_increments_and_resyncs_on_full() {
+        let mut inst = Instance::new("a:1".into(), "127.0.0.1:1".parse().unwrap());
+        // Initial sync: incremental from 0.
+        inst.polls = 1;
+        inst.absorb(&chunk(0, 2, false, fragment(1, 5), &[(1, "f")]));
+        assert_eq!(inst.epoch, 2);
+        assert_eq!(inst.profile.samples, 5);
+        assert_eq!(inst.resyncs, 0);
+
+        // Steady state: only the delta arrives, state accumulates.
+        inst.polls = 2;
+        inst.absorb(&chunk(2, 3, false, fragment(2, 3), &[(2, "g")]));
+        assert_eq!(inst.epoch, 3);
+        assert_eq!(inst.profile.samples, 8);
+        assert_eq!(inst.funcs.len(), 2);
+        assert_eq!(inst.resyncs, 0);
+
+        // Instance restarted: a full chunk replaces, does not accumulate.
+        inst.polls = 3;
+        inst.absorb(&chunk(0, 1, true, fragment(1, 2), &[(1, "f")]));
+        assert_eq!(inst.epoch, 1);
+        assert_eq!(inst.profile.samples, 2, "full chunk replaces the copy");
+        assert_eq!(
+            inst.funcs.len(),
+            1,
+            "names from the old incarnation dropped"
+        );
+        assert_eq!(inst.resyncs, 1);
+    }
+
+    #[test]
+    fn initial_full_sync_is_not_counted_as_resync() {
+        let mut inst = Instance::new("a:1".into(), "127.0.0.1:1".parse().unwrap());
+        inst.polls = 1;
+        // First contact with a long-running instance: the hub's delta
+        // window no longer reaches epoch 0, so the first chunk is full.
+        inst.absorb(&chunk(0, 500, true, fragment(1, 9), &[(1, "f")]));
+        assert_eq!(inst.resyncs, 0, "first sync is expected to be full");
+        assert_eq!(inst.epoch, 500);
+    }
+
+    #[test]
+    fn fleet_merges_same_names_and_separates_unnamed() {
+        let agg = test_agg(2);
+        {
+            let mut instances = agg.instances.lock().unwrap();
+            // Instance 0: "shared" is id 1. Instance 1: "shared" is id 9 —
+            // divergent id spaces, same function.
+            instances[0].absorb(&chunk(0, 1, false, fragment(1, 4), &[(1, "shared")]));
+            instances[1].absorb(&chunk(0, 1, false, fragment(9, 6), &[(9, "shared")]));
+            // Instance 1 also has an unnamed function.
+            instances[1].absorb(&chunk(1, 2, false, fragment(7, 2), &[]));
+        }
+        let (fleet, names) = agg.fleet();
+        assert_eq!(fleet.samples, 12);
+        assert_eq!(fleet.totals().w, 12);
+        // "shared" merged into ONE node; the unnamed func kept separate
+        // under a synthetic per-instance name.
+        let folded = report::render_folded_names(&fleet, &names);
+        assert!(folded.contains("shared:1 10"), "folded:\n{folded}");
+        assert!(folded.contains("inst1:func7:1 2"), "folded:\n{folded}");
+        // Thread summaries are tid-offset per instance.
+        let tids: Vec<usize> = fleet.threads.iter().map(|t| t.tid).collect();
+        assert_eq!(tids, vec![0, TID_STRIDE]);
+    }
+
+    #[test]
+    fn fleet_metrics_expose_totals_and_per_instance_series() {
+        let agg = test_agg(2);
+        {
+            let mut instances = agg.instances.lock().unwrap();
+            instances[0].absorb(&chunk(0, 1, false, fragment(1, 4), &[(1, "f")]));
+            instances[0].healthy = true;
+            instances[1].absorb(&chunk(0, 3, false, fragment(1, 6), &[(1, "f")]));
+        }
+        let text = render_fleet_metrics(&agg);
+        assert!(text.contains("txsampler_fleet_instances 2"));
+        assert!(text.contains("txsampler_fleet_instances_healthy 1"));
+        assert!(text.contains("txsampler_fleet_samples_total 10"));
+        assert!(text.contains(
+            "txsampler_instance_samples_total{instance=\"0\",target=\"127.0.0.1:4000\"} 4"
+        ));
+        assert!(text.contains(
+            "txsampler_instance_samples_total{instance=\"1\",target=\"127.0.0.1:4001\"} 6"
+        ));
+        assert!(
+            text.contains("txsampler_instance_epoch{instance=\"1\",target=\"127.0.0.1:4001\"} 3")
+        );
+        assert!(text.contains("txsampler_instance_up{instance=\"0\",target=\"127.0.0.1:4000\"} 1"));
+        assert!(text.contains("txsampler_instance_up{instance=\"1\",target=\"127.0.0.1:4001\"} 0"));
+
+        let json = render_instances_json(&agg);
+        assert!(json.starts_with("[{\"instance\":0,"));
+        assert!(json.contains("\"target\":\"127.0.0.1:4001\""));
+        assert!(json.contains("\"last_error\":null"));
+    }
+
+    #[test]
+    fn aggregator_rejects_empty_and_unresolvable_fleets() {
+        assert!(Aggregator::new(&[]).is_err());
+        assert!(Aggregator::new(&["not a host:port".into()]).is_err());
+    }
+}

@@ -18,12 +18,26 @@
 //!   format), cycle-weighted, `_[tx]` marking speculative frames; pipe to
 //!   flamegraph.pl or any flamegraph web viewer.
 //!
+//! Two more endpoints feed fleet-scale aggregation ([`agg`]):
+//!
+//! - `/delta?since=N` — the epoch-delta export: only the activity after
+//!   epoch N (plus any func names first referenced since), serialized as a
+//!   `txsampler-delta` chunk. Followers poll this instead of re-downloading
+//!   the whole store.
+//! - `/trend` — the hub's retained per-epoch trend rows as TSV, with a
+//!   count of rows truncated off the front.
+//!
+//! The [`agg`] module follows N such servers and serves one merged pane
+//! (`repro agg --follow host:port,host:port`).
+//!
 //! Everything is std-only — `std::net::TcpListener`, no external HTTP or
 //! serialization dependencies — to keep the workspace offline-buildable.
 
 #![warn(missing_docs)]
 
+pub mod agg;
 pub mod prometheus;
 pub mod server;
 
+pub use agg::{AggServer, Aggregator};
 pub use server::{http_get, LiveServer};

@@ -33,18 +33,18 @@ use obs::{Counter, Snapshot};
 use txsampler::{Metrics, ProfileView, SnapshotView, TimeBreakdown};
 
 /// Render one metric family header.
-fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+pub(crate) fn family(out: &mut String, name: &str, kind: &str, help: &str) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} {kind}");
 }
 
-fn gauge_f64(out: &mut String, line: &str, v: f64) {
+pub(crate) fn gauge_f64(out: &mut String, line: &str, v: f64) {
     // Prometheus floats: plain decimal; avoid `NaN`/`inf` surprises.
     let v = if v.is_finite() { v } else { 0.0 };
     let _ = writeln!(out, "{line} {v}");
 }
 
-fn shares(out: &mut String, name: &str, b: &TimeBreakdown) {
+pub(crate) fn shares(out: &mut String, name: &str, b: &TimeBreakdown) {
     for (component, share) in [
         ("outside", b.outside),
         ("tx", b.tx),

@@ -15,10 +15,10 @@ use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use obs::Counter;
-use txsampler::collect::SnapshotHub;
+use txsampler::collect::{SnapshotHub, SnapshotPolicy};
 use txsampler::{report, store};
 use txsim_pmu::FuncRegistry;
 
@@ -46,9 +46,10 @@ impl LiveServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
+        let started = Instant::now();
         let thread = std::thread::Builder::new()
             .name("txsampler-live".into())
-            .spawn(move || accept_loop(listener, hub, funcs, stop_flag))?;
+            .spawn(move || accept_loop(listener, hub, funcs, stop_flag, started))?;
         Ok(LiveServer {
             addr,
             stop,
@@ -87,6 +88,7 @@ fn accept_loop(
     hub: Arc<SnapshotHub>,
     funcs: FuncRegistry,
     stop: Arc<AtomicBool>,
+    started: Instant,
 ) {
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
@@ -97,14 +99,19 @@ fn accept_loop(
                 // A wedged client must not park the server forever.
                 let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-                let _ = handle_connection(stream, &hub, &funcs);
+                let _ = handle_connection(stream, &hub, &funcs, started);
             }
             Err(_) => continue,
         }
     }
 }
 
-fn handle_connection(stream: TcpStream, hub: &SnapshotHub, funcs: &FuncRegistry) -> io::Result<()> {
+fn handle_connection(
+    stream: TcpStream,
+    hub: &SnapshotHub,
+    funcs: &FuncRegistry,
+    started: Instant,
+) -> io::Result<()> {
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
@@ -136,7 +143,28 @@ fn handle_connection(stream: TcpStream, hub: &SnapshotHub, funcs: &FuncRegistry)
     match path {
         "/healthz" => {
             obs::count(Counter::HttpHealthzRequests);
-            respond(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n")
+            // JSON so the fleet aggregator (and a human gauging follower
+            // lag) can read the current epoch and snapshot cadence.
+            let (policy, interval) = match hub.policy() {
+                SnapshotPolicy::EverySamples(n) => ("every_samples", n),
+                SnapshotPolicy::EveryCycles(n) => ("every_cycles", n),
+            };
+            let body = format!(
+                concat!(
+                    "{{\"status\":\"ok\",\"epoch\":{},\"uptime_ms\":{},",
+                    "\"snapshot_policy\":\"{}\",\"snapshot_interval\":{}}}\n"
+                ),
+                hub.epoch(),
+                started.elapsed().as_millis(),
+                policy,
+                interval,
+            );
+            respond(
+                &mut stream,
+                "200 OK",
+                "application/json; charset=utf-8",
+                &body,
+            )
         }
         "/metrics" => {
             obs::count(Counter::HttpMetricsRequests);
@@ -183,13 +211,38 @@ fn handle_connection(stream: TcpStream, hub: &SnapshotHub, funcs: &FuncRegistry)
             Ok(body) => respond(&mut stream, "200 OK", "text/plain; charset=utf-8", &body),
             Err((status, body)) => respond(&mut stream, status, "text/plain; charset=utf-8", &body),
         },
+        "/delta" => {
+            obs::count(Counter::HttpDeltaRequests);
+            match delta_body(hub, funcs, query) {
+                Ok(body) => respond(&mut stream, "200 OK", "text/plain; charset=utf-8", &body),
+                Err((status, body)) => {
+                    respond(&mut stream, status, "text/plain; charset=utf-8", &body)
+                }
+            }
+        }
+        "/trend" => {
+            obs::count(Counter::HttpTrendRequests);
+            let trend = hub.trend();
+            let mut body = format!(
+                "# epoch\tsamples\tw\tt_tx\tt_fb\tt_wait\tt_oh\tabort_samples\ttruncated_rows={}\n",
+                trend.truncated
+            );
+            for row in &trend.rows {
+                let t = &row.totals;
+                body.push_str(&format!(
+                    "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                    row.epoch, row.samples, t.w, t.t_tx, t.t_fb, t.t_wait, t.t_oh, t.abort_samples,
+                ));
+            }
+            respond(&mut stream, "200 OK", "text/plain; charset=utf-8", &body)
+        }
         _ => {
             obs::count(Counter::HttpOtherRequests);
             respond(
                 &mut stream,
                 "404 Not Found",
                 "text/plain; charset=utf-8",
-                "not found; try /healthz, /metrics, /profile.json, /flamegraph, /diff?from=N&to=M\n",
+                "not found; try /healthz, /metrics, /profile.json, /flamegraph, /trend, /delta?since=N, /diff?from=N&to=M\n",
             )
         }
     }
@@ -249,6 +302,41 @@ fn epoch_diff_body(hub: &SnapshotHub, query: &str) -> Result<String, (&'static s
     Ok(body)
 }
 
+/// Build the `/delta?since=N` body: everything the hub saw after epoch N,
+/// serialized as a `txsampler-delta` chunk (the streamable extension of
+/// the store format). `since` omitted or 0 asks for everything; the hub
+/// decides whether that is served incrementally or as a full resync.
+fn delta_body(
+    hub: &SnapshotHub,
+    funcs: &FuncRegistry,
+    query: &str,
+) -> Result<String, (&'static str, String)> {
+    let bad = |msg: String| ("400 Bad Request", msg);
+    let mut since = 0u64;
+    for pair in query.split('&').filter(|s| !s.is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| bad(format!("malformed query parameter {pair:?}\n")))?;
+        match key {
+            "since" => {
+                since = value
+                    .parse()
+                    .map_err(|_| bad(format!("since must be an epoch number, got {value:?}\n")))?;
+            }
+            _ => return Err(bad(format!("unknown query parameter {key:?}\n"))),
+        }
+    }
+    let view = hub.delta_since(since);
+    let full = matches!(view.kind, txsampler::collect::DeltaKind::Full);
+    Ok(store::save_delta_with_funcs(
+        &view.profile,
+        view.since,
+        view.to,
+        full,
+        funcs,
+    ))
+}
+
 fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
     let header = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -260,7 +348,7 @@ fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str)
 }
 
 /// Escape a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 16);
     for c in s.chars() {
         match c {
@@ -348,7 +436,9 @@ mod tests {
 
         let (status, body) = http_get(addr, "/healthz").unwrap();
         assert!(status.contains("200"), "healthz status: {status}");
-        assert_eq!(body, "ok\n");
+        assert!(body.starts_with("{\"status\":\"ok\",\"epoch\":1,"));
+        assert!(body.contains("\"uptime_ms\":"));
+        assert!(body.contains("\"snapshot_policy\":\"every_samples\",\"snapshot_interval\":1"));
 
         let (status, body) = http_get(addr, "/metrics").unwrap();
         assert!(status.contains("200"));
@@ -367,12 +457,94 @@ mod tests {
         assert!(status.contains("200"));
         assert_eq!(body, "busy_loop;busy_loop:3 1\n");
 
+        let (status, body) = http_get(addr, "/trend").unwrap();
+        assert!(status.contains("200"));
+        assert!(body.starts_with("# epoch\tsamples"));
+        assert!(body.contains("truncated_rows=0"));
+        assert!(body.lines().nth(1).unwrap().starts_with("1\t1\t"));
+
         let (status, _) = http_get(addr, "/nope").unwrap();
         assert!(status.contains("404"));
 
         server.shutdown();
         // The port is released: connections are refused (or reset at read).
         assert!(http_get(addr, "/healthz").is_err());
+    }
+
+    #[test]
+    fn delta_endpoint_serves_incremental_chunks() {
+        let funcs = FuncRegistry::new();
+        let hub = hub_with_one_delta(&funcs);
+        let mut server =
+            LiveServer::start(Arc::clone(&hub), funcs.clone(), 0).expect("bind ephemeral port");
+        let addr = server.addr();
+
+        // since=0: full sync by content, parseable as a delta chunk that
+        // reproduces the cumulative profile — names included.
+        let (status, body) = http_get(addr, "/delta?since=0").unwrap();
+        assert!(status.contains("200"), "delta status: {status}");
+        let chunk = store::load_delta(&body).expect("chunk parses");
+        assert_eq!((chunk.since, chunk.to), (0, 1));
+        assert!(!chunk.full, "all epochs retained: served incrementally");
+        assert_eq!(chunk.profile.samples, 1);
+        assert!(chunk.funcs.values().any(|n| n == "busy_loop"));
+
+        // A second epoch: polling from epoch 1 returns only the new
+        // activity, and any func names first referenced mid-stream.
+        let f2 = funcs.intern("late_func", "w.rs", 9);
+        let mut delta = ThreadProfile {
+            tid: 1,
+            periods: Periods::default(),
+            ..ThreadProfile::default()
+        };
+        let leaf = delta.cct.child(
+            ROOT,
+            NodeKey::Stmt {
+                ip: Ip::new(f2, 2),
+                speculative: false,
+            },
+        );
+        delta
+            .cct
+            .metrics_mut(leaf)
+            .add_cycles_sample(TimeComponent::Tx);
+        delta.samples = 1;
+        hub.publish(&delta);
+
+        let (status, body) = http_get(addr, "/delta?since=1").unwrap();
+        assert!(status.contains("200"));
+        let chunk = store::load_delta(&body).expect("incremental chunk parses");
+        assert_eq!((chunk.since, chunk.to), (1, 2));
+        assert!(!chunk.full);
+        assert_eq!(chunk.profile.samples, 1, "only epoch 2's activity");
+        assert!(
+            chunk.funcs.values().any(|n| n == "late_func"),
+            "names arriving mid-stream ride along with the delta"
+        );
+
+        // since ahead of the hub (restarted instance): full resync chunk.
+        let (status, body) = http_get(addr, "/delta?since=99").unwrap();
+        assert!(status.contains("200"));
+        let chunk = store::load_delta(&body).expect("resync chunk parses");
+        assert!(chunk.full, "epoch regression forces a full resync");
+        assert_eq!(chunk.profile.samples, 2);
+
+        // The whole point: an incremental delta is smaller than the full
+        // profile download.
+        let (_, full_body) = http_get(addr, "/profile.json").unwrap();
+        let (_, delta_body) = http_get(addr, "/delta?since=2").unwrap();
+        assert!(
+            delta_body.len() < full_body.len(),
+            "no-news delta ({}) must beat full re-download ({})",
+            delta_body.len(),
+            full_body.len()
+        );
+
+        let (status, body) = http_get(addr, "/delta?since=bogus").unwrap();
+        assert!(status.contains("400"), "bad since: {status}");
+        assert!(body.contains("epoch number"));
+
+        server.shutdown();
     }
 
     #[test]

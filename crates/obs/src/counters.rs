@@ -137,6 +137,10 @@ counters! {
     HttpProfileRequests => (Live, "http_profile_requests", "HTTP requests served on /profile.json."),
     HttpFlamegraphRequests => (Live, "http_flamegraph_requests", "HTTP requests served on /flamegraph."),
     HttpOtherRequests => (Live, "http_other_requests", "HTTP requests that hit an unknown path (404)."),
+    HttpDeltaRequests => (Live, "http_delta_requests", "HTTP requests served on /delta (epoch-delta export)."),
+    HttpTrendRequests => (Live, "http_trend_requests", "HTTP requests served on /trend."),
+    AggPolls => (Live, "agg_polls", "Delta polls issued by the fleet aggregator's followers."),
+    AggResyncs => (Live, "agg_resyncs", "Full resyncs the aggregator performed (instance restart or lag)."),
     SpansRecorded => (Tracer, "spans_recorded", "Trace spans retained in ring buffers."),
     SpansDropped => (Tracer, "spans_dropped", "Trace spans overwritten on ring wraparound."),
 }

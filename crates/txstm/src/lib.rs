@@ -19,10 +19,21 @@
 //! A transaction samples the clock (its *read version* `rv`), then runs the
 //! body under the CPU's software-speculation mode ([`SimCpu::stm_begin`]):
 //! writes are buffered, read lines recorded. At commit it locks the write
-//! stripes, increments the clock, validates every read line's stripe
-//! (unlocked-or-owned and version ≤ `rv`), publishes the write buffer, and
+//! stripes, validates every read line's stripe (unlocked-or-owned and
+//! version ≤ `rv`), publishes the write buffer, increments the clock, and
 //! releases the stripes at the new version. Any failure rolls everything
 //! back and the caller retries with bounded backoff.
+//!
+//! Note the order: publish happens *before* the clock bump. Reads are only
+//! validated at commit time (there is no per-read post-validation), so the
+//! protocol must guarantee that any value published after a transaction
+//! samples `rv` leaves its stripe at a version strictly greater than `rv`.
+//! Publishing first does exactly that — the writer's release version is
+//! taken from a clock increment that happens after the publish, hence after
+//! any `rv` sampled before the publish. Bumping the clock first (textbook
+//! TL2 with per-read validation) would open a window where a reader samples
+//! `rv` equal to the writer's new version but still reads the pre-publish
+//! value, and commit-time validation would wave the stale read through.
 //!
 //! ## Coexistence with HTM: the gate
 //!
@@ -220,8 +231,8 @@ impl Tl2 {
         rv
     }
 
-    /// Commit the open software transaction: lock write stripes, bump the
-    /// clock, validate the read set against `rv`, publish, release. On
+    /// Commit the open software transaction: lock write stripes, validate
+    /// the read set against `rv`, publish, bump the clock, release. On
     /// failure everything is rolled back and the caller should report the
     /// abort ([`SimCpu::stm_report_abort`]) and retry or escalate.
     pub fn commit(&self, cpu: &mut SimCpu, line: u32, rv: u64) -> Result<(), StmAbort> {
@@ -261,7 +272,33 @@ impl Tl2 {
             locked.push((stripe, v));
         }
 
-        // Phase 2: advance the global clock (CAS loop = atomic fetch-add).
+        // Phase 2: validate the read set under the write locks. This must
+        // precede the publish AND the clock bump: reads are not validated
+        // at read time, so the only thing keeping a stale read out of a
+        // commit is that every publish after our `rv` sample leaves its
+        // stripe at a version > rv — which holds precisely because writers
+        // take their release version from a clock increment made after
+        // their publish (phase 4 below).
+        for &l in &taken.read_lines {
+            let stripe = self.stripe_addr(l);
+            let v = cpu.load(line, stripe).expect("plain load cannot abort");
+            let locked_by_us = v & 1 != 0 && locked.iter().any(|&(s, _)| s == stripe);
+            if (v & 1 != 0 && !locked_by_us) || (v >> 1) > rv {
+                obs::count(Counter::StmValidationAborts);
+                self.release(cpu, line, &locked);
+                return Err(fail(cpu, CommitFail::Validation));
+            }
+        }
+
+        // Phase 3: publish. Forced stores always snoop, so any remnant
+        // hardware speculator touching these lines is doomed before it can
+        // observe a torn write buffer.
+        for &(addr, value) in &taken.writes {
+            cpu.store_forced(line, addr, value)
+                .expect("plain store cannot abort");
+        }
+
+        // Phase 4: advance the global clock (CAS loop = atomic fetch-add).
         // Read-only transactions skip it — they publish nothing, so no
         // other transaction ever needs to order against them.
         let wv = if write_stripes.is_empty() {
@@ -278,30 +315,6 @@ impl Tl2 {
                 }
             }
         };
-
-        // Phase 3: validate the read set — unless rv+1 == wv, in which
-        // case no one committed since we started and the reads are
-        // trivially consistent (the classic TL2 short-circuit).
-        if wv != rv + 1 || write_stripes.is_empty() {
-            for &l in &taken.read_lines {
-                let stripe = self.stripe_addr(l);
-                let v = cpu.load(line, stripe).expect("plain load cannot abort");
-                let locked_by_us = v & 1 != 0 && locked.iter().any(|&(s, _)| s == stripe);
-                if (v & 1 != 0 && !locked_by_us) || (v >> 1) > rv {
-                    obs::count(Counter::StmValidationAborts);
-                    self.release(cpu, line, &locked);
-                    return Err(fail(cpu, CommitFail::Validation));
-                }
-            }
-        }
-
-        // Phase 4: publish. Forced stores always snoop, so any remnant
-        // hardware speculator touching these lines is doomed before it can
-        // observe a torn write buffer.
-        for &(addr, value) in &taken.writes {
-            cpu.store_forced(line, addr, value)
-                .expect("plain store cannot abort");
-        }
 
         // Phase 5: release the stripes at the new version.
         for &(stripe, _) in &locked {
