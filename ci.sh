@@ -24,4 +24,21 @@ cargo test -q -p txbench --test agg_smoke
 echo "== STM fallback smoke run (repro --fallback stm on a contended workload)"
 cargo run --release -q -p txbench --bin repro -- --fallback stm --trials 1 profile micro/true_sharing
 
+echo "== adaptive-fallback regression gate (repro diff --check vs pinned baseline)"
+# Profile the mixed-phase workload under the adaptive backend and diff it
+# against the pinned results/baseline_mixed_adaptive.txsp. The gate fails
+# on a dominant component-share regression (>= 10 pp; the workload runs
+# on real threads, so smaller share movement — lock-wait especially — is
+# scheduling jitter) or any decision-tree suggestion absent from the
+# baseline. Rebless by copying the fresh profile over the baseline when
+# an intentional change shifts the decomposition.
+fresh_dir="$(mktemp -d)"
+trap 'rm -rf "$fresh_dir"' EXIT
+cargo run --release -q -p txbench --bin repro -- \
+  --threads 4 --scale 40 --trials 5 --fallback adaptive \
+  --out "$fresh_dir" profile micro/mixed_phase > /dev/null
+cargo run --release -q -p txbench --bin repro -- diff \
+  results/baseline_mixed_adaptive.txsp \
+  "$fresh_dir/profile-micro_mixed_phase.txsp" --check > /dev/null
+
 echo "== ci.sh: all green"

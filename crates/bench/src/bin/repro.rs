@@ -17,7 +17,7 @@ usage:
   repro agg --follow host:port,host:port [--port N] [--poll-ms MS]
   repro flamegraph <file.txsp>
   repro report <file.txsp>
-  repro diff <a.txsp> <b.txsp>
+  repro diff <a.txsp> <b.txsp> [--check]
 
 experiments:
   table1        CLOMP-TM input characteristics
@@ -39,9 +39,12 @@ experiments:
 
 --fallback selects the runtime's fallback backend for every workload run
 (run, serve, table2, profile, ...). KIND must be one of:
-  lock  serialize on the global fallback lock (default; the paper's setup)
-  stm   run give-ups as TL2-style software transactions behind the lock gate
-  hle   retry the fallback once as lock elision before serializing
+  lock      serialize on the global fallback lock (default; the paper's setup)
+  stm       run give-ups as TL2-style software transactions behind the lock gate
+  hle       retry the fallback once as lock elision before serializing
+  adaptive  per-site dispatch: each abort site's profile (abort classes,
+            validation rate, fallback pressure) picks lock/stm/hle for that
+            site, with hysteresis — the profiler's advice, applied live
 Unknown values are an error, never silently defaulted.
 
 serve drives the experiment's workload mix in a loop while exposing the
@@ -73,6 +76,10 @@ component-share movement (naming the dominant improvement/regression),
 top improved and regressed call paths, abort-site weight changes, and
 which decision-tree suggestions were resolved, persist, or are new.
 Warns when the two files' run provenance (workload, threads) differs.
+With --check, doubles as a CI regression gate: exits 1 when B shows a
+dominant component-share regression of at least 10 pp (smaller deltas
+are thread-scheduling noise) or any decision-tree suggestion that was
+absent on A (new advice = new problem).
 
 --self-profile runs the experiment twice — instrumentation off, then
 counters + tracing on — and prints an overhead-decomposition report for
@@ -173,8 +180,19 @@ fn report_command(path: &str) -> ! {
     std::process::exit(0);
 }
 
-/// `repro diff <a.txsp> <b.txsp>`: CCT-aligned differential report.
-fn diff_command(path_a: &str, path_b: &str) -> ! {
+/// `repro diff <a.txsp> <b.txsp> [--check]`: CCT-aligned differential
+/// report; `--check` turns it into a regression gate (exit 1 when B moved
+/// cycle share into a worse component or grew new decision-tree advice).
+///
+/// The workloads run on real threads, so two runs of the same binary
+/// never interleave identically; lock-wait share in particular can move
+/// several points on a loaded machine. The gate only fails a share that
+/// grew by at least this much — real regressions (a backend change, a
+/// lost optimization) move shares by tens of points and grow new
+/// decision-tree advice besides.
+const CHECK_SHARE_TOLERANCE: f64 = 0.10;
+
+fn diff_command(path_a: &str, path_b: &str, check: bool) -> ! {
     let (a, names_a) = load_profile_or_exit(path_a);
     let (b, mut names) = load_profile_or_exit(path_b);
     // Merge name tables; ids are stable across runs of the same workload
@@ -187,6 +205,27 @@ fn diff_command(path_a: &str, path_b: &str) -> ! {
         "{}",
         txsampler::render_diff(&diff, &txsampler::NameSource::Names(&names))
     );
+    if check {
+        let mut failures = Vec::new();
+        if let Some((component, delta)) = diff.dominant_regression() {
+            if delta >= CHECK_SHARE_TOLERANCE {
+                failures.push(format!(
+                    "dominant regression: {component} share grew by {:.1} pp",
+                    delta * 100.0
+                ));
+            }
+        }
+        for s in &diff.suggestions.appeared {
+            failures.push(format!("new suggestion appeared: {}", s.describe()));
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("check failed: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("check passed: no dominant regression, no new suggestions");
+    }
     std::process::exit(0);
 }
 
@@ -413,6 +452,7 @@ fn main() {
     let mut save_pairs: Option<PathBuf> = None;
     let mut follow: Option<String> = None;
     let mut poll_ms: u64 = 200;
+    let mut check = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -453,6 +493,7 @@ fn main() {
             }
             "--follow" => follow = Some(flag_value(&args, &mut i, "--follow").to_string()),
             "--poll-ms" => poll_ms = parse_flag(&args, &mut i, "--poll-ms"),
+            "--check" => check = true,
             flag if flag.starts_with('-') => usage_error(&format!("unknown flag '{flag}'")),
             _ => experiments.push(args[i].clone()),
         }
@@ -496,7 +537,7 @@ fn main() {
             let (Some(a), Some(b)) = (experiments.get(1), experiments.get(2)) else {
                 usage_error("diff requires two saved profile paths (.txsp)");
             };
-            diff_command(a, b);
+            diff_command(a, b, check);
         }
         _ => {}
     }

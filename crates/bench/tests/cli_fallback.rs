@@ -1,0 +1,49 @@
+//! CLI contract for `--fallback`: every subcommand that takes the flag
+//! rejects an unknown backend loudly — exit code 2 with all four valid
+//! choices enumerated — instead of silently defaulting.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn bogus_fallback_exits_2_listing_every_choice_on_every_subcommand() {
+    let invocations: &[&[&str]] = &[
+        &["--fallback", "bogus", "profile", "micro/moderate"],
+        &["--fallback", "bogus", "table2"],
+        &["--fallback", "bogus", "serve", "micro/moderate"],
+        &["--fallback", "bogus", "agg", "--follow", "127.0.0.1:1"],
+        &["profile", "micro/moderate", "--fallback", "bogus"],
+    ];
+    for args in invocations {
+        let out = repro().args(*args).output().expect("repro runs");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "repro {args:?} must exit 2 on a bogus fallback"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("'bogus'"), "{args:?}: {stderr}");
+        for kind in ["lock", "stm", "hle", "adaptive"] {
+            assert!(
+                stderr.contains(kind),
+                "repro {args:?} must list '{kind}' among valid fallbacks: {stderr}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_valid_fallback_is_accepted() {
+    // `--help` still parses flags first, so a valid value must not trip
+    // the enum check regardless of the rest of the command line.
+    for kind in ["lock", "stm", "hle", "adaptive"] {
+        let out = repro()
+            .args(["--fallback", kind, "--help"])
+            .output()
+            .expect("repro runs");
+        assert!(out.status.success(), "--fallback {kind} must parse cleanly");
+    }
+}

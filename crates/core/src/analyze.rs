@@ -27,6 +27,15 @@ pub fn merge_profiles(mut profiles: Vec<ThreadProfile>) -> Profile {
     let samples = profiles.iter().map(|p| p.samples).sum();
     let truncated_paths = profiles.iter().map(|p| p.truncated_paths).sum();
     let interrupt_abort_samples = profiles.iter().map(|p| p.interrupt_abort_samples).sum();
+    let mut backends = std::collections::HashMap::new();
+    for p in &profiles {
+        for (site, mix) in &p.backends {
+            backends
+                .entry(*site)
+                .or_insert_with(crate::metrics::BackendMix::default)
+                .merge(mix);
+        }
+    }
 
     let cct = reduce(profiles);
 
@@ -37,6 +46,7 @@ pub fn merge_profiles(mut profiles: Vec<ThreadProfile>) -> Profile {
         samples,
         truncated_paths,
         interrupt_abort_samples,
+        backends,
         meta: Default::default(),
     }
 }

@@ -706,6 +706,34 @@ mod tests {
     }
 
     #[test]
+    fn backend_mixes_survive_publish_and_delta_export() {
+        let hub = SnapshotHub::new(SnapshotPolicy::EverySamples(100));
+        let site = Ip::new(FuncId(1), 21);
+
+        let mut d0 = delta(0, 10, 5, 1);
+        let m = d0.backend_mix(site);
+        m.stm = 4;
+        m.switches = 1;
+        hub.publish(&d0);
+
+        let mut d1 = delta(1, 10, 7, 2);
+        let m = d1.backend_mix(site);
+        m.stm = 3;
+        m.hle = 2;
+        hub.publish(&d1);
+
+        // Cumulative snapshot: both threads' mixes merged per site.
+        let mix = hub.latest().profile.backends[&site];
+        assert_eq!((mix.lock, mix.stm, mix.hle, mix.switches), (0, 7, 2, 1));
+        assert_eq!(hub.latest().profile.backends[&site].choice(), Some("stm"));
+
+        // Epoch-delta export: only the second publish's mix.
+        let view = hub.delta_since(1);
+        let mix = view.profile.backends[&site];
+        assert_eq!((mix.lock, mix.stm, mix.hle, mix.switches), (0, 3, 2, 0));
+    }
+
+    #[test]
     fn incremental_absorption_matches_postmortem_merge() {
         // Split each thread's activity into several deltas, publish them
         // interleaved, and compare against merging the whole thread

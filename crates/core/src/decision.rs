@@ -8,6 +8,7 @@
 //! matching rule-of-thumb suggestions (split/shrink/merge transactions,
 //! relocate data, move unfriendly instructions out, …).
 
+use rtm_runtime::{AdaptivePolicy, FallbackKind};
 use txsim_pmu::Ip;
 
 use crate::metrics::Metrics;
@@ -68,6 +69,12 @@ pub enum Suggestion {
     MoveUnfriendlyInstructionsOut,
     /// Replace an unfriendly instruction with a friendly equivalent.
     UseFriendlyEquivalent,
+    /// Run this site's fallback on a different backend. Emitted when
+    /// [`AdaptivePolicy::classify`] — the *same* classifier the adaptive
+    /// runtime acts on — maps the site's abort evidence to a backend other
+    /// than the one the run used, so report advice and runtime behavior
+    /// provably agree.
+    SwitchBackend(FallbackKind),
     /// Transactional path dominates and commits: nothing to fix.
     NothingToFix,
 }
@@ -92,6 +99,18 @@ impl Suggestion {
                 "move unfriendly instructions/calls out of the transaction"
             }
             Suggestion::UseFriendlyEquivalent => "use an HTM-friendly equivalent",
+            Suggestion::SwitchBackend(FallbackKind::Lock) => {
+                "switch this site's fallback to the serial lock (stop speculating on doomed attempts)"
+            }
+            Suggestion::SwitchBackend(FallbackKind::Stm) => {
+                "switch this site's fallback to the software TM (independent overflows commit concurrently)"
+            }
+            Suggestion::SwitchBackend(FallbackKind::Hle) => {
+                "switch this site's fallback to the elided lock (transient conflicts deserve one more attempt)"
+            }
+            Suggestion::SwitchBackend(FallbackKind::Adaptive) => {
+                "run this site under the adaptive fallback policy"
+            }
             Suggestion::NothingToFix => {
                 "the transactional path dominates and commits well; no recommendation"
             }
@@ -205,13 +224,35 @@ pub fn diagnose(profile: &Profile, thresholds: &Thresholds) -> Diagnosis {
     }
 
     // ③④⑤⑥ Abort analysis on the hottest sites.
+    let run_backend = profile
+        .meta
+        .fallback
+        .as_deref()
+        .and_then(FallbackKind::parse);
     let mut sites = Vec::new();
     if needs_abort_analysis || totals.abort_samples >= thresholds.min_abort_samples {
         for (site, m) in profile.hot_abort_sites().into_iter().take(5) {
             if m.abort_samples < thresholds.min_abort_samples {
                 continue;
             }
-            sites.push(diagnose_site(site, m, &totals, thresholds, &mut steps));
+            // What this site's fallback runs on today: the per-site mix of
+            // an adaptive run when recorded, else the run's static backend.
+            // Adaptive sites with no fallback activity start on the lock,
+            // exactly like the runtime's fresh slots.
+            let current = profile
+                .backends
+                .get(&site)
+                .and_then(|mix| mix.choice())
+                .and_then(FallbackKind::parse)
+                .or(run_backend)
+                .map(|k| match k {
+                    FallbackKind::Adaptive => FallbackKind::Lock,
+                    other => other,
+                })
+                .unwrap_or(FallbackKind::Lock);
+            sites.push(diagnose_site(
+                site, m, &totals, current, thresholds, &mut steps,
+            ));
         }
     }
 
@@ -226,6 +267,7 @@ fn diagnose_site(
     site: Ip,
     m: Metrics,
     totals: &Metrics,
+    current: FallbackKind,
     thresholds: &Thresholds,
     steps: &mut Vec<Step>,
 ) -> SiteDiagnosis {
@@ -273,6 +315,19 @@ fn diagnose_site(
         suggestions.push(Suggestion::UseFriendlyEquivalent);
     }
     suggestions.dedup();
+
+    // The control-loop branch: ask the adaptive runtime's own classifier
+    // what backend this evidence wants. Reaching here already implies real
+    // abort pressure (`min_abort_samples`), the sampled analog of the
+    // policy's `min_pressure` gate; disagreement with the current choice
+    // becomes advice the adaptive backend would act on by itself.
+    if let Some(target) = AdaptivePolicy::DEFAULT.classify(r_conf, r_cap, r_sync, m.r_validation())
+    {
+        if target != current {
+            suggestions.push(Suggestion::SwitchBackend(target));
+        }
+    }
+
     let dominant_class = if suggestions.is_empty() {
         suggestions.push(Suggestion::ShrinkTransactions);
         "mixed"
@@ -460,6 +515,130 @@ mod tests {
         assert!(d.sites[0]
             .suggestions
             .contains(&Suggestion::MoveUnfriendlyInstructionsOut));
+    }
+
+    #[test]
+    fn capacity_site_on_lock_run_wants_stm() {
+        let p = profile_with(|p| {
+            let n = stmt(p, 1, 1);
+            for _ in 0..70 {
+                p.cct
+                    .metrics_mut(n)
+                    .add_cycles_sample(TimeComponent::Fallback);
+            }
+            for _ in 0..30 {
+                p.cct.metrics_mut(n).add_cycles_sample(TimeComponent::Tx);
+            }
+            let m = p.cct.metrics_mut(n);
+            m.abort_samples = 10;
+            m.abort_weight = 1000;
+            m.aborts_capacity = 10;
+            m.capacity_weight = 1000;
+            p.meta.fallback = Some("lock".to_string());
+        });
+        let d = diagnose(&p, &Thresholds::default());
+        assert!(d.sites[0]
+            .suggestions
+            .contains(&Suggestion::SwitchBackend(FallbackKind::Stm)));
+        // Same evidence on an STM run: the classifier agrees with the
+        // current choice, so no switch is advised.
+        let mut q = p.clone();
+        q.meta.fallback = Some("stm".to_string());
+        let d = diagnose(&q, &Thresholds::default());
+        assert!(!d.sites[0]
+            .suggestions
+            .iter()
+            .any(|s| matches!(s, Suggestion::SwitchBackend(_))));
+    }
+
+    #[test]
+    fn conflict_site_wants_hle_and_sync_site_keeps_lock() {
+        let p = profile_with(|p| {
+            let conflict = stmt(p, 1, 1);
+            for _ in 0..60 {
+                p.cct
+                    .metrics_mut(conflict)
+                    .add_cycles_sample(TimeComponent::Fallback);
+            }
+            for _ in 0..40 {
+                p.cct
+                    .metrics_mut(conflict)
+                    .add_cycles_sample(TimeComponent::Tx);
+            }
+            let m = p.cct.metrics_mut(conflict);
+            m.abort_samples = 10;
+            m.abort_weight = 1000;
+            m.aborts_conflict = 10;
+            m.conflict_weight = 1000;
+            m.true_sharing = 5;
+            let sync = stmt(p, 2, 2);
+            let m = p.cct.metrics_mut(sync);
+            m.abort_samples = 10;
+            m.abort_weight = 500;
+            m.aborts_sync = 10;
+            m.sync_weight = 500;
+            p.meta.fallback = Some("lock".to_string());
+        });
+        let d = diagnose(&p, &Thresholds::default());
+        let by_site = |func: u32| {
+            d.sites
+                .iter()
+                .find(|s| s.site.func.0 == func)
+                .expect("site diagnosed")
+        };
+        assert!(by_site(1)
+            .suggestions
+            .contains(&Suggestion::SwitchBackend(FallbackKind::Hle)));
+        // Sync-dominant wants the lock — which the run already uses.
+        assert!(!by_site(2)
+            .suggestions
+            .iter()
+            .any(|s| matches!(s, Suggestion::SwitchBackend(_))));
+    }
+
+    #[test]
+    fn per_site_mix_overrides_run_backend() {
+        // An adaptive run that already moved the site to STM: the recorded
+        // per-site mix, not the run-level `fallback=adaptive`, is the
+        // current choice, so no switch is advised.
+        let p = profile_with(|p| {
+            let n = stmt(p, 1, 1);
+            for _ in 0..70 {
+                p.cct
+                    .metrics_mut(n)
+                    .add_cycles_sample(TimeComponent::Fallback);
+            }
+            for _ in 0..30 {
+                p.cct.metrics_mut(n).add_cycles_sample(TimeComponent::Tx);
+            }
+            let m = p.cct.metrics_mut(n);
+            m.abort_samples = 10;
+            m.abort_weight = 1000;
+            m.aborts_capacity = 10;
+            m.capacity_weight = 1000;
+            p.meta.fallback = Some("adaptive".to_string());
+            p.backends.insert(
+                Ip::new(FuncId(1), 1),
+                crate::metrics::BackendMix {
+                    stm: 20,
+                    switches: 1,
+                    ..Default::default()
+                },
+            );
+        });
+        let d = diagnose(&p, &Thresholds::default());
+        assert!(!d.sites[0]
+            .suggestions
+            .iter()
+            .any(|s| matches!(s, Suggestion::SwitchBackend(_))));
+        // Without the mix, `fallback=adaptive` means fresh slots on the
+        // lock — the switch is advised again.
+        let mut q = p.clone();
+        q.backends.clear();
+        let d = diagnose(&q, &Thresholds::default());
+        assert!(d.sites[0]
+            .suggestions
+            .contains(&Suggestion::SwitchBackend(FallbackKind::Stm)));
     }
 
     #[test]

@@ -27,7 +27,7 @@ use txsim_pmu::Ip;
 
 use crate::cct::{Cct, NodeId, NodeKey, ROOT};
 use crate::decision::{diagnose, Suggestion, Thresholds};
-use crate::metrics::Metrics;
+use crate::metrics::{BackendMix, Metrics};
 use crate::profile::{Profile, TimeBreakdown};
 use crate::report::{bar, key_rank, pct};
 use crate::view::NameSource;
@@ -108,6 +108,11 @@ pub struct ProfileDiff {
     pub sites: Vec<SiteDiff>,
     /// Decision-tree movement between the sides.
     pub suggestions: SuggestionChanges,
+    /// Baseline fallback-backend mix (the stamped run-level mix when
+    /// present, else the sum of per-site mixes; zero for static runs).
+    pub a_mix: BackendMix,
+    /// Comparison fallback-backend mix.
+    pub b_mix: BackendMix,
     /// Provenance mismatches (different workload/threads/period).
     pub warnings: Vec<String>,
 }
@@ -337,6 +342,8 @@ pub fn diff_profiles(a: &Profile, b: &Profile, thresholds: &Thresholds) -> Profi
         nodes,
         sites,
         suggestions: suggestion_changes(a, b, thresholds),
+        a_mix: a.meta.mix.unwrap_or_else(|| a.backend_totals()),
+        b_mix: b.meta.mix.unwrap_or_else(|| b.backend_totals()),
         warnings: provenance_warnings(a, b),
     }
 }
@@ -500,6 +507,23 @@ pub fn render_diff(diff: &ProfileDiff, names: &NameSource) -> String {
         &diff.a_totals,
         &diff.b_totals,
     ));
+    if !diff.a_mix.is_zero() || !diff.b_mix.is_zero() {
+        let (a, b) = (&diff.a_mix, &diff.b_mix);
+        writeln!(
+            out,
+            "backend mix: lock {} → {}, stm {} → {}, hle {} → {}; switches {} → {} ({:+})",
+            a.lock,
+            b.lock,
+            a.stm,
+            b.stm,
+            a.hle,
+            b.hle,
+            a.switches,
+            b.switches,
+            b.switches as i64 - a.switches as i64,
+        )
+        .unwrap();
+    }
     match diff.dominant_improvement() {
         Some((component, delta)) => {
             writeln!(out, "dominant improvement: {component} {}", pp(delta)).unwrap()
@@ -691,6 +715,43 @@ mod tests {
         assert_eq!(d.gained.abort_weight, 0);
         assert_eq!(d.lost.abort_weight, 100);
         assert_eq!(d.lost.w, 0);
+    }
+
+    #[test]
+    fn backend_mix_deltas_render_when_either_side_is_adaptive() {
+        let x = [stmt(1, 1, true)];
+        let a = profile_of(&[(&x, 5, 100)]);
+        let mut b = profile_of(&[(&x, 5, 0)]);
+        // Static vs static: no mix line at all.
+        let d = diff_profiles(&a, &b, &Thresholds::default());
+        assert!(d.a_mix.is_zero() && d.b_mix.is_zero());
+        assert!(!render_diff(&d, &NameSource::Anonymous).contains("backend mix:"));
+        // Adaptive comparison run: meta mix wins and renders.
+        b.meta.mix = Some(BackendMix {
+            lock: 1,
+            stm: 7,
+            hle: 2,
+            switches: 3,
+        });
+        let d = diff_profiles(&a, &b, &Thresholds::default());
+        let text = render_diff(&d, &NameSource::Anonymous);
+        assert!(
+            text.contains("backend mix: lock 0 → 1, stm 0 → 7, hle 0 → 2; switches 0 → 3 (+3)"),
+            "{text}"
+        );
+        // Without a stamped meta mix the per-site table is summed instead.
+        b.meta.mix = None;
+        b.backends.insert(
+            Ip::new(FuncId(1), 1),
+            BackendMix {
+                hle: 4,
+                switches: 1,
+                ..Default::default()
+            },
+        );
+        let d = diff_profiles(&a, &b, &Thresholds::default());
+        assert_eq!(d.b_mix.hle, 4);
+        assert_eq!(d.b_mix.switches, 1);
     }
 
     #[test]

@@ -83,6 +83,6 @@ pub use contention::{ContentionMap, Sharing};
 pub use decision::{diagnose, Diagnosis, Suggestion, Thresholds};
 pub use diff::{diff_profiles, render_diff, render_totals_diff, ProfileDiff};
 pub use imbalance::{detect_imbalance, Imbalance, ImbalanceKind};
-pub use metrics::{Metrics, TimeComponent};
+pub use metrics::{BackendMix, Metrics, TimeComponent};
 pub use profile::{Periods, Profile, RunMeta, ThreadProfile, TimeBreakdown};
 pub use view::{NameSource, ProfileView};

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use txsim_pmu::{EventKind, Ip, SamplingConfig};
 
 use crate::cct::Cct;
-use crate::metrics::Metrics;
+use crate::metrics::{BackendMix, Metrics};
 
 /// Sampling periods in force during collection, kept so sample counts can
 /// be scaled back to estimated event counts (1 sample ≈ `period` events).
@@ -63,12 +63,21 @@ pub struct ThreadProfile {
     /// Per transaction-site (commit samples, abort samples) — feeds the
     /// per-thread histogram view.
     pub sites: HashMap<Ip, (u64, u64)>,
+    /// Runtime-reported per-site fallback-backend activity (adaptive
+    /// backend only; empty under static backends). Fed by the harness from
+    /// the runtime's thread-private site tables, not from PMU samples.
+    pub backends: HashMap<Ip, BackendMix>,
 }
 
 impl ThreadProfile {
     /// Mutable access to a site's (commits, aborts) counters.
     pub fn site_commits(&mut self, site: Ip) -> &mut (u64, u64) {
         self.sites.entry(site).or_insert((0, 0))
+    }
+
+    /// Mutable access to a site's backend-mix counters.
+    pub fn backend_mix(&mut self, site: Ip) -> &mut BackendMix {
+        self.backends.entry(site).or_default()
     }
 
     /// Drain the accumulated data, leaving an empty profile that keeps its
@@ -85,12 +94,16 @@ impl ThreadProfile {
             truncated_paths: std::mem::take(&mut self.truncated_paths),
             interrupt_abort_samples: std::mem::take(&mut self.interrupt_abort_samples),
             sites: std::mem::take(&mut self.sites),
+            backends: std::mem::take(&mut self.backends),
         }
     }
 
     /// Whether the profile holds no samples at all.
     pub fn is_empty(&self) -> bool {
-        self.samples == 0 && self.cct.is_empty() && self.interrupt_abort_samples == 0
+        self.samples == 0
+            && self.cct.is_empty()
+            && self.interrupt_abort_samples == 0
+            && self.backends.is_empty()
     }
 }
 
@@ -119,10 +132,14 @@ pub struct RunMeta {
     pub threads: Option<u32>,
     /// Cycles sampling period in force (1 sample ≈ this many cycles).
     pub sample_period: Option<u64>,
-    /// Fallback backend the run used (`lock`, `stm`, or `hle`). Kept as a
-    /// string so old analyzers can still load files written by newer tools
-    /// with backends they do not know.
+    /// Fallback backend the run used (`lock`, `stm`, `hle`, or `adaptive`).
+    /// Kept as a string so old analyzers can still load files written by
+    /// newer tools with backends they do not know.
     pub fallback: Option<String>,
+    /// Final fallback-execution mix of the run (adaptive backend only):
+    /// how many slow-path executions each flavor served, plus how many
+    /// times the policy switched a site's backend.
+    pub mix: Option<BackendMix>,
 }
 
 impl RunMeta {
@@ -132,6 +149,7 @@ impl RunMeta {
             && self.threads.is_none()
             && self.sample_period.is_none()
             && self.fallback.is_none()
+            && self.mix.is_none()
     }
 }
 
@@ -150,6 +168,9 @@ pub struct Profile {
     pub truncated_paths: u64,
     /// Discounted profiler-induced abort samples.
     pub interrupt_abort_samples: u64,
+    /// Per-site fallback-backend activity merged across threads (adaptive
+    /// backend only; empty under static backends).
+    pub backends: HashMap<Ip, BackendMix>,
     /// Provenance of the run that produced this profile, if known.
     pub meta: RunMeta,
 }
@@ -234,6 +255,9 @@ impl Profile {
             entry.0 += c;
             entry.1 += a;
         }
+        for (site, mix) in &delta.backends {
+            self.backends.entry(*site).or_default().merge(mix);
+        }
     }
 
     /// A copy of this profile with every function id rewritten through `f`
@@ -269,6 +293,15 @@ impl Profile {
             samples: self.samples,
             truncated_paths: self.truncated_paths,
             interrupt_abort_samples: self.interrupt_abort_samples,
+            backends: self
+                .backends
+                .iter()
+                .fold(HashMap::new(), |mut acc, (site, mix)| {
+                    acc.entry(Ip::new(f(site.func), site.line))
+                        .or_default()
+                        .merge(mix);
+                    acc
+                }),
             meta: self.meta.clone(),
         }
     }
@@ -309,6 +342,18 @@ impl Profile {
                 e.1 += a;
             }
         }
+        for (site, mix) in &other.backends {
+            self.backends.entry(*site).or_default().merge(mix);
+        }
+    }
+
+    /// Sum of per-site backend mixes — the run's overall fallback mix.
+    pub fn backend_totals(&self) -> BackendMix {
+        let mut acc = BackendMix::default();
+        for mix in self.backends.values() {
+            acc.merge(mix);
+        }
+        acc
     }
 
     /// The critical-section duration ratio r_cs = T/W.
@@ -529,6 +574,44 @@ mod tests {
         assert_eq!(q.threads[0].sites[&Ip::new(FuncId(103), 7)], (2, 1));
         // Original untouched.
         assert_eq!(p.threads[0].sites[&Ip::new(FuncId(3), 7)], (2, 1));
+    }
+
+    #[test]
+    fn backend_mixes_flow_through_delta_absorb_and_remap() {
+        let site = Ip::new(FuncId(3), 7);
+        let mut tp = ThreadProfile {
+            tid: 0,
+            ..ThreadProfile::default()
+        };
+        tp.backend_mix(site).lock = 5;
+        tp.backend_mix(site).switches = 1;
+        assert!(!tp.is_empty(), "backend activity alone makes it non-empty");
+
+        let delta = tp.take_delta();
+        assert!(tp.backends.is_empty(), "take_delta drains the mix");
+        let mut p = Profile::default();
+        p.absorb_thread_delta(&delta);
+        assert_eq!(p.backends[&site].lock, 5);
+        assert_eq!(p.backend_totals().switches, 1);
+
+        // Second delta from another thread merges additively.
+        let mut tp2 = ThreadProfile {
+            tid: 1,
+            ..ThreadProfile::default()
+        };
+        tp2.backend_mix(site).stm = 3;
+        p.absorb_thread_delta(&tp2.take_delta());
+        assert_eq!(p.backends[&site].stm, 3);
+        assert_eq!(p.backend_totals().total(), 8);
+
+        // Fleet-merge and remap keep the mix keyed per site.
+        let mut fleet = Profile::default();
+        fleet.absorb_profile(&p, 0);
+        fleet.absorb_profile(&p, 1000);
+        assert_eq!(fleet.backends[&site].lock, 10);
+        let q = fleet.remap_funcs(&mut |f| FuncId(f.0 + 100));
+        assert_eq!(q.backends[&Ip::new(FuncId(103), 7)].stm, 6);
+        assert!(!q.backends.contains_key(&site));
     }
 
     #[test]

@@ -566,7 +566,47 @@ fn summary_pass(view: &ProfileView, _opts: &ReportOptions) -> String {
         if let Some(fallback) = &p.meta.fallback {
             let _ = write!(out, " fallback={fallback}");
         }
+        if let Some(mix) = &p.meta.mix {
+            let _ = write!(
+                out,
+                " mix=lock:{}/stm:{}/hle:{} switches={}",
+                mix.lock, mix.stm, mix.hle, mix.switches
+            );
+        }
         out.push('\n');
+    }
+    out
+}
+
+/// Backend pass: the adaptive control loop's footprint. Renders the
+/// run-level fallback mix and each site's chosen backend; empty (and
+/// therefore skipped) for static-backend runs, so their reports are
+/// unchanged.
+fn backend_pass(view: &ProfileView, _opts: &ReportOptions) -> String {
+    let p = view.profile;
+    let totals = p.backend_totals();
+    if totals.is_zero() && p.meta.mix.is_none() {
+        return String::new();
+    }
+    let mix = p.meta.mix.unwrap_or(totals);
+    let mut out = format!(
+        "fallback mix: lock {} stm {} hle {}  (backend switches: {})\n",
+        mix.lock, mix.stm, mix.hle, mix.switches
+    );
+    let mut sites: Vec<_> = p.backends.iter().collect();
+    sites.sort_by_key(|(site, _)| (site.func.0, site.line));
+    for (site, m) in sites {
+        writeln!(
+            out,
+            "  site {:<30} -> {:<4}  lock {:>6} stm {:>6} hle {:>6} switches {:>3}",
+            view.ip_name(*site),
+            m.choice().unwrap_or("-"),
+            m.lock,
+            m.stm,
+            m.hle,
+            m.switches,
+        )
+        .unwrap();
     }
     out
 }
@@ -640,6 +680,10 @@ pub const REPORT_PASSES: &[ReportPass] = &[
     ReportPass {
         name: "aborts",
         run: |view, _| render_abort_breakdown(view),
+    },
+    ReportPass {
+        name: "backends",
+        run: backend_pass,
     },
     ReportPass {
         name: "cct",
@@ -836,6 +880,42 @@ mod tests {
         p.cct.metrics_mut(leaf).w = 5;
         let folded = render_folded_registry(&p, &registry);
         assert_eq!(folded, "main 2\nmain;main:3 5\n");
+    }
+
+    #[test]
+    fn backend_pass_renders_only_for_adaptive_runs() {
+        let registry = FuncRegistry::new();
+        let mut p = sample_profile(&registry);
+        let view = ProfileView::from_registry(&p, &registry);
+        let report = render_report(&view, &ReportOptions::default());
+        assert!(
+            !report.contains("fallback mix:"),
+            "static runs stay unchanged"
+        );
+
+        p.meta.fallback = Some("adaptive".to_string());
+        p.meta.mix = Some(crate::metrics::BackendMix {
+            lock: 9,
+            stm: 4,
+            hle: 2,
+            switches: 3,
+        });
+        p.backends.insert(
+            Ip::new(FuncId(1), 12),
+            crate::metrics::BackendMix {
+                stm: 4,
+                switches: 1,
+                ..Default::default()
+            },
+        );
+        let view = ProfileView::from_registry(&p, &registry);
+        let report = render_report(&view, &ReportOptions::default());
+        assert!(
+            report.contains("fallback mix: lock 9 stm 4 hle 2  (backend switches: 3)"),
+            "got:\n{report}"
+        );
+        assert!(report.contains("-> stm"), "got:\n{report}");
+        assert!(report.contains("mix=lock:9/stm:4/hle:2 switches=3"));
     }
 
     #[test]

@@ -24,10 +24,13 @@ use crate::profile::{Periods, Profile, RunMeta, ThreadSummary};
 /// - v3: metric records grow from 18 to 21 fields (`t_fb_stm`,
 ///   `aborts_validation`, `validation_weight` — the STM fallback
 ///   sub-breakdown), and `meta` learns the `fallback=` backend key.
+/// - v4: `meta` learns the `mix=` key (final fallback-execution mix of an
+///   adaptive run: `lock:stm:hle:switches`), and a new `backend` record
+///   carries the per-site mix. Metric arity is unchanged from v3.
 ///
 /// The loader accepts all of them; pre-v3 files load with the new fields
-/// zero and no recorded backend.
-pub const FORMAT_VERSION: u32 = 3;
+/// zero and no recorded backend, pre-v4 files with no recorded mix.
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Oldest format version the loader still accepts.
 pub const MIN_FORMAT_VERSION: u32 = 1;
@@ -69,6 +72,9 @@ fn referenced_funcs(profile: &Profile) -> BTreeSet<u32> {
             ids.insert(site.func.0);
         }
     }
+    for site in profile.backends.keys() {
+        ids.insert(site.func.0);
+    }
     ids
 }
 
@@ -102,6 +108,13 @@ fn write_records(out: &mut String, profile: &Profile, name_of: &dyn Fn(FuncId) -
         }
         if let Some(fallback) = &profile.meta.fallback {
             let _ = write!(out, "\tfallback={fallback}");
+        }
+        if let Some(mix) = &profile.meta.mix {
+            let _ = write!(
+                out,
+                "\tmix={}:{}:{}:{}",
+                mix.lock, mix.stm, mix.hle, mix.switches
+            );
         }
         out.push('\n');
     }
@@ -157,6 +170,18 @@ fn write_records(out: &mut String, profile: &Profile, name_of: &dyn Fn(FuncId) -
             )
             .unwrap();
         }
+    }
+
+    // Per-site backend mix (v4), sorted for byte-stable output.
+    let mut backends: Vec<_> = profile.backends.iter().collect();
+    backends.sort_by_key(|(site, _)| (site.func.0, site.line));
+    for (site, mix) in backends {
+        writeln!(
+            out,
+            "backend\t{}\t{}\t{}\t{}\t{}\t{}",
+            site.func.0, site.line, mix.lock, mix.stm, mix.hle, mix.switches
+        )
+        .unwrap();
     }
 }
 
@@ -366,6 +391,21 @@ fn parse_records<'a>(
                         "fallback" if !value.is_empty() && meta.fallback.is_none() => {
                             meta.fallback = Some(value.to_string());
                         }
+                        "mix" if version >= 4 && meta.mix.is_none() => {
+                            let vals: Vec<u64> = value
+                                .split(':')
+                                .map(|f| f.parse().map_err(|_| LoadError::bad("meta mix")))
+                                .collect::<Result<_, _>>()?;
+                            if vals.len() != 4 {
+                                return Err(LoadError::bad("meta mix arity"));
+                            }
+                            meta.mix = Some(crate::metrics::BackendMix {
+                                lock: vals[0],
+                                stm: vals[1],
+                                hle: vals[2],
+                                switches: vals[3],
+                            });
+                        }
                         _ => return Err(LoadError::bad("meta field")),
                     }
                 }
@@ -450,6 +490,27 @@ fn parse_records<'a>(
                 t.sites.insert(
                     Ip::new(FuncId(vals[1] as u32), vals[2] as u32),
                     (vals[3], vals[4]),
+                );
+            }
+            Some("backend") if version >= 4 => {
+                let vals: Vec<u64> = fields
+                    .map(|f| f.parse().map_err(|_| LoadError::bad("backend field")))
+                    .collect::<Result<_, _>>()?;
+                if vals.len() != 6 {
+                    return Err(LoadError::bad("backend arity"));
+                }
+                let site = Ip::new(FuncId(vals[0] as u32), vals[1] as u32);
+                if profile.backends.contains_key(&site) {
+                    return Err(LoadError::bad("duplicate backend record"));
+                }
+                profile.backends.insert(
+                    site,
+                    crate::metrics::BackendMix {
+                        lock: vals[2],
+                        stm: vals[3],
+                        hle: vals[4],
+                        switches: vals[5],
+                    },
                 );
             }
             Some("") | None => {}
@@ -737,10 +798,11 @@ mod tests {
             threads: Some(14),
             sample_period: Some(1000),
             fallback: Some("stm".to_string()),
+            mix: None,
         };
         let text = save(&p);
         assert!(text.contains("meta\tworkload=histo\tthreads=14\tperiod=1000\tfallback=stm"));
-        let q = load(&text).expect("v3 roundtrip");
+        let q = load(&text).expect("v4 roundtrip");
         assert_eq!(q.meta, p.meta);
         // save∘load stays byte-stable with meta present.
         assert_eq!(save(&q), text);
@@ -760,7 +822,7 @@ mod tests {
 
         // A headerless v1 file (what every pre-v2 run wrote) still loads,
         // with empty provenance.
-        let v1 = strip_stm_fields(&bare.replacen("\tv3\t", "\tv1\t", 1));
+        let v1 = strip_stm_fields(&bare.replacen("\tv4\t", "\tv1\t", 1));
         let q = load(&v1).expect("v1 files still load");
         assert_eq!(q.totals(), sample_profile().totals());
         assert!(q.meta.is_empty());
@@ -771,7 +833,7 @@ mod tests {
         // A pre-v3 writer emitted 18-field metric records; the loader must
         // accept them with the STM sub-breakdown zero.
         let p = sample_profile();
-        let text = strip_stm_fields(&save(&p).replacen("\tv3\t", "\tv2\t", 1));
+        let text = strip_stm_fields(&save(&p).replacen("\tv4\t", "\tv2\t", 1));
         let q = load(&text).expect("v2 18-field files still load");
         let t = q.totals();
         assert_eq!(t.w, p.totals().w);
@@ -835,11 +897,121 @@ mod tests {
     }
 
     #[test]
+    fn v4_mix_and_backend_records_roundtrip() {
+        use crate::metrics::BackendMix;
+        let mut p = sample_profile();
+        p.meta.fallback = Some("adaptive".to_string());
+        p.meta.mix = Some(BackendMix {
+            lock: 7,
+            stm: 5,
+            hle: 3,
+            switches: 2,
+        });
+        p.backends.insert(
+            Ip::new(FuncId(1), 42),
+            BackendMix {
+                lock: 7,
+                stm: 0,
+                hle: 0,
+                switches: 0,
+            },
+        );
+        p.backends.insert(
+            Ip::new(FuncId(9), 55),
+            BackendMix {
+                lock: 0,
+                stm: 5,
+                hle: 3,
+                switches: 2,
+            },
+        );
+        let text = save(&p);
+        assert!(text.contains("fallback=adaptive\tmix=7:5:3:2"));
+        assert!(text.contains("backend\t1\t42\t7\t0\t0\t0\n"));
+        assert!(text.contains("backend\t9\t55\t0\t5\t3\t2\n"));
+        let q = load(&text).expect("v4 roundtrip");
+        assert_eq!(q.meta.mix, p.meta.mix);
+        assert_eq!(q.backends, p.backends);
+        assert_eq!(q.backend_totals().total(), 15);
+        // save∘load stays byte-stable with mix records present.
+        assert_eq!(save(&q), text);
+        // Func records cover backend-only sites.
+        let names: FuncNames = [(9, "hot".to_string())].into_iter().collect();
+        assert!(save_with_names(&p, &|id| names.get(&id.0).cloned()).contains("func\t9\thot"));
+    }
+
+    #[test]
+    fn pre_v4_files_reject_mix_and_backend_records() {
+        let mut p = sample_profile();
+        p.meta.fallback = Some("adaptive".to_string());
+        p.meta.mix = Some(crate::metrics::BackendMix {
+            lock: 1,
+            stm: 2,
+            hle: 3,
+            switches: 4,
+        });
+        p.backends
+            .insert(Ip::new(FuncId(1), 42), Default::default());
+        let text = save(&p);
+        // A file claiming v3 may not carry v4 records: strict loaders keep
+        // hand-downgraded files honest.
+        let downgraded = text.replacen("\tv4\t", "\tv3\t", 1);
+        assert!(load(&downgraded).is_err());
+        // But the same v3 file without the v4 records loads fine.
+        let cleaned: String = downgraded
+            .lines()
+            .filter(|l| !l.starts_with("backend\t"))
+            .map(|l| {
+                if l.starts_with("meta\t") {
+                    l.split('\t')
+                        .filter(|f| !f.starts_with("mix="))
+                        .collect::<Vec<_>>()
+                        .join("\t")
+                        + "\n"
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        let q = load(&cleaned).expect("v3 without v4 records loads");
+        assert_eq!(q.meta.mix, None);
+        assert!(q.backends.is_empty());
+        assert_eq!(q.meta.fallback.as_deref(), Some("adaptive"));
+    }
+
+    #[test]
+    fn rejects_malformed_mix_and_backend_records() {
+        let mut p = sample_profile();
+        p.meta.mix = Some(crate::metrics::BackendMix {
+            lock: 1,
+            stm: 2,
+            hle: 3,
+            switches: 4,
+        });
+        p.backends.insert(
+            Ip::new(FuncId(1), 42),
+            crate::metrics::BackendMix {
+                lock: 5,
+                ..Default::default()
+            },
+        );
+        let text = save(&p);
+        assert!(load(&text.replace("mix=1:2:3:4", "mix=1:2:3")).is_err());
+        assert!(load(&text.replace("mix=1:2:3:4", "mix=1:2:3:x")).is_err());
+        assert!(load(&text.replace("mix=1:2:3:4", "mix=1:2:3:4\tmix=1:2:3:4")).is_err());
+        let backend_line = "backend\t1\t42\t5\t0\t0\t0";
+        assert!(load(&text.replace(backend_line, "backend\t1\t42\t5\t0\t0")).is_err());
+        assert!(load(&text.replace(backend_line, "backend\t1\t42\t5\t0\t0\tx")).is_err());
+        let dup = text.replace(backend_line, &format!("{backend_line}\n{backend_line}"));
+        assert!(load(&dup).is_err(), "duplicate site must be rejected");
+    }
+
+    #[test]
     fn rejects_unknown_versions() {
         let text = save(&sample_profile());
-        assert!(load(&text.replacen("\tv3\t", "\tv99\t", 1)).is_err());
-        assert!(load(&text.replacen("\tv3\t", "\tv0\t", 1)).is_err());
-        assert!(load(&text.replacen("\tv3\t", "\tsomething\t", 1)).is_err());
+        assert!(load(&text.replacen("\tv4\t", "\tv99\t", 1)).is_err());
+        assert!(load(&text.replacen("\tv4\t", "\tv0\t", 1)).is_err());
+        assert!(load(&text.replacen("\tv4\t", "\tsomething\t", 1)).is_err());
     }
 
     #[test]

@@ -33,6 +33,7 @@ fn side(registry: &FuncRegistry, optimized: bool) -> Profile {
         threads: Some(8),
         sample_period: Some(1000),
         fallback: None,
+        mix: None,
     };
     let frame = p.cct.child(
         ROOT,

@@ -269,11 +269,24 @@ pub fn run_workload<S: Sync>(
                     start_barrier.wait();
                     work(&mut worker, shared);
                     worker.cpu.retire();
+                    let mut profile = handle.map(|h| h.take());
+                    if let Some(p) = &mut profile {
+                        // Fold the runtime's per-site backend bookkeeping into
+                        // the thread profile so both the post-mortem merge and
+                        // the hub's residual publish carry the backend mix.
+                        for snap in worker.tm.sites.take_delta() {
+                            let mix = p.backend_mix(snap.site);
+                            mix.lock += snap.fb_lock;
+                            mix.stm += snap.fb_stm;
+                            mix.hle += snap.fb_hle;
+                            mix.switches += snap.switches;
+                        }
+                    }
                     WorkerResult {
                         cycles: worker.cpu.cycles(),
                         truth: worker.tm.truth,
                         stats: *worker.cpu.stats(),
-                        profile: handle.map(|h| h.take()),
+                        profile,
                     }
                 })
             })
@@ -322,6 +335,18 @@ pub fn run_workload<S: Sync>(
             threads: Some(cfg.threads as u32),
             sample_period: Some(p.periods.cycles),
             fallback: Some(cfg.fallback.label().to_string()),
+            // For adaptive runs, stamp the final per-backend mix from ground
+            // truth: the per-site table is capacity-bounded, truth totals
+            // are not.
+            mix: (cfg.fallback == FallbackKind::Adaptive).then(|| {
+                let t = truth.totals();
+                txsampler::BackendMix {
+                    lock: t.lock_fallbacks(),
+                    stm: t.stm_commits,
+                    hle: t.hle_commits,
+                    switches: t.backend_switches,
+                }
+            }),
         };
     }
 

@@ -248,6 +248,102 @@ pub fn moderate(cfg: &RunConfig) -> RunOutcome {
     )
 }
 
+/// Mixed-phase workload: three hot sites in one program, each wanting a
+/// *different* fallback. `sync_phase` syscalls inside every transaction
+/// (wants the serial lock: speculation is doomed), `bulk_phase` overflows
+/// a per-thread-disjoint footprint (wants the software TM: independent
+/// overflows commit concurrently), `hot_phase` hammers one shared word
+/// (wants the elided lock's boosted retries). No static backend suits all
+/// three — this is the workload the adaptive backend's per-site dispatch
+/// exists for.
+pub fn mixed_phase(cfg: &RunConfig) -> RunOutcome {
+    struct S {
+        sync_word: Addr,
+        hot_word: Addr,
+        bulk_base: Addr,
+        bulk_lines: u64,
+        bulk_counts: Addr,
+        threads: u64,
+        f_sync: txsim_htm::FuncId,
+        f_bulk: txsim_htm::FuncId,
+        f_hot: txsim_htm::FuncId,
+    }
+    run_workload(
+        "micro/mixed_phase",
+        cfg,
+        |d, c| {
+            let g = d.geometry;
+            // One set's worth of ways, twice over: walking with a stride of
+            // `sets` lines maps every store to the same set, so the
+            // associativity overflow fires after ~`ways` stores — a short
+            // conflict window, keeping the site's abort mix purely capacity.
+            let bulk_lines = (g.ways as u64) * 2;
+            let bulk_span = bulk_lines * g.sets as u64 * g.line_bytes;
+            S {
+                sync_word: d.heap.alloc_padded(8, g.line_bytes),
+                hot_word: d.heap.alloc_padded(8, g.line_bytes),
+                bulk_base: d
+                    .heap
+                    .alloc_aligned(bulk_span * c.threads as u64, g.line_bytes),
+                bulk_lines,
+                bulk_counts: d
+                    .heap
+                    .alloc_aligned(g.line_bytes * c.threads as u64, g.line_bytes),
+                threads: c.threads as u64,
+                f_sync: d.funcs.intern("sync_phase", "mixed.rs", 10),
+                f_bulk: d.funcs.intern("bulk_phase", "mixed.rs", 20),
+                f_hot: d.funcs.intern("hot_phase", "mixed.rs", 30),
+            }
+        },
+        |w, s| {
+            let g = w.cpu.domain().geometry;
+            let line = g.line_bytes;
+            let set_stride = g.sets as u64 * line;
+            let my_base = s.bulk_base + w.idx as u64 * s.bulk_lines * set_stride;
+            let my_count = s.bulk_counts + w.idx as u64 * line;
+            for i in 0..w.scaled(1_500) {
+                // Irrevocable I/O: every HTM attempt is doomed.
+                if i % 4 == 0 {
+                    let (addr, f) = (s.sync_word, s.f_sync);
+                    let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                    rtm_runtime::named_critical_section(tm, cpu, f, 11, |cpu| {
+                        cpu.syscall(12)?;
+                        cpu.rmw(13, addr, |v| v + 1).map(|_| ())
+                    });
+                }
+                // Private overflow: pure capacity aborts, zero conflicts.
+                if i % 4 == 2 {
+                    let (lines, f) = (s.bulk_lines, s.f_bulk);
+                    let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                    rtm_runtime::named_critical_section(tm, cpu, f, 21, |cpu| {
+                        for l in 0..lines {
+                            cpu.store(22, my_base + l * set_stride, l + 1)?;
+                        }
+                        cpu.rmw(23, my_count, |v| v + 1).map(|_| ())
+                    });
+                }
+                // Contended word, written early and held: transient
+                // conflicts that one more elided attempt resolves.
+                {
+                    let (addr, f) = (s.hot_word, s.f_hot);
+                    let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                    rtm_runtime::named_critical_section(tm, cpu, f, 31, |cpu| {
+                        cpu.rmw(32, addr, |v| v + 1)?;
+                        cpu.compute(33, 60)
+                    });
+                }
+            }
+        },
+        |d, s| {
+            let line = d.geometry.line_bytes;
+            let bulk: u64 = (0..s.threads)
+                .map(|t| d.mem.load(s.bulk_counts + t * line))
+                .sum();
+            d.mem.load(s.sync_word) + d.mem.load(s.hot_word) + bulk
+        },
+    )
+}
+
 /// All microbenchmarks with their registry names.
 pub fn run_all(cfg: &RunConfig) -> Vec<RunOutcome> {
     vec![
@@ -259,6 +355,7 @@ pub fn run_all(cfg: &RunConfig) -> Vec<RunOutcome> {
         irrevocable(cfg),
         nested_calls(cfg),
         moderate(cfg),
+        mixed_phase(cfg),
     ]
 }
 
@@ -376,6 +473,60 @@ mod tests {
             .find(|k| k.speculative() && matches!(k, txsampler::NodeKey::Frame { .. }))
             .is_some();
         assert!(has_spec_d, "in-tx frames must appear in the CCT");
+    }
+
+    #[test]
+    fn mixed_phase_counts_are_exact_under_every_backend() {
+        for kind in rtm_runtime::FallbackKind::ALL {
+            let out = mixed_phase(&quick().with_fallback(kind));
+            let t = out.truth.totals();
+            assert_eq!(
+                out.checksum,
+                t.htm_commits + t.fallbacks,
+                "each section increments exactly once under {kind}"
+            );
+            assert!(t.aborts_sync > 0, "sync site must abort under {kind}");
+            assert!(
+                t.aborts_capacity > 0 || kind == rtm_runtime::FallbackKind::Stm,
+                "bulk site must overflow under {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_runtime_switches_the_sites_that_want_it() {
+        let out = mixed_phase(&quick().with_fallback(rtm_runtime::FallbackKind::Adaptive));
+        let t = out.truth.totals();
+        assert_eq!(out.checksum, t.htm_commits + t.fallbacks);
+        assert!(t.backend_switches > 0, "adaptive must switch at least once");
+        // The bulk site must end up on the STM, the hot site on the elided
+        // lock, and the sync site must stay serial.
+        assert!(t.stm_commits > 0, "bulk overflows must commit in the STM");
+        assert!(t.lock_fallbacks() > 0, "irrevocable I/O must serialize");
+        let site = |line: u32| {
+            out.truth
+                .iter()
+                .find(|(ip, _)| ip.line == line)
+                .map(|(ip, s)| (*ip, *s))
+                .expect("site present in truth")
+        };
+        let (hot_ip, hot) = site(31);
+        let (_, sync) = site(11);
+        let (_, bulk) = site(21);
+        assert!(hot.backend_switches > 0, "hot site must switch to hle");
+        assert!(bulk.backend_switches > 0, "bulk site must switch to stm");
+        assert_eq!(sync.backend_switches, 0, "sync site starts serial, stays");
+        // The per-site profile mix records where the hot site's fallback
+        // completions were dispatched after the switch.
+        let profile = out.profile.as_ref().expect("profiling enabled");
+        let hot_mix = profile.backends.get(&hot_ip).expect("hot site in mix");
+        assert!(hot_mix.hle > 0, "post-switch fallbacks dispatch to hle");
+        // The stamped meta mix is the exact truth mix.
+        let mix = profile.meta.mix.expect("adaptive runs stamp a mix");
+        assert_eq!(mix.lock, t.lock_fallbacks());
+        assert_eq!(mix.stm, t.stm_commits);
+        assert_eq!(mix.hle, t.hle_commits);
+        assert_eq!(mix.switches, t.backend_switches);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub fn all() -> Vec<Spec> {
         Spec::new("micro/irrevocable", "micro", micro::irrevocable),
         Spec::new("micro/nested_calls", "micro", micro::nested_calls),
         Spec::new("micro/moderate", "micro", micro::moderate),
+        Spec::new("micro/mixed_phase", "micro", micro::mixed_phase),
         // CLOMP-TM (Table 1 / Figure 7).
         Spec::new("clomp/small-1", "clomp", |c| {
             clomp::run(TxSize::Small, ScatterMode::Adjacent, c)

@@ -1,0 +1,99 @@
+//! Acceptance tests for the closed profiler→runtime loop: on a workload
+//! whose hot sites want *different* fallbacks, the adaptive backend must
+//! beat every static policy, and the decision tree's `SwitchBackend`
+//! suggestions must name exactly the sites the runtime actually switched.
+
+use htmbench::harness::{RunConfig, RunOutcome};
+use htmbench::micro;
+use rtm_runtime::FallbackKind;
+use txsampler::Suggestion;
+
+fn run(kind: FallbackKind) -> RunOutcome {
+    micro::mixed_phase(&RunConfig::quick().with_fallback(kind))
+}
+
+/// Fraction of all simulated cycles burned in aborted speculation.
+fn abort_cycle_share(out: &RunOutcome) -> f64 {
+    out.stats.wasted_cycles as f64 / out.total_cycles as f64
+}
+
+#[test]
+fn adaptive_beats_every_static_policy_on_the_mixed_workload() {
+    let adaptive = run(FallbackKind::Adaptive);
+    let share = abort_cycle_share(&adaptive);
+    for kind in [FallbackKind::Lock, FallbackKind::Stm, FallbackKind::Hle] {
+        let fixed = run(kind);
+        assert!(
+            share < abort_cycle_share(&fixed),
+            "adaptive must waste a smaller cycle share than static {kind}: \
+             {share:.4} vs {:.4}",
+            abort_cycle_share(&fixed)
+        );
+        // Same work done, whatever the backend.
+        assert_eq!(adaptive.checksum, fixed.checksum);
+    }
+}
+
+#[test]
+fn switch_suggestions_name_the_sites_the_runtime_switched() {
+    // Diagnose the static-lock run: the decision tree should tell us which
+    // sites want a different backend...
+    let lock = run(FallbackKind::Lock);
+    let profile = lock.profile.as_ref().expect("profiled");
+    let diagnosis = txsampler::diagnose(profile, &Default::default());
+    let mut suggested: Vec<(u32, FallbackKind)> = diagnosis
+        .sites
+        .iter()
+        .flat_map(|s| {
+            s.suggestions.iter().filter_map(move |sug| match sug {
+                Suggestion::SwitchBackend(k) => Some((s.site.line, *k)),
+                _ => None,
+            })
+        })
+        .collect();
+    suggested.sort_by_key(|(line, _)| *line);
+
+    // ...and the adaptive runtime should have switched exactly those.
+    let adaptive = run(FallbackKind::Adaptive);
+    let mut switched: Vec<u32> = adaptive
+        .truth
+        .iter()
+        .filter(|(_, s)| s.backend_switches > 0)
+        .map(|(ip, _)| ip.line)
+        .collect();
+    switched.sort();
+
+    let suggested_sites: Vec<u32> = suggested.iter().map(|(l, _)| *l).collect();
+    assert_eq!(
+        suggested_sites, switched,
+        "report advice and runtime behavior must agree: suggested {suggested:?}, \
+         runtime switched lines {switched:?}"
+    );
+    // And the targets are the ones the workload was built to want.
+    assert!(
+        suggested.contains(&(21, FallbackKind::Stm)),
+        "{suggested:?}"
+    );
+    assert!(
+        suggested.contains(&(31, FallbackKind::Hle)),
+        "{suggested:?}"
+    );
+}
+
+/// Single-thread parity: with one thread there is no contention, so the
+/// adaptive backend must behave exactly like the static lock in the HTM
+/// phase — cycle-identical, with zero validation aborts.
+#[test]
+fn adaptive_single_thread_parity() {
+    let cfg = RunConfig::quick().with_threads(1);
+    let lock = micro::mixed_phase(&cfg.clone().with_fallback(FallbackKind::Lock));
+    let adaptive = micro::mixed_phase(&cfg.with_fallback(FallbackKind::Adaptive));
+    assert_eq!(adaptive.checksum, lock.checksum);
+    assert_eq!(adaptive.stats.aborts_validation, 0);
+    let t = adaptive.truth.totals();
+    let l = lock.truth.totals();
+    assert_eq!(t.htm_commits, l.htm_commits, "HTM phase must be identical");
+    // Straight-to-fallback may *skip* doomed attempts, so adaptive can only
+    // abort less than the static lock, never more.
+    assert!(t.total_aborts() <= l.total_aborts());
+}

@@ -44,6 +44,12 @@ use crate::server::http_get;
 /// `i * TID_STRIDE + t`.
 const TID_STRIDE: usize = 1 << 20;
 
+/// Ceiling for the per-instance poll backoff: after repeated failures a
+/// dead instance is retried every `MAX_BACKOFF_POLLS` poll rounds at most,
+/// so a fleet of corpses costs almost nothing yet recovery is never more
+/// than one bounded window away.
+const MAX_BACKOFF_POLLS: u32 = 32;
+
 /// One followed instance: its identity, its absorbed state, and the
 /// follower's health bookkeeping.
 #[derive(Debug)]
@@ -70,6 +76,13 @@ struct Instance {
     healthy: bool,
     /// The most recent poll error, if any.
     last_error: Option<String>,
+    /// Consecutive failed polls (drives the backoff window; reset on
+    /// success).
+    consecutive_errors: u32,
+    /// Poll rounds left to skip before retrying this instance.
+    skip_polls: u32,
+    /// Poll rounds skipped due to backoff, in total.
+    backoffs: u64,
 }
 
 impl Instance {
@@ -86,6 +99,9 @@ impl Instance {
             delta_bytes: 0,
             healthy: false,
             last_error: None,
+            consecutive_errors: 0,
+            skip_polls: 0,
+            backoffs: 0,
         }
     }
 
@@ -131,6 +147,11 @@ pub struct InstanceStatus {
     pub resyncs: u64,
     /// Delta-chunk bytes transferred.
     pub delta_bytes: u64,
+    /// Poll rounds skipped so far because the instance was backing off.
+    pub backoffs: u64,
+    /// Poll rounds left before the follower retries this instance
+    /// (0 = polling normally).
+    pub backoff_remaining: u64,
     /// Most recent poll error, if the instance is unhealthy.
     pub last_error: Option<String>,
 }
@@ -169,11 +190,19 @@ impl Aggregator {
     }
 
     /// Poll every followed instance once, absorbing whatever each returns.
-    /// A failed poll marks the instance unhealthy and keeps its previous
-    /// state; the next poll retries from the same epoch.
+    /// A failed poll marks the instance unhealthy, keeps its previous
+    /// state, and opens an exponentially growing (but bounded) backoff
+    /// window of skipped rounds, so a dead instance does not tax the loop;
+    /// the next attempted poll retries from the same epoch.
     pub fn poll_all(&self) {
         let mut instances = self.instances.lock().expect("aggregator lock poisoned");
         for inst in instances.iter_mut() {
+            if inst.skip_polls > 0 {
+                inst.skip_polls -= 1;
+                inst.backoffs += 1;
+                obs::count(Counter::AggBackoffs);
+                continue;
+            }
             inst.polls += 1;
             obs::count(Counter::AggPolls);
             match poll_delta(inst.addr, inst.epoch) {
@@ -182,11 +211,16 @@ impl Aggregator {
                     inst.absorb(&chunk);
                     inst.healthy = true;
                     inst.last_error = None;
+                    inst.consecutive_errors = 0;
                 }
                 Err(e) => {
                     inst.errors += 1;
                     inst.healthy = false;
                     inst.last_error = Some(e.to_string());
+                    inst.consecutive_errors += 1;
+                    // 1, 3, 7, 15, 31, 31, ... skipped rounds.
+                    inst.skip_polls =
+                        (1u32 << inst.consecutive_errors.min(5)).min(MAX_BACKOFF_POLLS) - 1;
                 }
             }
         }
@@ -208,6 +242,8 @@ impl Aggregator {
                 errors: inst.errors,
                 resyncs: inst.resyncs,
                 delta_bytes: inst.delta_bytes,
+                backoffs: inst.backoffs,
+                backoff_remaining: inst.skip_polls as u64,
                 last_error: inst.last_error.clone(),
             })
             .collect()
@@ -408,6 +444,11 @@ pub fn render_fleet_metrics(agg: &Aggregator) -> String {
             "Delta-chunk bytes transferred from this instance.",
             &|s: &InstanceStatus| s.delta_bytes,
         ),
+        (
+            "txsampler_instance_backoffs_total",
+            "Poll rounds skipped for this instance while backing off after failures.",
+            &|s: &InstanceStatus| s.backoffs,
+        ),
     ] {
         family(&mut out, name, "counter", help);
         for s in &statuses {
@@ -439,7 +480,8 @@ pub fn render_instances_json(agg: &Aggregator) -> String {
                 concat!(
                     "{{\"instance\":{},\"target\":\"{}\",\"healthy\":{},",
                     "\"epoch\":{},\"samples\":{},\"polls\":{},\"errors\":{},",
-                    "\"resyncs\":{},\"delta_bytes\":{},\"last_error\":{}}}"
+                    "\"resyncs\":{},\"delta_bytes\":{},\"backoffs\":{},",
+                    "\"backoff_remaining\":{},\"last_error\":{}}}"
                 ),
                 s.index,
                 s.target,
@@ -450,6 +492,8 @@ pub fn render_instances_json(agg: &Aggregator) -> String {
                 s.errors,
                 s.resyncs,
                 s.delta_bytes,
+                s.backoffs,
+                s.backoff_remaining,
                 match &s.last_error {
                     Some(e) => format!("\"{}\"", crate::server::json_escape(e)),
                     None => "null".to_string(),
@@ -822,6 +866,38 @@ mod tests {
         assert!(json.starts_with("[{\"instance\":0,"));
         assert!(json.contains("\"target\":\"127.0.0.1:4001\""));
         assert!(json.contains("\"last_error\":null"));
+    }
+
+    #[test]
+    fn dead_instances_back_off_exponentially_but_bounded() {
+        // Nothing listens on the test ports: every attempted poll fails
+        // fast with connection-refused.
+        let agg = test_agg(1);
+        const ROUNDS: u64 = 100;
+        for _ in 0..ROUNDS {
+            agg.poll_all();
+        }
+        let s = &agg.statuses()[0];
+        assert!(!s.healthy);
+        assert_eq!(s.polls, s.errors, "every attempted poll failed");
+        assert_eq!(
+            s.polls + s.backoffs,
+            ROUNDS,
+            "every round either polls or backs off"
+        );
+        // Exponential backoff sheds almost all of the rounds (1+3+7+15+31
+        // skipped before the cap, then every 32nd round retries)...
+        assert!(s.polls <= 10, "dead instance polled {} times", s.polls);
+        // ...but the window is bounded: the instance is always retried
+        // again within MAX_BACKOFF_POLLS rounds.
+        assert!(s.backoff_remaining < MAX_BACKOFF_POLLS as u64);
+        let json = render_instances_json(&agg);
+        assert!(json.contains("\"backoffs\":"), "json: {json}");
+        let metrics = render_fleet_metrics(&agg);
+        assert!(
+            metrics.contains("txsampler_instance_backoffs_total{instance=\"0\""),
+            "metrics: {metrics}"
+        );
     }
 
     #[test]

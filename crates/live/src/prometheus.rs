@@ -221,6 +221,36 @@ pub fn render(view: &SnapshotView, window: Option<&Metrics>, obs: &Snapshot) -> 
 
     family(
         &mut out,
+        "txsampler_backend_switches_total",
+        "counter",
+        "Per-site fallback backend switches performed by the adaptive runtime.",
+    );
+    let _ = writeln!(
+        out,
+        "txsampler_backend_switches_total {}",
+        view.profile.backend_totals().switches
+    );
+
+    family(
+        &mut out,
+        "txsampler_site_backend",
+        "gauge",
+        "Currently dominant fallback flavor per abort site (1 = this site's fallbacks run on this backend).",
+    );
+    let mut sites: Vec<_> = view.profile.backends.iter().collect();
+    sites.sort_by_key(|(ip, _)| (ip.func.0, ip.line));
+    for (ip, mix) in sites {
+        if let Some(flavor) = mix.choice() {
+            let _ = writeln!(
+                out,
+                "txsampler_site_backend{{site=\"{}:{}\",backend=\"{flavor}\"}} 1",
+                ip.func.0, ip.line
+            );
+        }
+    }
+
+    family(
+        &mut out,
         "txsampler_obs_events_total",
         "counter",
         "Self-observability counters of the profiler itself.",
@@ -320,6 +350,27 @@ mod tests {
         assert!(text.contains("txsampler_window_cycle_share{component=\"tx\"} 1"));
         let no_window = render(&view, None, &Registry::new().snapshot());
         assert!(no_window.contains("txsampler_window_cycle_share{component=\"tx\"} 0"));
+    }
+
+    #[test]
+    fn backend_metrics_render_choice_and_switches() {
+        let mut view = sample_view();
+        let m = view
+            .profile
+            .backends
+            .entry(Ip::new(FuncId(1), 21))
+            .or_default();
+        m.stm = 5;
+        m.lock = 1;
+        m.switches = 2;
+        let text = render(&view, None, &Registry::new().snapshot());
+        assert!(text.contains("txsampler_backend_switches_total 2"));
+        assert!(text.contains("txsampler_site_backend{site=\"1:21\",backend=\"stm\"} 1"));
+        // A profile with no per-site mixes still renders the family header
+        // and a zero switch counter (static backends).
+        let plain = render(&sample_view(), None, &Registry::new().snapshot());
+        assert!(plain.contains("txsampler_backend_switches_total 0"));
+        assert!(!plain.contains("txsampler_site_backend{"));
     }
 
     #[test]

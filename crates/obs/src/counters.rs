@@ -118,6 +118,7 @@ counters! {
     RtmRetries => (Runtime, "rtm_retries", "Transient aborts retried on the hardware path."),
     RtmFallbacks => (Runtime, "rtm_fallbacks", "Critical sections that took the global-lock fallback."),
     RtmLockWaits => (Runtime, "rtm_lock_waits", "Waits for the elided lock to become free."),
+    RtmBackendSwitches => (Runtime, "rtm_backend_switches", "Per-site fallback-backend switches by the adaptive policy."),
     StmBegins => (Stm, "stm_begins", "Software-transaction attempts started."),
     StmCommits => (Stm, "stm_commits", "Software transactions committed."),
     StmValidationAborts => (Stm, "stm_validation_aborts", "Software transactions killed by commit-time validation."),
@@ -141,6 +142,7 @@ counters! {
     HttpTrendRequests => (Live, "http_trend_requests", "HTTP requests served on /trend."),
     AggPolls => (Live, "agg_polls", "Delta polls issued by the fleet aggregator's followers."),
     AggResyncs => (Live, "agg_resyncs", "Full resyncs the aggregator performed (instance restart or lag)."),
+    AggBackoffs => (Live, "agg_backoffs", "Follower polls skipped because a failing instance was in backoff."),
     SpansRecorded => (Tracer, "spans_recorded", "Trace spans retained in ring buffers."),
     SpansDropped => (Tracer, "spans_dropped", "Trace spans overwritten on ring wraparound."),
 }

@@ -51,11 +51,19 @@ pub enum FallbackKind {
     Stm,
     /// One elided (HLE-style) global-lock acquisition, then a real one.
     Hle,
+    /// Pick lock/STM/HLE (and a retry budget) *per site* from live abort
+    /// statistics — the profiler's decision tree acted on at runtime.
+    Adaptive,
 }
 
 impl FallbackKind {
     /// Every valid kind, in CLI presentation order.
-    pub const ALL: [FallbackKind; 3] = [FallbackKind::Lock, FallbackKind::Stm, FallbackKind::Hle];
+    pub const ALL: [FallbackKind; 4] = [
+        FallbackKind::Lock,
+        FallbackKind::Stm,
+        FallbackKind::Hle,
+        FallbackKind::Adaptive,
+    ];
 
     /// The canonical lowercase name (CLI value, store meta value).
     pub fn label(self) -> &'static str {
@@ -63,6 +71,7 @@ impl FallbackKind {
             FallbackKind::Lock => "lock",
             FallbackKind::Stm => "stm",
             FallbackKind::Hle => "hle",
+            FallbackKind::Adaptive => "adaptive",
         }
     }
 
@@ -108,6 +117,8 @@ pub enum Backend {
     Stm(Tl2Stm),
     /// See [`SingleGlobalLockElided`].
     Hle(SingleGlobalLockElided),
+    /// See [`AdaptiveBackend`].
+    Adaptive(AdaptiveBackend),
 }
 
 impl Backend {
@@ -117,6 +128,7 @@ impl Backend {
             Backend::Lock(b) => b.kind(),
             Backend::Stm(b) => b.kind(),
             Backend::Hle(b) => b.kind(),
+            Backend::Adaptive(b) => b.kind(),
         }
     }
 
@@ -133,6 +145,7 @@ impl Backend {
             Backend::Lock(b) => b.execute(tm, cpu, line, lock, site, body),
             Backend::Stm(b) => b.execute(tm, cpu, line, lock, site, body),
             Backend::Hle(b) => b.execute(tm, cpu, line, lock, site, body),
+            Backend::Adaptive(b) => b.execute(tm, cpu, line, lock, site, body),
         }
     }
 }
@@ -229,12 +242,13 @@ impl FallbackBackend for SingleGlobalLockElided {
                 // Still a fallback-path completion for the checksum
                 // invariant, even though it committed speculatively.
                 tm.truth.fallback(site);
+                tm.truth.hle_commit(site);
                 v
             }
             Err(_) => {
                 tm.state.set(IN_CS | IN_OVERHEAD);
                 let info = cpu.last_abort().expect("abort must record status");
-                tm.truth.abort(site, info);
+                tm.record_abort(site, info);
                 exclusive_section(tm, cpu, line, lock, site, body)
             }
         }
@@ -296,7 +310,7 @@ impl FallbackBackend for Tl2Stm {
                     Err(abort) => {
                         tm.state.set(IN_CS | IN_OVERHEAD | IN_STM);
                         cpu.stm_report_abort(abort.ip, abort.weight);
-                        tm.truth.abort(
+                        tm.record_abort(
                             site,
                             AbortInfo::new(AbortClass::Validation, 0, abort.weight),
                         );
@@ -331,6 +345,66 @@ impl FallbackBackend for Tl2Stm {
         tm.state.set(IN_CS | IN_OVERHEAD);
         tl2.gate_unlock_exclusive(cpu, line);
         tm.truth.fallback(site);
+        v
+    }
+}
+
+/// Per-site dispatch driven by the profiler's own evidence: each site's
+/// abort-class / validation / fallback-rate EWMAs (kept thread-privately in
+/// [`crate::SiteTable`]) select which of the three concrete backends
+/// completes that site's fallbacks, with hysteresis so sites don't flap.
+/// The policy mapping is [`crate::AdaptivePolicy::classify`] — the same
+/// function the decision tree's `SwitchBackend` suggestion evaluates, so
+/// report advice and runtime behavior agree by construction.
+pub struct AdaptiveBackend {
+    lock: GlobalLock,
+    stm: Tl2Stm,
+    hle: SingleGlobalLockElided,
+}
+
+impl AdaptiveBackend {
+    /// Build the adaptive dispatcher over a TL2 engine (gated on the
+    /// runtime's global lock word, exactly like the static STM backend).
+    pub fn new(tl2: Tl2) -> AdaptiveBackend {
+        AdaptiveBackend {
+            lock: GlobalLock,
+            stm: Tl2Stm::new(tl2),
+            hle: SingleGlobalLockElided,
+        }
+    }
+
+    /// The underlying TL2 engine (tests and diagnostics).
+    pub fn engine(&self) -> &Tl2 {
+        self.stm.engine()
+    }
+}
+
+impl FallbackBackend for AdaptiveBackend {
+    fn kind(&self) -> FallbackKind {
+        FallbackKind::Adaptive
+    }
+
+    fn execute<T>(
+        &self,
+        tm: &mut TmThread,
+        cpu: &mut SimCpu,
+        line: u32,
+        lock: Addr,
+        site: Ip,
+        body: &mut dyn FnMut(&mut SimCpu) -> TxResult<T>,
+    ) -> T {
+        let (flavor, switched) = tm.sites.choose(site);
+        if switched {
+            obs::count(Counter::RtmBackendSwitches);
+            tm.truth.backend_switch(site);
+        }
+        let v = match flavor {
+            FallbackKind::Lock => self.lock.execute(tm, cpu, line, lock, site, body),
+            FallbackKind::Stm => self.stm.execute(tm, cpu, line, lock, site, body),
+            FallbackKind::Hle => self.hle.execute(tm, cpu, line, lock, site, body),
+            FallbackKind::Adaptive => unreachable!("per-site choice is always concrete"),
+        };
+        tm.sites.note_fallback(site, flavor);
         v
     }
 }

@@ -34,21 +34,23 @@
 
 pub mod backend;
 pub mod hle;
+pub mod sites;
 pub mod state;
 pub mod truth;
 
 use std::sync::Arc;
 
 use obs::{Counter, Subsystem};
-use txsim_htm::{Addr, FuncId, HtmDomain, Ip, SimCpu, TxResult, XABORT_LOCK_HELD};
+use txsim_htm::{AbortInfo, Addr, FuncId, HtmDomain, Ip, SimCpu, TxResult, XABORT_LOCK_HELD};
 use txsim_pmu::AbortClass;
 use txstm::Tl2;
 
 pub use backend::{
-    Backend, FallbackBackend, FallbackKind, GlobalLock, SingleGlobalLockElided, Tl2Stm,
-    GATE_EXCLUSIVE,
+    AdaptiveBackend, Backend, FallbackBackend, FallbackKind, GlobalLock, SingleGlobalLockElided,
+    Tl2Stm, GATE_EXCLUSIVE,
 };
 pub use hle::HleLock;
+pub use sites::{AdaptivePolicy, SitePlan, SiteSnapshot, SiteTable, SITE_CAPACITY};
 pub use state::{
     StateFlags, ThreadState, IN_CS, IN_FALLBACK, IN_HTM, IN_LOCK_WAITING, IN_OVERHEAD, IN_STM,
 };
@@ -101,6 +103,9 @@ impl TmLib {
             FallbackKind::Lock => Backend::Lock(GlobalLock),
             FallbackKind::Stm => Backend::Stm(Tl2Stm::new(Tl2::new(domain, lock_addr))),
             FallbackKind::Hle => Backend::Hle(SingleGlobalLockElided),
+            FallbackKind::Adaptive => {
+                Backend::Adaptive(AdaptiveBackend::new(Tl2::new(domain, lock_addr)))
+            }
         };
         Arc::new(TmLib {
             lock_addr,
@@ -120,12 +125,20 @@ impl TmLib {
         self.backend.kind()
     }
 
-    /// Create the per-thread runtime handle.
+    /// Create the per-thread runtime handle. Threads of an adaptive
+    /// library get a live (fixed-capacity, thread-private) [`SiteTable`];
+    /// static libraries hand out the zero-capacity detached table, so the
+    /// per-site machinery costs one branch per hook.
     pub fn thread(self: &Arc<Self>) -> TmThread {
+        let sites = match self.backend {
+            Backend::Adaptive(_) => SiteTable::new(AdaptivePolicy::DEFAULT, self.max_retries),
+            _ => SiteTable::detached(),
+        };
         TmThread {
             lib: Arc::clone(self),
             state: ThreadState::new(),
             truth: Truth::default(),
+            sites,
         }
     }
 }
@@ -136,6 +149,8 @@ pub struct TmThread {
     pub(crate) state: ThreadState,
     /// Exact per-site instrumentation (validation only — see [`truth`]).
     pub truth: Truth,
+    /// Per-site adaptive statistics (live only under the adaptive backend).
+    pub sites: SiteTable,
 }
 
 impl TmThread {
@@ -163,6 +178,26 @@ impl TmThread {
         let site = Ip::new(cpu.cur_ip().func, line);
         self.state.set(IN_CS | IN_OVERHEAD);
 
+        // Per-site plan: under the adaptive backend the retry budget (and
+        // whether to speculate at all) comes from this site's own abort
+        // history; static backends keep the library-wide budget.
+        let plan = if self.sites.is_adaptive() {
+            self.sites.plan(site)
+        } else {
+            SitePlan {
+                max_retries: self.lib.max_retries,
+                attempt_htm: true,
+            }
+        };
+        if !plan.attempt_htm {
+            // The site's evidence says every attempt dies on a
+            // non-transient abort: skip the doomed speculation and its
+            // wasted abort cycles, go straight to the fallback path.
+            let v = self.run_fallback(cpu, line, lock, site, &mut body);
+            self.state.set(0);
+            return v;
+        }
+
         let mut retries = 0u32;
         let value = loop {
             // Fast path: wait (outside the transaction) for the lock to be
@@ -180,12 +215,13 @@ impl TmThread {
                     cpu.call(line, self.lib.f_tm_end).expect("outside tx");
                     cpu.ret().expect("outside tx");
                     self.truth.commit(site);
+                    self.sites.note_commit(site);
                     break v;
                 }
                 Err(_) => {
                     self.state.set(IN_CS | IN_OVERHEAD);
                     let info = cpu.last_abort().expect("abort must record status");
-                    self.truth.abort(site, info);
+                    self.record_abort(site, info);
 
                     let lock_held_elision = info.class == AbortClass::Explicit
                         && info.explicit_code == XABORT_LOCK_HELD;
@@ -194,7 +230,7 @@ impl TmThread {
                         // burning retry budget (standard elision practice).
                         continue;
                     }
-                    if info.retry_hint && retries < self.lib.max_retries {
+                    if info.retry_hint && retries < plan.max_retries {
                         retries += 1;
                         obs::count(Counter::RtmRetries);
                         continue;
@@ -268,6 +304,14 @@ impl TmThread {
         let v = body(cpu)?;
         cpu.xend(line)?;
         Ok(v)
+    }
+
+    /// The single abort-recording path: exact truth plus (when adaptive)
+    /// the per-site EWMAs. Thread-private on both sides — no allocation
+    /// beyond truth's own map, no shared cache line is written.
+    pub(crate) fn record_abort(&mut self, site: Ip, info: AbortInfo) {
+        self.truth.abort(site, info);
+        self.sites.note_abort(site, info.class);
     }
 
     /// The slow path: complete the execution via the configured fallback

@@ -20,6 +20,11 @@ pub struct SiteTruth {
     /// Fallback executions that committed as *software* transactions
     /// (subset of `fallbacks`; the rest ran serially under the lock).
     pub stm_commits: u64,
+    /// Fallback executions that committed via the *elided* lock (HLE
+    /// flavor; subset of `fallbacks`, disjoint from `stm_commits`).
+    pub hle_commits: u64,
+    /// Times the adaptive policy switched this site's fallback backend.
+    pub backend_switches: u64,
     /// Conflict aborts.
     pub aborts_conflict: u64,
     /// Capacity aborts.
@@ -79,11 +84,21 @@ impl SiteTruth {
         self.abort_weight += info.weight;
     }
 
+    /// Fallback executions that ran serially under the lock (neither
+    /// software-speculative nor elided).
+    pub fn lock_fallbacks(&self) -> u64 {
+        self.fallbacks
+            .saturating_sub(self.stm_commits)
+            .saturating_sub(self.hle_commits)
+    }
+
     /// Merge another site's counters into this one.
     pub fn merge(&mut self, other: &SiteTruth) {
         self.htm_commits += other.htm_commits;
         self.fallbacks += other.fallbacks;
         self.stm_commits += other.stm_commits;
+        self.hle_commits += other.hle_commits;
+        self.backend_switches += other.backend_switches;
         self.aborts_conflict += other.aborts_conflict;
         self.aborts_capacity += other.aborts_capacity;
         self.aborts_sync += other.aborts_sync;
@@ -118,6 +133,17 @@ impl Truth {
     /// speculative subset.
     pub fn stm_commit(&mut self, site: Ip) {
         self.sites.entry(site).or_default().stm_commits += 1;
+    }
+
+    /// Record that a fallback execution of `site` committed via the elided
+    /// lock (HLE flavor). Same additivity contract as [`Truth::stm_commit`].
+    pub fn hle_commit(&mut self, site: Ip) {
+        self.sites.entry(site).or_default().hle_commits += 1;
+    }
+
+    /// Record that the adaptive policy switched `site`'s fallback backend.
+    pub fn backend_switch(&mut self, site: Ip) {
+        self.sites.entry(site).or_default().backend_switches += 1;
     }
 
     /// Record an aborted attempt of `site`.

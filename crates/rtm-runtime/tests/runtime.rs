@@ -290,11 +290,14 @@ fn backend_parity_single_thread() {
 
     let lock = run(FallbackKind::Lock);
     let stm = run(FallbackKind::Stm);
+    let adaptive = run(FallbackKind::Adaptive);
 
     // While no section falls back the backend must be pay-for-use: the HTM
     // fast path is cycle-identical whichever backend is configured.
     assert_eq!(lock.0, stm.0, "HTM-phase cycles must match exactly");
+    assert_eq!(lock.0, adaptive.0, "adaptive adds no HTM-phase cycles");
     assert_eq!(lock.2.htm_commits, stm.2.htm_commits);
+    assert_eq!(lock.2.htm_commits, adaptive.2.htm_commits);
     // Commit counts: every section executes exactly once on both sides,
     // and the memory effects agree.
     assert_eq!(lock.2.htm_commits + lock.2.fallbacks, 250);
@@ -310,6 +313,14 @@ fn backend_parity_single_thread() {
         "every forced fallback must commit as a software transaction"
     );
     assert!(stm.2.stm_commits > 0);
+    // The adaptive backend sees the same single-threaded history: the
+    // capacity-overflow phase drives its one misbehaving site onto the
+    // STM, it never fails validation, and memory effects still agree.
+    assert_eq!(adaptive.2.htm_commits + adaptive.2.fallbacks, 250);
+    assert_eq!(lock.1, adaptive.1, "memory effects must be identical");
+    assert_eq!(adaptive.3.aborts_validation, 0);
+    assert!(adaptive.2.backend_switches > 0, "overflow site must switch");
+    assert!(adaptive.2.stm_commits > 0);
 }
 
 #[test]

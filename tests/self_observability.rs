@@ -25,6 +25,17 @@ fn instrumentation_is_exactly_free_when_disabled() {
         out.profile.expect("quick config profiles").samples > 0,
         "the workload itself must have done real work"
     );
+    // The adaptive backend's per-site machinery (SiteTable EWMAs, backend
+    // switches) must obey the same contract: a full adaptive run with
+    // instrumentation off leaves the registry untouched.
+    let adaptive = htmbench::micro::mixed_phase(
+        &cfg.clone()
+            .with_fallback(rtm_runtime::FallbackKind::Adaptive),
+    );
+    assert!(
+        adaptive.truth.totals().backend_switches > 0,
+        "the adaptive run must actually have exercised switching"
+    );
     let snap = obs::registry().snapshot();
     assert!(
         snap.is_zero(),
@@ -66,6 +77,28 @@ fn instrumentation_is_exactly_free_when_disabled() {
     assert!(
         traces.iter().any(|t| !t.events.is_empty()),
         "at least one thread must retain span events"
+    );
+
+    // A *static* backend pays nothing for the adaptive machinery: its
+    // threads get the zero-capacity SiteTable, so even with counters on,
+    // no backend switch is ever counted.
+    assert_eq!(
+        snap.get(Counter::RtmBackendSwitches),
+        0,
+        "static-backend run moved the adaptive switch counter\n{}",
+        snap.render_table()
+    );
+    obs::set_enabled(true);
+    let _ = htmbench::micro::mixed_phase(
+        &cfg.clone()
+            .with_fallback(rtm_runtime::FallbackKind::Adaptive),
+    );
+    let adaptive_snap = obs::registry().snapshot();
+    obs::set_enabled(false);
+    assert!(
+        adaptive_snap.get(Counter::RtmBackendSwitches) > 0,
+        "adaptive run with counters on must count its switches\n{}",
+        adaptive_snap.render_table()
     );
 
     // With no snapshot hub attached (RunConfig::quick leaves `hub` at
