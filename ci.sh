@@ -26,12 +26,15 @@ cargo run --release -q -p txbench --bin repro -- --fallback stm --trials 1 profi
 
 echo "== adaptive-fallback regression gate (repro diff --check vs pinned baseline)"
 # Profile the mixed-phase workload under the adaptive backend and diff it
-# against the pinned results/baseline_mixed_adaptive.txsp. The gate fails
+# against the pinned results/baseline_mixed_adaptive.txsp (store v5, so
+# the baseline carries per-site latency/retry histograms). The gate fails
 # on a dominant component-share regression (>= 10 pp; the workload runs
 # on real threads, so smaller share movement — lock-wait especially — is
-# scheduling jitter) or any decision-tree suggestion absent from the
-# baseline. Rebless by copying the fresh profile over the baseline when
-# an intentional change shifts the decomposition.
+# scheduling jitter), any decision-tree suggestion absent from the
+# baseline, or a well-sampled site whose p99 transaction latency moved up
+# by >= 2 log buckets (a 4x tail regression; single-bucket moves are
+# boundary jitter). Rebless by copying the fresh profile over the
+# baseline when an intentional change shifts the decomposition.
 fresh_dir="$(mktemp -d)"
 trap 'rm -rf "$fresh_dir"' EXIT
 cargo run --release -q -p txbench --bin repro -- \

@@ -73,18 +73,24 @@ imbalance and contention sections.
 
 diff aligns two saved profiles by call path and reports what changed:
 component-share movement (naming the dominant improvement/regression),
-top improved and regressed call paths, abort-site weight changes, and
-which decision-tree suggestions were resolved, persist, or are new.
-Warns when the two files' run provenance (workload, threads) differs.
-With --check, doubles as a CI regression gate: exits 1 when B shows a
-dominant component-share regression of at least 10 pp (smaller deltas
-are thread-scheduling noise) or any decision-tree suggestion that was
-absent on A (new advice = new problem).
+top improved and regressed call paths, abort-site weight changes,
+per-site percentile shifts (p50/p99 transaction cycles and retry depth,
+from the v5 histograms), and which decision-tree suggestions were
+resolved, persist, or are new. Warns when the two files' run provenance
+(workload, threads) differs. With --check, doubles as a CI regression
+gate: exits 1 when B shows a dominant component-share regression of at
+least 10 pp (smaller deltas are thread-scheduling noise), any
+decision-tree suggestion that was absent on A (new advice = new
+problem), or a well-sampled site whose p99 transaction latency moved up
+by at least 2 log buckets (a 4x tail regression).
 
 --self-profile runs the experiment twice — instrumentation off, then
 counters + tracing on — and prints an overhead-decomposition report for
-the profiler itself (see crates/obs). Artifacts land in results/ (or
---out): self_profile_<exp>.json and a Chrome-traceable
+the profiler itself (see crates/obs). The report ends with the
+histogram-recording bill: the run's actual store count priced at a
+per-store cost calibrated inline, as a share of instrumented wall time
+(budget: < 1%). Artifacts land in results/ (or --out):
+self_profile_<exp>.json and a Chrome-traceable
 self_profile_<exp>.trace.json.";
 
 /// Print usage to stderr and exit nonzero (flag errors must not panic).
@@ -192,6 +198,13 @@ fn report_command(path: &str) -> ! {
 /// decision-tree advice besides.
 const CHECK_SHARE_TOLERANCE: f64 = 0.10;
 
+/// `--check` also fails a site whose p99 transaction latency moved up by
+/// this many log buckets (each bucket doubles the bound, so 2 buckets is
+/// a 4x tail regression). One-bucket moves are boundary jitter, and
+/// `ProfileDiff::p99_regressions` already requires both sides to be
+/// well-sampled before a site can gate.
+const CHECK_P99_MIN_BUCKETS: u32 = 2;
+
 fn diff_command(path_a: &str, path_b: &str, check: bool) -> ! {
     let (a, names_a) = load_profile_or_exit(path_a);
     let (b, mut names) = load_profile_or_exit(path_b);
@@ -218,13 +231,23 @@ fn diff_command(path_a: &str, path_b: &str, check: bool) -> ! {
         for s in &diff.suggestions.appeared {
             failures.push(format!("new suggestion appeared: {}", s.describe()));
         }
+        for d in diff.p99_regressions(CHECK_P99_MIN_BUCKETS) {
+            let func = names.get(&d.site.func.0).map(String::as_str).unwrap_or("?");
+            failures.push(format!(
+                "p99 tx-cycles regression at {func}:{}: moved {:+} buckets ({} -> {} cycles)",
+                d.site.line,
+                d.d_p99_bucket().unwrap_or(0),
+                d.a.tx_cycles.percentile(0.99).unwrap_or(0),
+                d.b.tx_cycles.percentile(0.99).unwrap_or(0),
+            ));
+        }
         if !failures.is_empty() {
             for f in &failures {
                 eprintln!("check failed: {f}");
             }
             std::process::exit(1);
         }
-        eprintln!("check passed: no dominant regression, no new suggestions");
+        eprintln!("check passed: no dominant regression, no p99 shift, no new suggestions");
     }
     std::process::exit(0);
 }
@@ -326,6 +349,10 @@ fn self_profile(cfg: &ExpConfig, exp: &str, out_dir: Option<&Path>) {
         snapshot,
     };
     println!("{}", profile.render());
+    println!(
+        "{}",
+        render_hist_cost(&profile.snapshot, instrumented_wall_ns)
+    );
 
     let dir = out_dir
         .map(Path::to_path_buf)
@@ -342,6 +369,38 @@ fn self_profile(cfg: &ExpConfig, exp: &str, out_dir: Option<&Path>) {
         json_path.display(),
         trace_path.display()
     );
+}
+
+/// Bill the run's histogram recording against the < 1% budget: price the
+/// actual store count (`RtmHistStores`, counted during the instrumented
+/// run) at a per-store cost calibrated inline on this host. A store is
+/// three `Hist32::record` calls (tx-cycles, retry-depth, and at most one
+/// fallback-dwell), so the calibration loop is run per component and the
+/// bill multiplies by three — an upper bound, since dwell only records on
+/// fallback completions.
+fn render_hist_cost(snapshot: &obs::Snapshot, instrumented_wall_ns: u64) -> String {
+    let stores = snapshot.get(obs::Counter::RtmHistStores);
+    let reps: u64 = 1 << 20;
+    let mut scratch = txsampler::Hist32::default();
+    let t = Instant::now();
+    for i in 0..reps {
+        scratch.record(i);
+    }
+    std::hint::black_box(&scratch);
+    let per_store_ns = 3.0 * t.elapsed().as_nanos() as f64 / reps as f64;
+    let cost_ns = stores as f64 * per_store_ns;
+    let share = if instrumented_wall_ns == 0 {
+        0.0
+    } else {
+        cost_ns / instrumented_wall_ns as f64
+    };
+    format!(
+        "histogram recording: {stores} stores x ~{per_store_ns:.1} ns = {:.3} ms \
+         ({:.3}% of instrumented wall; budget < 1%: {})",
+        cost_ns / 1e6,
+        share * 100.0,
+        if share < 0.01 { "ok" } else { "EXCEEDED" }
+    )
 }
 
 /// `repro serve`: start the live driver + HTTP server and block.

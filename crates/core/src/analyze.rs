@@ -28,12 +28,19 @@ pub fn merge_profiles(mut profiles: Vec<ThreadProfile>) -> Profile {
     let truncated_paths = profiles.iter().map(|p| p.truncated_paths).sum();
     let interrupt_abort_samples = profiles.iter().map(|p| p.interrupt_abort_samples).sum();
     let mut backends = std::collections::HashMap::new();
+    let mut hists = std::collections::HashMap::new();
     for p in &profiles {
         for (site, mix) in &p.backends {
             backends
                 .entry(*site)
                 .or_insert_with(crate::metrics::BackendMix::default)
                 .merge(mix);
+        }
+        for (site, h) in &p.hists {
+            hists
+                .entry(*site)
+                .or_insert_with(rtm_runtime::SiteHists::default)
+                .merge(h);
         }
     }
 
@@ -47,6 +54,7 @@ pub fn merge_profiles(mut profiles: Vec<ThreadProfile>) -> Profile {
         truncated_paths,
         interrupt_abort_samples,
         backends,
+        hists,
         meta: Default::default(),
     }
 }

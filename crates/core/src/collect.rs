@@ -64,6 +64,10 @@ pub struct EpochSummary {
     pub samples: u64,
     /// Cumulative whole-program metric totals at this epoch.
     pub totals: Metrics,
+    /// Cumulative p99 committed-transaction duration (log-bucket upper
+    /// bound, cycles) across all sites; 0 when the run records no
+    /// histograms.
+    pub p99_tx_cycles: u64,
 }
 
 /// One retained per-epoch delta: the thread-profile published at `epoch`.
@@ -203,6 +207,11 @@ impl SnapshotHub {
             epoch,
             samples: state.cumulative.samples,
             totals: state.cumulative.totals(),
+            p99_tx_cycles: state
+                .cumulative
+                .tx_cycles_totals()
+                .percentile(0.99)
+                .unwrap_or(0),
         };
         if state.history.len() == HISTORY_CAP {
             state.history.pop_front();
@@ -731,6 +740,36 @@ mod tests {
         let view = hub.delta_since(1);
         let mix = view.profile.backends[&site];
         assert_eq!((mix.lock, mix.stm, mix.hle, mix.switches), (0, 3, 2, 0));
+    }
+
+    #[test]
+    fn hists_survive_publish_and_trend_reports_p99() {
+        let hub = SnapshotHub::new(SnapshotPolicy::EverySamples(100));
+        let site = Ip::new(FuncId(1), 21);
+
+        let mut d0 = delta(0, 10, 5, 1);
+        d0.site_hists(site).record_completion(100, 1, None);
+        hub.publish(&d0);
+
+        let mut d1 = delta(1, 10, 7, 2);
+        d1.site_hists(site).record_completion(9000, 7, Some(4000));
+        hub.publish(&d1);
+
+        // Cumulative snapshot: both threads' histograms merged per site.
+        let h = hub.latest().profile.hists[&site];
+        assert_eq!(h.tx_cycles.count, 2);
+        assert_eq!(h.retry_depth.sum, 8);
+
+        // Epoch-delta export: only the second publish's histograms.
+        let view = hub.delta_since(1);
+        assert_eq!(view.profile.hists[&site].fb_dwell.count, 1);
+        assert_eq!(view.profile.hists[&site].tx_cycles.count, 1);
+
+        // Trend rows carry the cumulative tx-cycles p99 (bucket bounds:
+        // 100 → [64,127]; with the 9000 the p99 moves to [8192,16383]).
+        let t = hub.trend();
+        assert_eq!(t.rows[0].p99_tx_cycles, 127);
+        assert_eq!(t.rows[1].p99_tx_cycles, 16383);
     }
 
     #[test]

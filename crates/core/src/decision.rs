@@ -28,6 +28,15 @@ pub struct Thresholds {
     pub class_secondary: f64,
     /// Minimum sampled aborts at a site before diagnosing it.
     pub min_abort_samples: u64,
+    /// Starvation scan: a site's retry-depth p99 (bucket upper bound) at
+    /// or above this is "tail heavy".
+    pub starvation_p99_retries: f64,
+    /// Starvation scan: a tail-heavy site whose HTM commit share (the
+    /// fraction of completions that did *not* take the fallback) is below
+    /// this is starved.
+    pub starvation_commit_share: f64,
+    /// Starvation scan: ignore sites with fewer recorded completions.
+    pub starvation_min_completions: u64,
 }
 
 impl Default for Thresholds {
@@ -38,6 +47,9 @@ impl Default for Thresholds {
             class_dominant: 0.40,
             class_secondary: 0.08,
             min_abort_samples: 3,
+            starvation_p99_retries: 6.0,
+            starvation_commit_share: 0.5,
+            starvation_min_completions: 20,
         }
     }
 }
@@ -75,6 +87,11 @@ pub enum Suggestion {
     /// than the one the run used, so report advice and runtime behavior
     /// provably agree.
     SwitchBackend(FallbackKind),
+    /// A site's retry-depth tail is heavy while its HTM commit share is
+    /// low: one transaction is being repeatedly invalidated (classic
+    /// large-write-set starvation). Escalate it — priority/irrevocable
+    /// commit, or serialize its writers.
+    Starvation,
     /// Transactional path dominates and commits: nothing to fix.
     NothingToFix,
 }
@@ -110,6 +127,9 @@ impl Suggestion {
             }
             Suggestion::SwitchBackend(FallbackKind::Adaptive) => {
                 "run this site under the adaptive fallback policy"
+            }
+            Suggestion::Starvation => {
+                "this site is starved (retry-depth tail heavy, low HTM commit share): escalate it with a priority/irrevocable commit or serialize its small writers"
             }
             Suggestion::NothingToFix => {
                 "the transactional path dominates and commits well; no recommendation"
@@ -253,6 +273,47 @@ pub fn diagnose(profile: &Profile, thresholds: &Thresholds) -> Diagnosis {
             sites.push(diagnose_site(
                 site, m, &totals, current, thresholds, &mut steps,
             ));
+        }
+    }
+
+    // ⑦ Starvation scan: distribution evidence the counters above cannot
+    // see. A site whose retry-depth p99 is tail-heavy while most of its
+    // completions went through the fallback is being repeatedly
+    // invalidated — the large-write-set starvation failure mode. Only
+    // runs that recorded histograms reach this (the scan is a no-op on
+    // older profiles).
+    for (site, h) in profile.hist_sites() {
+        if h.retry_depth.count < thresholds.starvation_min_completions {
+            continue;
+        }
+        let Some(p99) = h.retry_depth.percentile(0.99) else {
+            continue;
+        };
+        if (p99 as f64) < thresholds.starvation_p99_retries {
+            continue;
+        }
+        let commit_share = 1.0 - h.fb_dwell.count as f64 / h.retry_depth.count.max(1) as f64;
+        if commit_share >= thresholds.starvation_commit_share {
+            continue;
+        }
+        steps.push(Step {
+            observation: format!(
+                "starvation scan at func {}:{}: retry-depth p99 <= {p99}, HTM commit share",
+                site.func.0, site.line
+            ),
+            value: commit_share,
+        });
+        if let Some(existing) = sites.iter_mut().find(|s| s.site == site) {
+            if !existing.suggestions.contains(&Suggestion::Starvation) {
+                existing.suggestions.push(Suggestion::Starvation);
+            }
+        } else {
+            sites.push(SiteDiagnosis {
+                site,
+                metrics: Metrics::default(),
+                dominant_class: "starvation",
+                suggestions: vec![Suggestion::Starvation],
+            });
         }
     }
 
@@ -639,6 +700,71 @@ mod tests {
         assert!(d.sites[0]
             .suggestions
             .contains(&Suggestion::SwitchBackend(FallbackKind::Stm)));
+    }
+
+    #[test]
+    fn starved_site_fires_starvation_branch() {
+        let site = Ip::new(FuncId(7), 3);
+        let p = profile_with(|p| {
+            let n = stmt(p, 7, 3);
+            for _ in 0..60 {
+                p.cct
+                    .metrics_mut(n)
+                    .add_cycles_sample(TimeComponent::Fallback);
+            }
+            for _ in 0..40 {
+                p.cct.metrics_mut(n).add_cycles_sample(TimeComponent::Tx);
+            }
+            // 30 completions, most at depth 7 through the fallback: tail
+            // heavy, commit share 1/30.
+            let h = p.hists.entry(site).or_default();
+            h.record_completion(500, 1, None);
+            for _ in 0..29 {
+                h.record_completion(9000, 7, Some(4000));
+            }
+        });
+        let d = diagnose(&p, &Thresholds::default());
+        assert!(d.all_suggestions().contains(&Suggestion::Starvation));
+        let diag = d
+            .sites
+            .iter()
+            .find(|s| s.site == site)
+            .expect("starved site diagnosed");
+        assert_eq!(diag.dominant_class, "starvation");
+        assert!(d
+            .steps
+            .iter()
+            .any(|s| s.observation.contains("starvation scan")));
+
+        // A healthy site with the same volume never fires: depth 1, no
+        // fallback completions.
+        let q = profile_with(|p| {
+            let n = stmt(p, 7, 3);
+            for _ in 0..100 {
+                p.cct.metrics_mut(n).add_cycles_sample(TimeComponent::Tx);
+            }
+            let h = p.hists.entry(site).or_default();
+            for _ in 0..30 {
+                h.record_completion(500, 1, None);
+            }
+        });
+        let d = diagnose(&q, &Thresholds::default());
+        assert!(!d.all_suggestions().contains(&Suggestion::Starvation));
+
+        // Tail-heavy but committing in HTM (retries succeed eventually):
+        // not starvation either.
+        let r = profile_with(|p| {
+            let n = stmt(p, 7, 3);
+            for _ in 0..100 {
+                p.cct.metrics_mut(n).add_cycles_sample(TimeComponent::Tx);
+            }
+            let h = p.hists.entry(site).or_default();
+            for _ in 0..30 {
+                h.record_completion(500, 7, None);
+            }
+        });
+        let d = diagnose(&r, &Thresholds::default());
+        assert!(!d.all_suggestions().contains(&Suggestion::Starvation));
     }
 
     #[test]

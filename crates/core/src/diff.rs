@@ -23,6 +23,7 @@
 
 use std::fmt::Write as _;
 
+use rtm_runtime::SiteHists;
 use txsim_pmu::Ip;
 
 use crate::cct::{Cct, NodeId, NodeKey, ROOT};
@@ -73,6 +74,27 @@ impl SiteDiff {
     }
 }
 
+/// One transaction site's latency/retry histograms on both sides.
+#[derive(Debug, Clone)]
+pub struct HistSiteDiff {
+    /// The site IP (aggregation key of [`Profile::hist_sites`]).
+    pub site: Ip,
+    /// Baseline-side histograms (zero when absent).
+    pub a: SiteHists,
+    /// Comparison-side histograms (zero when absent).
+    pub b: SiteHists,
+}
+
+impl HistSiteDiff {
+    /// Signed tx-cycles p99 bucket-index shift (B − A). `None` unless both
+    /// sides recorded commits at this site.
+    pub fn d_p99_bucket(&self) -> Option<i32> {
+        let a = self.a.tx_cycles.percentile_bucket(0.99)?;
+        let b = self.b.tx_cycles.percentile_bucket(0.99)?;
+        Some(b as i32 - a as i32)
+    }
+}
+
 /// How the decision tree's advice moved between the two sides.
 #[derive(Debug, Clone, Default)]
 pub struct SuggestionChanges {
@@ -106,6 +128,9 @@ pub struct ProfileDiff {
     pub nodes: Vec<NodeDiff>,
     /// Abort sites present on either side with differing abort metrics.
     pub sites: Vec<SiteDiff>,
+    /// Sites with latency/retry histograms on either side whose
+    /// histograms differ (v5 stores; empty when neither side has any).
+    pub hist_sites: Vec<HistSiteDiff>,
     /// Decision-tree movement between the sides.
     pub suggestions: SuggestionChanges,
     /// Baseline fallback-backend mix (the stamped run-level mix when
@@ -180,6 +205,18 @@ impl ProfileDiff {
         v.sort_by_key(|d| d.dw());
         v.truncate(n);
         v
+    }
+
+    /// Sites whose tx-cycles p99 regressed by at least `min_buckets`
+    /// log-buckets (so ≥ 2 means "p99 at least ~4× worse"). Only sites
+    /// with enough commits on *both* sides to make the tail meaningful
+    /// (≥ 32 each) participate — fresh or vanished sites never trigger.
+    pub fn p99_regressions(&self, min_buckets: u32) -> Vec<&HistSiteDiff> {
+        self.hist_sites
+            .iter()
+            .filter(|d| d.a.tx_cycles.count >= 32 && d.b.tx_cycles.count >= 32)
+            .filter(|d| d.d_p99_bucket().is_some_and(|s| s >= min_buckets as i32))
+            .collect()
     }
 }
 
@@ -331,6 +368,36 @@ pub fn diff_profiles(a: &Profile, b: &Profile, thresholds: &Thresholds) -> Profi
         )
     });
 
+    // Per-site histogram join: every site with distributions on either
+    // side whose histograms differ.
+    let mut hist_sites: Vec<HistSiteDiff> = Vec::new();
+    for (site, ah) in &a.hists {
+        let bh = b.hists.get(site).copied().unwrap_or_default();
+        if *ah != bh {
+            hist_sites.push(HistSiteDiff {
+                site: *site,
+                a: *ah,
+                b: bh,
+            });
+        }
+    }
+    for (site, bh) in &b.hists {
+        if !a.hists.contains_key(site) {
+            hist_sites.push(HistSiteDiff {
+                site: *site,
+                a: SiteHists::default(),
+                b: *bh,
+            });
+        }
+    }
+    hist_sites.sort_by_key(|d| {
+        (
+            std::cmp::Reverse(d.d_p99_bucket().unwrap_or(0)),
+            d.site.func.0,
+            d.site.line,
+        )
+    });
+
     ProfileDiff {
         a_breakdown: TimeBreakdown::from_metrics(&a_totals),
         b_breakdown: TimeBreakdown::from_metrics(&b_totals),
@@ -341,6 +408,7 @@ pub fn diff_profiles(a: &Profile, b: &Profile, thresholds: &Thresholds) -> Profi
         b_totals,
         nodes,
         sites,
+        hist_sites,
         suggestions: suggestion_changes(a, b, thresholds),
         a_mix: a.meta.mix.unwrap_or_else(|| a.backend_totals()),
         b_mix: b.meta.mix.unwrap_or_else(|| b.backend_totals()),
@@ -457,6 +525,14 @@ pub fn render_totals_diff(label_a: &str, label_b: &str, a: &Metrics, b: &Metrics
     out
 }
 
+/// `p50/p99` upper-bound text for one histogram, `-` when empty.
+fn hist_p50_p99(h: &rtm_runtime::Hist32) -> String {
+    match (h.percentile(0.50), h.percentile(0.99)) {
+        (Some(p50), Some(p99)) => format!("{p50}/{p99}"),
+        _ => "-".to_string(),
+    }
+}
+
 /// Render one node path as a `;`-joined folded-style stack.
 fn path_label(path: &[NodeKey], names: &NameSource) -> String {
     let frames: Vec<String> = path
@@ -566,6 +642,41 @@ pub fn render_diff(diff: &ProfileDiff, names: &NameSource) -> String {
                 d.site.line,
                 d.a.abort_samples,
                 d.b.abort_samples,
+            )
+            .unwrap();
+        }
+    }
+
+    let hist_changes: Vec<&HistSiteDiff> = diff.hist_sites.iter().take(5).collect();
+    if !hist_changes.is_empty() {
+        writeln!(
+            out,
+            "\npercentile shifts (log-bucket upper bounds, p50/p99):"
+        )
+        .unwrap();
+        for d in hist_changes {
+            writeln!(
+                out,
+                "  {}:{} tx-cycles {} → {}, retries {} → {} ({} → {} commits)",
+                names.func_name(d.site.func),
+                d.site.line,
+                hist_p50_p99(&d.a.tx_cycles),
+                hist_p50_p99(&d.b.tx_cycles),
+                hist_p50_p99(&d.a.retry_depth),
+                hist_p50_p99(&d.b.retry_depth),
+                d.a.tx_cycles.count,
+                d.b.tx_cycles.count,
+            )
+            .unwrap();
+        }
+        let regressions = diff.p99_regressions(2);
+        for r in &regressions {
+            writeln!(
+                out,
+                "  regression: {}:{} tx-cycles p99 moved {:+} buckets",
+                names.func_name(r.site.func),
+                r.site.line,
+                r.d_p99_bucket().unwrap_or(0),
             )
             .unwrap();
         }
@@ -752,6 +863,59 @@ mod tests {
         let d = diff_profiles(&a, &b, &Thresholds::default());
         assert_eq!(d.b_mix.hle, 4);
         assert_eq!(d.b_mix.switches, 1);
+    }
+
+    #[test]
+    fn hist_percentile_shifts_diff_and_regression_gate() {
+        let x = [stmt(1, 1, true)];
+        let mut a = profile_of(&[(&x, 5, 0)]);
+        let mut b = profile_of(&[(&x, 5, 0)]);
+        let site = Ip::new(FuncId(1), 1);
+        let mut ah = SiteHists::default();
+        let mut bh = SiteHists::default();
+        for _ in 0..40 {
+            ah.record_completion(100, 1, None); // bucket 6, le 127
+            bh.record_completion(900, 3, None); // bucket 9, le 1023
+        }
+        a.hists.insert(site, ah);
+        b.hists.insert(site, bh);
+        let d = diff_profiles(&a, &b, &Thresholds::default());
+        assert_eq!(d.hist_sites.len(), 1);
+        assert_eq!(d.hist_sites[0].d_p99_bucket(), Some(3));
+        assert_eq!(d.p99_regressions(2).len(), 1);
+        assert!(d.p99_regressions(4).is_empty());
+        let text = render_diff(&d, &NameSource::Anonymous);
+        assert!(text.contains("percentile shifts"), "{text}");
+        assert!(
+            text.contains("func1:1 tx-cycles 127/127 → 1023/1023"),
+            "{text}"
+        );
+        assert!(
+            text.contains("retries 1/1 → 3/3 (40 → 40 commits)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("regression: func1:1 tx-cycles p99 moved +3 buckets"),
+            "{text}"
+        );
+        // Identical histograms produce no entry at all.
+        let d = diff_profiles(&a, &a, &Thresholds::default());
+        assert!(d.hist_sites.is_empty());
+        // Thin tails (< 32 commits a side) never trigger the gate, even
+        // with a large shift.
+        let mut thin = SiteHists::default();
+        for _ in 0..10 {
+            thin.record_completion(100, 1, None);
+        }
+        a.hists.insert(site, thin);
+        let d = diff_profiles(&a, &b, &Thresholds::default());
+        assert_eq!(d.hist_sites.len(), 1);
+        assert!(d.p99_regressions(2).is_empty());
+        // A one-sided (new) site diffs against zero but cannot regress.
+        let d = diff_profiles(&profile_of(&[(&x, 5, 0)]), &b, &Thresholds::default());
+        assert_eq!(d.hist_sites.len(), 1);
+        assert_eq!(d.hist_sites[0].d_p99_bucket(), None);
+        assert!(d.p99_regressions(1).is_empty());
     }
 
     #[test]

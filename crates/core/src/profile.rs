@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 
+use rtm_runtime::{Hist32, SiteHists};
 use txsim_pmu::{EventKind, Ip, SamplingConfig};
 
 use crate::cct::Cct;
@@ -67,6 +68,10 @@ pub struct ThreadProfile {
     /// backend only; empty under static backends). Fed by the harness from
     /// the runtime's thread-private site tables, not from PMU samples.
     pub backends: HashMap<Ip, BackendMix>,
+    /// Runtime-reported per-site latency/retry-depth histograms, fed by the
+    /// harness from the runtime's thread-private histogram tables. Empty
+    /// when the run did not enable histogram collection.
+    pub hists: HashMap<Ip, SiteHists>,
 }
 
 impl ThreadProfile {
@@ -78,6 +83,11 @@ impl ThreadProfile {
     /// Mutable access to a site's backend-mix counters.
     pub fn backend_mix(&mut self, site: Ip) -> &mut BackendMix {
         self.backends.entry(site).or_default()
+    }
+
+    /// Mutable access to a site's latency/retry-depth histograms.
+    pub fn site_hists(&mut self, site: Ip) -> &mut SiteHists {
+        self.hists.entry(site).or_default()
     }
 
     /// Drain the accumulated data, leaving an empty profile that keeps its
@@ -95,6 +105,7 @@ impl ThreadProfile {
             interrupt_abort_samples: std::mem::take(&mut self.interrupt_abort_samples),
             sites: std::mem::take(&mut self.sites),
             backends: std::mem::take(&mut self.backends),
+            hists: std::mem::take(&mut self.hists),
         }
     }
 
@@ -104,6 +115,7 @@ impl ThreadProfile {
             && self.cct.is_empty()
             && self.interrupt_abort_samples == 0
             && self.backends.is_empty()
+            && self.hists.is_empty()
     }
 }
 
@@ -171,6 +183,9 @@ pub struct Profile {
     /// Per-site fallback-backend activity merged across threads (adaptive
     /// backend only; empty under static backends).
     pub backends: HashMap<Ip, BackendMix>,
+    /// Per-site latency/retry-depth histograms merged across threads.
+    /// Empty when the run did not enable histogram collection.
+    pub hists: HashMap<Ip, SiteHists>,
     /// Provenance of the run that produced this profile, if known.
     pub meta: RunMeta,
 }
@@ -258,6 +273,9 @@ impl Profile {
         for (site, mix) in &delta.backends {
             self.backends.entry(*site).or_default().merge(mix);
         }
+        for (site, h) in &delta.hists {
+            self.hists.entry(*site).or_default().merge(h);
+        }
     }
 
     /// A copy of this profile with every function id rewritten through `f`
@@ -300,6 +318,15 @@ impl Profile {
                     acc.entry(Ip::new(f(site.func), site.line))
                         .or_default()
                         .merge(mix);
+                    acc
+                }),
+            hists: self
+                .hists
+                .iter()
+                .fold(HashMap::new(), |mut acc, (site, h)| {
+                    acc.entry(Ip::new(f(site.func), site.line))
+                        .or_default()
+                        .merge(h);
                     acc
                 }),
             meta: self.meta.clone(),
@@ -345,6 +372,9 @@ impl Profile {
         for (site, mix) in &other.backends {
             self.backends.entry(*site).or_default().merge(mix);
         }
+        for (site, h) in &other.hists {
+            self.hists.entry(*site).or_default().merge(h);
+        }
     }
 
     /// Sum of per-site backend mixes — the run's overall fallback mix.
@@ -354,6 +384,32 @@ impl Profile {
             acc.merge(mix);
         }
         acc
+    }
+
+    /// Committed-transaction duration histogram merged across all sites —
+    /// the run-wide latency distribution behind the `/trend` p99 column.
+    pub fn tx_cycles_totals(&self) -> Hist32 {
+        let mut acc = Hist32::default();
+        for h in self.hists.values() {
+            acc.merge(&h.tx_cycles);
+        }
+        acc
+    }
+
+    /// Histogram sites ranked by retry-depth p99 bucket (descending), then
+    /// by completion count — the ordering the percentiles report pass and
+    /// the starvation diagnosis walk.
+    pub fn hist_sites(&self) -> Vec<(Ip, &SiteHists)> {
+        let mut out: Vec<_> = self.hists.iter().map(|(ip, h)| (*ip, h)).collect();
+        out.sort_by_key(|(ip, h)| {
+            (
+                std::cmp::Reverse(h.retry_depth.percentile_bucket(0.99)),
+                std::cmp::Reverse(h.retry_depth.count),
+                ip.func.0,
+                ip.line,
+            )
+        });
+        out
     }
 
     /// The critical-section duration ratio r_cs = T/W.
@@ -612,6 +668,42 @@ mod tests {
         let q = fleet.remap_funcs(&mut |f| FuncId(f.0 + 100));
         assert_eq!(q.backends[&Ip::new(FuncId(103), 7)].stm, 6);
         assert!(!q.backends.contains_key(&site));
+    }
+
+    #[test]
+    fn hists_flow_through_delta_absorb_and_remap() {
+        let site = Ip::new(FuncId(3), 7);
+        let mut tp = ThreadProfile {
+            tid: 0,
+            ..ThreadProfile::default()
+        };
+        tp.site_hists(site).record_completion(100, 2, None);
+        tp.site_hists(site).record_completion(900, 7, Some(400));
+        assert!(!tp.is_empty(), "histogram data alone makes it non-empty");
+
+        let delta = tp.take_delta();
+        assert!(tp.hists.is_empty(), "take_delta drains the histograms");
+        let mut p = Profile::default();
+        p.absorb_thread_delta(&delta);
+        assert_eq!(p.hists[&site].tx_cycles.count, 2);
+        assert_eq!(p.hists[&site].tx_cycles.sum, 1000);
+        assert_eq!(p.hists[&site].retry_depth.count, 2);
+        assert_eq!(p.hists[&site].fb_dwell.count, 1);
+        assert_eq!(p.tx_cycles_totals().count, 2);
+
+        // Fleet-merge and remap keep the histograms keyed per site.
+        let mut fleet = Profile::default();
+        fleet.absorb_profile(&p, 0);
+        fleet.absorb_profile(&p, 1000);
+        assert_eq!(fleet.hists[&site].tx_cycles.count, 4);
+        let q = fleet.remap_funcs(&mut |f| FuncId(f.0 + 100));
+        assert_eq!(q.hists[&Ip::new(FuncId(103), 7)].fb_dwell.count, 2);
+        assert!(!q.hists.contains_key(&site));
+
+        // Ranking: the site exists and reports a p99 retry-depth bucket.
+        let ranked = q.hist_sites();
+        assert_eq!(ranked.len(), 1);
+        assert!(ranked[0].1.retry_depth.percentile(0.99).is_some());
     }
 
     #[test]

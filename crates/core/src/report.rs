@@ -611,6 +611,47 @@ fn backend_pass(view: &ProfileView, _opts: &ReportOptions) -> String {
     out
 }
 
+/// Render one histogram's p50/p90/p99/max as `a/b/c/d` (log-bucket upper
+/// bounds), or `-` when nothing was recorded.
+fn hist_quartet(h: &rtm_runtime::Hist32) -> String {
+    match (
+        h.percentile(0.50),
+        h.percentile(0.90),
+        h.percentile(0.99),
+        h.max_value(),
+    ) {
+        (Some(p50), Some(p90), Some(p99), Some(max)) => format!("{p50}/{p90}/{p99}/{max}"),
+        _ => "-".to_string(),
+    }
+}
+
+/// Percentiles pass: per-site latency and retry-depth distributions from
+/// the runtime's log-bucketed histograms. Values are bucket upper bounds
+/// ("p99 <= N"). Empty (and therefore skipped) when the run recorded no
+/// histograms, so reports of older profiles are unchanged.
+fn percentiles_pass(view: &ProfileView, _opts: &ReportOptions) -> String {
+    let sites = view.profile.hist_sites();
+    if sites.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from(
+        "percentiles (log-bucket upper bounds, p50/p90/p99/max; sites by retry-depth p99):\n",
+    );
+    for (site, h) in sites.into_iter().take(8) {
+        writeln!(
+            out,
+            "  site {:<30} n {:>7}  tx-cycles {:<24} retries {:<14} fb-dwell {}",
+            view.ip_name(site),
+            h.tx_cycles.count,
+            hist_quartet(&h.tx_cycles),
+            hist_quartet(&h.retry_depth),
+            hist_quartet(&h.fb_dwell),
+        )
+        .unwrap();
+    }
+    out
+}
+
 /// Diagnosis pass: run the Figure-1 decision tree and narrate it.
 fn diagnosis_pass(view: &ProfileView, opts: &ReportOptions) -> String {
     let diagnosis = crate::decision::diagnose(view.profile, &opts.thresholds);
@@ -684,6 +725,10 @@ pub const REPORT_PASSES: &[ReportPass] = &[
     ReportPass {
         name: "backends",
         run: backend_pass,
+    },
+    ReportPass {
+        name: "percentiles",
+        run: percentiles_pass,
     },
     ReportPass {
         name: "cct",
@@ -916,6 +961,35 @@ mod tests {
         );
         assert!(report.contains("-> stm"), "got:\n{report}");
         assert!(report.contains("mix=lock:9/stm:4/hle:2 switches=3"));
+    }
+
+    #[test]
+    fn percentiles_pass_renders_only_with_histograms() {
+        let registry = FuncRegistry::new();
+        let mut p = sample_profile(&registry);
+        let view = ProfileView::from_registry(&p, &registry);
+        let report = render_report(&view, &ReportOptions::default());
+        assert!(
+            !report.contains("percentiles ("),
+            "histogram-free runs stay unchanged"
+        );
+
+        let site = Ip::new(FuncId(1), 12);
+        let h = p.hists.entry(site).or_default();
+        for _ in 0..98 {
+            h.record_completion(100, 1, None);
+        }
+        h.record_completion(5000, 7, Some(3000));
+        h.record_completion(6000, 8, Some(3500));
+        let view = ProfileView::from_registry(&p, &registry);
+        let report = render_report(&view, &ReportOptions::default());
+        assert!(report.contains("percentiles ("), "got:\n{report}");
+        // p50 retries = 1; p99 is the 99th value (the 7, bucket [4,7]);
+        // max is the 8's bucket bound (bucket [8,15]).
+        assert!(report.contains("retries 1/1/7/15"), "got:\n{report}");
+        assert!(report.contains("n     100"), "got:\n{report}");
+        // Deterministic.
+        assert_eq!(report, render_report(&view, &ReportOptions::default()));
     }
 
     #[test]

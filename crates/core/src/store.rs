@@ -10,6 +10,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::fmt::Write as _;
 
+use rtm_runtime::{Hist32, HIST_BUCKETS};
 use txsim_pmu::{FuncId, FuncRegistry, Ip};
 
 use crate::cct::{NodeKey, ROOT};
@@ -27,10 +28,14 @@ use crate::profile::{Periods, Profile, RunMeta, ThreadSummary};
 /// - v4: `meta` learns the `mix=` key (final fallback-execution mix of an
 ///   adaptive run: `lock:stm:hle:switches`), and a new `backend` record
 ///   carries the per-site mix. Metric arity is unchanged from v3.
+/// - v5: a new `hist` record carries one per-site log-bucketed histogram
+///   (`func line kind count sum b0..b31`, kind ∈ `tx_cycles` /
+///   `retry_depth` / `fb_dwell`). Everything else is unchanged from v4.
 ///
 /// The loader accepts all of them; pre-v3 files load with the new fields
-/// zero and no recorded backend, pre-v4 files with no recorded mix.
-pub const FORMAT_VERSION: u32 = 4;
+/// zero and no recorded backend, pre-v4 files with no recorded mix,
+/// pre-v5 files with no histograms.
+pub const FORMAT_VERSION: u32 = 5;
 
 /// Oldest format version the loader still accepts.
 pub const MIN_FORMAT_VERSION: u32 = 1;
@@ -73,6 +78,9 @@ fn referenced_funcs(profile: &Profile) -> BTreeSet<u32> {
         }
     }
     for site in profile.backends.keys() {
+        ids.insert(site.func.0);
+    }
+    for site in profile.hists.keys() {
         ids.insert(site.func.0);
     }
     ids
@@ -182,6 +190,33 @@ fn write_records(out: &mut String, profile: &Profile, name_of: &dyn Fn(FuncId) -
             site.func.0, site.line, mix.lock, mix.stm, mix.hle, mix.switches
         )
         .unwrap();
+    }
+
+    // Per-site histograms (v5), sorted for byte-stable output; empty
+    // component histograms are skipped entirely.
+    let mut hists: Vec<_> = profile.hists.iter().collect();
+    hists.sort_by_key(|(site, _)| (site.func.0, site.line));
+    for (site, h) in hists {
+        for (kind, hist) in [
+            ("tx_cycles", &h.tx_cycles),
+            ("retry_depth", &h.retry_depth),
+            ("fb_dwell", &h.fb_dwell),
+        ] {
+            if hist.is_zero() {
+                continue;
+            }
+            let buckets: Vec<String> = hist.buckets.iter().map(u64::to_string).collect();
+            writeln!(
+                out,
+                "hist\t{}\t{}\t{kind}\t{}\t{}\t{}",
+                site.func.0,
+                site.line,
+                hist.count,
+                hist.sum,
+                buckets.join(" ")
+            )
+            .unwrap();
+        }
     }
 }
 
@@ -513,6 +548,60 @@ fn parse_records<'a>(
                     },
                 );
             }
+            Some("hist") if version >= 5 => {
+                let func: u32 = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| LoadError::bad("hist func"))?;
+                let line_no: u32 = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| LoadError::bad("hist line"))?;
+                let kind = fields.next().ok_or_else(|| LoadError::bad("hist kind"))?;
+                let count: u64 = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| LoadError::bad("hist count"))?;
+                let sum: u64 = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| LoadError::bad("hist sum"))?;
+                let buckets: Vec<u64> = fields
+                    .next()
+                    .ok_or_else(|| LoadError::bad("hist buckets"))?
+                    .split(' ')
+                    .map(|f| f.parse().map_err(|_| LoadError::bad("hist bucket")))
+                    .collect::<Result<_, _>>()?;
+                if fields.next().is_some() {
+                    return Err(LoadError::bad("hist arity"));
+                }
+                let buckets: [u64; HIST_BUCKETS] = buckets
+                    .try_into()
+                    .map_err(|_| LoadError::bad("hist bucket arity"))?;
+                if buckets.iter().sum::<u64>() != count {
+                    return Err(LoadError::bad("hist count mismatch"));
+                }
+                let hist = Hist32 {
+                    buckets,
+                    sum,
+                    count,
+                };
+                if hist.is_zero() {
+                    return Err(LoadError::bad("empty hist record"));
+                }
+                let site = Ip::new(FuncId(func), line_no);
+                let entry = profile.hists.entry(site).or_default();
+                let slot = match kind {
+                    "tx_cycles" => &mut entry.tx_cycles,
+                    "retry_depth" => &mut entry.retry_depth,
+                    "fb_dwell" => &mut entry.fb_dwell,
+                    _ => return Err(LoadError::bad("hist kind")),
+                };
+                if !slot.is_zero() {
+                    return Err(LoadError::bad("duplicate hist record"));
+                }
+                *slot = hist;
+            }
             Some("") | None => {}
             Some(other) => return Err(LoadError::bad(other)),
         }
@@ -822,7 +911,7 @@ mod tests {
 
         // A headerless v1 file (what every pre-v2 run wrote) still loads,
         // with empty provenance.
-        let v1 = strip_stm_fields(&bare.replacen("\tv4\t", "\tv1\t", 1));
+        let v1 = strip_stm_fields(&bare.replacen("\tv5\t", "\tv1\t", 1));
         let q = load(&v1).expect("v1 files still load");
         assert_eq!(q.totals(), sample_profile().totals());
         assert!(q.meta.is_empty());
@@ -833,7 +922,7 @@ mod tests {
         // A pre-v3 writer emitted 18-field metric records; the loader must
         // accept them with the STM sub-breakdown zero.
         let p = sample_profile();
-        let text = strip_stm_fields(&save(&p).replacen("\tv4\t", "\tv2\t", 1));
+        let text = strip_stm_fields(&save(&p).replacen("\tv5\t", "\tv2\t", 1));
         let q = load(&text).expect("v2 18-field files still load");
         let t = q.totals();
         assert_eq!(t.w, p.totals().w);
@@ -955,7 +1044,7 @@ mod tests {
         let text = save(&p);
         // A file claiming v3 may not carry v4 records: strict loaders keep
         // hand-downgraded files honest.
-        let downgraded = text.replacen("\tv4\t", "\tv3\t", 1);
+        let downgraded = text.replacen("\tv5\t", "\tv3\t", 1);
         assert!(load(&downgraded).is_err());
         // But the same v3 file without the v4 records loads fine.
         let cleaned: String = downgraded
@@ -1007,11 +1096,100 @@ mod tests {
     }
 
     #[test]
+    fn v5_hist_records_roundtrip() {
+        let mut p = sample_profile();
+        let site = Ip::new(FuncId(9), 55);
+        p.hists
+            .entry(site)
+            .or_default()
+            .record_completion(100, 1, None);
+        p.hists
+            .entry(site)
+            .or_default()
+            .record_completion(9000, 7, Some(4000));
+        let other = Ip::new(FuncId(1), 42);
+        p.hists
+            .entry(other)
+            .or_default()
+            .record_completion(64, 2, None);
+        let text = save(&p);
+        assert!(text.contains("hist\t1\t42\ttx_cycles\t1\t64\t"));
+        assert!(text.contains("hist\t9\t55\tretry_depth\t2\t8\t"));
+        assert!(text.contains("hist\t9\t55\tfb_dwell\t1\t4000\t"));
+        // fb_dwell never recorded for the other site → no record at all.
+        assert!(!text.contains("hist\t1\t42\tfb_dwell"));
+        let q = load(&text).expect("v5 roundtrip");
+        assert_eq!(q.hists, p.hists);
+        assert_eq!(q.hists[&site].tx_cycles.count, 2);
+        assert_eq!(q.hists[&site].tx_cycles.sum, 9100);
+        // save∘load stays byte-stable with hist records present.
+        assert_eq!(save(&q), text);
+        // Func records cover hist-only sites.
+        let mut bare = sample_profile();
+        bare.cct = Default::default();
+        bare.threads.clear();
+        bare.hists.insert(Ip::new(FuncId(77), 1), p.hists[&site]);
+        let names: FuncNames = [(77, "starved".to_string())].into_iter().collect();
+        assert!(
+            save_with_names(&bare, &|id| names.get(&id.0).cloned()).contains("func\t77\tstarved")
+        );
+        // Hist records ride delta chunks through the shared body grammar.
+        let chunk = load_delta(&save_delta_with_names(&p, 0, 3, false, &|_| None))
+            .expect("delta with hists");
+        assert_eq!(chunk.profile.hists, p.hists);
+    }
+
+    #[test]
+    fn pre_v5_files_reject_hist_records() {
+        let mut p = sample_profile();
+        p.hists
+            .entry(Ip::new(FuncId(9), 55))
+            .or_default()
+            .record_completion(100, 1, None);
+        let text = save(&p);
+        // A file claiming v4 may not carry v5 records.
+        let downgraded = text.replacen("\tv5\t", "\tv4\t", 1);
+        assert!(load(&downgraded).is_err());
+        // The same v4 file without the hist records loads fine.
+        let cleaned: String = downgraded
+            .lines()
+            .filter(|l| !l.starts_with("hist\t"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let q = load(&cleaned).expect("v4 without hist records loads");
+        assert!(q.hists.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_hist_records() {
+        let mut p = sample_profile();
+        p.hists
+            .entry(Ip::new(FuncId(9), 55))
+            .or_default()
+            .record_completion(2, 1, None);
+        let text = save(&p);
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("hist\t9\t55\ttx_cycles"))
+            .unwrap()
+            .to_string();
+        // Unknown kind, bad bucket arity, count/bucket mismatch, garbage
+        // values, duplicates — all rejected.
+        assert!(load(&text.replace("\ttx_cycles\t", "\tbananas\t")).is_err());
+        assert!(load(&text.replace(&line, line.trim_end_matches(" 0"))).is_err());
+        assert!(load(&text.replace(&line, &format!("{line} 0"))).is_err());
+        assert!(load(&text.replace("tx_cycles\t1\t2", "tx_cycles\t9\t2")).is_err());
+        assert!(load(&text.replace("tx_cycles\t1\t2", "tx_cycles\tx\t2")).is_err());
+        let dup = text.replace(&line, &format!("{line}\n{line}"));
+        assert!(load(&dup).is_err(), "duplicate hist must be rejected");
+    }
+
+    #[test]
     fn rejects_unknown_versions() {
         let text = save(&sample_profile());
-        assert!(load(&text.replacen("\tv4\t", "\tv99\t", 1)).is_err());
-        assert!(load(&text.replacen("\tv4\t", "\tv0\t", 1)).is_err());
-        assert!(load(&text.replacen("\tv4\t", "\tsomething\t", 1)).is_err());
+        assert!(load(&text.replacen("\tv5\t", "\tv99\t", 1)).is_err());
+        assert!(load(&text.replacen("\tv5\t", "\tv0\t", 1)).is_err());
+        assert!(load(&text.replacen("\tv5\t", "\tsomething\t", 1)).is_err());
     }
 
     #[test]

@@ -245,7 +245,12 @@ pub fn run_workload<S: Sync>(
                 s.spawn(move || {
                     let _worker_span = obs::span(Subsystem::Harness, "worker");
                     let mut cpu = domain.spawn_cpu(cfg.sampling.clone());
-                    let tm = lib.thread();
+                    let mut tm = lib.thread();
+                    if cfg.profile {
+                        // Latency/retry histograms ride the profile; native
+                        // runs keep the detached (single-branch) table.
+                        tm.enable_hists();
+                    }
                     let handle = if cfg.profile {
                         Some(txsampler::attach_with_hub(
                             &mut cpu,
@@ -280,6 +285,10 @@ pub fn run_workload<S: Sync>(
                             mix.stm += snap.fb_stm;
                             mix.hle += snap.fb_hle;
                             mix.switches += snap.switches;
+                        }
+                        // Same for the per-site latency/retry histograms.
+                        for (site, h) in worker.tm.hists.take_delta() {
+                            p.site_hists(site).merge(&h);
                         }
                     }
                     WorkerResult {

@@ -344,6 +344,73 @@ pub fn mixed_phase(cfg: &RunConfig) -> RunOutcome {
     )
 }
 
+/// Writer starvation: worker 0 repeatedly runs one *large-write-set*
+/// transaction spanning every slot while all other workers commit small
+/// single-slot updates as fast as they can. Each small commit invalidates
+/// the writer's in-flight speculation, so the writer burns its whole HTM
+/// retry budget and completes on the fallback path over and over: the
+/// retry-depth distribution at the writer site goes tail-heavy while its
+/// HTM commit share collapses — the signature the decision tree's
+/// starvation branch reads off the per-site histograms.
+pub fn starved_writer(cfg: &RunConfig) -> RunOutcome {
+    struct S {
+        base: Addr,
+        stride: u64,
+        slots: u64,
+        f_big: txsim_htm::FuncId,
+        f_small: txsim_htm::FuncId,
+    }
+    run_workload(
+        "micro/starved_writer",
+        cfg,
+        |d, c| {
+            let line = d.geometry.line_bytes;
+            let slots = (c.threads as u64).max(2);
+            S {
+                base: d.heap.alloc_aligned(line * slots, line),
+                stride: line,
+                slots,
+                f_big: d.funcs.intern("starved_writer", "starved.rs", 80),
+                f_small: d.funcs.intern("small_writer", "starved.rs", 90),
+            }
+        },
+        |w, s| {
+            if w.idx == 0 {
+                // The big writer: expose the whole write set up front, then
+                // hold it through a long compute — any small commit during
+                // the window invalidates the speculation.
+                for _ in 0..w.scaled(300) {
+                    let (base, stride, slots, f) = (s.base, s.stride, s.slots, s.f_big);
+                    let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                    rtm_runtime::named_critical_section(tm, cpu, f, 81, |cpu| {
+                        for i in 0..slots {
+                            cpu.rmw(82, base + i * stride, |v| v + 1)?;
+                        }
+                        cpu.compute(83, 400)
+                    });
+                }
+            } else {
+                // Small writers: single-word updates on this worker's own
+                // padded slot — they conflict with the big writer, never
+                // with each other.
+                let slot = w.idx as u64 % s.slots;
+                for _ in 0..w.scaled(40_000) {
+                    let (addr, f) = (s.base + slot * s.stride, s.f_small);
+                    let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                    rtm_runtime::named_critical_section(tm, cpu, f, 91, |cpu| {
+                        cpu.rmw(92, addr, |v| v + 1).map(|_| ())
+                    });
+                }
+            }
+        },
+        |d, s| {
+            (0..s.slots)
+                .map(|i| d.mem.load(s.base + i * s.stride))
+                .sum()
+        },
+    )
+}
+
 /// All microbenchmarks with their registry names.
 pub fn run_all(cfg: &RunConfig) -> Vec<RunOutcome> {
     vec![
@@ -356,6 +423,7 @@ pub fn run_all(cfg: &RunConfig) -> Vec<RunOutcome> {
         nested_calls(cfg),
         moderate(cfg),
         mixed_phase(cfg),
+        starved_writer(cfg),
     ]
 }
 
@@ -527,6 +595,55 @@ mod tests {
         assert_eq!(mix.stm, t.stm_commits);
         assert_eq!(mix.hle, t.hle_commits);
         assert_eq!(mix.switches, t.backend_switches);
+    }
+
+    #[test]
+    fn starved_writer_fires_the_starvation_branch() {
+        let out = starved_writer(&quick().with_fallback(rtm_runtime::FallbackKind::Stm));
+        let t = out.truth.totals();
+        // Exactness: each small completion increments one slot, each big
+        // completion increments every slot (quick() runs 4 threads → 4
+        // slots).
+        let (big_ip, big) = out
+            .truth
+            .iter()
+            .find(|(ip, _)| ip.line == 81)
+            .map(|(ip, s)| (*ip, *s))
+            .expect("writer site present in truth");
+        let big_n = big.htm_commits + big.fallbacks;
+        let small_n = t.htm_commits + t.fallbacks - big_n;
+        assert_eq!(out.checksum, small_n + big_n * 4);
+        // The writer must actually be starved: the majority of its
+        // completions end on the fallback path.
+        assert!(
+            big.fallbacks * 2 > big_n,
+            "writer must mostly fall back: {big:?}"
+        );
+        // Its histograms carry the signature: tail-heavy retry depth...
+        let profile = out.profile.expect("profiling enabled");
+        let h = profile.hists.get(&big_ip).expect("writer site has hists");
+        assert_eq!(h.retry_depth.count, big_n);
+        assert!(
+            h.retry_depth.percentile(0.99).unwrap() >= 6,
+            "p99 retry depth must reach the budget: {:?}",
+            h.retry_depth
+        );
+        assert!(h.fb_dwell.count > 0, "fallback dwell must be recorded");
+        // ...and the decision tree reads it and fires Starvation.
+        let diagnosis = txsampler::diagnose(&profile, &Default::default());
+        assert!(
+            diagnosis
+                .all_suggestions()
+                .contains(&txsampler::Suggestion::Starvation),
+            "starved writer must fire the starvation branch: {:?}",
+            diagnosis.all_suggestions()
+        );
+        // The healthy microbenchmark must NOT fire it.
+        let healthy = low_conflict(&quick());
+        let diagnosis = txsampler::diagnose(&healthy.profile.unwrap(), &Default::default());
+        assert!(!diagnosis
+            .all_suggestions()
+            .contains(&txsampler::Suggestion::Starvation));
     }
 
     #[test]

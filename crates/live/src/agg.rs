@@ -167,6 +167,19 @@ pub struct Aggregator {
 }
 
 impl Aggregator {
+    /// Lock the instance table, recovering from poisoning. A panic on a
+    /// poll or render thread must not permanently brick the fleet pane:
+    /// the absorbed state is additive and every per-instance update is
+    /// field-local, so the worst a recovered guard can observe is one
+    /// instance's half-advanced bookkeeping — strictly better than
+    /// serving errors forever. Each recovery is counted.
+    fn lock_instances(&self) -> std::sync::MutexGuard<'_, Vec<Instance>> {
+        self.instances.lock().unwrap_or_else(|poisoned| {
+            obs::count(Counter::AggLockRecoveries);
+            poisoned.into_inner()
+        })
+    }
+
     /// Create an aggregator following `targets` (each `host:port`).
     /// Resolution failures are reported immediately — a typo in the fleet
     /// list should not surface as an eternally-unhealthy follower.
@@ -195,7 +208,7 @@ impl Aggregator {
     /// window of skipped rounds, so a dead instance does not tax the loop;
     /// the next attempted poll retries from the same epoch.
     pub fn poll_all(&self) {
-        let mut instances = self.instances.lock().expect("aggregator lock poisoned");
+        let mut instances = self.lock_instances();
         for inst in instances.iter_mut() {
             if inst.skip_polls > 0 {
                 inst.skip_polls -= 1;
@@ -228,7 +241,7 @@ impl Aggregator {
 
     /// Health rows for every followed instance, in `--follow` order.
     pub fn statuses(&self) -> Vec<InstanceStatus> {
-        let instances = self.instances.lock().expect("aggregator lock poisoned");
+        let instances = self.lock_instances();
         instances
             .iter()
             .enumerate()
@@ -251,7 +264,7 @@ impl Aggregator {
 
     /// One instance's absorbed profile and names (for `/flamegraph?instance=i`).
     pub fn instance_profile(&self, index: usize) -> Option<(Profile, FuncNames)> {
-        let instances = self.instances.lock().expect("aggregator lock poisoned");
+        let instances = self.lock_instances();
         instances
             .get(index)
             .map(|inst| (inst.profile.clone(), inst.funcs.clone()))
@@ -262,7 +275,7 @@ impl Aggregator {
     /// alignment `repro diff` uses). Thread summaries are offset by
     /// [`TID_STRIDE`] per instance so per-thread rows stay attributable.
     pub fn fleet(&self) -> (Profile, FuncNames) {
-        let instances = self.instances.lock().expect("aggregator lock poisoned");
+        let instances = self.lock_instances();
         let mut fleet_names = FuncNames::new();
         let mut by_name: std::collections::HashMap<String, FuncId> =
             std::collections::HashMap::new();
@@ -897,6 +910,41 @@ mod tests {
         assert!(
             metrics.contains("txsampler_instance_backoffs_total{instance=\"0\""),
             "metrics: {metrics}"
+        );
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_and_is_counted() {
+        let agg = Arc::new(test_agg(1));
+        {
+            let mut instances = agg.instances.lock().unwrap();
+            instances[0].absorb(&chunk(0, 1, false, fragment(1, 4), &[(1, "f")]));
+        }
+        // Poison the lock: a thread panics while holding the guard.
+        let poisoner = Arc::clone(&agg);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.instances.lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        assert!(agg.instances.lock().is_err(), "lock must be poisoned");
+
+        // Every public entry point recovers instead of panicking, the
+        // absorbed state survives, and each recovery is counted.
+        obs::set_enabled(true);
+        let before = obs::registry().snapshot().get(Counter::AggLockRecoveries);
+        let statuses = agg.statuses();
+        assert_eq!(statuses[0].samples, 4, "state survives the poisoning");
+        let (profile, _) = agg.instance_profile(0).expect("instance 0 exists");
+        assert_eq!(profile.samples, 4);
+        let (fleet, _) = agg.fleet();
+        assert_eq!(fleet.samples, 4);
+        agg.poll_all();
+        let after = obs::registry().snapshot().get(Counter::AggLockRecoveries);
+        obs::set_enabled(false);
+        assert!(
+            after >= before + 4,
+            "four recoveries counted: {before} -> {after}"
         );
     }
 

@@ -24,13 +24,20 @@
 //! - `txsampler_truncated_paths_total`, `txsampler_interrupt_abort_samples_total`
 //!   (counters): LBR truncations and discounted profiler-induced aborts.
 //! - `txsampler_threads` (gauge): threads that have published a delta.
+//! - `txsampler_tx_cycles` / `txsampler_retry_depth` (histogram): per-site
+//!   log-bucketed committed-transaction duration and retry depth at
+//!   completion (`_bucket{site=...,le=...}` + `_sum` + `_count`); the
+//!   runtime's power-of-two buckets map directly onto cumulative `le`
+//!   bounds, with the catch-all top bucket folded into `+Inf`.
 //! - `txsampler_obs_events_total{subsystem=...,counter=...}` (counter):
 //!   the profiler's self-observability counters (its own cost).
 
 use std::fmt::Write as _;
 
 use obs::{Counter, Snapshot};
-use txsampler::{Metrics, ProfileView, SnapshotView, TimeBreakdown};
+use txsampler::{
+    Hist32, Metrics, ProfileView, SiteHists, SnapshotView, TimeBreakdown, HIST_BUCKETS,
+};
 
 /// Render one metric family header.
 pub(crate) fn family(out: &mut String, name: &str, kind: &str, help: &str) {
@@ -249,6 +256,52 @@ pub fn render(view: &SnapshotView, window: Option<&Metrics>, obs: &Snapshot) -> 
         }
     }
 
+    // Per-site latency/retry histograms (v5 profiles). The 32 power-of-two
+    // buckets render as cumulative `le` bounds `2^(i+1)-1`; the catch-all
+    // top bucket has no finite upper bound, so it folds into `+Inf` (whose
+    // count therefore always equals `_count`, as Prometheus requires).
+    let mut hist_sites: Vec<_> = view.profile.hists.iter().collect();
+    hist_sites.sort_by_key(|(ip, _)| (ip.func.0, ip.line));
+    type Component = fn(&SiteHists) -> &Hist32;
+    let families: [(&str, &str, Component); 2] = [
+        (
+            "txsampler_tx_cycles",
+            "Committed critical-section duration in sampled cycles per transaction site (log-bucketed).",
+            |h| &h.tx_cycles,
+        ),
+        (
+            "txsampler_retry_depth",
+            "Retry depth at completion (HTM attempts plus fallback) per transaction site (log-bucketed).",
+            |h| &h.retry_depth,
+        ),
+    ];
+    for (name, help, component) in families {
+        family(&mut out, name, "histogram", help);
+        for (ip, hists) in &hist_sites {
+            let hist = component(hists);
+            if hist.count == 0 {
+                continue;
+            }
+            let site = format!("{}:{}", ip.func.0, ip.line);
+            let mut cumulative = 0u64;
+            for i in 0..HIST_BUCKETS - 1 {
+                cumulative += hist.buckets[i];
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{site=\"{site}\",le=\"{}\"}} {cumulative}",
+                    Hist32::bucket_le(i)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{site=\"{site}\",le=\"+Inf\"}} {}",
+                hist.count
+            );
+            let _ = writeln!(out, "{name}_sum{{site=\"{site}\"}} {}", hist.sum);
+            let _ = writeln!(out, "{name}_count{{site=\"{site}\"}} {}", hist.count);
+        }
+    }
+
     family(
         &mut out,
         "txsampler_obs_events_total",
@@ -371,6 +424,58 @@ mod tests {
         let plain = render(&sample_view(), None, &Registry::new().snapshot());
         assert!(plain.contains("txsampler_backend_switches_total 0"));
         assert!(!plain.contains("txsampler_site_backend{"));
+    }
+
+    #[test]
+    fn histogram_families_are_conformant() {
+        let mut view = sample_view();
+        let site = Ip::new(FuncId(1), 4);
+        let mut h = SiteHists::default();
+        for _ in 0..9 {
+            h.record_completion(100, 1, None); // bucket 6 (le 127)
+        }
+        h.record_completion(5000, 7, Some(3000)); // bucket 12 (le 8191)
+        view.profile.hists.insert(site, h);
+        let text = render(&view, None, &Registry::new().snapshot());
+
+        // Walk the tx-cycles family for our site: le values must be
+        // strictly increasing, counts monotone non-decreasing, and the
+        // +Inf bucket must equal _count.
+        let prefix = "txsampler_tx_cycles_bucket{site=\"1:4\",le=\"";
+        let mut last_le = 0u64;
+        let mut last_count = 0u64;
+        let mut buckets = 0;
+        let mut inf_count = None;
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix(prefix) else {
+                continue;
+            };
+            let (le, count) = rest.split_once("\"} ").expect("bucket line shape");
+            let count: u64 = count.parse().unwrap();
+            assert!(count >= last_count, "cumulative counts must be monotone");
+            last_count = count;
+            if le == "+Inf" {
+                inf_count = Some(count);
+            } else {
+                let le: u64 = le.parse().unwrap();
+                assert!(le > last_le || buckets == 0, "le bounds must increase");
+                last_le = le;
+            }
+            buckets += 1;
+        }
+        assert_eq!(buckets, HIST_BUCKETS, "31 finite bounds plus +Inf");
+        assert_eq!(inf_count, Some(10), "+Inf bucket equals the sample count");
+        assert!(text.contains("txsampler_tx_cycles_sum{site=\"1:4\"} 5900"));
+        assert!(text.contains("txsampler_tx_cycles_count{site=\"1:4\"} 10"));
+        // The cumulative count at le=127 covers the nine fast commits.
+        assert!(text.contains("txsampler_tx_cycles_bucket{site=\"1:4\",le=\"127\"} 9"));
+        // Retry-depth family rides along; fb_dwell is not exposed.
+        assert!(text.contains("txsampler_retry_depth_count{site=\"1:4\"} 10"));
+        assert!(!text.contains("txsampler_fb_dwell"));
+        // Histogram-free profiles render the family headers only.
+        let plain = render(&sample_view(), None, &Registry::new().snapshot());
+        assert!(plain.contains("# TYPE txsampler_tx_cycles histogram"));
+        assert!(!plain.contains("txsampler_tx_cycles_bucket{"));
     }
 
     #[test]

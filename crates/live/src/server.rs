@@ -224,14 +224,22 @@ fn handle_connection(
             obs::count(Counter::HttpTrendRequests);
             let trend = hub.trend();
             let mut body = format!(
-                "# epoch\tsamples\tw\tt_tx\tt_fb\tt_wait\tt_oh\tabort_samples\ttruncated_rows={}\n",
+                "# epoch\tsamples\tw\tt_tx\tt_fb\tt_wait\tt_oh\tabort_samples\tp99_tx_cycles\ttruncated_rows={}\n",
                 trend.truncated
             );
             for row in &trend.rows {
                 let t = &row.totals;
                 body.push_str(&format!(
-                    "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
-                    row.epoch, row.samples, t.w, t.t_tx, t.t_fb, t.t_wait, t.t_oh, t.abort_samples,
+                    "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                    row.epoch,
+                    row.samples,
+                    t.w,
+                    t.t_tx,
+                    t.t_fb,
+                    t.t_wait,
+                    t.t_oh,
+                    t.abort_samples,
+                    row.p99_tx_cycles,
                 ));
             }
             respond(&mut stream, "200 OK", "text/plain; charset=utf-8", &body)
@@ -461,7 +469,10 @@ mod tests {
         assert!(status.contains("200"));
         assert!(body.starts_with("# epoch\tsamples"));
         assert!(body.contains("truncated_rows=0"));
+        assert!(body.lines().next().unwrap().contains("\tp99_tx_cycles\t"));
         assert!(body.lines().nth(1).unwrap().starts_with("1\t1\t"));
+        // Histogram-free publishes report a zero p99 in the last column.
+        assert!(body.lines().nth(1).unwrap().ends_with("\t0"));
 
         let (status, _) = http_get(addr, "/nope").unwrap();
         assert!(status.contains("404"));

@@ -119,6 +119,7 @@ counters! {
     RtmFallbacks => (Runtime, "rtm_fallbacks", "Critical sections that took the global-lock fallback."),
     RtmLockWaits => (Runtime, "rtm_lock_waits", "Waits for the elided lock to become free."),
     RtmBackendSwitches => (Runtime, "rtm_backend_switches", "Per-site fallback-backend switches by the adaptive policy."),
+    RtmHistStores => (Runtime, "rtm_hist_stores", "Completed critical sections recorded into the per-site histograms."),
     StmBegins => (Stm, "stm_begins", "Software-transaction attempts started."),
     StmCommits => (Stm, "stm_commits", "Software transactions committed."),
     StmValidationAborts => (Stm, "stm_validation_aborts", "Software transactions killed by commit-time validation."),
@@ -143,6 +144,7 @@ counters! {
     AggPolls => (Live, "agg_polls", "Delta polls issued by the fleet aggregator's followers."),
     AggResyncs => (Live, "agg_resyncs", "Full resyncs the aggregator performed (instance restart or lag)."),
     AggBackoffs => (Live, "agg_backoffs", "Follower polls skipped because a failing instance was in backoff."),
+    AggLockRecoveries => (Live, "agg_lock_recoveries", "Poisoned aggregator locks recovered instead of panicking."),
     SpansRecorded => (Tracer, "spans_recorded", "Trace spans retained in ring buffers."),
     SpansDropped => (Tracer, "spans_dropped", "Trace spans overwritten on ring wraparound."),
 }

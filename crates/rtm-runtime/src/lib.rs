@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod hist;
 pub mod hle;
 pub mod sites;
 pub mod state;
@@ -49,6 +50,7 @@ pub use backend::{
     AdaptiveBackend, Backend, FallbackBackend, FallbackKind, GlobalLock, SingleGlobalLockElided,
     Tl2Stm, GATE_EXCLUSIVE,
 };
+pub use hist::{Hist32, HistTable, SiteHists, HIST_BUCKETS, HIST_SITE_CAPACITY};
 pub use hle::HleLock;
 pub use sites::{AdaptivePolicy, SitePlan, SiteSnapshot, SiteTable, SITE_CAPACITY};
 pub use state::{
@@ -139,6 +141,7 @@ impl TmLib {
             state: ThreadState::new(),
             truth: Truth::default(),
             sites,
+            hists: HistTable::detached(),
         }
     }
 }
@@ -151,6 +154,9 @@ pub struct TmThread {
     pub truth: Truth,
     /// Per-site adaptive statistics (live only under the adaptive backend).
     pub sites: SiteTable,
+    /// Per-site latency/retry-depth histograms (detached — one branch per
+    /// section — until a profiling harness calls [`TmThread::enable_hists`]).
+    pub hists: HistTable,
 }
 
 impl TmThread {
@@ -158,6 +164,13 @@ impl TmThread {
     /// proposed runtime extension (`GetState()`).
     pub fn state_handle(&self) -> ThreadState {
         self.state.clone()
+    }
+
+    /// Attach the per-site histogram table. Called by profiling harnesses;
+    /// without it every completion pays exactly one branch and stores
+    /// nothing (the zero-cost-when-detached contract).
+    pub fn enable_hists(&mut self) {
+        self.hists = HistTable::new();
     }
 
     /// Execute `body` as a critical section beginning at source `line`
@@ -177,6 +190,13 @@ impl TmThread {
         let lock = self.lib.lock_addr;
         let site = Ip::new(cpu.cur_ip().func, line);
         self.state.set(IN_CS | IN_OVERHEAD);
+        // Histogram bookkeeping: plain reads of the virtual cycle counter
+        // and a thread-local attempt count — no simulated instructions, no
+        // shared-cacheline writes, and `hists.record` is one branch when
+        // the table is detached.
+        let started = cpu.cycles();
+        let mut attempts = 0u32;
+        let mut fb_dwell = None;
 
         // Per-site plan: under the adaptive backend the retry budget (and
         // whether to speculate at all) comes from this site's own abort
@@ -193,7 +213,11 @@ impl TmThread {
             // The site's evidence says every attempt dies on a
             // non-transient abort: skip the doomed speculation and its
             // wasted abort cycles, go straight to the fallback path.
+            let fb_start = cpu.cycles();
             let v = self.run_fallback(cpu, line, lock, site, &mut body);
+            let done = cpu.cycles();
+            self.hists
+                .record(site, done - started, 1, Some(done - fb_start));
             self.state.set(0);
             return v;
         }
@@ -205,6 +229,7 @@ impl TmThread {
             self.wait_lock_free(cpu, line, lock);
 
             self.state.set(IN_CS | IN_OVERHEAD);
+            attempts += 1;
             let attempt = self.attempt_htm(cpu, line, lock, &mut body);
             match attempt {
                 Ok(v) => {
@@ -237,10 +262,21 @@ impl TmThread {
                     }
                     // Persistent abort (capacity/sync/explicit) or budget
                     // exhausted: take the slow path.
-                    break self.run_fallback(cpu, line, lock, site, &mut body);
+                    let fb_start = cpu.cycles();
+                    let v = self.run_fallback(cpu, line, lock, site, &mut body);
+                    fb_dwell = Some(cpu.cycles() - fb_start);
+                    break v;
                 }
             }
         };
+        // Retry depth at completion: HTM attempts (including lock-held
+        // elision waits) plus one when the fallback path ran.
+        self.hists.record(
+            site,
+            cpu.cycles() - started,
+            attempts + fb_dwell.is_some() as u32,
+            fb_dwell,
+        );
 
         self.state.set(0);
         value

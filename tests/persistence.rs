@@ -43,14 +43,14 @@ fn store_format_is_stable_text() {
     let out = htmbench::micro::low_conflict(&cfg);
     let p = out.profile.as_ref().unwrap();
     let text = store::save(p);
-    assert!(text.starts_with("txsampler-profile\tv4\t"));
+    assert!(text.starts_with("txsampler-profile\tv5\t"));
     // Line-oriented: every line has a known record tag.
     for line in text.lines().skip(1).filter(|l| !l.is_empty()) {
         let tag = line.split('\t').next().unwrap();
         assert!(
             matches!(
                 tag,
-                "meta" | "periods" | "func" | "node" | "thread" | "site" | "backend"
+                "meta" | "periods" | "func" | "node" | "thread" | "site" | "backend" | "hist"
             ),
             "unknown record tag {tag}"
         );

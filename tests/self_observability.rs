@@ -63,6 +63,7 @@ fn instrumentation_is_exactly_free_when_disabled() {
         Counter::TxCommits,
         Counter::DirectoryConflictChecks,
         Counter::RtmHtmAttempts,
+        Counter::RtmHistStores,
         Counter::CollectorLockAcquisitions,
         Counter::WorkersSpawned,
     ] {
@@ -123,4 +124,64 @@ fn instrumentation_is_exactly_free_when_disabled() {
             snap.render_table()
         );
     }
+
+    // Histograms are zero-cost when detached: a native (unprofiled) run
+    // hands every thread the zero-capacity HistTable, so even with
+    // counters on, not one histogram store happens.
+    obs::registry().reset();
+    obs::set_enabled(true);
+    let native = htmbench::micro::true_sharing(&cfg.clone().native());
+    let native_snap = obs::registry().snapshot();
+    obs::set_enabled(false);
+    assert!(native.profile.is_none(), "native runs must not profile");
+    assert_eq!(
+        native_snap.get(Counter::RtmHistStores),
+        0,
+        "detached histogram table performed stores\n{}",
+        native_snap.render_table()
+    );
+
+    // Histograms are collected by the profile even when PMU sampling is
+    // off — they hang off the runtime's completion hook, not the sampler.
+    let mut hists_on = cfg.clone().native();
+    hists_on.profile = true;
+    let profiled = htmbench::micro::true_sharing(&hists_on);
+    assert!(
+        profiled
+            .profile
+            .as_ref()
+            .is_some_and(|p| !p.hists.is_empty()),
+        "sampling-off profiled run must still collect histograms"
+    );
+    assert_eq!(native.checksum, profiled.checksum);
+
+    // And when attached, recording only *reads* the virtual cycle counter:
+    // two identical single-thread runs against fresh domains — differing
+    // only in whether the histogram table is live — must land on the exact
+    // same simulated cycle count.
+    let run = |hists: bool| {
+        let domain = txsim_htm::HtmDomain::with_defaults();
+        let lib = rtm_runtime::TmLib::new(&domain);
+        let counter = domain.heap.alloc_words(1);
+        let mut cpu = domain.spawn_cpu(txsim_htm::SamplingConfig::disabled());
+        let mut tm = lib.thread();
+        if hists {
+            tm.enable_hists();
+        }
+        for _ in 0..200 {
+            tm.critical_section(&mut cpu, 42, |cpu| {
+                cpu.rmw(43, counter, |v| v + 1)?;
+                Ok(())
+            });
+        }
+        (cpu.cycles(), tm.hists.take_delta().len())
+    };
+    let (base_cycles, base_sites) = run(false);
+    let (hist_cycles, hist_sites) = run(true);
+    assert_eq!(base_sites, 0, "detached table must drain empty");
+    assert!(hist_sites > 0, "live table must have recorded the site");
+    assert_eq!(
+        base_cycles, hist_cycles,
+        "histogram recording moved simulated time"
+    );
 }
