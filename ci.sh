@@ -44,4 +44,26 @@ cargo run --release -q -p txbench --bin repro -- diff \
   results/baseline_mixed_adaptive.txsp \
   "$fresh_dir/profile-micro_mixed_phase.txsp" --check > /dev/null
 
+echo "== ablation smoke run (txbench ablate, collector + directory sections)"
+# Small sample budgets keep this a wiring check, not a benchmark (the
+# host time-shares the sweep's threads anyway). Assert the TSV carries
+# both sections and every collector variant.
+ablate_out="$(cargo run --release -q -p txbench --bin ablate -- \
+  --threads 1,2,4,8,16,32 --samples 20000 --scale 3)"
+for needle in hashmap_locked arena_owned collector_e2e directory; do
+  grep -q "$needle" <<< "$ablate_out" || {
+    echo "ablate output missing '$needle'" >&2
+    exit 1
+  }
+done
+
+echo "== collector self-cost gate (repro --self-profile vs the Fig. 5 ~4% budget)"
+# Bills the run's SamplesTaken at a per-sample cost calibrated inline and
+# exits 1 when the collector's share of instrumented wall meets or
+# exceeds the budget. The paper's Fig. 5 puts total profiling overhead
+# near 4%; the collector fast path alone must stay inside it.
+cargo run --release -q -p txbench --bin repro -- \
+  --threads 4 --scale 3 --self-profile fig7 --self-profile-budget 4 \
+  --out "$fresh_dir" > /dev/null
+
 echo "== ci.sh: all green"

@@ -12,7 +12,7 @@ repro — regenerate every table and figure of the TxSampler paper
 usage:
   repro [--threads N] [--scale S] [--trials T] [--fallback KIND] [--out DIR]
         <experiment>...
-  repro --self-profile <experiment>
+  repro --self-profile <experiment> [--self-profile-budget PCT]
   repro serve <experiment> [--port N] [--snapshot-interval K] [--rounds R]
   repro agg --follow host:port,host:port [--port N] [--poll-ms MS]
   repro flamegraph <file.txsp>
@@ -86,10 +86,14 @@ by at least 2 log buckets (a 4x tail regression).
 
 --self-profile runs the experiment twice — instrumentation off, then
 counters + tracing on — and prints an overhead-decomposition report for
-the profiler itself (see crates/obs). The report ends with the
-histogram-recording bill: the run's actual store count priced at a
-per-store cost calibrated inline, as a share of instrumented wall time
-(budget: < 1%). Artifacts land in results/ (or --out):
+the profiler itself (see crates/obs). The report ends with two bills,
+each pricing a counted quantity at a cost calibrated inline on this
+host: histogram recording (store count x per-store cost, budget < 1%)
+and the collector sampling fast path (samples taken x per-sample cost,
+budget < 4% of instrumented wall, the paper's Fig. 5 overhead).
+--self-profile-budget PCT overrides the 4% and turns the collector bill
+into a gate: the run exits 1 when the share meets or exceeds PCT (this
+is what ci.sh uses). Artifacts land in results/ (or --out):
 self_profile_<exp>.json and a Chrome-traceable
 self_profile_<exp>.trace.json.";
 
@@ -310,7 +314,9 @@ fn run_experiment(
 
 /// Run `exp` twice — instrumentation off, then on — and report what the
 /// profiler spent on itself (crates/obs, ISSUE: Fig. 5-style decomposition).
-fn self_profile(cfg: &ExpConfig, exp: &str, out_dir: Option<&Path>) {
+/// `budget_pct` (from `--self-profile-budget`) turns the collector bill
+/// into a gate: exceed it and the process exits 1.
+fn self_profile(cfg: &ExpConfig, exp: &str, out_dir: Option<&Path>, budget_pct: Option<f64>) {
     let discard = |_: &str, _: &str| {};
 
     // Clean slate: instrumentation off, counters zeroed, trace sink empty.
@@ -353,6 +359,14 @@ fn self_profile(cfg: &ExpConfig, exp: &str, out_dir: Option<&Path>) {
         "{}",
         render_hist_cost(&profile.snapshot, instrumented_wall_ns)
     );
+    // Calibrate with counters live, as they were during the instrumented
+    // run, then quiesce again.
+    obs::set_enabled(true);
+    let budget = budget_pct.unwrap_or(4.0);
+    let (collector_bill, over_budget) =
+        render_collector_cost(&profile.snapshot, instrumented_wall_ns, budget);
+    obs::set_enabled(false);
+    println!("{collector_bill}");
 
     let dir = out_dir
         .map(Path::to_path_buf)
@@ -369,6 +383,11 @@ fn self_profile(cfg: &ExpConfig, exp: &str, out_dir: Option<&Path>) {
         json_path.display(),
         trace_path.display()
     );
+
+    if budget_pct.is_some() && over_budget {
+        eprintln!("# self-profile[{exp}]: collector self-cost share exceeds the {budget}% budget");
+        std::process::exit(1);
+    }
 }
 
 /// Bill the run's histogram recording against the < 1% budget: price the
@@ -401,6 +420,118 @@ fn render_hist_cost(snapshot: &obs::Snapshot, instrumented_wall_ns: u64) -> Stri
         share * 100.0,
         if share < 0.01 { "ok" } else { "EXCEEDED" }
     )
+}
+
+/// Bill the collector's sampling fast path against the Fig. 5 overhead
+/// budget (~4% of wall time in the paper): price the run's actual sample
+/// count (`SamplesTaken`, counted during the instrumented run) at a
+/// per-sample cost calibrated inline on this host by driving a warm
+/// `Collector::on_sample` over a converged synthetic context set. Returns
+/// the report line and whether the share exceeded `budget_pct`.
+fn render_collector_cost(
+    snapshot: &obs::Snapshot,
+    instrumented_wall_ns: u64,
+    budget_pct: f64,
+) -> (String, bool) {
+    let samples = snapshot.get(obs::Counter::SamplesTaken);
+    let per_sample_ns = calibrate_collector_ns();
+    let cost_ns = samples as f64 * per_sample_ns;
+    let share = if instrumented_wall_ns == 0 {
+        0.0
+    } else {
+        cost_ns / instrumented_wall_ns as f64
+    };
+    let exceeded = share * 100.0 >= budget_pct;
+    (
+        format!(
+            "collector fast path: {samples} samples x ~{per_sample_ns:.1} ns = {:.3} ms \
+             ({:.3}% of instrumented wall; budget < {budget_pct}%: {})",
+            cost_ns / 1e6,
+            share * 100.0,
+            if exceeded { "EXCEEDED" } else { "ok" }
+        ),
+        exceeded,
+    )
+}
+
+/// Measure the steady-state cost of one `Collector::on_sample` call: a
+/// fresh collector, a 64-context synthetic load (one third in-transaction
+/// with a short LBR window, mirroring the ablation bench), a warm-up pass
+/// to converge the CCT and scratch buffers, then a timed replay.
+fn calibrate_collector_ns() -> f64 {
+    use txsim_pmu::{
+        BranchKind, EventKind, Frame, FuncId, Ip, LbrEntry, Sample, SampleSink, SamplingConfig,
+    };
+
+    let contention = std::sync::Arc::new(txsampler::ContentionMap::with_defaults(
+        txsim_mem::CacheGeometry::default(),
+    ));
+    let (mut collector, handle) = txsampler::Collector::new(
+        0,
+        rtm_runtime::ThreadState::new(),
+        contention,
+        &SamplingConfig::txsampler_default(),
+    );
+
+    let load: Vec<(Sample, Vec<Frame>)> = (0..64u32)
+        .map(|c| {
+            let stack: Vec<Frame> = (0..4)
+                .map(|d| Frame {
+                    func: FuncId(d + 1),
+                    callsite: Ip::new(FuncId(d), 2 * d + 1 + (c % 7)),
+                })
+                .collect();
+            let in_tx = c.is_multiple_of(3);
+            let lbr = if in_tx {
+                vec![
+                    LbrEntry {
+                        from: Ip::new(FuncId(4), 7 + c % 5),
+                        to: Ip::new(FuncId(40 + c % 4), 0),
+                        kind: BranchKind::Call,
+                        in_tsx: true,
+                        abort: false,
+                    },
+                    LbrEntry {
+                        from: Ip::new(FuncId(40 + c % 4), 9),
+                        to: Ip::new(FuncId(40 + c % 4), 9),
+                        kind: BranchKind::Interrupt,
+                        in_tsx: false,
+                        abort: true,
+                    },
+                ]
+            } else {
+                Vec::new()
+            };
+            let sample = Sample {
+                event: EventKind::Cycles,
+                ip: Ip::new(FuncId(4), 100 + c % 11),
+                tid: 0,
+                in_tx,
+                caused_abort: in_tx,
+                addr: None,
+                weight: 0,
+                abort_class: None,
+                tsc: c as u64,
+                lbr,
+            };
+            (sample, stack)
+        })
+        .collect();
+
+    for i in 0..10_000usize {
+        let (sample, stack) = &load[i % load.len()];
+        collector.on_sample(sample, stack);
+    }
+    let reps: u64 = 200_000;
+    let t = Instant::now();
+    for i in 0..reps {
+        let (sample, stack) = &load[(i as usize) % load.len()];
+        collector.on_sample(sample, stack);
+    }
+    let per_sample_ns = t.elapsed().as_nanos() as f64 / reps as f64;
+    collector.flush();
+    std::hint::black_box(handle.take());
+    per_sample_ns
 }
 
 /// `repro serve`: start the live driver + HTTP server and block.
@@ -504,6 +635,7 @@ fn main() {
     let mut cfg = ExpConfig::default();
     let mut out_dir: Option<PathBuf> = None;
     let mut self_profile_exp: Option<String> = None;
+    let mut self_profile_budget: Option<f64> = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut port: u16 = 0;
     let mut snapshot_interval: u64 = 1000;
@@ -541,6 +673,13 @@ fn main() {
             "--out" => out_dir = Some(PathBuf::from(flag_value(&args, &mut i, "--out"))),
             "--self-profile" => {
                 self_profile_exp = Some(flag_value(&args, &mut i, "--self-profile").to_string())
+            }
+            "--self-profile-budget" => {
+                let pct: f64 = parse_flag(&args, &mut i, "--self-profile-budget");
+                if !pct.is_finite() || pct <= 0.0 {
+                    usage_error("--self-profile-budget expects a positive percentage");
+                }
+                self_profile_budget = Some(pct);
             }
             "--port" => port = parse_flag(&args, &mut i, "--port"),
             "--snapshot-interval" => {
@@ -601,12 +740,15 @@ fn main() {
         _ => {}
     }
 
+    if self_profile_budget.is_some() && self_profile_exp.is_none() {
+        usage_error("--self-profile-budget requires --self-profile");
+    }
     if let Some(exp) = self_profile_exp {
         eprintln!(
             "# repro: threads={} scale={} trials={}",
             cfg.threads, cfg.scale, cfg.trials
         );
-        self_profile(&cfg, &exp, out_dir.as_deref());
+        self_profile(&cfg, &exp, out_dir.as_deref(), self_profile_budget);
         return;
     }
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {

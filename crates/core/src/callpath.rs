@@ -44,7 +44,22 @@ impl TxCallPath {
 /// reconstructed; otherwise the window lost the path prefix and the result
 /// is flagged truncated.
 pub fn reconstruct_tx_path(entries: &[LbrEntry], anchor: FuncId) -> TxCallPath {
+    let mut frames = Vec::new();
+    let truncated = reconstruct_tx_path_into(entries, anchor, &mut frames);
+    TxCallPath { frames, truncated }
+}
+
+/// Allocation-free variant of [`reconstruct_tx_path`] for the sampling fast
+/// path: clears and fills the caller-owned `frames` buffer (no allocation
+/// once the buffer has warmed to the deepest in-tx path) and returns the
+/// `truncated` flag.
+pub fn reconstruct_tx_path_into(
+    entries: &[LbrEntry],
+    anchor: FuncId,
+    frames: &mut Vec<Frame>,
+) -> bool {
     obs::count(obs::Counter::LbrWindowReconstructions);
+    frames.clear();
     // Step 1: isolate the *current* transaction's branches — the contiguous
     // trailing run of in-tsx entries. Trailing non-tsx entries (the abort
     // branch and the interrupt delivery) are skipped; anything before an
@@ -73,7 +88,6 @@ pub fn reconstruct_tx_path(entries: &[LbrEntry], anchor: FuncId) -> TxCallPath {
     // Step 2: pair calls and returns, oldest first. A return with no
     // matching call would pop past the transaction root; it can only come
     // from eviction, so it marks truncation.
-    let mut frames: Vec<Frame> = Vec::new();
     let mut truncated = false;
     for e in tx_entries {
         #[allow(clippy::collapsible_match)]
@@ -110,7 +124,7 @@ pub fn reconstruct_tx_path(entries: &[LbrEntry], anchor: FuncId) -> TxCallPath {
     if truncated {
         obs::count(obs::Counter::LbrWindowsTruncated);
     }
-    TxCallPath { frames, truncated }
+    truncated
 }
 
 #[cfg(test)]

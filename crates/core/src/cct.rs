@@ -8,8 +8,19 @@
 //! executed speculatively inside a transaction) carry the `speculative`
 //! flag; the report renderer displays them under a `begin_in_tx` pseudo
 //! node like the paper's GUI (Figure 9).
-
-use std::collections::HashMap;
+//!
+//! ## Arena layout
+//!
+//! Nodes live in one flat arena (`Vec<Node>`) in first-child/next-sibling
+//! form; child lookup goes through a single open-addressed index per tree
+//! mapping `hash(parent, key)` → node id. The sample fast path therefore
+//! performs no per-node allocation: a lookup that hits (the steady state —
+//! a profile's context set converges quickly) touches only the index and
+//! the arena, and a miss appends one arena slot plus one index entry.
+//! Node ids are assigned in creation order, so parents always have smaller
+//! ids than their children — the invariant [`Cct::merge`],
+//! [`Cct::remap_funcs`] and the store loader rely on to resolve parents in
+//! a single id-ordered pass.
 
 use txsim_pmu::{FuncId, Ip};
 
@@ -59,11 +70,20 @@ pub type NodeId = u32;
 /// The root node id.
 pub const ROOT: NodeId = 0;
 
+/// Sentinel for "no node" in the sibling chain and the child index.
+const NONE: NodeId = NodeId::MAX;
+
+/// Initial child-index capacity (slots; always a power of two).
+const INDEX_INITIAL: usize = 16;
+
 #[derive(Debug, Clone)]
 struct Node {
     key: Option<NodeKey>, // None only for the root
     parent: NodeId,
-    children: HashMap<NodeKey, NodeId>,
+    /// Head of this node's child list (most recently created child first).
+    first_child: NodeId,
+    /// Next node in the parent's child list.
+    next_sibling: NodeId,
     metrics: Metrics,
 }
 
@@ -71,12 +91,48 @@ struct Node {
 #[derive(Debug, Clone)]
 pub struct Cct {
     nodes: Vec<Node>,
+    /// Open-addressed child index: `hash(parent, key) & mask` → node id,
+    /// linear probing, [`NONE`] marks an empty slot. Length is always a
+    /// power of two; rehashed when more than 7/8 full.
+    index: Vec<NodeId>,
 }
 
 impl Default for Cct {
     fn default() -> Self {
         Cct::new()
     }
+}
+
+/// Mix a (parent, key) pair into an index hash. SplitMix64-style finalizing
+/// multiplies over the packed key words; the same golden-ratio constant the
+/// conflict directory and histogram tables use.
+fn hash_key(parent: NodeId, key: &NodeKey) -> u64 {
+    let (tag, func, site_func, line, spec) = match key {
+        NodeKey::Frame {
+            func,
+            callsite,
+            speculative,
+        } => (
+            1u64,
+            func.0 as u64,
+            callsite.func.0 as u64,
+            callsite.line as u64,
+            *speculative as u64,
+        ),
+        NodeKey::Stmt { ip, speculative } => (
+            2u64,
+            ip.func.0 as u64,
+            0,
+            ip.line as u64,
+            *speculative as u64,
+        ),
+    };
+    let mut h = parent as u64;
+    for word in [tag, func, site_func, line, spec] {
+        h = (h ^ word).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 29;
+    }
+    h
 }
 
 impl Cct {
@@ -86,9 +142,11 @@ impl Cct {
             nodes: vec![Node {
                 key: None,
                 parent: ROOT,
-                children: HashMap::new(),
+                first_child: NONE,
+                next_sibling: NONE,
                 metrics: Metrics::default(),
             }],
+            index: vec![NONE; INDEX_INITIAL],
         }
     }
 
@@ -103,21 +161,60 @@ impl Cct {
     }
 
     /// Child of `parent` with `key`, created on demand.
+    ///
+    /// The hit path (steady state) is one probe sequence over the child
+    /// index — no allocation, no per-node map. A miss appends one arena
+    /// node and one index entry; the index rehash above 7/8 load is the
+    /// only amortized allocation.
     pub fn child(&mut self, parent: NodeId, key: NodeKey) -> NodeId {
-        if let Some(&id) = self.nodes[parent as usize].children.get(&key) {
-            obs::count(obs::Counter::CctNodesHit);
-            return id;
+        let mask = self.index.len() - 1;
+        let mut slot = (hash_key(parent, &key) as usize) & mask;
+        loop {
+            let id = self.index[slot];
+            if id == NONE {
+                break;
+            }
+            let node = &self.nodes[id as usize];
+            if node.parent == parent && node.key == Some(key) {
+                obs::count(obs::Counter::CctNodesHit);
+                return id;
+            }
+            slot = (slot + 1) & mask;
         }
         obs::count(obs::Counter::CctNodesCreated);
         let id = self.nodes.len() as NodeId;
+        let sibling = self.nodes[parent as usize].first_child;
         self.nodes.push(Node {
             key: Some(key),
             parent,
-            children: HashMap::new(),
+            first_child: NONE,
+            next_sibling: sibling,
             metrics: Metrics::default(),
         });
-        self.nodes[parent as usize].children.insert(key, id);
+        self.nodes[parent as usize].first_child = id;
+        self.index[slot] = id;
+        // Keep the probe sequences short: rehash above 7/8 load (the root
+        // is not indexed, hence `len() - 1` live entries).
+        if (self.nodes.len() - 1) * 8 > self.index.len() * 7 {
+            self.grow_index();
+        }
         id
+    }
+
+    /// Double the child index and rehash every non-root node into it.
+    fn grow_index(&mut self) {
+        let cap = self.index.len() * 2;
+        let mask = cap - 1;
+        let mut index = vec![NONE; cap];
+        for (id, node) in self.nodes.iter().enumerate().skip(1) {
+            let key = node.key.expect("non-root has key");
+            let mut slot = (hash_key(node.parent, &key) as usize) & mask;
+            while index[slot] != NONE {
+                slot = (slot + 1) & mask;
+            }
+            index[slot] = id as NodeId;
+        }
+        self.index = index;
     }
 
     /// Walk a full path of keys from the root, creating nodes on demand;
@@ -152,7 +249,11 @@ impl Cct {
 
     /// Child ids of `node`, in unspecified order.
     pub fn children(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes[node as usize].children.values().copied()
+        let first = self.nodes[node as usize].first_child;
+        std::iter::successors((first != NONE).then_some(first), move |&n| {
+            let next = self.nodes[n as usize].next_sibling;
+            (next != NONE).then_some(next)
+        })
     }
 
     /// The path of keys from the root to `node` (root excluded).
@@ -421,5 +522,47 @@ mod tests {
         let distinct: std::collections::HashSet<_> = order.iter().collect();
         assert_eq!(distinct.len(), order.len());
         assert_eq!(order[0], ROOT);
+    }
+
+    #[test]
+    fn wide_fanout_survives_index_growth() {
+        // Push the child index through several rehashes and verify every
+        // child is still found (not duplicated) afterwards.
+        let mut cct = Cct::new();
+        let ids: Vec<NodeId> = (0..1000).map(|i| cct.child(ROOT, frame(1, i))).collect();
+        assert_eq!(cct.len(), 1001);
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(cct.child(ROOT, frame(1, i as u32)), id);
+        }
+        assert_eq!(cct.len(), 1001, "lookups after growth must not create");
+        // The sibling chain covers exactly the created children.
+        let children: std::collections::HashSet<NodeId> = cct.children(ROOT).collect();
+        assert_eq!(children.len(), 1000);
+        assert!(ids.iter().all(|id| children.contains(id)));
+    }
+
+    #[test]
+    fn same_key_under_different_parents_stays_distinct() {
+        let mut cct = Cct::new();
+        let a = cct.child(ROOT, frame(1, 1));
+        let b = cct.child(ROOT, frame(2, 2));
+        let under_a = cct.child(a, stmt(1, 9));
+        let under_b = cct.child(b, stmt(1, 9));
+        assert_ne!(under_a, under_b);
+        assert_eq!(cct.child(a, stmt(1, 9)), under_a);
+        assert_eq!(cct.child(b, stmt(1, 9)), under_b);
+        assert_eq!(cct.parent(under_a), a);
+        assert_eq!(cct.parent(under_b), b);
+    }
+
+    #[test]
+    fn ids_preserve_parents_before_children() {
+        // The id-order invariant merge/remap/store rely on.
+        let mut cct = Cct::new();
+        cct.path([frame(1, 1), frame(2, 2), stmt(2, 3)]);
+        cct.path([frame(1, 1), frame(3, 3)]);
+        for id in 1..cct.len() as NodeId {
+            assert!(cct.parent(id) < id, "parent of {id} must have a smaller id");
+        }
     }
 }

@@ -26,7 +26,7 @@ use txsim_pmu::{
     AbortClass, BranchKind, EventKind, Frame, FuncId, Ip, Sample, SampleSink, SamplingConfig,
 };
 
-use crate::callpath::reconstruct_tx_path;
+use crate::callpath::reconstruct_tx_path_into;
 use crate::cct::NodeKey;
 use crate::contention::{ContentionMap, Sharing};
 use crate::metrics::{Metrics, TimeComponent};
@@ -167,6 +167,18 @@ pub struct TrendView {
 }
 
 impl SnapshotHub {
+    /// Acquire the hub state, recovering a poisoned lock instead of
+    /// propagating the panic: every mutation of `HubState` is a complete
+    /// absorb-then-bookkeep step, so the state a panicking publisher leaves
+    /// behind is at worst missing one delta — strictly better than taking
+    /// the whole live endpoint down with it.
+    fn lock_state(&self) -> MutexGuard<'_, HubState> {
+        self.state.lock().unwrap_or_else(|poisoned| {
+            obs::count(Counter::HubLockRecoveries);
+            poisoned.into_inner()
+        })
+    }
+
     /// Create a hub that asks collectors to flush per `policy`.
     pub fn new(policy: SnapshotPolicy) -> Arc<SnapshotHub> {
         Arc::new(SnapshotHub {
@@ -200,7 +212,7 @@ impl SnapshotHub {
             return;
         }
         let t0 = txsim_pmu::now_tsc();
-        let mut state = self.state.lock().expect("snapshot hub lock poisoned");
+        let mut state = self.lock_state();
         state.cumulative.absorb_thread_delta(delta);
         let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
         let summary = EpochSummary {
@@ -236,7 +248,7 @@ impl SnapshotHub {
 
     /// Clone the latest cumulative snapshot together with its epoch.
     pub fn latest(&self) -> SnapshotView {
-        let state = self.state.lock().expect("snapshot hub lock poisoned");
+        let state = self.lock_state();
         SnapshotView {
             epoch: self.epoch.load(Ordering::Acquire),
             profile: state.cumulative.clone(),
@@ -245,20 +257,14 @@ impl SnapshotHub {
 
     /// The retained epoch trend, oldest first.
     pub fn history(&self) -> Vec<EpochSummary> {
-        self.state
-            .lock()
-            .expect("snapshot hub lock poisoned")
-            .history
-            .iter()
-            .copied()
-            .collect()
+        self.lock_state().history.iter().copied().collect()
     }
 
     /// The retained epoch trend plus the count of rows already dropped off
     /// the front — so consumers can tell "short trend" from "long run whose
     /// early trend was truncated".
     pub fn trend(&self) -> TrendView {
-        let state = self.state.lock().expect("snapshot hub lock poisoned");
+        let state = self.lock_state();
         TrendView {
             rows: state.history.iter().copied().collect(),
             truncated: state.history_truncated,
@@ -268,7 +274,7 @@ impl SnapshotHub {
     /// Activity of the most recent merge window: metric totals of the last
     /// epoch minus the one before it. `None` until a first merge happened.
     pub fn window(&self) -> Option<Metrics> {
-        let state = self.state.lock().expect("snapshot hub lock poisoned");
+        let state = self.lock_state();
         let last = state.history.back()?;
         match state.history.len() {
             0 => None,
@@ -293,7 +299,7 @@ impl SnapshotHub {
     /// `since == current` yields an empty delta (the no-news fast path a
     /// steady-state poller hits most of the time).
     pub fn delta_since(&self, since: u64) -> DeltaView {
-        let state = self.state.lock().expect("snapshot hub lock poisoned");
+        let state = self.lock_state();
         let current = self.epoch.load(Ordering::Acquire);
         if since > current {
             return DeltaView {
@@ -369,44 +375,63 @@ impl HubLink {
     }
 }
 
+/// Capacity of the collector's reusable context scratch buffer (unwound
+/// frames + reconstructed in-tx frames + the leaf statement). Contexts
+/// deeper than this are truncated — counted, never silent — by dropping the
+/// *deepest* frames beyond the cap while keeping the leaf statement.
+const SCRATCH_CAP: usize = 256;
+
 /// Per-thread online collector. Implements [`SampleSink`]; hand it to
 /// [`txsim_htm::SimCpu::set_sink`] via [`Collector::into_sink`] and read the
 /// profile back through the [`CollectorHandle`] after the thread joins.
+///
+/// The collector owns its [`ThreadProfile`] outright: the per-sample path
+/// touches only collector-local state (no lock, no shared cache line, no
+/// heap allocation in steady state). Accumulated data leaves the thread in
+/// batches — to the attached [`SnapshotHub`] at epoch boundaries, and to
+/// the handle's handoff slot when the CPU flushes the sink or the collector
+/// is dropped.
 pub struct Collector {
     state: ThreadState,
     contention: Arc<ContentionMap>,
-    profile: Arc<Mutex<ThreadProfile>>,
+    /// The thread's profile, owned — never locked on the sample path.
+    profile: ThreadProfile,
+    /// Handoff slot shared with the [`CollectorHandle`]; written only by
+    /// [`Collector::flush_residual`] (epoch-rate, not sample-rate).
+    slot: Arc<Mutex<ThreadProfile>>,
+    /// Reusable per-sample context buffer ([`SCRATCH_CAP`] keys).
+    scratch: Vec<NodeKey>,
+    /// Reusable buffer for LBR-reconstructed in-transaction frames.
+    tx_scratch: Vec<Frame>,
     hub: Option<HubLink>,
 }
 
-/// Shared handle to a collector's profile, retained by the harness.
+/// Shared handle to a collector's finished profile, retained by the
+/// harness. The collector moves its data into the shared slot when its CPU
+/// flushes the sink ([`txsim_htm::SimCpu::flush_sink`]) or when it is
+/// dropped (e.g. by dropping the CPU); call [`CollectorHandle::take`] after
+/// either.
 #[derive(Clone)]
 pub struct CollectorHandle {
-    profile: Arc<Mutex<ThreadProfile>>,
+    slot: Arc<Mutex<ThreadProfile>>,
 }
 
 impl CollectorHandle {
-    /// Take the finished thread profile. Call after the worker joined.
+    /// Take the finished thread profile. Call after the worker joined and
+    /// the collector flushed (sink flush or drop).
     pub fn take(&self) -> ThreadProfile {
-        std::mem::take(&mut lock_profile(&self.profile))
+        std::mem::take(&mut lock_slot(&self.slot))
     }
 }
 
-/// Acquire the profile lock, counting acquisitions and contended
-/// acquisitions (the collector lock is the tool's own hot lock; the
-/// self-profile wants to know when worker sampling fights the reader).
-fn lock_profile(profile: &Mutex<ThreadProfile>) -> MutexGuard<'_, ThreadProfile> {
-    obs::count(Counter::CollectorLockAcquisitions);
-    match profile.try_lock() {
-        Ok(guard) => guard,
-        Err(std::sync::TryLockError::WouldBlock) => {
-            obs::count(Counter::CollectorLockContended);
-            profile.lock().expect("collector profile lock poisoned")
-        }
-        Err(std::sync::TryLockError::Poisoned(_)) => {
-            panic!("collector profile lock poisoned")
-        }
-    }
+/// Acquire the handoff slot, recovering a poisoned lock instead of
+/// panicking: the slot only ever holds complete absorbed deltas, so a
+/// panicking flusher cannot leave it half-written.
+fn lock_slot(slot: &Mutex<ThreadProfile>) -> MutexGuard<'_, ThreadProfile> {
+    slot.lock().unwrap_or_else(|poisoned| {
+        obs::count(Counter::CollectorLockRecoveries);
+        poisoned.into_inner()
+    })
 }
 
 impl Collector {
@@ -423,19 +448,24 @@ impl Collector {
         contention: Arc<ContentionMap>,
         sampling: &SamplingConfig,
     ) -> (Self, CollectorHandle) {
-        let profile = Arc::new(Mutex::new(ThreadProfile {
+        let periods = Periods::from_config(sampling);
+        let identity = ThreadProfile {
             tid,
-            periods: Periods::from_config(sampling),
+            periods,
             ..ThreadProfile::default()
-        }));
+        };
+        let slot = Arc::new(Mutex::new(identity.clone()));
         let handle = CollectorHandle {
-            profile: Arc::clone(&profile),
+            slot: Arc::clone(&slot),
         };
         (
             Collector {
                 state,
                 contention,
-                profile,
+                profile: identity,
+                slot,
+                scratch: Vec::with_capacity(SCRATCH_CAP),
+                tx_scratch: Vec::with_capacity(SCRATCH_CAP),
                 hub: None,
             },
             handle,
@@ -459,29 +489,49 @@ impl Collector {
         Box::new(self)
     }
 
-    /// Build the calling context for a sample: unwound frames, then —
-    /// for samples taken inside a transaction — the LBR-reconstructed
-    /// speculative frames, then the precise-IP leaf statement.
-    fn context_keys(sample: &Sample, stack: &[Frame], truncated: &mut bool) -> Vec<NodeKey> {
-        let mut keys: Vec<NodeKey> = stack
-            .iter()
-            .map(|f| NodeKey::Frame {
+    /// Build the calling context for a sample into the reusable scratch
+    /// buffer: unwound frames, then — for samples taken inside a
+    /// transaction — the LBR-reconstructed speculative frames, then the
+    /// precise-IP leaf statement. Allocation-free once the buffers have
+    /// warmed up; contexts deeper than [`SCRATCH_CAP`] are truncated and
+    /// counted. Returns whether the LBR reconstruction was truncated.
+    fn build_context(&mut self, sample: &Sample, stack: &[Frame]) -> bool {
+        self.scratch.clear();
+        // Reserve the last slot for the leaf statement so it survives
+        // truncation — the abort and contention analyses key on it.
+        let limit = SCRATCH_CAP - 1;
+        let mut overflowed = false;
+        for f in stack {
+            if self.scratch.len() == limit {
+                overflowed = true;
+                break;
+            }
+            self.scratch.push(NodeKey::Frame {
                 func: f.func,
                 callsite: f.callsite,
                 speculative: false,
-            })
-            .collect();
+            });
+        }
 
         let speculative = sample.caused_abort || sample.event == EventKind::TxAbort || sample.in_tx;
+        let mut lbr_truncated = false;
         if speculative {
             let anchor = stack.last().map_or(FuncId::UNKNOWN, |f| f.func);
-            let tx_path = reconstruct_tx_path(&sample.lbr, anchor);
-            *truncated = tx_path.truncated;
-            keys.extend(tx_path.frames.iter().map(|f| NodeKey::Frame {
-                func: f.func,
-                callsite: f.callsite,
-                speculative: true,
-            }));
+            lbr_truncated = reconstruct_tx_path_into(&sample.lbr, anchor, &mut self.tx_scratch);
+            for f in &self.tx_scratch {
+                if self.scratch.len() == limit {
+                    overflowed = true;
+                    break;
+                }
+                self.scratch.push(NodeKey::Frame {
+                    func: f.func,
+                    callsite: f.callsite,
+                    speculative: true,
+                });
+            }
+        }
+        if overflowed {
+            obs::count(Counter::CollectorScratchTruncations);
         }
         // Leaf statement: the precise IP for cycles/memory samples; for
         // RTM_RETIRED:ABORTED samples the architectural state has rolled
@@ -489,11 +539,22 @@ impl Collector {
         // which is exactly the transaction *site* the abort analysis ranks
         // (the paper's `tm_begin` nodes in Figure 9). Any in-transaction
         // context sits in the reconstructed frames above this leaf.
-        keys.push(NodeKey::Stmt {
+        self.scratch.push(NodeKey::Stmt {
             ip: sample.ip,
             speculative,
         });
-        keys
+        lbr_truncated
+    }
+
+    /// Move everything accumulated since the last flush into the handoff
+    /// slot the [`CollectorHandle`] reads. Idempotent (the drain leaves an
+    /// empty profile); called by [`SampleSink::flush`] and on drop.
+    fn flush_residual(&mut self) {
+        let delta = self.profile.take_delta();
+        if delta.is_empty() {
+            return;
+        }
+        lock_slot(&self.slot).absorb(&delta);
     }
 
     /// Figure 4: classify a cycles sample into a time component.
@@ -529,19 +590,21 @@ impl Collector {
 impl SampleSink for Collector {
     fn on_sample(&mut self, sample: &Sample, stack: &[Frame]) {
         let _span = obs::span(Subsystem::Collector, "on_sample");
-        let mut truncated = false;
-        let keys = Self::context_keys(sample, stack, &mut truncated);
+        let truncated = self.build_context(sample, stack);
+        // Classify before borrowing the profile: classification reads the
+        // state word, not the profile.
+        let component = (sample.event == EventKind::Cycles).then(|| self.classify_cycles(sample));
 
-        let mut profile = lock_profile(&self.profile);
+        let profile = &mut self.profile;
         profile.samples += 1;
         if truncated {
             profile.truncated_paths += 1;
         }
-        let node = profile.cct.path(keys);
+        let node = profile.cct.path(self.scratch.iter().copied());
 
         match sample.event {
             EventKind::Cycles => {
-                let component = self.classify_cycles(sample);
+                let component = component.expect("classified above");
                 profile.cct.metrics_mut(node).add_cycles_sample(component);
             }
             EventKind::TxCommit => {
@@ -604,14 +667,30 @@ impl SampleSink for Collector {
 
         // Epoch boundary: with a hub attached, periodically hand off the
         // delta accumulated since the last flush. The check is collector-
-        // local arithmetic; without a hub this whole block is one branch.
+        // local arithmetic; without a hub this whole block is one branch —
+        // the hub mutex is the *only* cross-thread synchronization in the
+        // collector, touched once per epoch instead of once per sample.
         if let Some(link) = &mut self.hub {
             if link.due(sample.tsc) {
-                let delta = profile.take_delta();
-                drop(profile);
-                link.hub.publish(&delta);
+                let delta = self.profile.take_delta();
+                if !delta.is_empty() {
+                    obs::count(Counter::CollectorDeltasPublished);
+                    link.hub.publish(&delta);
+                }
             }
         }
+    }
+
+    fn flush(&mut self) {
+        self.flush_residual();
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        // Dropping the CPU (and with it the boxed sink) must not lose the
+        // tail of the profile: hand any residual to the slot.
+        self.flush_residual();
     }
 }
 
@@ -912,6 +991,132 @@ mod tests {
         assert_eq!(t.truncated, 10, "dropped rows are counted, not silent");
         assert_eq!(t.rows.first().unwrap().epoch, 11, "oldest retained row");
         assert_eq!(t.rows.last().unwrap().epoch, 10 + HISTORY_CAP as u64);
+    }
+
+    fn test_collector(tid: usize) -> (Collector, CollectorHandle) {
+        Collector::new(
+            tid,
+            ThreadState::new(),
+            Arc::new(ContentionMap::with_defaults(
+                txsim_mem::CacheGeometry::default(),
+            )),
+            &SamplingConfig::txsampler_default(),
+        )
+    }
+
+    fn cycles_sample(line: u32, tsc: u64) -> (Sample, Vec<Frame>) {
+        let sample = Sample {
+            event: EventKind::Cycles,
+            ip: Ip::new(FuncId(1), line),
+            tid: 0,
+            in_tx: false,
+            caused_abort: false,
+            addr: None,
+            weight: 0,
+            abort_class: None,
+            tsc,
+            lbr: Vec::new(),
+        };
+        let stack = vec![Frame {
+            func: FuncId(1),
+            callsite: Ip::UNKNOWN,
+        }];
+        (sample, stack)
+    }
+
+    #[test]
+    fn collector_hands_off_on_flush_and_on_drop() {
+        // Explicit flush path.
+        let (mut c, handle) = test_collector(5);
+        for i in 0..10 {
+            let (s, stack) = cycles_sample(10, i);
+            c.on_sample(&s, &stack);
+        }
+        assert!(
+            handle.take().is_empty(),
+            "nothing reaches the slot before a flush"
+        );
+        c.flush();
+        let p = handle.take();
+        assert_eq!(p.tid, 5);
+        assert_eq!(p.samples, 10);
+        assert_eq!(p.periods.cycles, 50_000, "identity survives the handoff");
+
+        // Drop path (what `drop(cpu)` triggers via the boxed sink).
+        let (mut c, handle) = test_collector(6);
+        let (s, stack) = cycles_sample(11, 0);
+        c.on_sample(&s, &stack);
+        drop(c);
+        let p = handle.take();
+        assert_eq!(p.tid, 6);
+        assert_eq!(p.samples, 1);
+
+        // Flush-then-drop does not double count.
+        let (mut c, handle) = test_collector(7);
+        let (s, stack) = cycles_sample(12, 0);
+        c.on_sample(&s, &stack);
+        c.flush();
+        drop(c);
+        assert_eq!(handle.take().samples, 1);
+    }
+
+    #[test]
+    fn deep_contexts_truncate_counted_keeping_the_leaf() {
+        let (mut c, handle) = test_collector(0);
+        let stack: Vec<Frame> = (0..2 * SCRATCH_CAP as u32)
+            .map(|i| Frame {
+                func: FuncId(i),
+                callsite: Ip::new(FuncId(i.saturating_sub(1)), 1),
+            })
+            .collect();
+        let (sample, _) = cycles_sample(7, 0);
+        c.on_sample(&sample, &stack);
+        c.flush();
+        let p = handle.take();
+        assert_eq!(p.samples, 1);
+        // The deepest retained node is the leaf statement, sitting exactly
+        // at the capped depth.
+        let leaf = p
+            .cct
+            .find(|k| matches!(k, NodeKey::Stmt { .. }))
+            .expect("leaf statement survives truncation");
+        assert_eq!(p.cct.path_to(leaf).len(), SCRATCH_CAP);
+    }
+
+    #[test]
+    fn hub_recovers_poisoned_lock() {
+        let hub = SnapshotHub::new(SnapshotPolicy::EverySamples(1));
+        hub.publish(&delta(0, 10, 5, 1));
+        // Poison the state mutex by panicking while holding it.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = hub.state.lock().unwrap();
+            panic!("poison the hub");
+        }));
+        assert!(caught.is_err());
+        assert!(hub.state.is_poisoned());
+        // Every entry point recovers instead of propagating the panic.
+        hub.publish(&delta(1, 11, 7, 2));
+        assert_eq!(hub.latest().profile.samples, 15);
+        assert_eq!(hub.history().len(), 2);
+        assert_eq!(hub.trend().rows.len(), 2);
+        assert_eq!(hub.window().expect("two epochs").w, 7);
+        assert_eq!(hub.delta_since(1).profile.samples, 9);
+    }
+
+    #[test]
+    fn collector_slot_recovers_poisoned_lock() {
+        let (mut c, handle) = test_collector(3);
+        let (s, stack) = cycles_sample(10, 0);
+        c.on_sample(&s, &stack);
+        let slot = Arc::clone(&c.slot);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = slot.lock().unwrap();
+            panic!("poison the slot");
+        }));
+        assert!(caught.is_err());
+        assert!(slot.is_poisoned());
+        c.flush();
+        assert_eq!(handle.take().samples, 1, "flush recovered the lock");
     }
 
     #[test]

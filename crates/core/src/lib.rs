@@ -61,6 +61,7 @@
 pub mod analyze;
 pub mod callpath;
 pub mod cct;
+pub mod cct_ref;
 pub mod collect;
 pub mod contention;
 pub mod decision;
@@ -73,7 +74,7 @@ pub mod store;
 pub mod view;
 
 pub use analyze::{characterize, characterize_profile, merge_profiles, ProgramType};
-pub use callpath::{reconstruct_tx_path, TxCallPath};
+pub use callpath::{reconstruct_tx_path, reconstruct_tx_path_into, TxCallPath};
 pub use cct::{Cct, NodeKey};
 pub use collect::{
     attach, attach_with_hub, Collector, CollectorHandle, DeltaKind, DeltaView, EpochSummary,

@@ -109,6 +109,30 @@ impl ThreadProfile {
         }
     }
 
+    /// Merge another profile of the *same thread* into this one, adopting
+    /// its identity. Used by the collector's residual handoff: the drained
+    /// owned profile is absorbed into the shared slot the harness reads
+    /// through [`crate::CollectorHandle::take`].
+    pub fn absorb(&mut self, other: &ThreadProfile) {
+        self.tid = other.tid;
+        self.periods = other.periods;
+        self.cct.merge(&other.cct);
+        self.samples += other.samples;
+        self.truncated_paths += other.truncated_paths;
+        self.interrupt_abort_samples += other.interrupt_abort_samples;
+        for (site, (commits, aborts)) in &other.sites {
+            let e = self.site_commits(*site);
+            e.0 += commits;
+            e.1 += aborts;
+        }
+        for (site, mix) in &other.backends {
+            self.backend_mix(*site).merge(mix);
+        }
+        for (site, hists) in &other.hists {
+            self.site_hists(*site).merge(hists);
+        }
+    }
+
     /// Whether the profile holds no samples at all.
     pub fn is_empty(&self) -> bool {
         self.samples == 0

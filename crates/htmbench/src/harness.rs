@@ -274,6 +274,9 @@ pub fn run_workload<S: Sync>(
                     start_barrier.wait();
                     work(&mut worker, shared);
                     worker.cpu.retire();
+                    // The collector batches into thread-owned state; flush
+                    // the residual into the handle's slot before taking it.
+                    worker.cpu.flush_sink();
                     let mut profile = handle.map(|h| h.take());
                     if let Some(p) = &mut profile {
                         // Fold the runtime's per-site backend bookkeeping into

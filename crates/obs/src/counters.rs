@@ -125,8 +125,10 @@ counters! {
     StmValidationAborts => (Stm, "stm_validation_aborts", "Software transactions killed by commit-time validation."),
     StmLockBusy => (Stm, "stm_lock_busy", "Commit attempts that found a write stripe locked."),
     StmIrrevocable => (Stm, "stm_irrevocable", "Escalations to serial irrevocable execution."),
-    CollectorLockAcquisitions => (Collector, "collector_lock_acquisitions", "Profile-lock acquisitions by the collector."),
-    CollectorLockContended => (Collector, "collector_lock_contended", "Profile-lock acquisitions that found the lock held."),
+    CollectorScratchTruncations => (Collector, "collector_scratch_truncations", "Sample contexts truncated to the fixed-capacity scratch buffer."),
+    CollectorDeltasPublished => (Collector, "collector_deltas_published", "Non-empty epoch-boundary profile deltas published to the snapshot hub."),
+    CollectorLockRecoveries => (Collector, "collector_lock_recoveries", "Poisoned collector handoff locks recovered instead of panicking."),
+    HubLockRecoveries => (Live, "hub_lock_recoveries", "Poisoned snapshot-hub locks recovered instead of panicking."),
     CctNodesCreated => (Cct, "cct_nodes_created", "Calling-context-tree nodes created."),
     CctNodesHit => (Cct, "cct_nodes_hit", "Calling-context-tree lookups that found an existing node."),
     ShadowProbes => (Shadow, "shadow_probes", "Shadow-memory probes by the contention detector."),

@@ -237,6 +237,15 @@ impl SimCpu {
         self.sink.take()
     }
 
+    /// Ask the sink to hand off anything it batched (a profiler's residual
+    /// delta). Call after the workload finishes, before reading results
+    /// through the profiler's handle; dropping the CPU flushes implicitly.
+    pub fn flush_sink(&mut self) {
+        if let Some(sink) = &mut self.sink {
+            sink.flush();
+        }
+    }
+
     /// Variable memory latency: most accesses hit L1, an occasional one
     /// costs a miss. Besides realism, this timing noise is load-bearing:
     /// identical per-thread loops under deterministic costs settle into a

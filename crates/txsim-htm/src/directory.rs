@@ -22,7 +22,9 @@ use txsim_mem::LineId;
 /// Maximum simulated threads per domain (reader sets are a `u64` bitmask).
 pub const MAX_THREADS: usize = 64;
 
-const SHARDS: usize = 128;
+/// Default shard count; override with [`Directory::with_shards`] (the
+/// `txbench ablate` harness measures 1 shard vs. the default).
+const DEFAULT_SHARDS: usize = 128;
 
 /// Doom-flag bit: the transaction lost a conflict and must abort.
 pub const DOOM_CONFLICT: u32 = 1;
@@ -97,10 +99,17 @@ fn bit(tid: usize) -> u64 {
 }
 
 impl Directory {
-    /// Create an empty directory.
+    /// Create an empty directory with the default shard count.
     pub fn new() -> Self {
+        Directory::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Create an empty directory with `shards` lock shards (clamped to at
+    /// least 1). Fewer shards mean more lock contention between concurrent
+    /// conflict checks — the ablation knob.
+    pub fn with_shards(shards: usize) -> Self {
         Directory {
-            shards: (0..SHARDS)
+            shards: (0..shards.max(1))
                 .map(|_| Shard {
                     lines: Mutex::new(HashMap::new()),
                     len: AtomicUsize::new(0),
@@ -128,7 +137,7 @@ impl Directory {
         // Lines are sequential in most workloads; a multiplicative hash
         // spreads neighbouring lines across shards.
         let h = (line.0.wrapping_mul(0x9e37_79b9_7f4a_7c15)) >> 32;
-        &self.shards[(h as usize) % SHARDS]
+        &self.shards[(h as usize) % self.shards.len()]
     }
 
     /// Read a thread's doom flag.

@@ -88,6 +88,11 @@ pub trait SampleSink: Send {
     /// Handle one sample. Runs synchronously on the sampled thread, like a
     /// signal handler; implementations must not block on other threads.
     fn on_sample(&mut self, sample: &Sample, stack: &[Frame]);
+
+    /// Hand off any data batched since the last flush. Called by the host
+    /// outside the sampling path (end of a run, before reading results);
+    /// sinks that publish eagerly need not implement it.
+    fn flush(&mut self) {}
 }
 
 /// A sink that stores samples for later inspection — used by tests.

@@ -60,6 +60,7 @@ fn main() {
                         );
                         cpu.compute(10, 80).expect("outside tx");
                     }
+                    cpu.flush_sink(); // hand the batched profile to the handle
                     (handle.take(), tm.truth)
                 })
             })

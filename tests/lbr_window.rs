@@ -139,6 +139,7 @@ fn state_machine_covers_every_component() {
                             Ok(())
                         });
                     }
+                    cpu.flush_sink();
                     handle.take()
                 })
             })

@@ -64,7 +64,6 @@ fn instrumentation_is_exactly_free_when_disabled() {
         Counter::DirectoryConflictChecks,
         Counter::RtmHtmAttempts,
         Counter::RtmHistStores,
-        Counter::CollectorLockAcquisitions,
         Counter::WorkersSpawned,
     ] {
         assert!(
@@ -110,6 +109,7 @@ fn instrumentation_is_exactly_free_when_disabled() {
     for counter in [
         Counter::SnapshotsMerged,
         Counter::SnapshotMergeCycles,
+        Counter::CollectorDeltasPublished,
         Counter::HttpHealthzRequests,
         Counter::HttpMetricsRequests,
         Counter::HttpProfileRequests,
