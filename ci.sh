@@ -44,6 +44,55 @@ cargo run --release -q -p txbench --bin repro -- diff \
   results/baseline_mixed_adaptive.txsp \
   "$fresh_dir/profile-micro_mixed_phase.txsp" --check > /dev/null
 
+echo "== pinned STM-profile regression gates (repro diff --check vs baselines)"
+# Three more pinned baselines, all profiled under the STM fallback
+# (backoff contention manager, the default): the starvation workload, the
+# irrevocable workload and the true-sharing hammer. Same gate semantics
+# as the adaptive baseline above. Rebless after an intentional change
+# with:
+#   for w in starved_writer irrevocable true_sharing; do
+#     cargo run --release -q -p txbench --bin repro -- \
+#       --threads 4 --scale 40 --fallback stm --out results profile micro/$w
+#     mv results/profile-micro_$w.txsp results/baseline_${w}_stm.txsp
+#   done
+#   git add -f results/baseline_*_stm.txsp   # /results is gitignored
+for w in starved_writer irrevocable true_sharing; do
+  cargo run --release -q -p txbench --bin repro -- \
+    --threads 4 --scale 40 --fallback stm \
+    --out "$fresh_dir" profile micro/$w > /dev/null
+  cargo run --release -q -p txbench --bin repro -- diff \
+    "results/baseline_${w}_stm.txsp" \
+    "$fresh_dir/profile-micro_$w.txsp" --check > /dev/null
+done
+
+echo "== contention-manager smoke (starved_writer under every policy)"
+for cm in backoff karma escalate; do
+  cargo run --release -q -p txbench --bin repro -- \
+    --fallback stm --cm "$cm" --trials 1 --scale 5 \
+    profile micro/starved_writer > /dev/null
+done
+
+echo "== karma starvation-rescue gate (repro diff backoff vs karma)"
+# The subsystem's headline: under the STM fallback, switching the
+# contention manager from backoff to karma must resolve the decision
+# tree's starvation diagnosis on micro/starved_writer (the same shape the
+# htmbench acceptance test asserts with 2 log-buckets of p99 retry-depth
+# margin).
+cargo run --release -q -p txbench --bin repro -- \
+  --threads 8 --scale 10 --fallback stm --cm backoff \
+  --out "$fresh_dir" profile micro/starved_writer > /dev/null
+mv "$fresh_dir/profile-micro_starved_writer.txsp" "$fresh_dir/cm_backoff.txsp"
+cargo run --release -q -p txbench --bin repro -- \
+  --threads 8 --scale 10 --fallback stm --cm karma \
+  --out "$fresh_dir" profile micro/starved_writer > /dev/null
+mv "$fresh_dir/profile-micro_starved_writer.txsp" "$fresh_dir/cm_karma.txsp"
+cargo run --release -q -p txbench --bin repro -- diff \
+  "$fresh_dir/cm_backoff.txsp" "$fresh_dir/cm_karma.txsp" \
+  | grep -q "resolved: this site is starved" || {
+  echo "karma failed to resolve the starvation diagnosis" >&2
+  exit 1
+}
+
 echo "== ablation smoke run (txbench ablate, collector + directory sections)"
 # Small sample budgets keep this a wiring check, not a benchmark (the
 # host time-shares the sweep's threads anyway). Assert the TSV carries

@@ -10,8 +10,8 @@ const USAGE: &str = "\
 repro — regenerate every table and figure of the TxSampler paper
 
 usage:
-  repro [--threads N] [--scale S] [--trials T] [--fallback KIND] [--out DIR]
-        <experiment>...
+  repro [--threads N] [--scale S] [--trials T] [--fallback KIND] [--cm CM]
+        [--out DIR] <experiment>...
   repro --self-profile <experiment> [--self-profile-budget PCT]
   repro serve <experiment> [--port N] [--snapshot-interval K] [--rounds R]
   repro agg --follow host:port,host:port [--port N] [--poll-ms MS]
@@ -46,6 +46,18 @@ experiments:
             validation rate, fallback pressure) picks lock/stm/hle for that
             site, with hysteresis — the profiler's advice, applied live
 Unknown values are an error, never silently defaulted.
+
+--cm selects the contention manager arbitrating *software* commits. CM
+must be one of:
+  backoff   exponential backoff between attempts (default; the historical
+            behaviour)
+  karma     priority from work done: cheap transactions yield/stall instead
+            of repeatedly killing an expensive conflictor (fixes writer
+            starvation — see `repro diff` on micro/starved_writer)
+  escalate  after K failed software attempts, take the exclusive gate and
+            commit irrevocably (bounds worst-case retries at K)
+The CM only acts on the software fallback path, so --cm without
+--fallback stm|adaptive warns and has no effect.
 
 serve drives the experiment's workload mix in a loop while exposing the
 live profile over HTTP on 127.0.0.1 (--port 0 picks an ephemeral port):
@@ -132,7 +144,8 @@ fn profile_one(cfg: &ExpConfig, name: &str, save: &dyn Fn(&str, &str)) {
     let run_cfg = htmbench::harness::RunConfig::paper_default()
         .with_threads(cfg.threads)
         .with_scale(cfg.scale)
-        .with_fallback(cfg.fallback);
+        .with_fallback(cfg.fallback)
+        .with_cm(cfg.cm);
     // Counters on so the report can end with the self-cost footer.
     obs::registry().reset();
     obs::set_enabled(true);
@@ -644,6 +657,7 @@ fn main() {
     let mut follow: Option<String> = None;
     let mut poll_ms: u64 = 200;
     let mut check = false;
+    let mut cm_given = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -669,6 +683,18 @@ fn main() {
                         valid.join("|")
                     ))
                 });
+            }
+            "--cm" => {
+                let v = flag_value(&args, &mut i, "--cm");
+                cfg.cm = rtm_runtime::CmKind::parse(v).unwrap_or_else(|| {
+                    let valid: Vec<&str> =
+                        rtm_runtime::CmKind::ALL.iter().map(|k| k.label()).collect();
+                    usage_error(&format!(
+                        "--cm expects one of {}, got '{v}'",
+                        valid.join("|")
+                    ))
+                });
+                cm_given = true;
             }
             "--out" => out_dir = Some(PathBuf::from(flag_value(&args, &mut i, "--out"))),
             "--self-profile" => {
@@ -696,6 +722,19 @@ fn main() {
             _ => experiments.push(args[i].clone()),
         }
         i += 1;
+    }
+
+    if cm_given
+        && !matches!(
+            cfg.fallback,
+            rtm_runtime::FallbackKind::Stm | rtm_runtime::FallbackKind::Adaptive
+        )
+    {
+        eprintln!(
+            "warning: --cm only affects software commits; without --fallback stm|adaptive \
+             the {} contention manager never runs",
+            cfg.cm.label()
+        );
     }
 
     match experiments.first().map(String::as_str) {

@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use htmbench::harness::{RunConfig, RunOutcome};
 use htmbench::{optimization_pairs, registry, stamp_subset};
-use rtm_runtime::FallbackKind;
+use rtm_runtime::{CmKind, FallbackKind};
 use txsampler::report;
 
 /// Configuration for the experiment suite.
@@ -23,6 +23,9 @@ pub struct ExpConfig {
     pub trials: usize,
     /// Fallback backend the runtime serializes on when HTM gives up.
     pub fallback: FallbackKind,
+    /// Contention manager arbitrating software commits (STM-capable
+    /// fallbacks only; inert under `lock`/`hle`).
+    pub cm: CmKind,
 }
 
 impl Default for ExpConfig {
@@ -32,6 +35,7 @@ impl Default for ExpConfig {
             scale: 100,
             trials: 3,
             fallback: FallbackKind::Lock,
+            cm: CmKind::Backoff,
         }
     }
 }
@@ -44,6 +48,7 @@ impl ExpConfig {
             scale: 5,
             trials: 1,
             fallback: FallbackKind::Lock,
+            cm: CmKind::Backoff,
         }
     }
 
@@ -52,6 +57,7 @@ impl ExpConfig {
             .with_threads(self.threads)
             .with_scale(self.scale)
             .with_fallback(self.fallback)
+            .with_cm(self.cm)
             .native()
     }
 
@@ -60,6 +66,7 @@ impl ExpConfig {
             .with_threads(self.threads)
             .with_scale(self.scale)
             .with_fallback(self.fallback)
+            .with_cm(self.cm)
     }
 }
 

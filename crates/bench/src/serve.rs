@@ -158,6 +158,7 @@ pub fn serve_start(cfg: ServeConfig) -> io::Result<ServeHandle> {
         .with_threads(cfg.exp.threads)
         .with_scale(cfg.exp.scale)
         .with_fallback(cfg.exp.fallback)
+        .with_cm(cfg.exp.cm)
         .with_funcs(driver_funcs.clone())
         .with_hub(Arc::clone(&driver_hub));
     let rounds = cfg.rounds;

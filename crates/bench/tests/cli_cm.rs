@@ -1,0 +1,79 @@
+//! CLI contract for `--cm`: unknown contention managers are rejected
+//! loudly (exit 2, valid choices enumerated), and passing `--cm` without
+//! an STM-capable fallback warns that the policy will never run.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn bogus_cm_exits_2_listing_every_choice() {
+    let invocations: &[&[&str]] = &[
+        &["--cm", "bogus", "profile", "micro/moderate"],
+        &["--cm", "bogus", "--fallback", "stm", "table2"],
+        &["profile", "micro/moderate", "--cm", "bogus"],
+    ];
+    for args in invocations {
+        let out = repro().args(*args).output().expect("repro runs");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "repro {args:?} must exit 2 on a bogus contention manager"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("'bogus'"), "{args:?}: {stderr}");
+        for kind in ["backoff", "karma", "escalate"] {
+            assert!(
+                stderr.contains(kind),
+                "repro {args:?} must list '{kind}' among valid CMs: {stderr}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_valid_cm_is_accepted() {
+    for kind in ["backoff", "karma", "escalate"] {
+        let out = repro()
+            .args(["--cm", kind, "--help"])
+            .output()
+            .expect("repro runs");
+        assert!(out.status.success(), "--cm {kind} must parse cleanly");
+    }
+}
+
+#[test]
+fn cm_without_stm_capable_fallback_warns() {
+    // `report` on a missing file exits fast; the warning is emitted right
+    // after flag parsing, before any subcommand runs.
+    let out = repro()
+        .args(["--cm", "karma", "report", "/nonexistent.txsp"])
+        .output()
+        .expect("repro runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("warning: --cm only affects software commits"),
+        "lock fallback + --cm must warn: {stderr}"
+    );
+
+    for fallback in ["stm", "adaptive"] {
+        let out = repro()
+            .args([
+                "--cm",
+                "karma",
+                "--fallback",
+                fallback,
+                "report",
+                "/nonexistent.txsp",
+            ])
+            .output()
+            .expect("repro runs");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            !stderr.contains("warning: --cm"),
+            "--fallback {fallback} must not warn: {stderr}"
+        );
+    }
+}

@@ -29,6 +29,7 @@ pub fn merge_profiles(mut profiles: Vec<ThreadProfile>) -> Profile {
     let interrupt_abort_samples = profiles.iter().map(|p| p.interrupt_abort_samples).sum();
     let mut backends = std::collections::HashMap::new();
     let mut hists = std::collections::HashMap::new();
+    let mut cm = std::collections::HashMap::new();
     for p in &profiles {
         for (site, mix) in &p.backends {
             backends
@@ -41,6 +42,11 @@ pub fn merge_profiles(mut profiles: Vec<ThreadProfile>) -> Profile {
                 .entry(*site)
                 .or_insert_with(rtm_runtime::SiteHists::default)
                 .merge(h);
+        }
+        for (site, s) in &p.cm {
+            cm.entry(*site)
+                .or_insert_with(rtm_runtime::CmStats::default)
+                .merge(s);
         }
     }
 
@@ -55,6 +61,7 @@ pub fn merge_profiles(mut profiles: Vec<ThreadProfile>) -> Profile {
         interrupt_abort_samples,
         backends,
         hists,
+        cm,
         meta: Default::default(),
     }
 }

@@ -23,7 +23,7 @@
 
 use std::fmt::Write as _;
 
-use rtm_runtime::SiteHists;
+use rtm_runtime::{CmStats, SiteHists};
 use txsim_pmu::Ip;
 
 use crate::cct::{Cct, NodeId, NodeKey, ROOT};
@@ -138,6 +138,11 @@ pub struct ProfileDiff {
     pub a_mix: BackendMix,
     /// Comparison fallback-backend mix.
     pub b_mix: BackendMix,
+    /// Baseline contention-manager intervention totals (zero when no CM
+    /// ran — older profiles render identically).
+    pub a_cm: CmStats,
+    /// Comparison contention-manager intervention totals.
+    pub b_cm: CmStats,
     /// Provenance mismatches (different workload/threads/period).
     pub warnings: Vec<String>,
 }
@@ -246,6 +251,14 @@ fn provenance_warnings(a: &Profile, b: &Profile) -> Vec<String> {
             warnings.push(format!(
                 "fallback backend differs: '{fa}' vs '{fb}' \
                  (fallback-time movement may reflect the backend, not the workload)"
+            ));
+        }
+    }
+    if let (Some(ca), Some(cb)) = (&a.meta.cm, &b.meta.cm) {
+        if ca != cb {
+            warnings.push(format!(
+                "contention manager differs: '{ca}' vs '{cb}' \
+                 (retry-depth movement may reflect the arbitration policy, not the workload)"
             ));
         }
     }
@@ -412,6 +425,8 @@ pub fn diff_profiles(a: &Profile, b: &Profile, thresholds: &Thresholds) -> Profi
         suggestions: suggestion_changes(a, b, thresholds),
         a_mix: a.meta.mix.unwrap_or_else(|| a.backend_totals()),
         b_mix: b.meta.mix.unwrap_or_else(|| b.backend_totals()),
+        a_cm: a.cm_totals(),
+        b_cm: b.cm_totals(),
         warnings: provenance_warnings(a, b),
     }
 }
@@ -597,6 +612,23 @@ pub fn render_diff(diff: &ProfileDiff, names: &NameSource) -> String {
             a.switches,
             b.switches,
             b.switches as i64 - a.switches as i64,
+        )
+        .unwrap();
+    }
+    if !diff.a_cm.is_zero() || !diff.b_cm.is_zero() {
+        let (a, b) = (&diff.a_cm, &diff.b_cm);
+        writeln!(
+            out,
+            "cm interventions: yields {} → {}, stalls {} → {}, escalations {} → {}, \
+             priority aborts {} → {}",
+            a.yields,
+            b.yields,
+            a.stalls,
+            b.stalls,
+            a.escalations,
+            b.escalations,
+            a.priority_aborts,
+            b.priority_aborts,
         )
         .unwrap();
     }

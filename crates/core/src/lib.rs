@@ -86,5 +86,5 @@ pub use diff::{diff_profiles, render_diff, render_totals_diff, ProfileDiff};
 pub use imbalance::{detect_imbalance, Imbalance, ImbalanceKind};
 pub use metrics::{BackendMix, Metrics, TimeComponent};
 pub use profile::{Periods, Profile, RunMeta, ThreadProfile, TimeBreakdown};
-pub use rtm_runtime::{Hist32, SiteHists, HIST_BUCKETS};
+pub use rtm_runtime::{CmKind, CmStats, Hist32, SiteHists, HIST_BUCKETS};
 pub use view::{NameSource, ProfileView};

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use rtm_runtime::{Hist32, SiteHists};
+use rtm_runtime::{CmStats, Hist32, SiteHists};
 use txsim_pmu::{EventKind, Ip, SamplingConfig};
 
 use crate::cct::Cct;
@@ -72,6 +72,10 @@ pub struct ThreadProfile {
     /// harness from the runtime's thread-private histogram tables. Empty
     /// when the run did not enable histogram collection.
     pub hists: HashMap<Ip, SiteHists>,
+    /// Runtime-reported per-site contention-management interventions
+    /// (yields, stalls, escalations, priority aborts). Empty when no
+    /// contention manager ever intervened.
+    pub cm: HashMap<Ip, CmStats>,
 }
 
 impl ThreadProfile {
@@ -90,6 +94,11 @@ impl ThreadProfile {
         self.hists.entry(site).or_default()
     }
 
+    /// Mutable access to a site's contention-management counters.
+    pub fn cm_stats(&mut self, site: Ip) -> &mut CmStats {
+        self.cm.entry(site).or_default()
+    }
+
     /// Drain the accumulated data, leaving an empty profile that keeps its
     /// identity (`tid`, `periods`). Used by the live snapshot hub: the
     /// collector periodically takes the delta accumulated since the last
@@ -106,6 +115,7 @@ impl ThreadProfile {
             sites: std::mem::take(&mut self.sites),
             backends: std::mem::take(&mut self.backends),
             hists: std::mem::take(&mut self.hists),
+            cm: std::mem::take(&mut self.cm),
         }
     }
 
@@ -131,6 +141,9 @@ impl ThreadProfile {
         for (site, hists) in &other.hists {
             self.site_hists(*site).merge(hists);
         }
+        for (site, stats) in &other.cm {
+            self.cm_stats(*site).merge(stats);
+        }
     }
 
     /// Whether the profile holds no samples at all.
@@ -140,6 +153,7 @@ impl ThreadProfile {
             && self.interrupt_abort_samples == 0
             && self.backends.is_empty()
             && self.hists.is_empty()
+            && self.cm.is_empty()
     }
 }
 
@@ -176,6 +190,11 @@ pub struct RunMeta {
     /// how many slow-path executions each flavor served, plus how many
     /// times the policy switched a site's backend.
     pub mix: Option<BackendMix>,
+    /// Contention manager the run's software transactions used (`backoff`,
+    /// `karma`, or `escalate`). Only stamped for STM-capable fallbacks;
+    /// kept as a string so old analyzers can load files written by newer
+    /// tools with policies they do not know.
+    pub cm: Option<String>,
 }
 
 impl RunMeta {
@@ -186,6 +205,7 @@ impl RunMeta {
             && self.sample_period.is_none()
             && self.fallback.is_none()
             && self.mix.is_none()
+            && self.cm.is_none()
     }
 }
 
@@ -210,6 +230,9 @@ pub struct Profile {
     /// Per-site latency/retry-depth histograms merged across threads.
     /// Empty when the run did not enable histogram collection.
     pub hists: HashMap<Ip, SiteHists>,
+    /// Per-site contention-management interventions merged across threads.
+    /// Empty when no contention manager ever intervened.
+    pub cm: HashMap<Ip, CmStats>,
     /// Provenance of the run that produced this profile, if known.
     pub meta: RunMeta,
 }
@@ -300,6 +323,9 @@ impl Profile {
         for (site, h) in &delta.hists {
             self.hists.entry(*site).or_default().merge(h);
         }
+        for (site, s) in &delta.cm {
+            self.cm.entry(*site).or_default().merge(s);
+        }
     }
 
     /// A copy of this profile with every function id rewritten through `f`
@@ -353,6 +379,12 @@ impl Profile {
                         .merge(h);
                     acc
                 }),
+            cm: self.cm.iter().fold(HashMap::new(), |mut acc, (site, s)| {
+                acc.entry(Ip::new(f(site.func), site.line))
+                    .or_default()
+                    .merge(s);
+                acc
+            }),
             meta: self.meta.clone(),
         }
     }
@@ -399,6 +431,9 @@ impl Profile {
         for (site, h) in &other.hists {
             self.hists.entry(*site).or_default().merge(h);
         }
+        for (site, s) in &other.cm {
+            self.cm.entry(*site).or_default().merge(s);
+        }
     }
 
     /// Sum of per-site backend mixes — the run's overall fallback mix.
@@ -406,6 +441,16 @@ impl Profile {
         let mut acc = BackendMix::default();
         for mix in self.backends.values() {
             acc.merge(mix);
+        }
+        acc
+    }
+
+    /// Sum of per-site contention-management counters — the run's overall
+    /// CM intervention totals.
+    pub fn cm_totals(&self) -> CmStats {
+        let mut acc = CmStats::default();
+        for s in self.cm.values() {
+            acc.merge(s);
         }
         acc
     }
@@ -728,6 +773,44 @@ mod tests {
         let ranked = q.hist_sites();
         assert_eq!(ranked.len(), 1);
         assert!(ranked[0].1.retry_depth.percentile(0.99).is_some());
+    }
+
+    #[test]
+    fn cm_stats_flow_through_delta_absorb_and_remap() {
+        let site = Ip::new(FuncId(3), 7);
+        let mut tp = ThreadProfile {
+            tid: 0,
+            ..ThreadProfile::default()
+        };
+        tp.cm_stats(site).yields = 4;
+        tp.cm_stats(site).priority_aborts = 2;
+        assert!(!tp.is_empty(), "CM activity alone makes it non-empty");
+
+        let delta = tp.take_delta();
+        assert!(tp.cm.is_empty(), "take_delta drains the CM counters");
+        let mut p = Profile::default();
+        p.absorb_thread_delta(&delta);
+        assert_eq!(p.cm[&site].yields, 4);
+
+        // Second delta from another thread merges additively.
+        let mut tp2 = ThreadProfile {
+            tid: 1,
+            ..ThreadProfile::default()
+        };
+        tp2.cm_stats(site).stalls = 3;
+        tp2.cm_stats(site).escalations = 1;
+        p.absorb_thread_delta(&tp2.take_delta());
+        assert_eq!(p.cm[&site].stalls, 3);
+        assert_eq!(p.cm_totals().total(), 10);
+
+        // Fleet-merge and remap keep the counters keyed per site.
+        let mut fleet = Profile::default();
+        fleet.absorb_profile(&p, 0);
+        fleet.absorb_profile(&p, 1000);
+        assert_eq!(fleet.cm[&site].yields, 8);
+        let q = fleet.remap_funcs(&mut |f| FuncId(f.0 + 100));
+        assert_eq!(q.cm[&Ip::new(FuncId(103), 7)].escalations, 2);
+        assert!(!q.cm.contains_key(&site));
     }
 
     #[test]

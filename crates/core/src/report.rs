@@ -566,6 +566,9 @@ fn summary_pass(view: &ProfileView, _opts: &ReportOptions) -> String {
         if let Some(fallback) = &p.meta.fallback {
             let _ = write!(out, " fallback={fallback}");
         }
+        if let Some(cm) = &p.meta.cm {
+            let _ = write!(out, " cm={cm}");
+        }
         if let Some(mix) = &p.meta.mix {
             let _ = write!(
                 out,
@@ -682,8 +685,9 @@ fn imbalance_pass(view: &ProfileView, opts: &ReportOptions) -> String {
     out
 }
 
-/// Contention pass: sharing diagnoses plus the per-thread histogram of the
-/// hottest abort site (when thread-level site data exists).
+/// Contention pass: sharing diagnoses, the contention manager's
+/// intervention ledger (when one ran), plus the per-thread histogram of
+/// the hottest abort site (when thread-level site data exists).
 fn contention_pass(view: &ProfileView, _opts: &ReportOptions) -> String {
     let mut out = String::new();
     let m = &view.totals;
@@ -694,6 +698,36 @@ fn contention_pass(view: &ProfileView, _opts: &ReportOptions) -> String {
             m.true_sharing, m.false_sharing
         )
         .unwrap();
+    }
+    // CM lines render only for runs that actually had a contention manager
+    // in play (per-site interventions, or at least `cm=` provenance), so
+    // reports of older profiles are byte-identical.
+    if !view.profile.cm.is_empty() || view.profile.meta.cm.is_some() {
+        let t = view.profile.cm_totals();
+        writeln!(
+            out,
+            "contention manager ({}): {} yields, {} stalls, {} escalations, {} priority aborts",
+            view.profile.meta.cm.as_deref().unwrap_or("?"),
+            t.yields,
+            t.stalls,
+            t.escalations,
+            t.priority_aborts
+        )
+        .unwrap();
+        let mut sites: Vec<_> = view.profile.cm.iter().collect();
+        sites.sort_by_key(|(site, s)| (std::cmp::Reverse(s.total()), site.func.0, site.line));
+        for (site, s) in sites.into_iter().take(8) {
+            writeln!(
+                out,
+                "  site {:<30} yields {:>7} stalls {:>7} escalations {:>5} priority-aborts {:>5}",
+                view.ip_name(*site),
+                s.yields,
+                s.stalls,
+                s.escalations,
+                s.priority_aborts,
+            )
+            .unwrap();
+        }
     }
     if let Some((site, _)) = view.profile.hot_abort_sites().first() {
         let has_site_rows = view

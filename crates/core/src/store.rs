@@ -31,11 +31,15 @@ use crate::profile::{Periods, Profile, RunMeta, ThreadSummary};
 /// - v5: a new `hist` record carries one per-site log-bucketed histogram
 ///   (`func line kind count sum b0..b31`, kind ∈ `tx_cycles` /
 ///   `retry_depth` / `fb_dwell`). Everything else is unchanged from v4.
+/// - v6: `meta` learns the `cm=` key (contention manager the run's
+///   software transactions used), and a new `cm` record carries the
+///   per-site intervention counters
+///   (`func line yields stalls escalations priority_aborts`).
 ///
 /// The loader accepts all of them; pre-v3 files load with the new fields
 /// zero and no recorded backend, pre-v4 files with no recorded mix,
-/// pre-v5 files with no histograms.
-pub const FORMAT_VERSION: u32 = 5;
+/// pre-v5 files with no histograms, pre-v6 files with no CM provenance.
+pub const FORMAT_VERSION: u32 = 6;
 
 /// Oldest format version the loader still accepts.
 pub const MIN_FORMAT_VERSION: u32 = 1;
@@ -83,6 +87,9 @@ fn referenced_funcs(profile: &Profile) -> BTreeSet<u32> {
     for site in profile.hists.keys() {
         ids.insert(site.func.0);
     }
+    for site in profile.cm.keys() {
+        ids.insert(site.func.0);
+    }
     ids
 }
 
@@ -123,6 +130,9 @@ fn write_records(out: &mut String, profile: &Profile, name_of: &dyn Fn(FuncId) -
                 "\tmix={}:{}:{}:{}",
                 mix.lock, mix.stm, mix.hle, mix.switches
             );
+        }
+        if let Some(cm) = &profile.meta.cm {
+            let _ = write!(out, "\tcm={cm}");
         }
         out.push('\n');
     }
@@ -217,6 +227,22 @@ fn write_records(out: &mut String, profile: &Profile, name_of: &dyn Fn(FuncId) -
             )
             .unwrap();
         }
+    }
+
+    // Per-site contention-management counters (v6), sorted for byte-stable
+    // output; all-zero entries are skipped entirely.
+    let mut cm: Vec<_> = profile.cm.iter().collect();
+    cm.sort_by_key(|(site, _)| (site.func.0, site.line));
+    for (site, s) in cm {
+        if s.is_zero() {
+            continue;
+        }
+        writeln!(
+            out,
+            "cm\t{}\t{}\t{}\t{}\t{}\t{}",
+            site.func.0, site.line, s.yields, s.stalls, s.escalations, s.priority_aborts
+        )
+        .unwrap();
     }
 }
 
@@ -441,6 +467,9 @@ fn parse_records<'a>(
                                 switches: vals[3],
                             });
                         }
+                        "cm" if version >= 6 && !value.is_empty() && meta.cm.is_none() => {
+                            meta.cm = Some(value.to_string());
+                        }
                         _ => return Err(LoadError::bad("meta field")),
                     }
                 }
@@ -601,6 +630,28 @@ fn parse_records<'a>(
                     return Err(LoadError::bad("duplicate hist record"));
                 }
                 *slot = hist;
+            }
+            Some("cm") if version >= 6 => {
+                let vals: Vec<u64> = fields
+                    .map(|f| f.parse().map_err(|_| LoadError::bad("cm field")))
+                    .collect::<Result<_, _>>()?;
+                if vals.len() != 6 {
+                    return Err(LoadError::bad("cm arity"));
+                }
+                let site = Ip::new(FuncId(vals[0] as u32), vals[1] as u32);
+                if profile.cm.contains_key(&site) {
+                    return Err(LoadError::bad("duplicate cm record"));
+                }
+                let stats = rtm_runtime::CmStats {
+                    yields: vals[2],
+                    stalls: vals[3],
+                    escalations: vals[4],
+                    priority_aborts: vals[5],
+                };
+                if stats.is_zero() {
+                    return Err(LoadError::bad("empty cm record"));
+                }
+                profile.cm.insert(site, stats);
             }
             Some("") | None => {}
             Some(other) => return Err(LoadError::bad(other)),
@@ -888,6 +939,7 @@ mod tests {
             sample_period: Some(1000),
             fallback: Some("stm".to_string()),
             mix: None,
+            cm: None,
         };
         let text = save(&p);
         assert!(text.contains("meta\tworkload=histo\tthreads=14\tperiod=1000\tfallback=stm"));
@@ -911,7 +963,7 @@ mod tests {
 
         // A headerless v1 file (what every pre-v2 run wrote) still loads,
         // with empty provenance.
-        let v1 = strip_stm_fields(&bare.replacen("\tv5\t", "\tv1\t", 1));
+        let v1 = strip_stm_fields(&bare.replacen("\tv6\t", "\tv1\t", 1));
         let q = load(&v1).expect("v1 files still load");
         assert_eq!(q.totals(), sample_profile().totals());
         assert!(q.meta.is_empty());
@@ -922,7 +974,7 @@ mod tests {
         // A pre-v3 writer emitted 18-field metric records; the loader must
         // accept them with the STM sub-breakdown zero.
         let p = sample_profile();
-        let text = strip_stm_fields(&save(&p).replacen("\tv5\t", "\tv2\t", 1));
+        let text = strip_stm_fields(&save(&p).replacen("\tv6\t", "\tv2\t", 1));
         let q = load(&text).expect("v2 18-field files still load");
         let t = q.totals();
         assert_eq!(t.w, p.totals().w);
@@ -1044,7 +1096,7 @@ mod tests {
         let text = save(&p);
         // A file claiming v3 may not carry v4 records: strict loaders keep
         // hand-downgraded files honest.
-        let downgraded = text.replacen("\tv5\t", "\tv3\t", 1);
+        let downgraded = text.replacen("\tv6\t", "\tv3\t", 1);
         assert!(load(&downgraded).is_err());
         // But the same v3 file without the v4 records loads fine.
         let cleaned: String = downgraded
@@ -1148,7 +1200,7 @@ mod tests {
             .record_completion(100, 1, None);
         let text = save(&p);
         // A file claiming v4 may not carry v5 records.
-        let downgraded = text.replacen("\tv5\t", "\tv4\t", 1);
+        let downgraded = text.replacen("\tv6\t", "\tv4\t", 1);
         assert!(load(&downgraded).is_err());
         // The same v4 file without the hist records loads fine.
         let cleaned: String = downgraded
@@ -1185,11 +1237,129 @@ mod tests {
     }
 
     #[test]
+    fn v6_cm_records_roundtrip() {
+        use rtm_runtime::CmStats;
+        let mut p = sample_profile();
+        p.meta.fallback = Some("stm".to_string());
+        p.meta.cm = Some("karma".to_string());
+        p.cm.insert(
+            Ip::new(FuncId(9), 55),
+            CmStats {
+                yields: 11,
+                stalls: 4,
+                escalations: 0,
+                priority_aborts: 2,
+            },
+        );
+        p.cm.insert(
+            Ip::new(FuncId(1), 42),
+            CmStats {
+                escalations: 3,
+                ..CmStats::default()
+            },
+        );
+        // All-zero entries are skipped on save, like empty histograms.
+        p.cm.insert(Ip::new(FuncId(2), 1), CmStats::default());
+        let text = save(&p);
+        assert!(text.contains("fallback=stm\tcm=karma"));
+        assert!(text.contains("cm\t1\t42\t0\t0\t3\t0\n"));
+        assert!(text.contains("cm\t9\t55\t11\t4\t0\t2\n"));
+        assert!(!text.contains("cm\t2\t1\t"));
+        let q = load(&text).expect("v6 roundtrip");
+        assert_eq!(q.meta.cm.as_deref(), Some("karma"));
+        assert_eq!(q.cm[&Ip::new(FuncId(9), 55)].yields, 11);
+        assert_eq!(q.cm_totals().total(), 20);
+        // save∘load stays byte-stable with cm records present.
+        assert_eq!(save(&q), text);
+        // Func records cover cm-only sites.
+        let mut bare = sample_profile();
+        bare.cct = Default::default();
+        bare.threads.clear();
+        bare.cm.insert(
+            Ip::new(FuncId(88), 1),
+            CmStats {
+                yields: 1,
+                ..CmStats::default()
+            },
+        );
+        let names: FuncNames = [(88, "writer".to_string())].into_iter().collect();
+        assert!(
+            save_with_names(&bare, &|id| names.get(&id.0).cloned()).contains("func\t88\twriter")
+        );
+        // Cm records ride delta chunks through the shared body grammar.
+        let chunk =
+            load_delta(&save_delta_with_names(&p, 0, 3, false, &|_| None)).expect("delta with cm");
+        assert_eq!(chunk.profile.cm.len(), 2, "zero entry dropped");
+        assert_eq!(chunk.profile.meta.cm.as_deref(), Some("karma"));
+    }
+
+    #[test]
+    fn pre_v6_files_reject_cm_records() {
+        let mut p = sample_profile();
+        p.meta.fallback = Some("stm".to_string());
+        p.meta.cm = Some("escalate".to_string());
+        p.cm.insert(
+            Ip::new(FuncId(9), 55),
+            rtm_runtime::CmStats {
+                escalations: 7,
+                ..Default::default()
+            },
+        );
+        let text = save(&p);
+        // A file claiming v5 may not carry v6 records or the cm= meta key.
+        let downgraded = text.replacen("\tv6\t", "\tv5\t", 1);
+        assert!(load(&downgraded).is_err());
+        // The same v5 file without the cm records/key loads fine.
+        let cleaned: String = downgraded
+            .lines()
+            .filter(|l| !l.starts_with("cm\t"))
+            .map(|l| {
+                if l.starts_with("meta\t") {
+                    l.split('\t')
+                        .filter(|f| !f.starts_with("cm="))
+                        .collect::<Vec<_>>()
+                        .join("\t")
+                        + "\n"
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        let q = load(&cleaned).expect("v5 without cm records loads");
+        assert!(q.cm.is_empty());
+        assert_eq!(q.meta.cm, None);
+    }
+
+    #[test]
+    fn rejects_malformed_cm_records() {
+        let mut p = sample_profile();
+        p.meta.cm = Some("karma".to_string());
+        p.cm.insert(
+            Ip::new(FuncId(9), 55),
+            rtm_runtime::CmStats {
+                yields: 5,
+                ..Default::default()
+            },
+        );
+        let text = save(&p);
+        let line = "cm\t9\t55\t5\t0\t0\t0";
+        assert!(load(&text.replace(line, "cm\t9\t55\t5\t0\t0")).is_err());
+        assert!(load(&text.replace(line, "cm\t9\t55\t5\t0\t0\t0\t0")).is_err());
+        assert!(load(&text.replace(line, "cm\t9\t55\t5\t0\tx\t0")).is_err());
+        assert!(load(&text.replace(line, "cm\t9\t55\t0\t0\t0\t0")).is_err());
+        let dup = text.replace(line, &format!("{line}\n{line}"));
+        assert!(load(&dup).is_err(), "duplicate cm site must be rejected");
+        // Empty or duplicate cm= meta values are malformed.
+        assert!(load(&text.replace("cm=karma", "cm=")).is_err());
+        assert!(load(&text.replace("cm=karma", "cm=karma\tcm=karma")).is_err());
+    }
+
+    #[test]
     fn rejects_unknown_versions() {
         let text = save(&sample_profile());
-        assert!(load(&text.replacen("\tv5\t", "\tv99\t", 1)).is_err());
-        assert!(load(&text.replacen("\tv5\t", "\tv0\t", 1)).is_err());
-        assert!(load(&text.replacen("\tv5\t", "\tsomething\t", 1)).is_err());
+        assert!(load(&text.replacen("\tv6\t", "\tv99\t", 1)).is_err());
+        assert!(load(&text.replacen("\tv6\t", "\tv0\t", 1)).is_err());
+        assert!(load(&text.replacen("\tv6\t", "\tsomething\t", 1)).is_err());
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn side(registry: &FuncRegistry, optimized: bool) -> Profile {
         sample_period: Some(1000),
         fallback: None,
         mix: None,
+        cm: None,
     };
     let frame = p.cct.child(
         ROOT,

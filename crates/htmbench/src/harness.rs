@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use obs::{Counter, Subsystem};
-use rtm_runtime::{FallbackKind, TmLib, TmThread, Truth};
+use rtm_runtime::{CmKind, FallbackKind, TmLib, TmThread, Truth};
 use txsampler::{merge_profiles, ContentionMap, Profile, SnapshotHub};
 use txsim_htm::{CpuStats, DomainConfig, FuncRegistry, HtmDomain, SamplingConfig, SimCpu};
 
@@ -41,6 +41,10 @@ pub struct RunConfig {
     /// paper's evaluation serializes on a global lock; `stm` and `hle`
     /// exercise the pluggable alternatives).
     pub fallback: FallbackKind,
+    /// Contention manager arbitrating software-transaction conflicts.
+    /// Only consulted when the fallback path runs software transactions
+    /// (`stm` / `adaptive`); HTM-phase runs never invoke it.
+    pub cm: CmKind,
 }
 
 impl RunConfig {
@@ -55,6 +59,7 @@ impl RunConfig {
             domain: DomainConfig::default(),
             hub: None,
             fallback: FallbackKind::Lock,
+            cm: CmKind::Backoff,
         }
     }
 
@@ -70,6 +75,7 @@ impl RunConfig {
             domain: DomainConfig::default(),
             hub: None,
             fallback: FallbackKind::Lock,
+            cm: CmKind::Backoff,
         }
     }
 
@@ -114,6 +120,12 @@ impl RunConfig {
     /// Builder: fallback backend.
     pub fn with_fallback(mut self, fallback: FallbackKind) -> Self {
         self.fallback = fallback;
+        self
+    }
+
+    /// Builder: contention manager.
+    pub fn with_cm(mut self, cm: CmKind) -> Self {
+        self.cm = cm;
         self
     }
 }
@@ -217,7 +229,7 @@ pub fn run_workload<S: Sync>(
     let mut domain_cfg = cfg.domain.clone();
     domain_cfg.cooperative = cfg.threads > 1;
     let domain = HtmDomain::new(domain_cfg);
-    let lib = TmLib::with_backend(&domain, cfg.fallback);
+    let lib = TmLib::with_backend_and_cm(&domain, cfg.fallback, cfg.cm);
     let contention = Arc::new(ContentionMap::with_defaults(domain.geometry));
     let shared = setup(&domain, cfg);
     drop(setup_span);
@@ -293,6 +305,10 @@ pub fn run_workload<S: Sync>(
                         for (site, h) in worker.tm.hists.take_delta() {
                             p.site_hists(site).merge(&h);
                         }
+                        // And the contention-management interventions.
+                        for (site, s) in worker.tm.cm_stats.take_delta() {
+                            p.cm_stats(site).merge(&s);
+                        }
                     }
                     WorkerResult {
                         cycles: worker.cpu.cycles(),
@@ -359,6 +375,10 @@ pub fn run_workload<S: Sync>(
                     switches: t.backend_switches,
                 }
             }),
+            // Only STM-capable fallbacks consult the CM; stamping it on
+            // HTM-phase runs would imply provenance it cannot have.
+            cm: matches!(cfg.fallback, FallbackKind::Stm | FallbackKind::Adaptive)
+                .then(|| cfg.cm.label().to_string()),
         };
     }
 

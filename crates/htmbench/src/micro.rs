@@ -357,6 +357,7 @@ pub fn starved_writer(cfg: &RunConfig) -> RunOutcome {
         base: Addr,
         stride: u64,
         slots: u64,
+        hot: Addr,
         f_big: txsim_htm::FuncId,
         f_small: txsim_htm::FuncId,
     }
@@ -370,6 +371,7 @@ pub fn starved_writer(cfg: &RunConfig) -> RunOutcome {
                 base: d.heap.alloc_aligned(line * slots, line),
                 stride: line,
                 slots,
+                hot: d.heap.alloc_padded(8, line),
                 f_big: d.funcs.intern("starved_writer", "starved.rs", 80),
                 f_small: d.funcs.intern("small_writer", "starved.rs", 90),
             }
@@ -379,7 +381,7 @@ pub fn starved_writer(cfg: &RunConfig) -> RunOutcome {
                 // The big writer: expose the whole write set up front, then
                 // hold it through a long compute — any small commit during
                 // the window invalidates the speculation.
-                for _ in 0..w.scaled(300) {
+                for _ in 0..w.scaled(2_000) {
                     let (base, stride, slots, f) = (s.base, s.stride, s.slots, s.f_big);
                     let (cpu, tm) = (&mut w.cpu, &mut w.tm);
                     rtm_runtime::named_critical_section(tm, cpu, f, 81, |cpu| {
@@ -390,17 +392,73 @@ pub fn starved_writer(cfg: &RunConfig) -> RunOutcome {
                     });
                 }
             } else {
-                // Small writers: single-word updates on this worker's own
-                // padded slot — they conflict with the big writer, never
-                // with each other.
+                // Small writers: each hammers its own padded slot (the
+                // conflict with the big writer) *and* one hot word shared
+                // between all small writers, written early and held — the
+                // hammer↔hammer collisions push the hammers onto the
+                // fallback path too, so the contention manager actually
+                // has peers to arbitrate: a karma policy can park the
+                // cheap hammers while the big writer drains its
+                // accumulated priority.
                 let slot = w.idx as u64 % s.slots;
                 for _ in 0..w.scaled(40_000) {
-                    let (addr, f) = (s.base + slot * s.stride, s.f_small);
+                    let (addr, hot, f) = (s.base + slot * s.stride, s.hot, s.f_small);
                     let (cpu, tm) = (&mut w.cpu, &mut w.tm);
                     rtm_runtime::named_critical_section(tm, cpu, f, 91, |cpu| {
+                        cpu.rmw(93, hot, |v| v + 1)?;
+                        cpu.compute(94, 60)?;
                         cpu.rmw(92, addr, |v| v + 1).map(|_| ())
                     });
                 }
+            }
+        },
+        // The hot word is deliberately left out of the checksum: each small
+        // completion still increments exactly one slot, so the
+        // `small + slots × big` exactness identity is unchanged.
+        |d, s| {
+            (0..s.slots)
+                .map(|i| d.mem.load(s.base + i * s.stride))
+                .sum()
+        },
+    )
+}
+
+/// Two symmetric heavyweight writers: every worker runs the *same*
+/// large-write-set transaction over one shared array. Nobody is cheap, so
+/// a priority scheme has no obvious victim — the classic livelock shape
+/// for greedy contention managers. A correct karma policy must let both
+/// writers make progress (the politeness window is bounded; equal-karma
+/// peers never park on each other).
+pub fn symmetric_writers(cfg: &RunConfig) -> RunOutcome {
+    struct S {
+        base: Addr,
+        stride: u64,
+        slots: u64,
+        f: txsim_htm::FuncId,
+    }
+    run_workload(
+        "micro/symmetric_writers",
+        cfg,
+        |d, c| {
+            let line = d.geometry.line_bytes;
+            let slots = (c.threads as u64).max(2);
+            S {
+                base: d.heap.alloc_aligned(line * slots, line),
+                stride: line,
+                slots,
+                f: d.funcs.intern("symmetric_writer", "starved.rs", 100),
+            }
+        },
+        |w, s| {
+            for _ in 0..w.scaled(400) {
+                let (base, stride, slots, f) = (s.base, s.stride, s.slots, s.f);
+                let (cpu, tm) = (&mut w.cpu, &mut w.tm);
+                rtm_runtime::named_critical_section(tm, cpu, f, 101, |cpu| {
+                    for i in 0..slots {
+                        cpu.rmw(102, base + i * stride, |v| v + 1)?;
+                    }
+                    cpu.compute(103, 200)
+                });
             }
         },
         |d, s| {
@@ -424,6 +482,7 @@ pub fn run_all(cfg: &RunConfig) -> Vec<RunOutcome> {
         moderate(cfg),
         mixed_phase(cfg),
         starved_writer(cfg),
+        symmetric_writers(cfg),
     ]
 }
 

@@ -50,6 +50,7 @@ pub fn all() -> Vec<Spec> {
         Spec::new("micro/moderate", "micro", micro::moderate),
         Spec::new("micro/mixed_phase", "micro", micro::mixed_phase),
         Spec::new("micro/starved_writer", "micro", micro::starved_writer),
+        Spec::new("micro/symmetric_writers", "micro", micro::symmetric_writers),
         // CLOMP-TM (Table 1 / Figure 7).
         Spec::new("clomp/small-1", "clomp", |c| {
             clomp::run(TxSize::Small, ScatterMode::Adjacent, c)

@@ -29,6 +29,10 @@
 //!   completion (`_bucket{site=...,le=...}` + `_sum` + `_count`); the
 //!   runtime's power-of-two buckets map directly onto cumulative `le`
 //!   bounds, with the catch-all top bucket folded into `+Inf`.
+//! - `txsampler_cm_interventions_total{kind=...}` (counter): contention-
+//!   manager interventions (yield/stall/escalation/priority_abort) across
+//!   all sites; `txsampler_cm_site_interventions_total{site=...,kind=...}`
+//!   breaks the nonzero ones down per abort site.
 //! - `txsampler_obs_events_total{subsystem=...,counter=...}` (counter):
 //!   the profiler's self-observability counters (its own cost).
 
@@ -256,6 +260,50 @@ pub fn render(view: &SnapshotView, window: Option<&Metrics>, obs: &Snapshot) -> 
         }
     }
 
+    family(
+        &mut out,
+        "txsampler_cm_interventions_total",
+        "counter",
+        "Contention-manager interventions by kind (zero when no CM ran).",
+    );
+    let cm = view.profile.cm_totals();
+    for (kind, n) in [
+        ("yield", cm.yields),
+        ("stall", cm.stalls),
+        ("escalation", cm.escalations),
+        ("priority_abort", cm.priority_aborts),
+    ] {
+        let _ = writeln!(
+            out,
+            "txsampler_cm_interventions_total{{kind=\"{kind}\"}} {n}"
+        );
+    }
+
+    family(
+        &mut out,
+        "txsampler_cm_site_interventions_total",
+        "counter",
+        "Contention-manager interventions per abort site and kind (nonzero entries only).",
+    );
+    let mut cm_sites: Vec<_> = view.profile.cm.iter().collect();
+    cm_sites.sort_by_key(|(ip, _)| (ip.func.0, ip.line));
+    for (ip, s) in cm_sites {
+        let site = format!("{}:{}", ip.func.0, ip.line);
+        for (kind, n) in [
+            ("yield", s.yields),
+            ("stall", s.stalls),
+            ("escalation", s.escalations),
+            ("priority_abort", s.priority_aborts),
+        ] {
+            if n > 0 {
+                let _ = writeln!(
+                    out,
+                    "txsampler_cm_site_interventions_total{{site=\"{site}\",kind=\"{kind}\"}} {n}"
+                );
+            }
+        }
+    }
+
     // Per-site latency/retry histograms (v5 profiles). The 32 power-of-two
     // buckets render as cumulative `le` bounds `2^(i+1)-1`; the catch-all
     // top bucket has no finite upper bound, so it folds into `+Inf` (whose
@@ -476,6 +524,27 @@ mod tests {
         let plain = render(&sample_view(), None, &Registry::new().snapshot());
         assert!(plain.contains("# TYPE txsampler_tx_cycles histogram"));
         assert!(!plain.contains("txsampler_tx_cycles_bucket{"));
+    }
+
+    #[test]
+    fn cm_families_render_totals_and_per_site_breakdown() {
+        let mut view = sample_view();
+        let s = view.profile.cm.entry(Ip::new(FuncId(1), 4)).or_default();
+        s.yields = 7;
+        s.escalations = 2;
+        let text = render(&view, None, &Registry::new().snapshot());
+        assert!(text.contains("txsampler_cm_interventions_total{kind=\"yield\"} 7"));
+        assert!(text.contains("txsampler_cm_interventions_total{kind=\"stall\"} 0"));
+        assert!(text.contains("txsampler_cm_interventions_total{kind=\"escalation\"} 2"));
+        assert!(
+            text.contains("txsampler_cm_site_interventions_total{site=\"1:4\",kind=\"yield\"} 7")
+        );
+        // Zero per-site kinds are omitted; CM-free profiles render the
+        // family headers and zero totals only.
+        assert!(!text.contains("site=\"1:4\",kind=\"stall\""));
+        let plain = render(&sample_view(), None, &Registry::new().snapshot());
+        assert!(plain.contains("txsampler_cm_interventions_total{kind=\"yield\"} 0"));
+        assert!(!plain.contains("txsampler_cm_site_interventions_total{"));
     }
 
     #[test]

@@ -30,13 +30,17 @@
 //! hardware and software transactions never overlap — the STM only has to
 //! arbitrate software peers, which is exactly what TL2 does.
 
+use std::sync::Arc;
+
 use obs::Counter;
 use txsim_htm::{AbortInfo, Addr, Ip, SimCpu, TxResult, XABORT_LOCK_HELD};
 use txsim_pmu::AbortClass;
-use txstm::Tl2;
+use txstm::cm::{make_cm, CmDecision, CmKind, ContentionManager};
+use txstm::{CommitFail, Tl2};
 
 pub use txstm::GATE_EXCLUSIVE;
 
+use crate::cm_stats::CmEvent;
 use crate::state::{IN_CS, IN_FALLBACK, IN_HTM, IN_LOCK_WAITING, IN_OVERHEAD, IN_STM};
 use crate::TmThread;
 
@@ -260,12 +264,21 @@ impl FallbackBackend for SingleGlobalLockElided {
 /// concurrently instead of convoying on the global lock.
 pub struct Tl2Stm {
     tl2: Tl2,
+    /// The contention manager consulted after every failed commit (and at
+    /// every software-transaction begin). See [`txstm::cm`].
+    cm: Arc<dyn ContentionManager>,
 }
 
 impl Tl2Stm {
-    /// Wrap a TL2 engine (gated on the runtime's global lock word).
+    /// Wrap a TL2 engine (gated on the runtime's global lock word) with
+    /// the default [`CmKind::Backoff`] contention manager.
     pub fn new(tl2: Tl2) -> Tl2Stm {
-        Tl2Stm { tl2 }
+        Tl2Stm::with_cm(tl2, make_cm(CmKind::Backoff))
+    }
+
+    /// Same, with an explicit contention manager.
+    pub fn with_cm(tl2: Tl2, cm: Arc<dyn ContentionManager>) -> Tl2Stm {
+        Tl2Stm { tl2, cm }
     }
 
     /// The underlying engine (tests and diagnostics).
@@ -295,6 +308,12 @@ impl FallbackBackend for Tl2Stm {
 
         let mut attempt = 0u32;
         loop {
+            // Consult the contention manager before (re)opening the read
+            // window: an outranked transaction spends its politeness window
+            // here instead of racing a starving peer's validation.
+            if let Some(iv) = self.cm.on_begin(cpu, line, &mut tm.cm_tx) {
+                tm.cm_stats.note(site, CmEvent::from(iv));
+            }
             let rv = tl2.begin(cpu, line);
             tm.state.set(IN_CS | IN_FALLBACK | IN_STM);
             match body(cpu) {
@@ -304,6 +323,7 @@ impl FallbackBackend for Tl2Stm {
                         cpu.stm_report_commit(line);
                         tm.truth.fallback(site);
                         tm.truth.stm_commit(site);
+                        tm.fb_attempts = attempt + 1;
                         tl2.gate_exit(cpu, line);
                         return v;
                     }
@@ -315,11 +335,40 @@ impl FallbackBackend for Tl2Stm {
                             AbortInfo::new(AbortClass::Validation, 0, abort.weight),
                         );
                         attempt += 1;
-                        if attempt >= tl2.config().max_attempts {
-                            // Livelock guard: give up on optimism.
-                            break;
+                        // The contention manager decides the reaction; the
+                        // engine's `max_attempts` stays the escape hatch
+                        // every policy must respect (the progress bound).
+                        let max = tl2.config().max_attempts;
+                        let res = match abort.cause {
+                            CommitFail::LockBusy => {
+                                self.cm
+                                    .on_lock_conflict(&mut tm.cm_tx, abort.work, attempt, max)
+                            }
+                            CommitFail::Validation => self.cm.on_validation_failure(
+                                &mut tm.cm_tx,
+                                abort.work,
+                                attempt,
+                                max,
+                            ),
+                        };
+                        if res.priority_abort {
+                            tm.cm_stats.note(site, CmEvent::PriorityAbort);
                         }
-                        tl2.backoff(cpu, line, attempt);
+                        match res.decision {
+                            CmDecision::Backoff => tl2.backoff(cpu, line, attempt),
+                            CmDecision::Stall { spins } => {
+                                tm.cm_stats.note(site, CmEvent::Stall);
+                                for _ in 0..spins {
+                                    cpu.spin(line).expect("spin outside tx cannot abort");
+                                }
+                            }
+                            CmDecision::Escalate => {
+                                // Forced commit: give up on optimism and
+                                // take the exclusive gate below.
+                                tm.cm_stats.note(site, CmEvent::Escalation);
+                                break;
+                            }
+                        }
                     }
                 },
                 Err(_) => {
@@ -336,6 +385,7 @@ impl FallbackBackend for Tl2Stm {
         // Irrevocable escalation. Drop our own gate share *first*: two
         // escalating threads that both kept their shares would each wait
         // forever for the other's to drain.
+        tm.fb_attempts = attempt + 1;
         tl2.gate_exit(cpu, line);
         tm.state.set(IN_CS | IN_LOCK_WAITING);
         obs::count(Counter::RtmLockWaits);
@@ -364,11 +414,17 @@ pub struct AdaptiveBackend {
 
 impl AdaptiveBackend {
     /// Build the adaptive dispatcher over a TL2 engine (gated on the
-    /// runtime's global lock word, exactly like the static STM backend).
+    /// runtime's global lock word, exactly like the static STM backend),
+    /// with the default [`CmKind::Backoff`] contention manager.
     pub fn new(tl2: Tl2) -> AdaptiveBackend {
+        AdaptiveBackend::with_cm(tl2, make_cm(CmKind::Backoff))
+    }
+
+    /// Same, with an explicit contention manager for the STM flavor.
+    pub fn with_cm(tl2: Tl2, cm: Arc<dyn ContentionManager>) -> AdaptiveBackend {
         AdaptiveBackend {
             lock: GlobalLock,
-            stm: Tl2Stm::new(tl2),
+            stm: Tl2Stm::with_cm(tl2, cm),
             hle: SingleGlobalLockElided,
         }
     }

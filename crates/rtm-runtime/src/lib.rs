@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod cm_stats;
 pub mod hist;
 pub mod hle;
 pub mod sites;
@@ -44,12 +45,14 @@ use std::sync::Arc;
 use obs::{Counter, Subsystem};
 use txsim_htm::{AbortInfo, Addr, FuncId, HtmDomain, Ip, SimCpu, TxResult, XABORT_LOCK_HELD};
 use txsim_pmu::AbortClass;
+use txstm::cm::{make_cm, ContentionManager, TxCm};
 use txstm::Tl2;
 
 pub use backend::{
     AdaptiveBackend, Backend, FallbackBackend, FallbackKind, GlobalLock, SingleGlobalLockElided,
     Tl2Stm, GATE_EXCLUSIVE,
 };
+pub use cm_stats::{CmEvent, CmStats, CmTable};
 pub use hist::{Hist32, HistTable, SiteHists, HIST_BUCKETS, HIST_SITE_CAPACITY};
 pub use hle::HleLock;
 pub use sites::{AdaptivePolicy, SitePlan, SiteSnapshot, SiteTable, SITE_CAPACITY};
@@ -57,6 +60,7 @@ pub use state::{
     StateFlags, ThreadState, IN_CS, IN_FALLBACK, IN_HTM, IN_LOCK_WAITING, IN_OVERHEAD, IN_STM,
 };
 pub use truth::{SiteTruth, Truth};
+pub use txstm::cm::{CmKind, DEFAULT_ESCALATE_AFTER};
 
 /// Global (per-domain) RTM library state: the elided fallback lock and the
 /// retry policy.
@@ -73,6 +77,10 @@ pub struct TmLib {
     pub max_retries: u32,
     /// The fallback execution policy (see [`backend`]).
     backend: Backend,
+    /// The contention manager (see [`txstm::cm`]). Shared with the STM
+    /// backend; the section-begin and completion hooks run here so karma
+    /// earned on the fallback path is reset exactly once per section.
+    cm: Arc<dyn ContentionManager>,
 }
 
 impl TmLib {
@@ -94,26 +102,56 @@ impl TmLib {
         TmLib::with_config(domain, 5, kind)
     }
 
-    /// Fully explicit construction: retry budget and fallback backend.
+    /// Same as [`TmLib::with_config`], selecting the contention manager
+    /// too (default retry budget).
+    pub fn with_backend_and_cm(
+        domain: &Arc<HtmDomain>,
+        kind: FallbackKind,
+        cm: CmKind,
+    ) -> Arc<TmLib> {
+        TmLib::with_cm(domain, 5, kind, cm)
+    }
+
+    /// Fully explicit construction: retry budget and fallback backend,
+    /// with the default [`CmKind::Backoff`] contention manager.
     pub fn with_config(
         domain: &Arc<HtmDomain>,
         max_retries: u32,
         kind: FallbackKind,
     ) -> Arc<TmLib> {
+        TmLib::with_cm(domain, max_retries, kind, CmKind::Backoff)
+    }
+
+    /// Fully explicit construction: retry budget, fallback backend, and
+    /// contention manager. The CM only influences software transactions,
+    /// so it is threaded into the STM-capable backends; under `lock`/`hle`
+    /// fallbacks it never intervenes (no karma is ever earned).
+    pub fn with_cm(
+        domain: &Arc<HtmDomain>,
+        max_retries: u32,
+        kind: FallbackKind,
+        cm_kind: CmKind,
+    ) -> Arc<TmLib> {
+        let cm = make_cm(cm_kind);
         let lock_addr = domain.heap.alloc_padded(8, domain.geometry.line_bytes);
         let backend = match kind {
             FallbackKind::Lock => Backend::Lock(GlobalLock),
-            FallbackKind::Stm => Backend::Stm(Tl2Stm::new(Tl2::new(domain, lock_addr))),
+            FallbackKind::Stm => Backend::Stm(Tl2Stm::with_cm(
+                Tl2::new(domain, lock_addr),
+                Arc::clone(&cm),
+            )),
             FallbackKind::Hle => Backend::Hle(SingleGlobalLockElided),
-            FallbackKind::Adaptive => {
-                Backend::Adaptive(AdaptiveBackend::new(Tl2::new(domain, lock_addr)))
-            }
+            FallbackKind::Adaptive => Backend::Adaptive(AdaptiveBackend::with_cm(
+                Tl2::new(domain, lock_addr),
+                Arc::clone(&cm),
+            )),
         };
         Arc::new(TmLib {
             lock_addr,
             f_tm_end: domain.funcs.intern("TM_END", "rtm_runtime.rs", 1),
             max_retries,
             backend,
+            cm,
         })
     }
 
@@ -125,6 +163,11 @@ impl TmLib {
     /// The configured fallback backend's kind.
     pub fn fallback_kind(&self) -> FallbackKind {
         self.backend.kind()
+    }
+
+    /// The configured contention manager's kind.
+    pub fn cm_kind(&self) -> CmKind {
+        self.cm.kind()
     }
 
     /// Create the per-thread runtime handle. Threads of an adaptive
@@ -142,6 +185,9 @@ impl TmLib {
             truth: Truth::default(),
             sites,
             hists: HistTable::detached(),
+            cm_stats: CmTable::new(),
+            cm_tx: TxCm::default(),
+            fb_attempts: 0,
         }
     }
 }
@@ -157,6 +203,16 @@ pub struct TmThread {
     /// Per-site latency/retry-depth histograms (detached — one branch per
     /// section — until a profiling harness calls [`TmThread::enable_hists`]).
     pub hists: HistTable,
+    /// Per-site contention-management interventions (yields, stalls,
+    /// escalations, priority aborts). Only the contended slow path writes
+    /// here.
+    pub cm_stats: CmTable,
+    /// The running section's contention-management state (karma).
+    pub(crate) cm_tx: TxCm,
+    /// Software attempts the current fallback execution made (set by the
+    /// backend): the STM reports its commit attempts so the retry-depth
+    /// histogram sees software starvation, not just the hardware budget.
+    pub(crate) fb_attempts: u32,
 }
 
 impl TmThread {
@@ -213,17 +269,36 @@ impl TmThread {
             // The site's evidence says every attempt dies on a
             // non-transient abort: skip the doomed speculation and its
             // wasted abort cycles, go straight to the fallback path.
+            if let Some(iv) = self.lib.cm.on_begin(cpu, line, &mut self.cm_tx) {
+                self.cm_stats.note(site, CmEvent::from(iv));
+            }
             let fb_start = cpu.cycles();
             let v = self.run_fallback(cpu, line, lock, site, &mut body);
             let done = cpu.cycles();
-            self.hists
-                .record(site, done - started, 1, Some(done - fb_start));
+            self.hists.record(
+                site,
+                done - started,
+                self.fb_attempts,
+                Some(done - fb_start),
+            );
+            self.lib.cm.on_commit(&mut self.cm_tx);
             self.state.set(0);
             return v;
         }
 
         let mut retries = 0u32;
         let value = loop {
+            // Contention-management begin hook, consulted before *every*
+            // attempt: a transaction outranked on the karma board spends a
+            // bounded politeness window here instead of racing a starving
+            // peer's validation — mid-section, a struggling hammer parks
+            // as soon as the victim's bid goes up. Costs zero simulated
+            // cycles when the manager does not intervene (the
+            // single-thread parity contract).
+            if let Some(iv) = self.lib.cm.on_begin(cpu, line, &mut self.cm_tx) {
+                self.cm_stats.note(site, CmEvent::from(iv));
+            }
+
             // Fast path: wait (outside the transaction) for the lock to be
             // free, then speculate.
             self.wait_lock_free(cpu, line, lock);
@@ -247,6 +322,11 @@ impl TmThread {
                     self.state.set(IN_CS | IN_OVERHEAD);
                     let info = cpu.last_abort().expect("abort must record status");
                     self.record_abort(site, info);
+                    // Priority accounting: the rolled-back cycles are work
+                    // done, and a karma-style manager turns them into rank.
+                    self.lib
+                        .cm
+                        .on_htm_abort(&mut self.cm_tx, info.weight, attempts);
 
                     let lock_held_elision = info.class == AbortClass::Explicit
                         && info.explicit_code == XABORT_LOCK_HELD;
@@ -270,14 +350,23 @@ impl TmThread {
             }
         };
         // Retry depth at completion: HTM attempts (including lock-held
-        // elision waits) plus one when the fallback path ran.
+        // elision waits) plus the fallback's software attempts when it ran
+        // (one for the serial backends; the STM reports its commit
+        // attempts, so software starvation shows in the same histogram).
         self.hists.record(
             site,
             cpu.cycles() - started,
-            attempts + fb_dwell.is_some() as u32,
+            attempts
+                + if fb_dwell.is_some() {
+                    self.fb_attempts
+                } else {
+                    0
+                },
             fb_dwell,
         );
 
+        // Completion hook: reset karma, withdraw any published bid.
+        self.lib.cm.on_commit(&mut self.cm_tx);
         self.state.set(0);
         value
     }
@@ -362,6 +451,9 @@ impl TmThread {
     ) -> T {
         obs::count(Counter::RtmFallbacks);
         let _span = obs::span(Subsystem::Runtime, "fallback");
+        // Serial backends complete in one software attempt; the STM
+        // overwrites this with its actual commit-attempt count.
+        self.fb_attempts = 1;
         let lib = Arc::clone(&self.lib);
         lib.backend.execute(self, cpu, line, lock, site, body)
     }

@@ -1,0 +1,692 @@
+//! Pluggable contention management for the TL2 engine.
+//!
+//! TL2 detects conflicts at commit time, which has a structural unfairness:
+//! the transaction that notices the conflict is the one that self-aborts,
+//! and it cannot abort its conflictor — that transaction already committed.
+//! Under write-heavy contention this starves large write sets: a big
+//! transaction keeps re-reading the world, and every small commit that
+//! lands during its window invalidates it again. Bounded exponential
+//! backoff (the only policy the engine used to have) makes the victim wait
+//! *longer*, widening the window.
+//!
+//! This module turns the reaction to a failed commit into a policy — a
+//! [`ContentionManager`] with hooks at transaction **begin**, **lock
+//! conflict**, **validation failure**, and **commit** — with three
+//! implementations:
+//!
+//! * [`BackoffCm`] — the historical behaviour, bit-for-bit: bounded
+//!   exponential backoff between attempts, escalation to the exclusive
+//!   gate after `max_attempts` failures. The default.
+//! * [`KarmaCm`] — priority accumulated from work done (rolled-back
+//!   cycles of aborted hardware attempts, plus read/write-set size ×
+//!   retries for failed software commits — the Scherer–Scott "Karma"
+//!   idea). A struggling transaction publishes its karma on a shared
+//!   board; *lower*-karma transactions yield at begin (a bounded
+//!   politeness window) instead of
+//!   racing the starving writer's validation window, and back off after
+//!   their own aborts, while the *top*-karma transaction retries after a
+//!   brief stall instead of exponential backoff. Karma resets on commit.
+//! * [`EscalateCm`] — vincent_stm's "forced commit": after `K` failures
+//!   (hardware aborts count, so a burned HTM retry budget carries over)
+//!   the transaction acquires the exclusive gate and finishes
+//!   irrevocably, bounding worst-case software commit attempts at `K` by
+//!   construction.
+//!
+//! ## Where the karma board lives
+//!
+//! The board is **runtime metadata, not simulated application state**: a
+//! host-side atomic, like the RTM runtime's thread-private site tables. An
+//! idle contention manager therefore costs zero simulated cycles — the
+//! single-thread parity contract: every policy is cycle-identical when
+//! uncontended. Only the *behavioural* consequences (yield and stall
+//! spins) execute as simulated instructions, so the profiler sees exactly
+//! the waiting the policy injects, and nothing else. The decision hooks
+//! themselves never touch simulated memory, so they cannot perturb the
+//! lock-validate-publish-bump commit ordering they arbitrate around.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use txsim_htm::SimCpu;
+
+/// Which contention manager a TL2-backed runtime uses — the name that
+/// appears on the CLI (`--cm=`), in store metadata, and in diff provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CmKind {
+    /// Bounded exponential backoff, escalate at the engine's
+    /// `max_attempts` (today's behaviour; default).
+    #[default]
+    Backoff,
+    /// Karma priority: work-proportional yielding and stalling.
+    Karma,
+    /// Forced irrevocable commit after K failures.
+    Escalate,
+}
+
+impl CmKind {
+    /// Every valid kind, in CLI presentation order.
+    pub const ALL: [CmKind; 3] = [CmKind::Backoff, CmKind::Karma, CmKind::Escalate];
+
+    /// The canonical lowercase name (CLI value, store meta value).
+    pub fn label(self) -> &'static str {
+        match self {
+            CmKind::Backoff => "backoff",
+            CmKind::Karma => "karma",
+            CmKind::Escalate => "escalate",
+        }
+    }
+
+    /// Parse a CLI/meta name. Returns `None` for unknown values — callers
+    /// must reject, not default (silent defaulting hides typos).
+    pub fn parse(s: &str) -> Option<CmKind> {
+        CmKind::ALL.iter().copied().find(|k| k.label() == s)
+    }
+}
+
+impl std::fmt::Display for CmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-thread contention-management state: the karma earned by the current
+/// critical-section execution. Lives in the runtime's thread handle and is
+/// threaded through every hook; reset on commit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TxCm {
+    /// Priority accumulated from work done (set size × retries).
+    pub karma: u64,
+    /// The karma value this transaction last published to the board
+    /// (zero when nothing is published).
+    published: u64,
+    /// Failed attempts — hardware aborts plus failed software commits —
+    /// in the current section (the escalate policy's K counter).
+    pub failures: u32,
+    /// This thread's bid-board slot, assigned on first publish and kept
+    /// for the thread's lifetime.
+    slot: Option<u32>,
+}
+
+/// How a policy intervened at an attempt boundary (the begin hook).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmIntervention {
+    /// Parked in a politeness window for a higher-karma peer.
+    Yielded,
+    /// A struggling leader waited out in-flight conflictors before
+    /// re-speculating.
+    Stalled,
+}
+
+/// What to do after a failed commit attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmDecision {
+    /// Retry after the engine's bounded exponential backoff.
+    Backoff,
+    /// Retry after a brief fixed stall — the high-priority transaction
+    /// waits out its conflictor instead of paying exponential backoff.
+    Stall {
+        /// Spin iterations to wait before retrying.
+        spins: u32,
+    },
+    /// Acquire the exclusive gate and finish irrevocably.
+    Escalate,
+}
+
+/// A failure hook's verdict: the retry decision, plus whether this abort
+/// was *deferred to priority* — a lower-karma transaction losing to a
+/// higher-karma peer (the per-site `priority_aborts` counter).
+#[derive(Debug, Clone, Copy)]
+pub struct CmResolution {
+    /// What the transaction should do next.
+    pub decision: CmDecision,
+    /// Whether the abort is attributed to karma arbitration.
+    pub priority_abort: bool,
+}
+
+impl CmResolution {
+    fn plain(decision: CmDecision) -> CmResolution {
+        CmResolution {
+            decision,
+            priority_abort: false,
+        }
+    }
+}
+
+/// A contention-management policy. One instance per `TmLib`, shared by all
+/// threads; per-transaction state travels in [`TxCm`].
+///
+/// Hook contract: `on_begin` may execute simulated spins (the yield) but
+/// must cost **zero simulated instructions when it does not intervene**;
+/// the failure hooks are pure decisions (the engine executes any waiting
+/// they request); `on_commit` clears the transaction's published state.
+pub trait ContentionManager: Send + Sync {
+    /// This policy's CLI-facing kind.
+    fn kind(&self) -> CmKind;
+
+    /// Called before an attempt opens its read window (section begin and
+    /// each software-transaction begin). Returns how the policy
+    /// intervened, or `None` when the attempt proceeds immediately.
+    fn on_begin(&self, cpu: &mut SimCpu, line: u32, tx: &mut TxCm) -> Option<CmIntervention>;
+
+    /// Called after a *hardware* attempt aborted; `weight` is the work the
+    /// abort rolled back, in cycles (the PMU's abort weight), `attempt` the
+    /// 1-based hardware attempt number within this section. The hardware
+    /// retry policy stays the runtime's own — this hook only feeds
+    /// priority accounting, so a transaction starved out of HTM arrives at
+    /// the software path already outranking the peers that starved it.
+    /// Default: no reaction.
+    fn on_htm_abort(&self, tx: &mut TxCm, weight: u64, attempt: u32) {
+        let _ = (tx, weight, attempt);
+    }
+
+    /// Called when a commit found a write stripe locked by a peer.
+    /// `work` is the failed transaction's read+write set size, `attempt`
+    /// the failure count so far (1-based), `max_attempts` the engine's
+    /// escape-hatch bound.
+    fn on_lock_conflict(
+        &self,
+        tx: &mut TxCm,
+        work: u32,
+        attempt: u32,
+        max_attempts: u32,
+    ) -> CmResolution;
+
+    /// Called when commit-time read-set validation failed. Same arguments
+    /// as [`ContentionManager::on_lock_conflict`].
+    fn on_validation_failure(
+        &self,
+        tx: &mut TxCm,
+        work: u32,
+        attempt: u32,
+        max_attempts: u32,
+    ) -> CmResolution;
+
+    /// Called when the execution completes (speculative commit or serial
+    /// escalation): reset karma, withdraw anything published.
+    fn on_commit(&self, tx: &mut TxCm);
+}
+
+/// Build the policy for `kind` with its default tuning.
+pub fn make_cm(kind: CmKind) -> Arc<dyn ContentionManager> {
+    match kind {
+        CmKind::Backoff => Arc::new(BackoffCm),
+        CmKind::Karma => Arc::new(KarmaCm::default()),
+        CmKind::Escalate => Arc::new(EscalateCm::default()),
+    }
+}
+
+/// The historical policy: exponential backoff, escalate at `max_attempts`.
+#[derive(Debug, Default)]
+pub struct BackoffCm;
+
+impl ContentionManager for BackoffCm {
+    fn kind(&self) -> CmKind {
+        CmKind::Backoff
+    }
+
+    fn on_begin(&self, _cpu: &mut SimCpu, _line: u32, _tx: &mut TxCm) -> Option<CmIntervention> {
+        None
+    }
+
+    fn on_lock_conflict(
+        &self,
+        _tx: &mut TxCm,
+        _work: u32,
+        attempt: u32,
+        max_attempts: u32,
+    ) -> CmResolution {
+        CmResolution::plain(if attempt >= max_attempts {
+            CmDecision::Escalate
+        } else {
+            CmDecision::Backoff
+        })
+    }
+
+    fn on_validation_failure(
+        &self,
+        tx: &mut TxCm,
+        work: u32,
+        attempt: u32,
+        max_attempts: u32,
+    ) -> CmResolution {
+        self.on_lock_conflict(tx, work, attempt, max_attempts)
+    }
+
+    fn on_commit(&self, _tx: &mut TxCm) {}
+}
+
+/// Karma-priority arbitration (Scherer & Scott's "Karma", adapted to
+/// commit-time locking where the victim self-aborts).
+///
+/// Every aborted hardware attempt earns the transaction its rolled-back
+/// cycles squared times the attempt number (squaring amplifies the long
+/// section's structural disadvantage; the attempt factor makes persistence
+/// superlinear), every failed software commit earns `work × attempt`, and
+/// the total is published to a shared bid board. The board is a slot
+/// table, one slot per transaction: a single max-word would lose
+/// concurrent bids (the first committer's clear erases every bid that was
+/// folded into the max, unparking peers straight into the next
+/// struggler's window). Every transaction reads the board's maximum at
+/// begin: one whose own karma is below it spends a bounded politeness
+/// window spinning, re-checking, so the starving high-karma transaction
+/// gets a quiet validation window. After a failure, the top-karma
+/// transaction retries after a brief stall (it should press on, not back
+/// off); lower-karma transactions take the exponential backoff and the
+/// abort is booked as a *priority abort*. Commit clears the transaction's
+/// own slot and resets karma.
+#[derive(Debug)]
+pub struct KarmaCm {
+    /// Active bids, one slot per struggling transaction (slots are
+    /// assigned on first publish and reused for the thread's lifetime;
+    /// beyond `BOARD_SLOTS` threads, slots are shared and a commit may
+    /// briefly clear a slot-mate's bid — it re-publishes on its next
+    /// failure).
+    board: [AtomicU64; BOARD_SLOTS],
+    /// Next slot to hand out.
+    next_slot: AtomicU64,
+    /// A transaction yields only to a board bid above `margin × (karma+1)`.
+    /// Equal bids never park each other (the `+1` strictness is the
+    /// livelock guard for symmetric heavyweights); a larger margin adds
+    /// hysteresis at the cost of slower rescue.
+    margin: u64,
+    /// Spin iterations per politeness-window round.
+    yield_spins: u32,
+    /// Maximum rounds per yield (bounds the wait when the leader dies or
+    /// escalates without clearing the board).
+    yield_rounds: u32,
+    /// Spin iterations the top-karma transaction stalls before retrying.
+    stall_spins: u32,
+    /// Spin iterations a struggling leader waits at begin for in-flight
+    /// conflictors (peers that began before its bid rose) to drain.
+    leader_stall_spins: u32,
+}
+
+/// Bid-table size. One slot per concurrently struggling transaction; with
+/// more threads than slots, slot sharing degrades fairness gracefully
+/// rather than correctness.
+const BOARD_SLOTS: usize = 64;
+
+impl Default for KarmaCm {
+    fn default() -> Self {
+        KarmaCm {
+            board: std::array::from_fn(|_| AtomicU64::new(0)),
+            next_slot: AtomicU64::new(0),
+            margin: 1,
+            yield_spins: 64,
+            yield_rounds: 128,
+            stall_spins: 16,
+            leader_stall_spins: 384,
+        }
+    }
+}
+
+impl KarmaCm {
+    /// The highest active bid.
+    fn board_top(&self) -> u64 {
+        self.board
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Earn `earned` karma and publish the new total when it raises this
+    /// transaction's public bid.
+    fn raise(&self, tx: &mut TxCm, earned: u64) {
+        tx.karma += earned;
+        if tx.karma > tx.published {
+            let slot = *tx.slot.get_or_insert_with(|| {
+                (self.next_slot.fetch_add(1, Ordering::Relaxed) as usize % BOARD_SLOTS) as u32
+            });
+            self.board[slot as usize].fetch_max(tx.karma, Ordering::Relaxed);
+            tx.published = tx.karma;
+        }
+    }
+
+    /// Earn karma for a failed software commit: set size × retries.
+    fn accrue(&self, tx: &mut TxCm, work: u32, attempt: u32) {
+        self.raise(tx, work as u64 * attempt as u64);
+    }
+
+    /// Whether a transaction with `karma` should defer to the board.
+    fn outranked(&self, karma: u64) -> bool {
+        self.board_top() > (karma + 1).saturating_mul(self.margin)
+    }
+}
+
+impl ContentionManager for KarmaCm {
+    fn kind(&self) -> CmKind {
+        CmKind::Karma
+    }
+
+    fn on_begin(&self, cpu: &mut SimCpu, line: u32, tx: &mut TxCm) -> Option<CmIntervention> {
+        if self.outranked(tx.karma) {
+            // Politeness window: wait (in bounded rounds, re-checking) for
+            // the higher-karma peer to commit and clear the board.
+            for _ in 0..self.yield_rounds {
+                for _ in 0..self.yield_spins {
+                    cpu.spin(line).expect("spin outside tx cannot abort");
+                }
+                if !self.outranked(tx.karma) {
+                    break;
+                }
+            }
+            return Some(CmIntervention::Yielded);
+        }
+        // Leader stall: parking only takes effect at attempt boundaries,
+        // so conflictors already speculating when this transaction's bid
+        // rose will still commit and invalidate its next attempt. A
+        // struggling leader (earned karma, at the top of the board) waits
+        // one conflictor-section's worth of spins for those in-flight
+        // peers to drain, then speculates into the quiet window.
+        if tx.karma > 0 && tx.karma >= self.board_top() {
+            for _ in 0..self.leader_stall_spins {
+                cpu.spin(line).expect("spin outside tx cannot abort");
+            }
+            return Some(CmIntervention::Stalled);
+        }
+        None
+    }
+
+    fn on_htm_abort(&self, tx: &mut TxCm, weight: u64, attempt: u32) {
+        // Burned speculation is work done: a big transaction that keeps
+        // getting invalidated earns its priority *during* the hardware
+        // phase, cycle for rolled-back cycle. The attempt factor makes the
+        // earning superlinear in persistence — a victim invalidated early
+        // (small weights) still outbids peers whose aborts are rare
+        // one-offs, so by the time it would fall back, they are yielding.
+        let w = weight.max(1);
+        self.raise(tx, w.saturating_mul(w).saturating_mul(attempt as u64));
+    }
+
+    fn on_lock_conflict(
+        &self,
+        tx: &mut TxCm,
+        work: u32,
+        attempt: u32,
+        max_attempts: u32,
+    ) -> CmResolution {
+        self.accrue(tx, work, attempt);
+        if attempt >= max_attempts {
+            return CmResolution::plain(CmDecision::Escalate);
+        }
+        // Stripe locks are only held for the length of a commit: the
+        // top-karma transaction just waits the holder out.
+        if tx.karma >= self.board_top() {
+            CmResolution::plain(CmDecision::Stall {
+                spins: self.stall_spins,
+            })
+        } else {
+            CmResolution::plain(CmDecision::Backoff)
+        }
+    }
+
+    fn on_validation_failure(
+        &self,
+        tx: &mut TxCm,
+        work: u32,
+        attempt: u32,
+        max_attempts: u32,
+    ) -> CmResolution {
+        self.accrue(tx, work, attempt);
+        if attempt >= max_attempts {
+            return CmResolution::plain(CmDecision::Escalate);
+        }
+        if tx.karma >= self.board_top() {
+            // Top karma: press on after a brief stall; backing off would
+            // widen the very window that keeps killing this transaction.
+            CmResolution::plain(CmDecision::Stall {
+                spins: self.stall_spins,
+            })
+        } else {
+            // Outranked: this abort is the price of the peer's priority.
+            CmResolution {
+                decision: CmDecision::Backoff,
+                priority_abort: true,
+            }
+        }
+    }
+
+    fn on_commit(&self, tx: &mut TxCm) {
+        if tx.published > 0 {
+            // Withdraw our bid: our slot is ours alone (up to slot
+            // sharing past BOARD_SLOTS threads), so clearing it cannot
+            // erase a still-struggling peer's bid.
+            if let Some(slot) = tx.slot {
+                self.board[slot as usize].store(0, Ordering::Relaxed);
+            }
+        }
+        // Keep the slot assignment; everything else resets.
+        *tx = TxCm {
+            slot: tx.slot,
+            ..TxCm::default()
+        };
+    }
+}
+
+/// Default failure bound for [`EscalateCm`].
+pub const DEFAULT_ESCALATE_AFTER: u32 = 3;
+
+/// Forced commit: after `after` failures of any kind — aborted hardware
+/// attempts count, so a section that burned its HTM retry budget arrives
+/// at the software path with the counter already high — acquire the
+/// exclusive gate and finish irrevocably. Worst-case *software* commit
+/// attempts per section are bounded at `after` by construction (the
+/// hardware retry policy stays the runtime's own; this policy can only
+/// force the decision at a software failure).
+#[derive(Debug)]
+pub struct EscalateCm {
+    /// Failures tolerated before forcing the commit.
+    pub after: u32,
+}
+
+impl Default for EscalateCm {
+    fn default() -> Self {
+        EscalateCm {
+            after: DEFAULT_ESCALATE_AFTER,
+        }
+    }
+}
+
+impl ContentionManager for EscalateCm {
+    fn kind(&self) -> CmKind {
+        CmKind::Escalate
+    }
+
+    fn on_begin(&self, _cpu: &mut SimCpu, _line: u32, _tx: &mut TxCm) -> Option<CmIntervention> {
+        None
+    }
+
+    fn on_htm_abort(&self, tx: &mut TxCm, _weight: u64, _attempt: u32) {
+        tx.failures += 1;
+    }
+
+    fn on_lock_conflict(
+        &self,
+        tx: &mut TxCm,
+        _work: u32,
+        attempt: u32,
+        max_attempts: u32,
+    ) -> CmResolution {
+        tx.failures += 1;
+        CmResolution::plain(if tx.failures >= self.after || attempt >= max_attempts {
+            CmDecision::Escalate
+        } else {
+            CmDecision::Backoff
+        })
+    }
+
+    fn on_validation_failure(
+        &self,
+        tx: &mut TxCm,
+        work: u32,
+        attempt: u32,
+        max_attempts: u32,
+    ) -> CmResolution {
+        self.on_lock_conflict(tx, work, attempt, max_attempts)
+    }
+
+    fn on_commit(&self, tx: &mut TxCm) {
+        *tx = TxCm::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txsim_htm::{DomainConfig, HtmDomain, SamplingConfig};
+
+    fn cpu() -> (std::sync::Arc<HtmDomain>, SimCpu) {
+        let d = HtmDomain::new(DomainConfig::default().with_memory(1 << 16));
+        let c = d.spawn_cpu(SamplingConfig::disabled());
+        (d, c)
+    }
+
+    #[test]
+    fn kind_labels_round_trip() {
+        for kind in CmKind::ALL {
+            assert_eq!(CmKind::parse(kind.label()), Some(kind));
+            assert_eq!(make_cm(kind).kind(), kind);
+        }
+        assert_eq!(CmKind::parse("bogus"), None);
+        assert_eq!(CmKind::default(), CmKind::Backoff);
+    }
+
+    #[test]
+    fn backoff_matches_the_historical_policy() {
+        let cm = BackoffCm;
+        let mut tx = TxCm::default();
+        for attempt in 1..8 {
+            let r = cm.on_validation_failure(&mut tx, 5, attempt, 8);
+            assert_eq!(r.decision, CmDecision::Backoff);
+            assert!(!r.priority_abort);
+        }
+        let r = cm.on_validation_failure(&mut tx, 5, 8, 8);
+        assert_eq!(r.decision, CmDecision::Escalate);
+        // No karma bookkeeping of any sort.
+        cm.on_htm_abort(&mut tx, 400, 3);
+        assert_eq!(tx.karma, 0);
+    }
+
+    #[test]
+    fn escalate_bounds_retries_at_k_by_construction() {
+        let cm = EscalateCm { after: 3 };
+        let mut tx = TxCm::default();
+        for attempt in 1..3 {
+            let r = cm.on_validation_failure(&mut tx, 5, attempt, 8);
+            assert_eq!(r.decision, CmDecision::Backoff, "attempt {attempt}");
+        }
+        let r = cm.on_validation_failure(&mut tx, 5, 3, 8);
+        assert_eq!(r.decision, CmDecision::Escalate, "the Kth failure forces");
+        // Hardware aborts count toward K: a section that burned its HTM
+        // retry budget escalates at its first software failure.
+        let mut burned = TxCm::default();
+        cm.on_htm_abort(&mut burned, 100, 1);
+        cm.on_htm_abort(&mut burned, 120, 2);
+        let r = cm.on_validation_failure(&mut burned, 5, 1, 8);
+        assert_eq!(r.decision, CmDecision::Escalate);
+        // Commit resets the counter; the next section earns from zero.
+        cm.on_commit(&mut burned);
+        assert_eq!(burned.failures, 0);
+        let r = cm.on_lock_conflict(&mut burned, 5, 1, 8);
+        assert_eq!(r.decision, CmDecision::Backoff);
+        // The bound also respects a tighter engine max_attempts.
+        let mut fresh = TxCm::default();
+        let r = cm.on_lock_conflict(&mut fresh, 5, 2, 2);
+        assert_eq!(r.decision, CmDecision::Escalate);
+    }
+
+    #[test]
+    fn karma_accrues_work_times_retries_and_resets_on_commit() {
+        let cm = KarmaCm::default();
+        let mut tx = TxCm::default();
+        cm.on_validation_failure(&mut tx, 10, 1, 8);
+        assert_eq!(tx.karma, 10);
+        cm.on_validation_failure(&mut tx, 10, 2, 8);
+        assert_eq!(tx.karma, 30, "second failure earns work x 2");
+        assert_eq!(cm.board_top(), 30, "published to board");
+        // Burned hardware speculation counts too: weight squared (the
+        // long section's structural disadvantage, amplified) times the
+        // attempt number (persistence is superlinear).
+        cm.on_htm_abort(&mut tx, 400, 2);
+        assert_eq!(tx.karma, 30 + 400 * 400 * 2);
+        assert_eq!(cm.board_top(), 30 + 400 * 400 * 2);
+        cm.on_commit(&mut tx);
+        assert_eq!(tx.karma, 0);
+        assert_eq!(cm.board_top(), 0, "bid withdrawn");
+        // A cleared transaction re-earns from zero.
+        cm.on_htm_abort(&mut tx, 7, 1);
+        assert_eq!(tx.karma, 49);
+    }
+
+    #[test]
+    fn low_karma_backs_off_with_priority_abort_high_karma_stalls() {
+        let cm = KarmaCm::default();
+        // A heavyweight publishes a big bid.
+        let mut big = TxCm::default();
+        cm.on_validation_failure(&mut big, 100, 1, 8);
+        // A lightweight failing under that bid defers.
+        let mut small = TxCm::default();
+        let r = cm.on_validation_failure(&mut small, 1, 1, 8);
+        assert_eq!(r.decision, CmDecision::Backoff);
+        assert!(r.priority_abort, "losing to priority is booked");
+        // The heavyweight itself stalls briefly instead of backing off.
+        let r = cm.on_validation_failure(&mut big, 100, 2, 8);
+        assert!(matches!(r.decision, CmDecision::Stall { .. }));
+        assert!(!r.priority_abort);
+    }
+
+    #[test]
+    fn karma_yields_at_begin_only_when_outranked() {
+        let (_d, mut c) = cpu();
+        let cm = KarmaCm::default();
+        let mut fresh = TxCm::default();
+        // Empty board: no intervention, zero simulated cost.
+        let before = c.cycles();
+        assert_eq!(cm.on_begin(&mut c, 1, &mut fresh), None);
+        assert_eq!(c.cycles(), before, "idle CM must cost zero cycles");
+        // Publish a big bid; a fresh transaction now yields (and pays
+        // simulated spin cycles); the owner leader-stalls — a short,
+        // bounded wait for in-flight conflictors, never the politeness
+        // window.
+        let mut big = TxCm::default();
+        cm.on_validation_failure(&mut big, 100, 1, 8);
+        assert_eq!(
+            cm.on_begin(&mut c, 1, &mut fresh),
+            Some(CmIntervention::Yielded)
+        );
+        assert!(c.cycles() > before, "the politeness window is simulated");
+        assert_eq!(
+            cm.on_begin(&mut c, 1, &mut big),
+            Some(CmIntervention::Stalled),
+            "top karma never yields; it stalls out its in-flight peers"
+        );
+        // Symmetric heavyweights: an equal bid never *parks* its peer (the
+        // livelock guard — the board can't exceed karma + 1 when the
+        // leader's karma matches yours); both sides take the same bounded
+        // leader stall instead.
+        let mut peer = TxCm::default();
+        cm.on_validation_failure(&mut peer, 100, 1, 8);
+        assert_eq!(
+            cm.on_begin(&mut c, 1, &mut peer),
+            Some(CmIntervention::Stalled)
+        );
+    }
+
+    #[test]
+    fn commit_leaves_a_higher_bid_in_place() {
+        let cm = KarmaCm::default();
+        let mut small = TxCm::default();
+        let mut big = TxCm::default();
+        cm.on_validation_failure(&mut small, 2, 1, 8);
+        cm.on_validation_failure(&mut big, 500, 1, 8);
+        cm.on_commit(&mut small);
+        assert_eq!(
+            cm.board_top(),
+            500,
+            "the outranked bid must not clear the leader's"
+        );
+        cm.on_commit(&mut big);
+        assert_eq!(cm.board_top(), 0);
+    }
+}

@@ -53,6 +53,8 @@
 
 #![warn(missing_docs)]
 
+pub mod cm;
+
 use std::sync::Arc;
 
 use obs::{Counter, Subsystem};
@@ -104,6 +106,9 @@ pub struct StmAbort {
     pub ip: Ip,
     /// Cycles wasted since `stm_begin`.
     pub weight: u64,
+    /// Work the failed attempt had done: read + write set size in lines.
+    /// Contention managers use it to accumulate priority (karma).
+    pub work: u32,
 }
 
 /// The TL2 engine: stripe-lock table and global clock in simulated memory,
@@ -242,6 +247,7 @@ impl Tl2 {
             cause,
             ip: taken.begin_ip,
             weight: cpu.cycles() - taken.begin_clock,
+            work: (taken.read_lines.len() + taken.write_lines.len()) as u32,
         };
 
         // Deduplicate write lines onto stripe words, sorted so concurrent

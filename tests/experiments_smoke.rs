@@ -10,6 +10,7 @@ fn cfg() -> ExpConfig {
         scale: 8,
         trials: 1,
         fallback: rtm_runtime::FallbackKind::Lock,
+        cm: rtm_runtime::CmKind::Backoff,
     }
 }
 

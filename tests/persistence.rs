@@ -43,14 +43,22 @@ fn store_format_is_stable_text() {
     let out = htmbench::micro::low_conflict(&cfg);
     let p = out.profile.as_ref().unwrap();
     let text = store::save(p);
-    assert!(text.starts_with("txsampler-profile\tv5\t"));
+    assert!(text.starts_with("txsampler-profile\tv6\t"));
     // Line-oriented: every line has a known record tag.
     for line in text.lines().skip(1).filter(|l| !l.is_empty()) {
         let tag = line.split('\t').next().unwrap();
         assert!(
             matches!(
                 tag,
-                "meta" | "periods" | "func" | "node" | "thread" | "site" | "backend" | "hist"
+                "meta"
+                    | "periods"
+                    | "func"
+                    | "node"
+                    | "thread"
+                    | "site"
+                    | "backend"
+                    | "hist"
+                    | "cm"
             ),
             "unknown record tag {tag}"
         );
